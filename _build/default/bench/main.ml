@@ -1,0 +1,220 @@
+(* Benchmark harness.
+
+   With no arguments this regenerates every table and figure of the paper
+   (the per-experiment index in DESIGN.md) and then runs Bechamel
+   micro-benchmarks of the hot code paths each experiment leans on.
+
+   With an argument it runs just that piece:
+     dune exec bench/main.exe -- fig2
+     dune exec bench/main.exe -- micro *)
+
+open Bechamel
+open Toolkit
+
+(* --- micro-benchmark subjects ------------------------------------------- *)
+
+let bch_subjects () =
+  (* FIG2's substrate: the live codec and the analytic tail. *)
+  let code = Ecc.Bch.create ~m:10 ~capability:8 in
+  let rng = Sim.Rng.create 1 in
+  let data = Ecc.Bitarray.create 400 in
+  Ecc.Bitarray.randomize rng data;
+  let parity = Ecc.Bch.encode code data in
+  let corrupted () =
+    let d = Ecc.Bitarray.copy data and p = Ecc.Bitarray.copy parity in
+    List.iter (fun i -> Ecc.Bitarray.flip d (i * 37)) [ 1; 3; 5; 7 ];
+    (d, p)
+  in
+  let params = Ecc.Code_params.for_sector ~data_bytes:2048 ~spare_bytes:256 in
+  [
+    Test.make ~name:"fig2/bch_encode"
+      (Staged.stage (fun () -> ignore (Ecc.Bch.encode code data)));
+    Test.make ~name:"fig2/bch_decode_4err"
+      (Staged.stage (fun () ->
+           let d, p = corrupted () in
+           ignore (Ecc.Bch.decode code ~data:d ~parity:p)));
+    Test.make ~name:"fig2/binomial_tail"
+      (Staged.stage (fun () ->
+           ignore (Ecc.Reliability.codeword_fail_prob params ~rber:3e-3)));
+  ]
+
+let device_subjects () =
+  (* FIG3's substrate: the FTL write path and the Salamander read path. *)
+  let geometry = Experiments.Defaults.geometry in
+  let gentle =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+  in
+  let device =
+    Salamander.Device.create
+      ~config:
+        (Experiments.Defaults.salamander_config
+           ~mode:Salamander.Device.Regen_s)
+      ~geometry ~model:gentle ~rng:(Sim.Rng.create 3) ()
+  in
+  let mdisk =
+    (List.hd (Salamander.Device.active_mdisks device)).Salamander.Minidisk.id
+  in
+  for lba = 0 to 63 do
+    ignore (Salamander.Device.write device ~mdisk ~lba ~payload:lba)
+  done;
+  Salamander.Device.flush device;
+  let cursor = ref 0 in
+  [
+    Test.make ~name:"fig3/salamander_write"
+      (Staged.stage (fun () ->
+           cursor := (!cursor + 1) land 63;
+           ignore
+             (Salamander.Device.write device ~mdisk ~lba:!cursor ~payload:1)));
+    Test.make ~name:"fig3/salamander_read"
+      (Staged.stage (fun () ->
+           cursor := (!cursor + 1) land 63;
+           ignore (Salamander.Device.read device ~mdisk ~lba:!cursor)));
+  ]
+
+let cluster_subjects () =
+  (* TAB-RECOV's substrate: the replicated chunk write path. *)
+  let cluster = Difs.Cluster.create () in
+  let gentle =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+  in
+  List.iter
+    (fun i ->
+      let d =
+        Salamander.Device.create
+          ~config:
+            (Experiments.Defaults.salamander_config
+               ~mode:Salamander.Device.Regen_s)
+          ~geometry:Experiments.Defaults.geometry ~model:gentle
+          ~rng:(Sim.Rng.create (100 + i)) ()
+      in
+      ignore (Difs.Cluster.add_device cluster ~node:i (Difs.Cluster.Salamander d)))
+    [ 0; 1; 2; 3 ];
+  let id = ref 0 in
+  [
+    Test.make ~name:"recovery/cluster_write_chunk"
+      (Staged.stage (fun () ->
+           id := (!id + 1) land 31;
+           ignore (Difs.Cluster.write_chunk cluster !id)));
+  ]
+
+let service_subjects () =
+  (* AB-QUEUE's substrate: the channel/die queueing model. *)
+  let engine = Sim.Engine.create () in
+  let service = Flash.Service.create ~engine Flash.Service.default_config in
+  let rng = Sim.Rng.create 17 in
+  [
+    Test.make ~name:"ablations/service_submit"
+      (Staged.stage (fun () ->
+           Flash.Service.submit service
+             ~pages:
+               [
+                 {
+                   Flash.Service.die_hint = Sim.Rng.int rng 64;
+                   sense_us = 60.;
+                   transfer_us = 4.;
+                 };
+               ]
+             ~on_complete:(fun ~latency_us:_ -> ());
+           ignore (Sim.Engine.step engine)));
+  ]
+
+let disturb_subjects () =
+  (* TAB-UBER's substrate: the read path with disturb accounting. *)
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1000
+      ~read_disturb_per_read:1e-8 ()
+  in
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 23)
+      ~geometry:Experiments.Defaults.geometry ~model
+  in
+  Flash.Chip.program chip ~block:0 ~page:0 [| Some 1; Some 2; Some 3; Some 4 |];
+  [
+    Test.make ~name:"uber/chip_read_with_disturb"
+      (Staged.stage (fun () ->
+           ignore (Flash.Chip.read_slot chip ~block:0 ~page:0 ~slot:0);
+           ignore (Flash.Chip.rber chip ~block:0 ~page:0)));
+  ]
+
+let fleet_subjects () =
+  (* FIG3A/B's substrate: one scaled fleet day for a small RegenS group. *)
+  [
+    Test.make ~name:"fig3ab/fleet_day"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Fleet.run ~devices:2 ~days:1 ~seed:3 `Regens)));
+  ]
+
+let carbon_subjects () =
+  [
+    Test.make ~name:"fig4/carbon_eq3"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun s -> ignore (Sustain.Carbon.relative_footprint s))
+             Sustain.Carbon.paper_scenarios));
+    Test.make ~name:"tco/eq4"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun s -> ignore (Sustain.Tco.relative_tco s))
+             Sustain.Tco.paper_scenarios));
+  ]
+
+let run_micro () =
+  let tests =
+    bch_subjects () @ device_subjects () @ cluster_subjects ()
+    @ service_subjects () @ disturb_subjects () @ fleet_subjects ()
+    @ carbon_subjects ()
+  in
+  let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "@.=== Bechamel micro-benchmarks (monotonic clock) ===@.";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.1f" t
+          | _ -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "n/a"
+        in
+        [ name; ns; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Experiments.Report.table Format.std_formatter
+    ~header:[ "benchmark"; "ns/run"; "r²" ]
+    ~rows;
+  Format.printf "@."
+
+(* --- dispatch -------------------------------------------------------------- *)
+
+let usage () =
+  print_endline "usage: main.exe [experiment|micro|all]";
+  print_endline "experiments:";
+  List.iter
+    (fun (id, _) -> Printf.printf "  %s\n" id)
+    Experiments.All.experiments;
+  print_endline "  micro (Bechamel micro-benchmarks)";
+  print_endline "  all (default: everything)"
+
+let () =
+  let fmt = Format.std_formatter in
+  match Sys.argv with
+  | [| _ |] | [| _; "all" |] ->
+      Experiments.All.run fmt;
+      run_micro ()
+  | [| _; "micro" |] -> run_micro ()
+  | [| _; id |] -> (
+      match List.assoc_opt id Experiments.All.experiments with
+      | Some runner -> runner fmt
+      | None -> usage ())
+  | _ -> usage ()

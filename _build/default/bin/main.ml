@@ -1,0 +1,229 @@
+(* The salamander CLI: run paper experiments, age single devices, inspect
+   the level table, and evaluate the carbon/TCO models with custom
+   parameters. *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+(* --- experiments ----------------------------------------------------------- *)
+
+let experiment_ids = List.map fst Experiments.All.experiments
+
+let experiments_cmd =
+  let only =
+    let doc =
+      Printf.sprintf "Run a single experiment: one of %s."
+        (String.concat ", " experiment_ids)
+    in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
+  in
+  let run only =
+    match only with
+    | None ->
+        Experiments.All.run fmt;
+        `Ok ()
+    | Some id -> (
+        match List.assoc_opt id Experiments.All.experiments with
+        | Some runner ->
+            runner fmt;
+            `Ok ()
+        | None ->
+            `Error
+              (false, Printf.sprintf "unknown experiment %s (try one of %s)"
+                 id
+                 (String.concat ", " experiment_ids)))
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (DESIGN.md index)")
+    Term.(ret (const run $ only))
+
+(* --- age a single device ----------------------------------------------------- *)
+
+let kind_conv =
+  Arg.enum
+    [ ("baseline", `Baseline); ("cvss", `Cvss); ("shrinks", `Shrinks);
+      ("regens", `Regens) ]
+
+let age_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv `Regens
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Device design: baseline, cvss, shrinks or regens.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let utilization =
+    Arg.(
+      value & opt float 0.85
+      & info [ "utilization" ] ~docv:"FRACTION"
+          ~doc:"Fraction of exported capacity kept live.")
+  in
+  let run kind seed utilization =
+    let device = Experiments.Defaults.make_device kind ~seed in
+    let pattern =
+      Workload.Pattern.uniform
+        ~window:
+          (Stdlib.max 1
+             (int_of_float
+                (utilization
+                *. float_of_int (Ftl.Device_intf.logical_capacity device))))
+        ~read_fraction:0.05
+    in
+    let outcome =
+      Workload.Aging.run ~max_writes:50_000_000 ~utilization
+        ~rng:(Sim.Rng.create (seed + 1))
+        ~pattern ~device ()
+    in
+    Experiments.Report.section fmt
+      (Printf.sprintf "aging %s (seed %d)" (Ftl.Device_intf.label device) seed);
+    Experiments.Report.table fmt
+      ~header:[ "metric"; "value" ]
+      ~rows:
+        [
+          [ "initial capacity (oPages)";
+            string_of_int (Ftl.Device_intf.initial_capacity device) ];
+          [ "host writes accepted";
+            string_of_int outcome.Workload.Aging.host_writes ];
+          [ "reads"; string_of_int outcome.Workload.Aging.reads ];
+          [ "unmapped reads";
+            string_of_int outcome.Workload.Aging.unmapped_reads ];
+          [ "uncorrectable reads";
+            string_of_int outcome.Workload.Aging.uncorrectable_reads ];
+          [ "died of wear"; string_of_bool outcome.Workload.Aging.died ];
+          [ "write amplification";
+            Experiments.Report.cell_f
+              (Ftl.Device_intf.write_amplification device) ];
+        ]
+  in
+  Cmd.v
+    (Cmd.info "age" ~doc:"Age one device to death and report its endurance")
+    Term.(const run $ kind $ seed $ utilization)
+
+(* --- fleet ------------------------------------------------------------------ *)
+
+let fleet_cmd =
+  let days =
+    Arg.(value & opt int 150 & info [ "days" ] ~docv:"DAYS" ~doc:"Scaled days.")
+  in
+  let devices =
+    Arg.(
+      value
+      & opt int Experiments.Defaults.fleet_devices
+      & info [ "devices" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let run days devices = Experiments.Fig3ab.run ~days ~devices fmt in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Fleet aging: alive devices and capacity over time (Figs. 3a/3b)")
+    Term.(const run $ days $ devices)
+
+(* --- levels ------------------------------------------------------------------ *)
+
+let levels_cmd =
+  let max_level =
+    Arg.(
+      value & opt int 3
+      & info [ "max-level" ] ~docv:"L" ~doc:"Deepest usable tiredness level.")
+  in
+  let run max_level =
+    let profile =
+      Salamander.Tiredness.profile ~max_level
+        Experiments.Defaults.reference_geometry
+    in
+    Experiments.Report.section fmt "tiredness level table (16 KiB fPage)";
+    for level = 0 to Salamander.Tiredness.dead_level profile do
+      Format.fprintf fmt "  %a@." (Salamander.Tiredness.pp_level profile) level
+    done
+  in
+  Cmd.v
+    (Cmd.info "levels" ~doc:"Print the tiredness level/code-rate table")
+    Term.(const run $ max_level)
+
+(* --- carbon / tco ------------------------------------------------------------- *)
+
+let carbon_cmd =
+  let f_op =
+    Arg.(
+      value
+      & opt float Sustain.Params.f_op_ssd_servers
+      & info [ "f-op" ] ~docv:"F" ~doc:"Operational fraction of emissions.")
+  in
+  let lifetime =
+    Arg.(
+      value & opt float 1.5
+      & info [ "lifetime-factor" ] ~docv:"X"
+          ~doc:"Lifetime extension factor of the evaluated design.")
+  in
+  let run f_op lifetime =
+    let scenario =
+      {
+        Sustain.Carbon.label = Printf.sprintf "lifetime %.2fx" lifetime;
+        f_op;
+        power_effectiveness = Sustain.Params.power_effectiveness;
+        upgrade_rate =
+          Sustain.Carbon.adjusted_upgrade_rate ~lifetime_factor:lifetime
+            ~adjustment:Sustain.Params.capacity_adjustment;
+      }
+    in
+    Experiments.Report.section fmt "carbon model (Eq. 3)";
+    Experiments.Report.table fmt
+      ~header:[ "configuration"; "f_op"; "Ru"; "CO2e vs baseline"; "savings" ]
+      ~rows:
+        [
+          [
+            scenario.Sustain.Carbon.label;
+            Experiments.Report.cell_f f_op;
+            Experiments.Report.cell_f scenario.Sustain.Carbon.upgrade_rate;
+            Experiments.Report.cell_f
+              (Sustain.Carbon.relative_footprint scenario);
+            Experiments.Report.cell_pct (Sustain.Carbon.savings scenario);
+          ];
+        ]
+  in
+  Cmd.v
+    (Cmd.info "carbon" ~doc:"Evaluate Eq. 3 with custom parameters")
+    Term.(const run $ f_op $ lifetime)
+
+let tco_cmd =
+  let f_opex =
+    Arg.(
+      value
+      & opt float Sustain.Params.f_opex
+      & info [ "f-opex" ] ~docv:"F" ~doc:"Operational fraction of TCO.")
+  in
+  let run f_opex =
+    Experiments.Report.section fmt "TCO model (Eq. 4)";
+    Experiments.Report.table fmt
+      ~header:[ "design"; "TCO vs baseline"; "savings" ]
+      ~rows:
+        (List.map
+           (fun s ->
+             [
+               s.Sustain.Tco.label;
+               Experiments.Report.cell_f (Sustain.Tco.relative_tco s);
+               Experiments.Report.cell_pct (Sustain.Tco.savings s);
+             ])
+           (Sustain.Tco.sensitivity ~f_opex))
+  in
+  Cmd.v
+    (Cmd.info "tco" ~doc:"Evaluate Eq. 4 with custom parameters")
+    Term.(const run $ f_opex)
+
+(* --- main ---------------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "Salamander: SSDs that shrink and regenerate for longer flash lifespan"
+  in
+  let info = Cmd.info "salamander" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ experiments_cmd; age_cmd; fleet_cmd; levels_cmd; carbon_cmd;
+            tco_cmd ]))

@@ -1,0 +1,1 @@
+examples/carbon_planner.ml: Experiments Format List Printf Sustain

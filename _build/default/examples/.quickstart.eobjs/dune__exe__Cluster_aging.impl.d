@@ -1,0 +1,1 @@
+examples/cluster_aging.ml: Difs Flash Format Fun List Salamander Sim

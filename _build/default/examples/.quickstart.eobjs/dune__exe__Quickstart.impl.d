@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flash Format List Salamander Sim Workload

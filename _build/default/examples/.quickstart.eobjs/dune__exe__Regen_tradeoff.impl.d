@@ -1,0 +1,1 @@
+examples/regen_tradeoff.ml: Experiments Flash Format List Printf Sustain

@@ -1,0 +1,1 @@
+examples/regen_tradeoff.mli:

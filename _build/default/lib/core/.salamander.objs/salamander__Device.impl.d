@@ -1,0 +1,1 @@
+lib/core/device.ml: Array Events Flash Float Ftl Limbo List Minidisk Sim Stdlib Tiredness

@@ -1,0 +1,1 @@
+lib/core/device.mli: Events Flash Ftl Limbo Minidisk Sim Tiredness

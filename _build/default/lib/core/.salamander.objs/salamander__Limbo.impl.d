@@ -1,0 +1,1 @@
+lib/core/limbo.ml: Array Flash Format Stdlib Tiredness

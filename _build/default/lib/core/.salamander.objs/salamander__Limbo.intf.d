@@ -1,0 +1,1 @@
+lib/core/limbo.mli: Format Tiredness

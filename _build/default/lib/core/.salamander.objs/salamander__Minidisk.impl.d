@@ -1,0 +1,1 @@
+lib/core/minidisk.ml: Fun Hashtbl List

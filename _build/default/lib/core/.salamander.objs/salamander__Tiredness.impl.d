@@ -1,0 +1,1 @@
+lib/core/tiredness.ml: Array Ecc Flash Format

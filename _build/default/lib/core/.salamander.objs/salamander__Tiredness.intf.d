@@ -1,0 +1,1 @@
+lib/core/tiredness.mli: Ecc Flash Format

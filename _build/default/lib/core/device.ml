@@ -1,0 +1,497 @@
+type mode = Shrink_s | Regen_s
+
+type config = {
+  mode : mode;
+  mdisk_opages : int;
+  over_provisioning : float;
+  decommission_headroom : float;
+  regen_headroom : float;
+  max_level : int;
+  scrub_on_decommission : bool;
+  decommission_grace : bool;
+}
+
+let default_config =
+  {
+    mode = Regen_s;
+    mdisk_opages = 256;
+    over_provisioning = 0.07;
+    decommission_headroom = 1.05;
+    regen_headroom = 1.06;
+    max_level = 1;
+    scrub_on_decommission = true;
+    decommission_grace = false;
+  }
+
+let shrink_config = { default_config with mode = Shrink_s }
+
+type t = {
+  config : config;
+  geometry : Flash.Geometry.t;
+  profile : Tiredness.t;
+  chip : Flash.Chip.t;
+  engine : Ftl.Engine.t;
+  limbo : Limbo.t;
+  registry : Minidisk.Registry.t;
+  events : Events.Queue.t;
+  levels : int array; (* tiredness per fPage, indexed block*ppb + page *)
+  pending_check : bool ref;
+      (* set by the erase hook (which outlives [create]'s scope), consumed
+         by [maintain] once the engine call that triggered it returns *)
+  initial_mdisks : int;
+  mutable dead : bool;
+  mutable decommissions : int;
+  mutable regenerations : int;
+}
+
+type write_error = [ `Dead | `Unknown_mdisk | `No_space ]
+type read_error = [ `Dead | `Unknown_mdisk | `Unmapped | `Uncorrectable ]
+
+let page_index geometry ~block ~page =
+  (block * geometry.Flash.Geometry.pages_per_block) + page
+
+let create ?(config = default_config) ~geometry ~model ~rng () =
+  if config.mdisk_opages <= 0 then invalid_arg "Device.create: mdisk_opages";
+  if config.decommission_headroom < 1. then
+    invalid_arg "Device.create: decommission_headroom must be >= 1";
+  if config.regen_headroom <= config.decommission_headroom then
+    invalid_arg "Device.create: regen_headroom must exceed decommission_headroom";
+  let max_level = match config.mode with Shrink_s -> 0 | Regen_s -> config.max_level in
+  let profile = Tiredness.profile ~max_level geometry in
+  let chip = Flash.Chip.create ~rng:(Sim.Rng.split rng) ~geometry ~model in
+  let levels = Array.make (Flash.Geometry.fpages geometry) 0 in
+  let limbo = Limbo.create profile in
+  let total_opages = Flash.Geometry.total_opages geometry in
+  let slots = total_opages / config.mdisk_opages in
+  if slots = 0 then invalid_arg "Device.create: minidisk larger than device";
+  let registry =
+    Minidisk.Registry.create ~opages_per_mdisk:config.mdisk_opages ~slots
+  in
+  let pending_check = ref false in
+  let policy =
+    {
+      Ftl.Policy.data_slots =
+        (fun ~block ~page ->
+          Tiredness.data_slots profile
+            levels.(page_index geometry ~block ~page));
+      read_fail_prob =
+        (fun ~rber ~block ~page ->
+          Tiredness.read_fail_prob profile
+            ~level:levels.(page_index geometry ~block ~page)
+            ~rber);
+      should_reclaim =
+        (fun ~rber ~block ~page ->
+          (* read-reclaim against the page's own level threshold *)
+          let level = levels.(page_index geometry ~block ~page) in
+          let info = Tiredness.info profile level in
+          info.Tiredness.tolerable_rber > 0.
+          && rber > 0.9 *. info.Tiredness.tolerable_rber);
+      on_block_erased = (fun ~block:_ -> ());
+    }
+  in
+  let engine =
+    Ftl.Engine.create ~chip ~rng:(Sim.Rng.split rng) ~policy
+      ~logical_capacity:(slots * config.mdisk_opages) ()
+  in
+  (* Tiredness transitions happen at erase time, when the block's pages
+     are about to be reused at their new wear level (§3.1). *)
+  policy.Ftl.Policy.on_block_erased <-
+    (fun ~block ->
+      for page = 0 to geometry.Flash.Geometry.pages_per_block - 1 do
+        let index = page_index geometry ~block ~page in
+        let current = levels.(index) in
+        if current < Tiredness.dead_level profile then begin
+          let rber = Flash.Chip.rber chip ~block ~page in
+          let required = Tiredness.level_for_rber profile ~rber in
+          if required > current then begin
+            Limbo.transition limbo ~from_level:current ~to_level:required;
+            levels.(index) <- required;
+            pending_check := true
+          end
+        end
+      done);
+  (* Expose the initial fleet of minidisks, leaving over-provisioning
+     unexported. *)
+  let initial =
+    Stdlib.min slots
+      (int_of_float
+         (float_of_int total_opages *. (1. -. config.over_provisioning))
+      / config.mdisk_opages)
+  in
+  for _ = 1 to initial do
+    ignore (Minidisk.Registry.create_mdisk registry ~birth_level:0)
+  done;
+  {
+    config;
+    geometry;
+    profile;
+    chip;
+    engine;
+    limbo;
+    registry;
+    events = Events.Queue.create ();
+    levels;
+    pending_check;
+    initial_mdisks = initial;
+    dead = false;
+    decommissions = 0;
+    regenerations = 0;
+  }
+
+(* --- decommissioning and regeneration ---------------------------------- *)
+
+(* The emptiest minidisk loses least data to re-replication; ties go to
+   the oldest id for determinism. *)
+let pick_victim t =
+  let mdisk_live mdisk =
+    Ftl.Engine.mapped_in_range t.engine
+      ~lo:(mdisk.Minidisk.slot * t.config.mdisk_opages)
+      ~len:t.config.mdisk_opages
+  in
+  match Minidisk.Registry.active t.registry with
+  | [] -> None
+  | first :: rest ->
+      let best, best_live =
+        List.fold_left
+          (fun (best, best_live) mdisk ->
+            let live = mdisk_live mdisk in
+            if live < best_live then (mdisk, live) else (best, best_live))
+          (first, mdisk_live first) rest
+      in
+      Some (best, best_live)
+
+(* §3.3: when a minidisk is decommissioned, the SSD preemptively retires
+   the most worn-out fPages — regardless of which minidisk their data
+   belongs to — relocating live oPages to less worn flash and advancing
+   each retired page's tiredness level.  An mSize worth of oPages is
+   retired per decommissioning.  In ShrinkS (max level 0) retirement kills
+   the page outright; in RegenS it moves the page to the next level, where
+   most of its capacity remains usable — the source of the "available but
+   not used" oPages that later regenerate into new minidisks (§3.4). *)
+let retire_worn_pages t ~budget =
+  let candidates = ref [] in
+  for block = 0 to t.geometry.Flash.Geometry.blocks - 1 do
+    for page = 0 to t.geometry.Flash.Geometry.pages_per_block - 1 do
+      let level = t.levels.(page_index t.geometry ~block ~page) in
+      if level < Tiredness.dead_level t.profile then
+        candidates :=
+          (Flash.Chip.rber t.chip ~block ~page, block, page) :: !candidates
+    done
+  done;
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) !candidates
+  in
+  let retired = ref 0 in
+  List.iter
+    (fun (_, block, page) ->
+      if !retired < budget then begin
+        let index = page_index t.geometry ~block ~page in
+        let level = t.levels.(index) in
+        Ftl.Engine.relocate_page t.engine ~block ~page;
+        Limbo.transition t.limbo ~from_level:level ~to_level:(level + 1);
+        t.levels.(index) <- level + 1;
+        retired := !retired + Tiredness.data_slots t.profile level
+      end)
+    sorted
+
+let discard_mdisk_lbas t (mdisk : Minidisk.t) =
+  let base = mdisk.Minidisk.slot * t.config.mdisk_opages in
+  for lba = base to base + t.config.mdisk_opages - 1 do
+    Ftl.Engine.discard t.engine ~logical:lba
+  done
+
+let announce_death_if_empty t =
+  if
+    Minidisk.Registry.active_count t.registry = 0
+    && Minidisk.Registry.draining t.registry = []
+    && not t.dead
+  then begin
+    t.dead <- true;
+    Events.Queue.push t.events Events.Device_failed
+  end
+
+(* Complete a grace-period retirement: the diFS has re-replicated (or we
+   are in an emergency and cannot wait); drop the data and free the
+   slot. *)
+let finish_drain t (mdisk : Minidisk.t) =
+  let live =
+    Ftl.Engine.mapped_in_range t.engine
+      ~lo:(mdisk.Minidisk.slot * t.config.mdisk_opages)
+      ~len:t.config.mdisk_opages
+  in
+  discard_mdisk_lbas t mdisk;
+  ignore (Minidisk.Registry.decommission t.registry mdisk.Minidisk.id);
+  Events.Queue.push t.events
+    (Events.Mdisk_decommissioned
+       { id = mdisk.Minidisk.id; lost_opages = live });
+  announce_death_if_empty t
+
+(* [urgent] skips the grace period: the engine is out of space *now* and
+   retaining drained data would deadlock the write path. *)
+let decommission_one ?(urgent = false) t =
+  match pick_victim t with
+  | None -> (
+      (* No active victims left; an emergency may still reclaim space by
+         force-finishing a draining minidisk. *)
+      match (urgent, Minidisk.Registry.draining t.registry) with
+      | true, mdisk :: _ ->
+          finish_drain t mdisk;
+          true
+      | _ ->
+          t.dead <- true;
+          Events.Queue.push t.events Events.Device_failed;
+          false)
+  | Some (victim, live) ->
+      if t.config.scrub_on_decommission then
+        retire_worn_pages t ~budget:t.config.mdisk_opages;
+      t.decommissions <- t.decommissions + 1;
+      if t.config.decommission_grace && not urgent then begin
+        ignore (Minidisk.Registry.begin_drain t.registry victim.Minidisk.id);
+        Events.Queue.push t.events
+          (Events.Mdisk_retiring
+             { id = victim.Minidisk.id; opages = victim.Minidisk.opages })
+      end
+      else begin
+        discard_mdisk_lbas t victim;
+        ignore (Minidisk.Registry.decommission t.registry victim.Minidisk.id);
+        Events.Queue.push t.events
+          (Events.Mdisk_decommissioned
+             { id = victim.Minidisk.id; lost_opages = live })
+      end;
+      announce_death_if_empty t;
+      true
+
+let dominant_tired_level t =
+  (* Reported level of a regenerated minidisk: the highest usable level
+     holding pages (the capacity that regeneration just unlocked). *)
+  let census = t.limbo in
+  let rec scan level best =
+    if level > Tiredness.max_level t.profile then best
+    else
+      let best = if Limbo.count census ~level > 0 then level else best in
+      scan (level + 1) best
+  in
+  scan 0 0
+
+let check_capacity t =
+  (* Eq. 2: shrink while physical slots cannot cover exported LBAs. *)
+  let deficit () =
+    Limbo.capacity_deficit t.limbo
+      ~lbas:(Minidisk.Registry.active_opages t.registry)
+      ~headroom:t.config.decommission_headroom
+  in
+  let continue = ref (deficit () > 0) in
+  while (not t.dead) && !continue do
+    if decommission_one t then continue := deficit () > 0
+    else continue := false
+  done;
+  (* §3.4: regenerate when tired pages accumulate enough slack for a whole
+     new minidisk (RegenS only), with hysteresis above the shrink
+     threshold. *)
+  if (not t.dead) && t.config.mode = Regen_s then begin
+    let slack_for_one_more () =
+      float_of_int (Limbo.total_data_opages t.limbo)
+      >= t.config.regen_headroom
+         *. float_of_int
+              (Minidisk.Registry.active_opages t.registry
+              + t.config.mdisk_opages)
+    in
+    let continue = ref (slack_for_one_more ()) in
+    while !continue do
+      match
+        Minidisk.Registry.create_mdisk t.registry
+          ~birth_level:(dominant_tired_level t)
+      with
+      | None -> continue := false
+      | Some mdisk ->
+          t.regenerations <- t.regenerations + 1;
+          Events.Queue.push t.events
+            (Events.Mdisk_created
+               {
+                 id = mdisk.Minidisk.id;
+                 opages = mdisk.Minidisk.opages;
+                 level = mdisk.Minidisk.birth_level;
+               });
+          continue := slack_for_one_more ()
+    done
+  end
+
+let maintain t =
+  if !(t.pending_check) && not t.dead then begin
+    t.pending_check := false;
+    check_capacity t
+  end
+
+(* --- I/O ----------------------------------------------------------------- *)
+
+let find_active t id =
+  match Minidisk.Registry.find t.registry id with
+  | Some mdisk when mdisk.Minidisk.state = Minidisk.Active -> Some mdisk
+  | _ -> None
+
+(* Readable minidisks include draining ones: the grace period exists
+   precisely so the diFS can still read the retiring data. *)
+let find_readable t id =
+  match Minidisk.Registry.find t.registry id with
+  | Some mdisk
+    when mdisk.Minidisk.state = Minidisk.Active
+         || mdisk.Minidisk.state = Minidisk.Draining ->
+      Some mdisk
+  | _ -> None
+
+let write t ~mdisk ~lba ~payload =
+  if t.dead then Error `Dead
+  else
+    match find_active t mdisk with
+    | None -> Error `Unknown_mdisk
+    | Some m -> (
+        let logical = Minidisk.Registry.engine_logical t.registry m ~lba in
+        match Ftl.Engine.write t.engine ~logical ~payload with
+        | Ok () ->
+            maintain t;
+            Ok ()
+        | Error `No_space ->
+            (* Eq. 2 normally shrinks the device before space truly runs
+               out, but a garbage-collection cascade can retire many
+               blocks within a single host write.  Keep decommissioning
+               until the write fits or nothing is left to give up. *)
+            let rec recover () =
+              if t.dead then Error `No_space
+              else if not (decommission_one ~urgent:true t) then begin
+                t.dead <- true;
+                Error `No_space
+              end
+              else if find_active t mdisk = None then
+                (* the victim was this write's own minidisk *)
+                Error `Unknown_mdisk
+              else
+                match Ftl.Engine.write t.engine ~logical ~payload with
+                | Ok () ->
+                    maintain t;
+                    Ok ()
+                | Error `No_space -> recover ()
+            in
+            recover ())
+
+let read t ~mdisk ~lba =
+  if t.dead then Error `Dead
+  else
+    match find_readable t mdisk with
+    | None -> Error `Unknown_mdisk
+    | Some m ->
+        let logical = Minidisk.Registry.engine_logical t.registry m ~lba in
+        (Ftl.Engine.read t.engine ~logical :> (int, read_error) result)
+
+let trim t ~mdisk ~lba =
+  if not t.dead then
+    match find_active t mdisk with
+    | None -> ()
+    | Some m ->
+        Ftl.Engine.discard t.engine
+          ~logical:(Minidisk.Registry.engine_logical t.registry m ~lba)
+
+let acknowledge_decommission t ~mdisk =
+  if not t.dead then
+    match Minidisk.Registry.find t.registry mdisk with
+    | Some m when m.Minidisk.state = Minidisk.Draining ->
+        finish_drain t m;
+        maintain t
+    | Some _ | None -> ()
+
+let flush t =
+  if not t.dead then begin
+    (match Ftl.Engine.flush t.engine with Ok () -> () | Error `No_space -> ());
+    maintain t
+  end
+
+let poll_events t = Events.Queue.drain t.events
+
+(* --- state --------------------------------------------------------------- *)
+
+let alive t = not t.dead
+let mode t = t.config.mode
+let config t = t.config
+let profile t = t.profile
+let engine t = t.engine
+let limbo t = t.limbo
+let registry t = t.registry
+let active_mdisks t = Minidisk.Registry.active t.registry
+let active_opages t = Minidisk.Registry.active_opages t.registry
+let total_data_opages t = Limbo.total_data_opages t.limbo
+
+let level_of_page t ~block ~page =
+  t.levels.(page_index t.geometry ~block ~page)
+
+let level_census t =
+  let census = Array.make (Tiredness.dead_level t.profile + 1) 0 in
+  Array.iter (fun level -> census.(level) <- census.(level) + 1) t.levels;
+  census
+
+let force_page_level t ~block ~page ~level =
+  let index = page_index t.geometry ~block ~page in
+  let current = t.levels.(index) in
+  if level <= current || level > Tiredness.dead_level t.profile then
+    invalid_arg "Device.force_page_level: level must increase within range";
+  Ftl.Engine.relocate_page t.engine ~block ~page;
+  Limbo.transition t.limbo ~from_level:current ~to_level:level;
+  t.levels.(index) <- level;
+  t.pending_check := true;
+  maintain t
+
+let decommissions t = t.decommissions
+let regenerations t = t.regenerations
+let host_writes t = Ftl.Engine.host_writes t.engine
+let write_amplification t = Ftl.Engine.write_amplification t.engine
+
+(* --- flat adapter ---------------------------------------------------------- *)
+
+module As_device = struct
+  type nonrec t = t
+
+  let label t =
+    match t.config.mode with Shrink_s -> "shrinks" | Regen_s -> "regens"
+
+  let active_array t = Array.of_list (Minidisk.Registry.active t.registry)
+
+  let locate t ~lba =
+    if lba < 0 then None
+    else
+      let mdisks = active_array t in
+      let per = t.config.mdisk_opages in
+      let index = lba / per in
+      if index >= Array.length mdisks then None
+      else Some (mdisks.(index).Minidisk.id, lba mod per)
+
+  let write t ~lba ~payload =
+    match locate t ~lba with
+    | None -> if t.dead then Error `Dead else Error `Out_of_range
+    | Some (mdisk, lba) -> (
+        match write t ~mdisk ~lba ~payload with
+        | Ok () -> Ok ()
+        | Error (`Dead | `No_space) as e ->
+            (e :> (unit, Ftl.Device_intf.write_error) result)
+        | Error `Unknown_mdisk -> Error `Out_of_range)
+
+  let read t ~lba =
+    match locate t ~lba with
+    | None -> if t.dead then Error `Dead else Error `Out_of_range
+    | Some (mdisk, lba) -> (
+        match read t ~mdisk ~lba with
+        | Ok payload -> Ok payload
+        | Error (`Dead | `Unmapped | `Uncorrectable) as e ->
+            (e :> (int, Ftl.Device_intf.read_error) result)
+        | Error `Unknown_mdisk -> Error `Out_of_range)
+
+  let trim t ~lba =
+    match locate t ~lba with
+    | None -> ()
+    | Some (mdisk, lba) -> trim t ~mdisk ~lba
+
+  let alive = alive
+  let logical_capacity t = if t.dead then 0 else active_opages t
+  let initial_capacity t = t.initial_mdisks * t.config.mdisk_opages
+  let host_writes = host_writes
+  let write_amplification = write_amplification
+end
+
+let pack t = Ftl.Device_intf.Packed ((module As_device), t)

@@ -1,0 +1,137 @@
+(** The Salamander SSD (§3): an FTL that exposes minidisks, shrinks by
+    decommissioning them as flash wears (ShrinkS), and optionally
+    regenerates capacity by repurposing data oPages of tired pages as
+    extra ECC (RegenS).
+
+    Life cycle of a page under RegenS: it starts at tiredness L0; each
+    block erase re-evaluates its raw bit-error rate against the level
+    table; when the L0 code can no longer protect it, the page transitions
+    to L1 (three data oPages + one repurposed for ECC), and so on until the
+    configured [max_level], beyond which it is dead.  Every transition
+    shrinks the device's physical data capacity; when Eq. 2 detects that
+    the capacity (with over-provisioning headroom) no longer covers the
+    exported LBAs, the device picks the emptiest minidisk, relocates data
+    off the most worn pages, drops the victim's LBAs and notifies the host
+    (ShrinkS).  Conversely, when tired-but-alive pages accumulate enough
+    slack, RegenS mints a brand-new minidisk and announces it. *)
+
+type mode = Shrink_s | Regen_s
+
+type config = {
+  mode : mode;
+  mdisk_opages : int;  (** mSize in oPages; 256 = 1 MiB with 4 KiB oPages *)
+  over_provisioning : float;  (** initial OP fraction (default 0.07) *)
+  decommission_headroom : float;
+      (** Eq. 2 margin: decommission when physical data slots fall below
+          [headroom * exported LBAs] (default 1.05) *)
+  regen_headroom : float;
+      (** regenerate a minidisk only when slots exceed
+          [headroom * (LBAs + mSize)] — hysteresis just above the
+          decommission threshold (default 1.06) *)
+  max_level : int;  (** highest usable tiredness level in RegenS
+                        (default 1, the paper's recommendation) *)
+  scrub_on_decommission : bool;
+      (** §3.3's proactive retirement: on each decommissioning, relocate
+          data off the mSize-worth of most worn fPages and advance their
+          tiredness level (default true; disabling it leaves pages to
+          transition only when natural wear crosses their threshold) *)
+  decommission_grace : bool;
+      (** §4.3's grace period (the paper's future work, implemented here):
+          instead of dropping a victim minidisk immediately, announce
+          [Mdisk_retiring] and keep its data readable until the host calls
+          {!acknowledge_decommission}; an out-of-space emergency overrides
+          the grace and reclaims immediately (default false) *)
+}
+
+val default_config : config
+(** RegenS, 1 MiB minidisks, the paper's parameters. *)
+
+val shrink_config : config
+(** Same but [mode = Shrink_s]. *)
+
+type t
+
+val create :
+  ?config:config ->
+  geometry:Flash.Geometry.t ->
+  model:Flash.Rber_model.t ->
+  rng:Sim.Rng.t ->
+  unit ->
+  t
+(** @raise Invalid_argument if a minidisk does not fit the geometry or the
+    headroom parameters are not [>= 1] with
+    [regen_headroom > decommission_headroom]. *)
+
+(** {2 I/O at minidisk granularity} *)
+
+type write_error = [ `Dead | `Unknown_mdisk | `No_space ]
+type read_error = [ `Dead | `Unknown_mdisk | `Unmapped | `Uncorrectable ]
+
+val write :
+  t -> mdisk:int -> lba:int -> payload:int -> (unit, write_error) result
+(** Write one oPage to a minidisk-relative LBA.
+    @raise Invalid_argument if [lba] is outside the minidisk. *)
+
+val read : t -> mdisk:int -> lba:int -> (int, read_error) result
+(** Reads are also served from minidisks in their decommissioning grace
+    period (state [Draining]). *)
+
+val trim : t -> mdisk:int -> lba:int -> unit
+
+val acknowledge_decommission : t -> mdisk:int -> unit
+(** Host acknowledgement that a [Mdisk_retiring] minidisk's data has been
+    re-replicated: its LBAs are dropped, the space reclaimed, and
+    [Mdisk_decommissioned] is emitted.  No-op for unknown or non-draining
+    minidisks. *)
+
+val flush : t -> unit
+(** Drain the write buffer (padding the last fPage). *)
+
+val poll_events : t -> Events.t list
+(** Notifications since the last poll, oldest first. *)
+
+(** {2 State} *)
+
+val alive : t -> bool
+val mode : t -> mode
+val config : t -> config
+val profile : t -> Tiredness.t
+val engine : t -> Ftl.Engine.t
+val limbo : t -> Limbo.t
+val registry : t -> Minidisk.Registry.t
+
+val active_mdisks : t -> Minidisk.t list
+val active_opages : t -> int
+(** Exported LBAs across live minidisks: |LBAs| of Eq. 2. *)
+
+val total_data_opages : t -> int
+(** Physical data slots under current tiredness levels. *)
+
+val level_of_page : t -> block:int -> page:int -> int
+val level_census : t -> int array
+(** Page counts per level, index = level (a copy). *)
+
+val decommissions : t -> int
+val regenerations : t -> int
+val host_writes : t -> int
+val write_amplification : t -> float
+
+val force_page_level : t -> block:int -> page:int -> level:int -> unit
+(** Push a page to a higher tiredness level immediately, relocating any
+    live data off it first — the same motion §3.3's proactive retirement
+    performs, exposed so experiments can prepare a device with a chosen
+    L1 population (Figs. 3c/3d).
+    @raise Invalid_argument if [level] is not above the page's current
+    level or exceeds the profile's dead level. *)
+
+(** {2 Flat-LBA adapter}
+
+    Concatenates the live minidisks' LBA spaces so fleet experiments can
+    drive Salamander devices through the common {!Ftl.Device_intf.S}
+    signature.  The flat index of a given page moves when minidisks come
+    and go; aging workloads don't care, but the diFS uses the native API
+    instead. *)
+
+module As_device : Ftl.Device_intf.S with type t = t
+
+val pack : t -> Ftl.Device_intf.packed

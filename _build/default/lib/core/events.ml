@@ -1,0 +1,34 @@
+type t =
+  | Mdisk_retiring of { id : int; opages : int }
+  | Mdisk_decommissioned of { id : int; lost_opages : int }
+  | Mdisk_created of { id : int; opages : int; level : int }
+  | Device_failed
+
+let pp fmt = function
+  | Mdisk_retiring { id; opages } ->
+      Format.fprintf fmt "mdisk %d retiring (%d oPages, grace period)" id
+        opages
+  | Mdisk_decommissioned { id; lost_opages } ->
+      Format.fprintf fmt "mdisk %d decommissioned (%d oPages lost)" id
+        lost_opages
+  | Mdisk_created { id; opages; level } ->
+      Format.fprintf fmt "mdisk %d created (%d oPages at L%d)" id opages level
+  | Device_failed -> Format.fprintf fmt "device failed"
+
+module Queue = struct
+  type event = t
+  type nonrec t = event Stdlib.Queue.t
+
+  let create () = Stdlib.Queue.create ()
+  let push t event = Stdlib.Queue.push event t
+
+  let drain t =
+    let rec go acc =
+      match Stdlib.Queue.take_opt t with
+      | None -> List.rev acc
+      | Some e -> go (e :: acc)
+    in
+    go []
+
+  let pending t = Stdlib.Queue.length t
+end

@@ -1,0 +1,35 @@
+(** Notifications a Salamander drive raises to its host (the diFS).
+
+    The drive queues events as they happen; the host polls after each
+    batch of I/O — the simulated analogue of an NVMe asynchronous event
+    notification. *)
+
+type t =
+  | Mdisk_retiring of { id : int; opages : int }
+      (** Grace-period decommissioning (§4.3): the minidisk is read-only
+          and will disappear once the host acknowledges; the diFS should
+          copy its data off (it may read the retiring minidisk itself)
+          and then call [Device.acknowledge_decommission]. *)
+  | Mdisk_decommissioned of { id : int; lost_opages : int }
+      (** The minidisk is gone; the diFS must re-replicate its contents
+          from other replicas (ShrinkS §3.3). *)
+  | Mdisk_created of { id : int; opages : int; level : int }
+      (** RegenS regenerated enough tired capacity into a fresh minidisk;
+          the diFS may start placing data on it (§3.4). *)
+  | Device_failed
+      (** No usable capacity remains; the whole drive is done. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** A simple FIFO queue of events. *)
+module Queue : sig
+  type event = t
+  type t
+
+  val create : unit -> t
+  val push : t -> event -> unit
+  val drain : t -> event list
+  (** All pending events, oldest first; the queue is left empty. *)
+
+  val pending : t -> int
+end

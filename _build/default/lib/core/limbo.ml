@@ -1,0 +1,46 @@
+type t = { profile : Tiredness.t; counts : int array }
+
+let create profile =
+  let counts = Array.make (Tiredness.dead_level profile + 1) 0 in
+  counts.(0) <- Flash.Geometry.fpages (Tiredness.geometry profile);
+  { profile; counts }
+
+let check_level t level =
+  if level < 0 || level >= Array.length t.counts then
+    invalid_arg "Limbo: level out of range"
+
+let count t ~level =
+  check_level t level;
+  t.counts.(level)
+
+let valid_opages t ~level =
+  check_level t level;
+  Tiredness.data_slots t.profile level * t.counts.(level)
+
+let total_data_opages t =
+  let total = ref 0 in
+  for level = 0 to Tiredness.dead_level t.profile do
+    total := !total + valid_opages t ~level
+  done;
+  !total
+
+let transition t ~from_level ~to_level =
+  check_level t from_level;
+  check_level t to_level;
+  if t.counts.(from_level) <= 0 then
+    invalid_arg "Limbo.transition: no pages at source level";
+  t.counts.(from_level) <- t.counts.(from_level) - 1;
+  t.counts.(to_level) <- t.counts.(to_level) + 1
+
+let capacity_deficit t ~lbas ~headroom =
+  let required = int_of_float (ceil (float_of_int lbas *. headroom)) in
+  Stdlib.max 0 (required - total_data_opages t)
+
+let pp fmt t =
+  Format.fprintf fmt "limbo[";
+  Array.iteri
+    (fun level c ->
+      if level > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "L%d:%d" level c)
+    t.counts;
+  Format.fprintf fmt "]"

@@ -1,0 +1,34 @@
+(** Limbo accounting (§3.3): the census of fPages by tiredness level.
+
+    [limbo[L_j]] counts the device's fPages currently at level j.  Eq. 1
+    gives the oPages such pages can hold,
+    [valid[limbo[L_j]] = (opages - j) * limbo[L_j]], and Eq. 2 triggers
+    minidisk decommissioning when the total across levels can no longer
+    cover the exported LBAs. *)
+
+type t
+
+val create : Tiredness.t -> t
+(** All pages start at level 0; the census begins with every fPage of the
+    profile's geometry there. *)
+
+val count : t -> level:int -> int
+(** limbo[L_j]: number of fPages at level j. *)
+
+val valid_opages : t -> level:int -> int
+(** Eq. 1: oPages storable at level j across the device. *)
+
+val total_data_opages : t -> int
+(** Sum of Eq. 1 over all usable levels: the device's physical data
+    capacity in oPages. *)
+
+val transition : t -> from_level:int -> to_level:int -> unit
+(** Move one fPage between levels.  @raise Invalid_argument if the source
+    level has no pages or either level is out of range. *)
+
+val capacity_deficit : t -> lbas:int -> headroom:float -> int
+(** Eq. 2 with an over-provisioning margin: how many oPages short the
+    device is of storing [lbas] logical pages with [headroom * lbas]
+    physical slots available (0 when there is no deficit). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/difs/chunk.ml: Bytes Char Format Fun Hashtbl List Target

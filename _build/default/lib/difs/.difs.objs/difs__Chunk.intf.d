@@ -1,0 +1,1 @@
+lib/difs/chunk.mli: Format Target

@@ -1,0 +1,1 @@
+lib/difs/cluster.ml: Array Chunk Ecc Ftl Hashtbl List Option Salamander Target

@@ -1,0 +1,1 @@
+lib/difs/cluster.mli: Ftl Salamander

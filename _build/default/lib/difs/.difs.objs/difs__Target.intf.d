@@ -1,0 +1,1 @@
+lib/difs/target.mli: Format

@@ -1,0 +1,48 @@
+type share = { index : int; target : Target.key; base : int }
+
+type t = {
+  id : int;
+  opages : int;
+  mutable version : int;
+  mutable shares : share list;
+}
+
+let create ~id ~opages = { id; opages; version = 0; shares = [] }
+
+let payload ~id ~offset ~version =
+  (* 32-bit fingerprint: survives the byte-level erasure coder while
+     staying collision-poor enough that version/offset confusion cannot
+     go unnoticed. *)
+  Hashtbl.hash (id, offset, version) land 0xFFFFFFFF
+
+let payload_bytes payload =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((payload lsr (8 * i)) land 0xFF))
+  done;
+  b
+
+let payload_of_bytes b =
+  let acc = ref 0 in
+  for i = 3 downto 0 do
+    acc := (!acc lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  !acc
+
+let share_on t key =
+  List.find_opt (fun s -> Target.key_equal s.target key) t.shares
+
+let drop_share t key =
+  t.shares <- List.filter (fun s -> not (Target.key_equal s.target key)) t.shares
+
+let add_share t share = t.shares <- share :: t.shares
+
+let present_indices t = List.map (fun s -> s.index) t.shares
+
+let missing_indices t ~total =
+  let present = present_indices t in
+  List.filter (fun i -> not (List.mem i present)) (List.init total Fun.id)
+
+let pp fmt t =
+  Format.fprintf fmt "chunk %d v%d (%d shares)" t.id t.version
+    (List.length t.shares)

@@ -1,0 +1,691 @@
+type backend =
+  | Monolithic of Ftl.Device_intf.packed
+  | Salamander of Salamander.Device.t
+
+type placement = Spread_devices | Spread_targets
+
+type redundancy =
+  | Replication of int
+  | Erasure of { data_shares : int; parity_shares : int }
+
+type config = {
+  redundancy : redundancy;
+  chunk_opages : int;
+  placement : placement;
+}
+
+let default_config =
+  { redundancy = Replication 3; chunk_opages = 16; placement = Spread_devices }
+
+let default_ec_config =
+  {
+    redundancy = Erasure { data_shares = 4; parity_shares = 2 };
+    chunk_opages = 16;
+    placement = Spread_devices;
+  }
+
+type device_entry = {
+  id : int;
+  node : int;
+  backend : backend;
+  mutable alive_seen : bool;
+  mutable capacity_seen : int;
+  mutable killed : bool;
+}
+
+type t = {
+  config : config;
+  coder : Ecc.Reed_solomon.t option; (* Some for erasure coding *)
+  devices : (int, device_entry) Hashtbl.t;
+  targets : (Target.key, Target.t) Hashtbl.t;
+  chunks : (int, Chunk.t) Hashtbl.t;
+  mutable next_device : int;
+  mutable recovery_written : int;
+  mutable recovery_read : int;
+  mutable recovery_events : int;
+  mutable lost : int;
+  mutable unrecoverable_opages : int;
+}
+
+let create ?(config = default_config) () =
+  if config.chunk_opages <= 0 then invalid_arg "Cluster.create: chunk_opages";
+  let coder =
+    match config.redundancy with
+    | Replication n ->
+        if n <= 0 then invalid_arg "Cluster.create: replication must be > 0";
+        None
+    | Erasure { data_shares; parity_shares } ->
+        if config.chunk_opages mod data_shares <> 0 then
+          invalid_arg
+            "Cluster.create: chunk_opages must be divisible by data_shares";
+        Some (Ecc.Reed_solomon.create ~data_shares ~parity_shares)
+  in
+  {
+    config;
+    coder;
+    devices = Hashtbl.create 16;
+    targets = Hashtbl.create 64;
+    chunks = Hashtbl.create 256;
+    next_device = 0;
+    recovery_written = 0;
+    recovery_read = 0;
+    recovery_events = 0;
+    lost = 0;
+    unrecoverable_opages = 0;
+  }
+
+let config t = t.config
+
+let total_shares t =
+  match t.config.redundancy with
+  | Replication n -> n
+  | Erasure { data_shares; parity_shares } -> data_shares + parity_shares
+
+let read_quorum t =
+  match t.config.redundancy with
+  | Replication _ -> 1
+  | Erasure { data_shares; _ } -> data_shares
+
+let share_opages t =
+  match t.config.redundancy with
+  | Replication _ -> t.config.chunk_opages
+  | Erasure { data_shares; _ } -> t.config.chunk_opages / data_shares
+
+let storage_overhead t =
+  float_of_int (total_shares t * share_opages t)
+  /. float_of_int t.config.chunk_opages
+
+(* --- expected share contents --------------------------------------------- *)
+
+(* What share [index] of the chunk must contain at [offset] (an offset
+   within the share): replication copies the chunk verbatim; erasure data
+   shares hold slices, parity shares the Reed-Solomon combination. *)
+let expected_payload t (chunk : Chunk.t) ~index ~offset =
+  match t.config.redundancy with
+  | Replication _ ->
+      Chunk.payload ~id:chunk.Chunk.id ~offset ~version:chunk.Chunk.version
+  | Erasure { data_shares; _ } ->
+      let per_share = share_opages t in
+      if index < data_shares then
+        Chunk.payload ~id:chunk.Chunk.id
+          ~offset:((index * per_share) + offset)
+          ~version:chunk.Chunk.version
+      else
+        let coder = Option.get t.coder in
+        let data =
+          Array.init data_shares (fun i ->
+              Chunk.payload_bytes
+                (Chunk.payload ~id:chunk.Chunk.id
+                   ~offset:((i * per_share) + offset)
+                   ~version:chunk.Chunk.version))
+        in
+        let parity = Ecc.Reed_solomon.encode coder data in
+        Chunk.payload_of_bytes parity.(index - data_shares)
+
+let add_target t ~key ~node ~capacity =
+  Hashtbl.replace t.targets key
+    (Target.create ~key ~node ~capacity ~chunk_opages:(share_opages t))
+
+let add_device t ~node backend =
+  let id = t.next_device in
+  t.next_device <- t.next_device + 1;
+  let capacity_seen =
+    match backend with
+    | Monolithic d -> Ftl.Device_intf.logical_capacity d
+    | Salamander _ -> 0
+  in
+  Hashtbl.replace t.devices id
+    { id; node; backend; alive_seen = true; capacity_seen; killed = false };
+  (match backend with
+  | Monolithic d ->
+      add_target t ~key:{ Target.device = id; mdisk = None } ~node
+        ~capacity:(Ftl.Device_intf.logical_capacity d)
+  | Salamander d ->
+      List.iter
+        (fun m ->
+          add_target t
+            ~key:{ Target.device = id; mdisk = Some m.Salamander.Minidisk.id }
+            ~node ~capacity:m.Salamander.Minidisk.opages)
+        (Salamander.Device.active_mdisks d));
+  id
+
+(* --- raw target I/O ------------------------------------------------------ *)
+
+let target_write t (key : Target.key) ~lba ~payload =
+  let entry = Hashtbl.find t.devices key.Target.device in
+  if entry.killed then Error `Target_failed
+  else
+    match (entry.backend, key.Target.mdisk) with
+    | Monolithic d, None -> (
+        match Ftl.Device_intf.write d ~lba ~payload with
+        | Ok () -> Ok ()
+        | Error (`Dead | `No_space | `Out_of_range) -> Error `Target_failed)
+    | Salamander d, Some mdisk -> (
+        match Salamander.Device.write d ~mdisk ~lba ~payload with
+        | Ok () -> Ok ()
+        | Error (`Dead | `Unknown_mdisk | `No_space) -> Error `Target_failed)
+    | Monolithic _, Some _ | Salamander _, None ->
+        invalid_arg "Cluster: malformed target key"
+
+let target_read t (key : Target.key) ~lba =
+  let entry = Hashtbl.find t.devices key.Target.device in
+  if entry.killed then Error `Unreadable
+  else
+    match (entry.backend, key.Target.mdisk) with
+    | Monolithic d, None -> (
+        match Ftl.Device_intf.read d ~lba with
+        | Ok p -> Ok p
+        | Error (`Dead | `Unmapped | `Uncorrectable | `Out_of_range) ->
+            Error `Unreadable)
+    | Salamander d, Some mdisk -> (
+        match Salamander.Device.read d ~mdisk ~lba with
+        | Ok p -> Ok p
+        | Error (`Dead | `Unknown_mdisk | `Unmapped | `Uncorrectable) ->
+            Error `Unreadable)
+    | Monolithic _, Some _ | Salamander _, None ->
+        invalid_arg "Cluster: malformed target key"
+
+let target_trim t (key : Target.key) ~lba =
+  let entry = Hashtbl.find t.devices key.Target.device in
+  if entry.killed then ()
+  else
+    match (entry.backend, key.Target.mdisk) with
+    | Monolithic d, None -> Ftl.Device_intf.trim d ~lba
+    | Salamander d, Some mdisk -> Salamander.Device.trim d ~mdisk ~lba
+    | Monolithic _, Some _ | Salamander _, None ->
+        invalid_arg "Cluster: malformed target key"
+
+(* --- placement ------------------------------------------------------------ *)
+
+let share_devices chunk =
+  List.map (fun s -> s.Chunk.target.Target.device) chunk.Chunk.shares
+
+let share_keys chunk = List.map (fun s -> s.Chunk.target) chunk.Chunk.shares
+
+(* Least-loaded active target compatible with the placement policy. *)
+let choose_target t chunk =
+  let excluded_devices = share_devices chunk in
+  let excluded_keys = share_keys chunk in
+  let allowed target =
+    Target.is_active target
+    && Target.free_count target > 0
+    &&
+    match t.config.placement with
+    | Spread_devices ->
+        not (List.mem target.Target.key.Target.device excluded_devices)
+    | Spread_targets ->
+        not (List.exists (Target.key_equal target.Target.key) excluded_keys)
+  in
+  Hashtbl.fold
+    (fun _ target best ->
+      if not (allowed target) then best
+      else
+        match best with
+        | Some b when Target.free_count b >= Target.free_count target -> best
+        | _ -> Some target)
+    t.targets None
+
+(* --- rebuilding share contents from survivors ------------------------------ *)
+
+(* The content of share [index] at [offset], recovered from whatever
+   shares still answer.  Replication reads the same offset off any
+   survivor; erasure coding gathers a read quorum and runs the RS
+   decoder.  Every successful read is metered as recovery-read traffic
+   when [metered]. *)
+let recover_payload ?(metered = true) t chunk ~index ~offset =
+  let meter () = if metered then t.recovery_read <- t.recovery_read + 1 in
+  match t.config.redundancy with
+  | Replication _ ->
+      let rec go = function
+        | [] -> None
+        | share :: rest -> (
+            match
+              target_read t share.Chunk.target ~lba:(share.Chunk.base + offset)
+            with
+            | Ok payload ->
+                meter ();
+                Some payload
+            | Error `Unreadable -> go rest)
+      in
+      go chunk.Chunk.shares
+  | Erasure _ ->
+      let coder = Option.get t.coder in
+      let quorum = read_quorum t in
+      (* A survivor holding the wanted index serves it with one read;
+         otherwise gather exactly a quorum and decode — never more, since
+         repair reads are the cost EC pays (k-fold amplification). *)
+      let direct =
+        List.find_opt (fun s -> s.Chunk.index = index) chunk.Chunk.shares
+      in
+      let read_share share =
+        match
+          target_read t share.Chunk.target ~lba:(share.Chunk.base + offset)
+        with
+        | Ok payload ->
+            meter ();
+            Some (share.Chunk.index, Chunk.payload_bytes payload)
+        | Error `Unreadable -> None
+      in
+      let direct_value =
+        Option.bind direct (fun share ->
+            Option.map (fun (_, b) -> Chunk.payload_of_bytes b)
+              (read_share share))
+      in
+      (match direct_value with
+      | Some payload -> Some payload
+      | None ->
+          let rec gather acc = function
+            | [] -> acc
+            | _ when List.length acc >= quorum -> acc
+            | share :: rest -> (
+                match read_share share with
+                | Some entry -> gather (entry :: acc) rest
+                | None -> gather acc rest)
+          in
+          let readable =
+            gather []
+              (List.filter (fun s -> s.Chunk.index <> index) chunk.Chunk.shares)
+          in
+          if List.length readable < quorum then None
+          else
+            Some
+              (Chunk.payload_of_bytes
+                 (Ecc.Reed_solomon.reconstruct coder ~shares:readable index)))
+
+(* Materialize share [index] on a fresh target, feeding it from
+   survivors.  Returns [false] when no compatible target with space
+   exists. *)
+let rec rebuild_share t chunk ~index =
+  match choose_target t chunk with
+  | None -> false (* under-redundant until capacity appears *)
+  | Some target -> (
+      match Target.allocate target with
+      | None -> false
+      | Some base ->
+          let key = target.Target.key in
+          let per_share = share_opages t in
+          let written = ref 0 in
+          let failed = ref false in
+          (try
+             for offset = 0 to per_share - 1 do
+               match recover_payload t chunk ~index ~offset with
+               | None -> t.unrecoverable_opages <- t.unrecoverable_opages + 1
+               | Some payload -> (
+                   match target_write t key ~lba:(base + offset) ~payload with
+                   | Ok () -> incr written
+                   | Error `Target_failed ->
+                       failed := true;
+                       raise Exit)
+             done
+           with Exit -> ());
+          t.recovery_written <- t.recovery_written + !written;
+          if !failed then
+            (* The destination died mid-copy; its own failure event will
+               be picked up by the processing loop.  Try elsewhere. *)
+            rebuild_share t chunk ~index
+          else begin
+            Chunk.add_share chunk { Chunk.index; target = key; base };
+            true
+          end)
+
+(* Bring one chunk back toward its full share count. *)
+let ensure_redundancy t chunk =
+  let rec go () =
+    match Chunk.missing_indices chunk ~total:(total_shares t) with
+    | [] -> true
+    | index :: _ ->
+        if List.length chunk.Chunk.shares < read_quorum t then false
+        else if rebuild_share t chunk ~index then go ()
+        else false
+  in
+  go ()
+
+let note_share_losses t chunk ~before =
+  let quorum = read_quorum t in
+  if before >= quorum && List.length chunk.Chunk.shares < quorum then
+    t.lost <- t.lost + 1
+
+let fail_target t key =
+  match Hashtbl.find_opt t.targets key with
+  | None -> ()
+  | Some target when not (Target.is_active target) -> ()
+  | Some target ->
+      Target.fail target;
+      t.recovery_events <- t.recovery_events + 1;
+      let affected = ref [] in
+      Hashtbl.iter
+        (fun _ chunk ->
+          if Option.is_some (Chunk.share_on chunk key) then begin
+            let before = List.length chunk.Chunk.shares in
+            Chunk.drop_share chunk key;
+            note_share_losses t chunk ~before;
+            affected := chunk :: !affected
+          end)
+        t.chunks;
+      List.iter (fun chunk -> ignore (ensure_redundancy t chunk)) !affected
+
+(* Grace-period retirement (§4.3): the target is leaving but its data is
+   still readable, so rebuild every affected share *before* dropping the
+   retiring copy, then acknowledge so the device reclaims the space.
+   With enough cluster capacity no chunk ever dips below full
+   redundancy. *)
+let drain_target t key ~ack =
+  (match Hashtbl.find_opt t.targets key with
+  | None -> ()
+  | Some target when not (Target.is_active target) -> ()
+  | Some target ->
+      Target.fail target;
+      t.recovery_events <- t.recovery_events + 1;
+      Hashtbl.iter
+        (fun _ chunk ->
+          match Chunk.share_on chunk key with
+          | None -> ()
+          | Some retiring ->
+              (* Rebuild the replacement while the retiring share is still
+                 listed: recovery may read from it, and its device stays
+                 excluded from placement.  The duplicate index resolves
+                 when the retiring copy is dropped below. *)
+              ignore (rebuild_share t chunk ~index:retiring.Chunk.index);
+              let before = List.length chunk.Chunk.shares in
+              Chunk.drop_share chunk key;
+              note_share_losses t chunk ~before)
+        t.chunks);
+  ack ()
+
+let fail_device_targets t device_id =
+  let keys =
+    Hashtbl.fold
+      (fun key target acc ->
+        if key.Target.device = device_id && Target.is_active target then
+          key :: acc
+        else acc)
+      t.targets []
+  in
+  List.iter (fail_target t) keys
+
+let handle_truncation t entry capacity =
+  match
+    Hashtbl.find_opt t.targets { Target.device = entry.id; mdisk = None }
+  with
+  | None -> ()
+  | Some target ->
+      let lost_ranges = Target.truncate target ~capacity in
+      if lost_ranges <> [] then begin
+        t.recovery_events <- t.recovery_events + 1;
+        Hashtbl.iter
+          (fun _ chunk ->
+            match Chunk.share_on chunk target.Target.key with
+            | Some share when List.mem share.Chunk.base lost_ranges ->
+                let before = List.length chunk.Chunk.shares in
+                Chunk.drop_share chunk target.Target.key;
+                note_share_losses t chunk ~before;
+                ignore (ensure_redundancy t chunk)
+            | _ -> ())
+          t.chunks
+      end
+
+let process_device_events t entry =
+  let progress = ref false in
+  (if entry.killed then ()
+   else
+     match entry.backend with
+     | Salamander d ->
+         List.iter
+           (fun event ->
+             progress := true;
+             match event with
+             | Salamander.Events.Mdisk_retiring { id; _ } ->
+                 drain_target t
+                   { Target.device = entry.id; mdisk = Some id }
+                   ~ack:(fun () ->
+                     Salamander.Device.acknowledge_decommission d ~mdisk:id)
+             | Salamander.Events.Mdisk_decommissioned { id; _ } ->
+                 fail_target t { Target.device = entry.id; mdisk = Some id }
+             | Salamander.Events.Mdisk_created { id; opages; _ } ->
+                 add_target t
+                   ~key:{ Target.device = entry.id; mdisk = Some id }
+                   ~node:entry.node ~capacity:opages
+             | Salamander.Events.Device_failed ->
+                 fail_device_targets t entry.id)
+           (Salamander.Device.poll_events d)
+     | Monolithic d ->
+         if entry.alive_seen && not (Ftl.Device_intf.alive d) then begin
+           entry.alive_seen <- false;
+           progress := true;
+           fail_device_targets t entry.id
+         end
+         else if entry.alive_seen then begin
+           let capacity = Ftl.Device_intf.logical_capacity d in
+           if capacity < entry.capacity_seen then begin
+             progress := true;
+             handle_truncation t entry capacity;
+             entry.capacity_seen <- capacity
+           end
+         end);
+  !progress
+
+let kill_device t id =
+  match Hashtbl.find_opt t.devices id with
+  | None -> ()
+  | Some entry ->
+      if not entry.killed then begin
+        entry.killed <- true;
+        fail_device_targets t id
+      end
+
+let is_device_killed t id =
+  match Hashtbl.find_opt t.devices id with
+  | None -> false
+  | Some entry -> entry.killed
+
+let process_events t =
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < 1000 do
+    incr rounds;
+    progress := false;
+    Hashtbl.iter
+      (fun _ entry -> if process_device_events t entry then progress := true)
+      t.devices
+  done
+
+(* --- client operations ------------------------------------------------------ *)
+
+type io_error = [ `No_capacity | `Unknown_chunk | `Insufficient_shares ]
+
+let write_share t chunk (share : Chunk.share) =
+  let ok = ref true in
+  (try
+     for offset = 0 to share_opages t - 1 do
+       let payload =
+         expected_payload t chunk ~index:share.Chunk.index ~offset
+       in
+       match
+         target_write t share.Chunk.target
+           ~lba:(share.Chunk.base + offset)
+           ~payload
+       with
+       | Ok () -> ()
+       | Error `Target_failed ->
+           ok := false;
+           raise Exit
+     done
+   with Exit -> ());
+  !ok
+
+let write_chunk t id =
+  let chunk =
+    match Hashtbl.find_opt t.chunks id with
+    | Some c -> c
+    | None ->
+        let c = Chunk.create ~id ~opages:t.config.chunk_opages in
+        Hashtbl.replace t.chunks id c;
+        c
+  in
+  chunk.Chunk.version <- chunk.Chunk.version + 1;
+  (* Place missing shares first (fresh chunk, or after losses). *)
+  let rec place () =
+    match Chunk.missing_indices chunk ~total:(total_shares t) with
+    | [] -> ()
+    | index :: _ -> (
+        match choose_target t chunk with
+        | None -> ()
+        | Some target -> (
+            match Target.allocate target with
+            | None -> ()
+            | Some base ->
+                Chunk.add_share chunk
+                  { Chunk.index; target = target.Target.key; base };
+                place ()))
+  in
+  place ();
+  if List.length chunk.Chunk.shares < read_quorum t then Error `No_capacity
+  else begin
+    (* Overwrite every share with the new version; drop the ones whose
+       target died under us. *)
+    let survivors =
+      List.filter (fun share -> write_share t chunk share) chunk.Chunk.shares
+    in
+    chunk.Chunk.shares <- survivors;
+    process_events t;
+    ignore (ensure_redundancy t chunk);
+    if List.length chunk.Chunk.shares < read_quorum t then
+      Error `Insufficient_shares
+    else Ok ()
+  end
+
+let read_chunk t id =
+  match Hashtbl.find_opt t.chunks id with
+  | None -> Error `Unknown_chunk
+  | Some chunk -> (
+      match t.config.redundancy with
+      | Replication _ ->
+          let rec try_shares = function
+            | [] -> Error `Insufficient_shares
+            | share :: rest ->
+                let matches = ref 0 in
+                let readable = ref true in
+                (try
+                   for offset = 0 to t.config.chunk_opages - 1 do
+                     match
+                       target_read t share.Chunk.target
+                         ~lba:(share.Chunk.base + offset)
+                     with
+                     | Ok payload ->
+                         if
+                           payload
+                           = expected_payload t chunk
+                               ~index:share.Chunk.index ~offset
+                         then incr matches
+                     | Error `Unreadable ->
+                         readable := false;
+                         raise Exit
+                   done
+                 with Exit -> ());
+                if !readable then Ok !matches else try_shares rest
+          in
+          try_shares chunk.Chunk.shares
+      | Erasure { data_shares; _ } ->
+          (* Verify the chunk's data: present data shares read directly,
+             missing ones reconstruct through the decoder. *)
+          let per_share = share_opages t in
+          let matches = ref 0 in
+          let short = ref false in
+          for index = 0 to data_shares - 1 do
+            for offset = 0 to per_share - 1 do
+              match recover_payload ~metered:false t chunk ~index ~offset with
+              | None -> short := true
+              | Some payload ->
+                  if payload = expected_payload t chunk ~index ~offset then
+                    incr matches
+            done
+          done;
+          if !short then Error `Insufficient_shares else Ok !matches)
+
+let delete_chunk t id =
+  match Hashtbl.find_opt t.chunks id with
+  | None -> ()
+  | Some chunk ->
+      List.iter
+        (fun share ->
+          match Hashtbl.find_opt t.targets share.Chunk.target with
+          | Some target when Target.is_active target ->
+              for offset = 0 to share_opages t - 1 do
+                target_trim t share.Chunk.target
+                  ~lba:(share.Chunk.base + offset)
+              done;
+              Target.release target share.Chunk.base
+          | _ -> ())
+        chunk.Chunk.shares;
+      Hashtbl.remove t.chunks id
+
+let repair t =
+  process_events t;
+  Hashtbl.iter (fun _ chunk -> ignore (ensure_redundancy t chunk)) t.chunks;
+  process_events t
+
+(* --- introspection ------------------------------------------------------------ *)
+
+type health = { intact : int; degraded : int; lost : int }
+
+let health t =
+  Hashtbl.fold
+    (fun _ chunk acc ->
+      let n = List.length chunk.Chunk.shares in
+      if n >= total_shares t then { acc with intact = acc.intact + 1 }
+      else if n >= read_quorum t then { acc with degraded = acc.degraded + 1 }
+      else { acc with lost = acc.lost + 1 })
+    t.chunks
+    { intact = 0; degraded = 0; lost = 0 }
+
+let verify_chunk t id =
+  match Hashtbl.find_opt t.chunks id with
+  | None -> false
+  | Some chunk ->
+      List.length chunk.Chunk.shares >= read_quorum t
+      && List.for_all
+           (fun share ->
+             let ok = ref true in
+             for offset = 0 to share_opages t - 1 do
+               match
+                 target_read t share.Chunk.target
+                   ~lba:(share.Chunk.base + offset)
+               with
+               | Ok payload ->
+                   if
+                     payload
+                     <> expected_payload t chunk ~index:share.Chunk.index
+                          ~offset
+                   then ok := false
+               | Error `Unreadable -> ok := false
+             done;
+             !ok)
+           chunk.Chunk.shares
+
+let chunks t = Hashtbl.fold (fun id _ acc -> id :: acc) t.chunks []
+
+let live_targets t =
+  Hashtbl.fold
+    (fun _ target acc -> if Target.is_active target then acc + 1 else acc)
+    t.targets 0
+
+let total_free_ranges t =
+  Hashtbl.fold (fun _ target acc -> acc + Target.free_count target) t.targets 0
+
+let recovery_opages (t : t) = t.recovery_written
+let recovery_read_opages (t : t) = t.recovery_read
+let recovery_events (t : t) = t.recovery_events
+let lost_chunks (t : t) = t.lost
+
+let devices_alive t =
+  Hashtbl.fold
+    (fun _ entry acc ->
+      let alive =
+        (not entry.killed)
+        &&
+        match entry.backend with
+        | Monolithic d -> Ftl.Device_intf.alive d
+        | Salamander d -> Salamander.Device.alive d
+      in
+      if alive then acc + 1 else acc)
+    t.devices 0

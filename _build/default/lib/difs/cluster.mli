@@ -1,0 +1,135 @@
+(** The distributed storage system Salamander plugs into.
+
+    A cluster owns a set of devices spread over nodes, carves each device
+    into {!Target} failure domains (whole drive, or one per minidisk),
+    stores every chunk redundantly — n-way replication or (k, m)
+    Reed-Solomon erasure coding — with each share on a distinct device,
+    and — the property the whole paper leans on — recovers from any
+    target failure by rebuilding the affected shares from survivors,
+    while metering how much data the recovery read and wrote.
+
+    Failures reach the cluster through {!process_events}: Salamander
+    devices announce decommissioned and regenerated minidisks, monolithic
+    devices brick (baseline) or shrink (CVSS).  Handling a failure can
+    itself wear flash and trigger further failures; the processing loop
+    runs to a fixed point. *)
+
+type backend =
+  | Monolithic of Ftl.Device_intf.packed
+      (** baseline or CVSS drive: a single failure domain *)
+  | Salamander of Salamander.Device.t
+      (** one failure domain per live minidisk *)
+
+type placement =
+  | Spread_devices
+      (** shares of a chunk must sit on distinct devices (default) *)
+  | Spread_targets
+      (** distinct targets suffice — minidisks of one drive may share a
+          chunk, exposing the correlated-failure risk the paper flags as
+          an open question *)
+
+type redundancy =
+  | Replication of int  (** n full copies *)
+  | Erasure of { data_shares : int; parity_shares : int }
+      (** k data + m parity Reed-Solomon shares; any k reconstruct *)
+
+type config = {
+  redundancy : redundancy;
+  chunk_opages : int;  (** chunk data size; erasure shares are 1/k of it *)
+  placement : placement;
+}
+
+val default_config : config
+(** 3-way replication, 16-oPage (64 KiB) chunks, [Spread_devices]. *)
+
+val default_ec_config : config
+(** (4, 2) erasure coding over 16-oPage chunks: 1.5x storage overhead
+    instead of replication's 3x. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val total_shares : t -> int
+(** Shares stored per chunk: n, or k + m. *)
+
+val read_quorum : t -> int
+(** Shares needed to read/rebuild: 1, or k. *)
+
+val share_opages : t -> int
+(** oPages per share: the chunk size, or 1/k of it. *)
+
+val storage_overhead : t -> float
+(** Physical oPages stored per logical chunk oPage. *)
+
+val add_device : t -> node:int -> backend -> int
+(** Register a device; returns its cluster-wide id.  Salamander targets
+    are discovered from its live minidisks. *)
+
+(** {2 Client operations} *)
+
+type io_error =
+  [ `No_capacity  (** not enough live targets to place the chunk *)
+  | `Unknown_chunk
+  | `Insufficient_shares  (** fewer than the read quorum survive *) ]
+
+val write_chunk : t -> int -> (unit, io_error) result
+(** Create (first write) or overwrite (version bump) chunk [id] across
+    its shares.  Device events raised by the writes are processed before
+    returning. *)
+
+val read_chunk : t -> int -> (int, io_error) result
+(** Read and verify the chunk's data: the number of data oPages whose
+    content matched the recorded version.  Under erasure coding, data
+    shares lost since the last repair are reconstructed on the fly
+    through the Reed-Solomon decoder. *)
+
+val delete_chunk : t -> int -> unit
+
+val process_events : t -> unit
+(** Poll every device for failures/new minidisks and run recovery to a
+    fixed point.  Called implicitly by {!write_chunk}; exposed for aging
+    loops that wear devices directly. *)
+
+val kill_device : t -> int -> unit
+(** Failure injection: declare a device dead regardless of its media state
+    (controller/DRAM/firmware failures — the ~1% AFR class the field
+    studies report).  All its targets fail and recovery runs immediately.
+    Unknown or already-failed ids are ignored. *)
+
+val is_device_killed : t -> int -> bool
+
+val repair : t -> unit
+(** Try to bring under-redundant chunks back to full share counts (e.g.
+    after capacity freed up or new minidisks appeared). *)
+
+(** {2 Introspection} *)
+
+type health = { intact : int; degraded : int; lost : int }
+
+val health : t -> health
+(** Chunks at full redundancy / below it but still readable / below the
+    read quorum (unrecoverable). *)
+
+val verify_chunk : t -> int -> bool
+(** Strong check: every stored share matches the recorded version. *)
+
+val chunks : t -> int list
+val live_targets : t -> int
+val total_free_ranges : t -> int
+
+val recovery_opages : t -> int
+(** oPages *written* by failure recovery: the §4.3 re-replication
+    volume. *)
+
+val recovery_read_opages : t -> int
+(** oPages *read* to feed recovery — under erasure coding each rebuilt
+    share reads k surviving shares, the classic EC repair
+    amplification. *)
+
+val recovery_events : t -> int
+(** Target failures handled. *)
+
+val lost_chunks : t -> int
+val devices_alive : t -> int

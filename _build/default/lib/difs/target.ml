@@ -1,0 +1,73 @@
+type key = { device : int; mdisk : int option }
+
+let key_equal a b = a.device = b.device && a.mdisk = b.mdisk
+
+let pp_key fmt k =
+  match k.mdisk with
+  | None -> Format.fprintf fmt "dev%d" k.device
+  | Some m -> Format.fprintf fmt "dev%d/md%d" k.device m
+
+type state = Active | Failed
+
+type t = {
+  key : key;
+  node : int;
+  capacity : int;
+  chunk_opages : int;
+  mutable state : state;
+  mutable free_ranges : int list;
+}
+
+let create ~key ~node ~capacity ~chunk_opages =
+  if chunk_opages <= 0 then invalid_arg "Target.create: chunk_opages";
+  let ranges = capacity / chunk_opages in
+  {
+    key;
+    node;
+    capacity;
+    chunk_opages;
+    state = Active;
+    free_ranges = List.init ranges (fun i -> i * chunk_opages);
+  }
+
+let allocate t =
+  match t.state with
+  | Failed -> None
+  | Active -> (
+      match t.free_ranges with
+      | [] -> None
+      | base :: rest ->
+          t.free_ranges <- rest;
+          Some base)
+
+let release t base =
+  if t.state = Active then t.free_ranges <- base :: t.free_ranges
+
+let fail t =
+  t.state <- Failed;
+  t.free_ranges <- []
+
+let truncate t ~capacity =
+  if capacity >= t.capacity then []
+  else begin
+    let in_bounds base = base + t.chunk_opages <= capacity in
+    let was_free = t.free_ranges in
+    t.free_ranges <- List.filter in_bounds was_free;
+    (* Allocated ranges now out of bounds: every range past the new
+       capacity that was not sitting in the free pool. *)
+    let lost = ref [] in
+    (* The first affected range is the one containing [capacity] (or
+       starting at it when the cut is range-aligned). *)
+    let base = ref (capacity - (capacity mod t.chunk_opages)) in
+    while !base + t.chunk_opages <= t.capacity do
+      if not (in_bounds !base) && not (List.mem !base was_free) then
+        lost := !base :: !lost;
+      base := !base + t.chunk_opages
+    done;
+    !lost
+  end
+
+let is_active t = t.state = Active
+let free_count t = List.length t.free_ranges
+let used_count t =
+  (t.capacity / t.chunk_opages) - List.length t.free_ranges

@@ -1,0 +1,49 @@
+(** Failure domains the diFS places replicas on.
+
+    For a conventional SSD the whole drive is one target — exactly the
+    coarse failure granularity the paper criticizes.  A Salamander drive
+    contributes one target per live minidisk, so wear-driven failures
+    arrive in mSize units and recovery touches only that sliver.
+
+    Each target owns a trivial allocator handing out chunk-sized LBA
+    ranges. *)
+
+type key = {
+  device : int;  (** cluster-wide device id *)
+  mdisk : int option;  (** [None] for monolithic devices *)
+}
+
+val key_equal : key -> key -> bool
+val pp_key : Format.formatter -> key -> unit
+
+type state = Active | Failed
+
+type t = private {
+  key : key;
+  node : int;
+  capacity : int;  (** oPages *)
+  chunk_opages : int;
+  mutable state : state;
+  mutable free_ranges : int list;  (** base LBAs of unallocated ranges *)
+}
+
+val create : key:key -> node:int -> capacity:int -> chunk_opages:int -> t
+
+val allocate : t -> int option
+(** Take a free chunk-sized range; [None] when full or failed. *)
+
+val release : t -> int -> unit
+(** Return a range to the pool. *)
+
+val fail : t -> unit
+(** Mark failed; it never allocates again. *)
+
+val truncate : t -> capacity:int -> int list
+(** Shrink the usable space (a CVSS device giving up high LBAs): removes
+    free ranges beyond the new capacity and returns the bases of
+    *allocated* ranges that are now out of bounds — their replicas are
+    lost and must be recovered elsewhere. *)
+
+val is_active : t -> bool
+val free_count : t -> int
+val used_count : t -> int

@@ -1,0 +1,1 @@
+lib/ecc/bch.ml: Array Bitarray Galois Gf_poly List

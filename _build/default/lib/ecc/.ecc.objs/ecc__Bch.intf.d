@@ -1,0 +1,1 @@
+lib/ecc/bch.mli: Bitarray Gf_poly

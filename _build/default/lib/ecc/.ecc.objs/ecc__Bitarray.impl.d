@@ -1,0 +1,1 @@
+lib/ecc/bitarray.ml: Array Bytes Char Sim String

@@ -1,0 +1,1 @@
+lib/ecc/code_params.ml: Bch Format

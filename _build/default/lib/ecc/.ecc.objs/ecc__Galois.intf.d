@@ -1,0 +1,1 @@
+lib/ecc/galois.mli:

@@ -1,0 +1,1 @@
+lib/ecc/gf_poly.ml: Array Format Galois List Stdlib

@@ -1,0 +1,1 @@
+lib/ecc/gf_poly.mli: Format Galois

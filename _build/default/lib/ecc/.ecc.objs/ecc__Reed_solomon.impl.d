@@ -1,0 +1,1 @@
+lib/ecc/reed_solomon.ml: Array Bytes Char Fun Galois Hashtbl List

@@ -1,0 +1,1 @@
+lib/ecc/reliability.ml: Code_params Sim

@@ -1,0 +1,1 @@
+lib/ecc/reliability.mli: Code_params

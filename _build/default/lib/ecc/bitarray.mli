@@ -1,0 +1,41 @@
+(** Packed bit arrays (8 bits per byte) for codewords.
+
+    Positions are 0-based; all operations bounds-check. *)
+
+type t
+
+val create : int -> t
+(** [create len] is a zeroed array of [len] bits. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+val flip : t -> int -> unit
+val copy : t -> t
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val equal : t -> t -> bool
+val xor_into : dst:t -> t -> unit
+(** [xor_into ~dst src] sets [dst] to [dst xor src].
+    @raise Invalid_argument on length mismatch. *)
+
+val of_bytes : bytes -> t
+(** Interpret each byte LSB-first: bit [8*i + j] is bit [j] of byte [i]. *)
+
+val to_bytes : t -> bytes
+(** Inverse of {!of_bytes}; the last byte is zero-padded when the length is
+    not a multiple of 8. *)
+
+val of_string : string -> t
+(** [of_string "10110"] builds a 5-bit array from ASCII ['0']/['1'].
+    Convenient in tests.  @raise Invalid_argument on other characters. *)
+
+val to_string : t -> string
+
+val randomize : Sim.Rng.t -> t -> unit
+(** Fill with uniformly random bits. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Call the function on each set position, in increasing order. *)

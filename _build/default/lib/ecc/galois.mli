@@ -1,0 +1,36 @@
+(** Finite-field arithmetic in GF(2^m), 3 <= m <= 15.
+
+    Elements are ints in \[0, 2^m).  Addition is xor.  Multiplication and
+    inversion go through precomputed log/antilog tables over a standard
+    primitive polynomial for each m, so a field is a value you construct
+    once and thread through the codec. *)
+
+type t
+
+val create : int -> t
+(** [create m] builds GF(2^m).  @raise Invalid_argument unless
+    [3 <= m <= 15]. *)
+
+val m : t -> int
+val order : t -> int
+(** Number of nonzero elements, [2^m - 1] (the multiplicative order). *)
+
+val primitive_poly : t -> int
+(** The primitive polynomial as a bit mask including the x^m term. *)
+
+val add : t -> int -> int -> int
+val mul : t -> int -> int -> int
+val inv : t -> int -> int
+(** @raise Division_by_zero on 0. *)
+
+val div : t -> int -> int -> int
+val pow : t -> int -> int -> int
+(** [pow f a e]: [a] to the power [e]; [e] may be negative for nonzero [a].
+    [pow f 0 0] is 1 by convention. *)
+
+val alpha_pow : t -> int -> int
+(** [alpha_pow f i] is the primitive element to the power [i] ([i] may be any
+    int; reduced mod order). *)
+
+val log_alpha : t -> int -> int
+(** Discrete log base alpha.  @raise Division_by_zero on 0. *)

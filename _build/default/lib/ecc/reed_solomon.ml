@@ -1,0 +1,133 @@
+type t = {
+  field : Galois.t;
+  data_shares : int;
+  parity_shares : int;
+  parity_matrix : int array array;
+      (* parity_matrix.(j).(i): weight of data share i in parity share j *)
+}
+
+(* Lagrange basis coefficient: the weight of the value at [point] when
+   interpolating through [points] and evaluating at [x]. *)
+let lagrange_weight field ~points ~point ~x =
+  List.fold_left
+    (fun acc other ->
+      if other = point then acc
+      else
+        Galois.mul field acc
+          (Galois.div field
+             (Galois.add field x other)
+             (Galois.add field point other)))
+    1 points
+
+let create ~data_shares ~parity_shares =
+  if data_shares <= 0 then invalid_arg "Reed_solomon.create: data_shares";
+  if parity_shares <= 0 then invalid_arg "Reed_solomon.create: parity_shares";
+  if data_shares + parity_shares > 255 then
+    invalid_arg "Reed_solomon.create: more than 255 shares";
+  let field = Galois.create 8 in
+  let data_points = List.init data_shares Fun.id in
+  let parity_matrix =
+    Array.init parity_shares (fun j ->
+        let x = data_shares + j in
+        Array.init data_shares (fun i ->
+            lagrange_weight field ~points:data_points ~point:i ~x))
+  in
+  { field; data_shares; parity_shares; parity_matrix }
+
+let data_shares t = t.data_shares
+let parity_shares t = t.parity_shares
+let total_shares t = t.data_shares + t.parity_shares
+
+let storage_overhead t =
+  float_of_int (total_shares t) /. float_of_int t.data_shares
+
+let check_lengths label shares =
+  match shares with
+  | [] -> 0
+  | (_, first) :: rest ->
+      let len = Bytes.length first in
+      List.iter
+        (fun (_, share) ->
+          if Bytes.length share <> len then
+            invalid_arg (label ^ ": ragged share lengths"))
+        rest;
+      len
+
+let encode t data =
+  if Array.length data <> t.data_shares then
+    invalid_arg "Reed_solomon.encode: wrong number of data shares";
+  let len =
+    check_lengths "Reed_solomon.encode"
+      (Array.to_list (Array.mapi (fun i d -> (i, d)) data))
+  in
+  Array.init t.parity_shares (fun j ->
+      let row = t.parity_matrix.(j) in
+      let parity = Bytes.make len '\000' in
+      for byte = 0 to len - 1 do
+        let acc = ref 0 in
+        for i = 0 to t.data_shares - 1 do
+          acc :=
+            Galois.add t.field !acc
+              (Galois.mul t.field row.(i)
+                 (Char.code (Bytes.get data.(i) byte)))
+        done;
+        Bytes.set parity byte (Char.chr !acc)
+      done;
+      parity)
+
+let reconstruct t ~shares index =
+  if index < 0 || index >= total_shares t then
+    invalid_arg "Reed_solomon.reconstruct: share index out of range";
+  let shares =
+    (* deduplicate by index, keep k *)
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (i, _) ->
+        if i < 0 || i >= total_shares t then
+          invalid_arg "Reed_solomon.reconstruct: share index out of range";
+        if Hashtbl.mem seen i then false
+        else begin
+          Hashtbl.add seen i ();
+          true
+        end)
+      shares
+  in
+  if List.length shares < t.data_shares then
+    invalid_arg "Reed_solomon.reconstruct: need at least k shares";
+  let shares =
+    List.filteri (fun i _ -> i < t.data_shares) shares
+  in
+  let len = check_lengths "Reed_solomon.reconstruct" shares in
+  let points = List.map fst shares in
+  let weights =
+    List.map
+      (fun (point, share) ->
+        (lagrange_weight t.field ~points ~point ~x:index, share))
+      shares
+  in
+  let out = Bytes.make len '\000' in
+  for byte = 0 to len - 1 do
+    let acc = ref 0 in
+    List.iter
+      (fun (weight, share) ->
+        acc :=
+          Galois.add t.field !acc
+            (Galois.mul t.field weight (Char.code (Bytes.get share byte))))
+      weights;
+    Bytes.set out byte (Char.chr !acc)
+  done;
+  out
+
+let verify t shares =
+  Array.length shares = total_shares t
+  && begin
+       let data = Array.sub shares 0 t.data_shares in
+       let expected = encode t data in
+       let ok = ref true in
+       Array.iteri
+         (fun j parity ->
+           if not (Bytes.equal parity shares.(t.data_shares + j)) then
+             ok := false)
+         expected;
+       !ok
+     end

@@ -1,0 +1,42 @@
+(** Systematic Reed-Solomon erasure coding over GF(2^8).
+
+    The redundancy mechanism large distributed stores actually deploy
+    alongside replication: a chunk is split into [k] data shares and
+    extended with [m] parity shares such that {e any} [k] of the [k+m]
+    shares reconstruct everything.  Storage overhead is (k+m)/k instead
+    of replication's n, at the price of recovery amplification: repairing
+    one lost share reads [k] shares instead of one.
+
+    Implementation: shares are values of the degree-(k-1) polynomial that
+    interpolates the data symbols at evaluation points 0..k-1; parity
+    shares are the polynomial at points k..k+m-1 (so the code is
+    systematic — data shares hold the data verbatim).  Decoding is
+    Lagrange interpolation from any k surviving points.  Each byte
+    position of the shares is coded independently. *)
+
+type t
+
+val create : data_shares:int -> parity_shares:int -> t
+(** @raise Invalid_argument unless [0 < k], [0 < m] and [k + m <= 255]. *)
+
+val data_shares : t -> int
+val parity_shares : t -> int
+val total_shares : t -> int
+
+val storage_overhead : t -> float
+(** (k+m)/k, to compare against replication factor n. *)
+
+val encode : t -> bytes array -> bytes array
+(** [encode t data] takes [k] equal-length data shares and returns the
+    [m] parity shares.
+    @raise Invalid_argument on wrong share count or ragged lengths. *)
+
+val reconstruct : t -> shares:(int * bytes) list -> int -> bytes
+(** [reconstruct t ~shares index] rebuilds share [index] from any [k]
+    known shares given as (share index, content) pairs.
+    @raise Invalid_argument with fewer than [k] shares, duplicate or
+    out-of-range indices, or ragged lengths. *)
+
+val verify : t -> bytes array -> bool
+(** [verify t shares] checks a full set of [k + m] shares for parity
+    consistency (all byte positions satisfy the code). *)

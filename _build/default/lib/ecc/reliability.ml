@@ -1,0 +1,19 @@
+let default_codeword_target = 1e-11
+
+let codeword_fail_prob (params : Code_params.t) ~rber =
+  Sim.Special.binomial_tail params.n_bits rber params.capability
+
+let page_fail_prob params ~codewords ~rber =
+  if codewords <= 0 then invalid_arg "Reliability.page_fail_prob: codewords";
+  let p = codeword_fail_prob params ~rber in
+  1. -. ((1. -. p) ** float_of_int codewords)
+
+let tolerable_rber ?(target = default_codeword_target)
+    (params : Code_params.t) =
+  (* codeword_fail_prob is monotonically increasing in rber. *)
+  Sim.Special.solve_monotone
+    ~f:(fun rber -> codeword_fail_prob params ~rber)
+    ~target ~lo:0. ~hi:0.5 ()
+
+let expected_errors (params : Code_params.t) ~rber =
+  float_of_int params.n_bits *. rber

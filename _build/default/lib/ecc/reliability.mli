@@ -1,0 +1,29 @@
+(** Analytic reliability of an ECC-protected flash page.
+
+    With raw bit-error rate [rber], bit flips are independent, so the number
+    of errors in an n-bit codeword is Binomial(n, rber) and the codeword is
+    uncorrectable when more than [t] bits flip.  These closed forms are what
+    let the simulator age fleets of devices for simulated years without
+    running the live BCH decoder on every read; the test suite checks them
+    against the real codec. *)
+
+val default_codeword_target : float
+(** Default acceptable per-codeword uncorrectable probability (1e-11),
+    in the range vendors engineer page UBER targets for. *)
+
+val codeword_fail_prob : Code_params.t -> rber:float -> float
+(** Probability that one codeword exceeds its correction capability. *)
+
+val page_fail_prob : Code_params.t -> codewords:int -> rber:float -> float
+(** Probability that at least one of [codewords] codewords in a page is
+    uncorrectable. *)
+
+val tolerable_rber : ?target:float -> Code_params.t -> float
+(** Largest raw bit-error rate at which the codeword failure probability
+    stays below [target] (default {!default_codeword_target}).  This is the
+    retirement threshold: a page whose RBER exceeds it is "tired" for this
+    code. *)
+
+val expected_errors : Code_params.t -> rber:float -> float
+(** Mean raw errors per codeword, [n_bits * rber]; handy for latency models
+    where decode effort scales with error count. *)

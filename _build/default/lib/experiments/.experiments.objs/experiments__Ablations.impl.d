@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Defaults Difs Flash Ftl List Printf Report Salamander Sim Stdlib Workload

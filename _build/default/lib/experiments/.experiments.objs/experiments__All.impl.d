@@ -1,0 +1,1 @@
+lib/experiments/all.ml: Ablations Fig2 Fig3ab Fig3perf Fig4 Format Lifetime_table List Recovery_table Tco_table Terms Uber_table

@@ -1,0 +1,1 @@
+lib/experiments/defaults.ml: Flash Ftl Salamander Sim

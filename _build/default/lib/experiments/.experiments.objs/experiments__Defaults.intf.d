@@ -1,0 +1,1 @@
+lib/experiments/defaults.mli: Flash Ftl Salamander

@@ -1,0 +1,1 @@
+lib/experiments/fig3perf.ml: Array Defaults Ecc Flash Float Ftl Fun Hashtbl List Option Printf Report Salamander Sim

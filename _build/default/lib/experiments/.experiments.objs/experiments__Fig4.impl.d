@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: List Printf Report Sustain

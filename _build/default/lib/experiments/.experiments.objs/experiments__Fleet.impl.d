@@ -1,0 +1,1 @@
+lib/experiments/fleet.ml: Array Defaults Ftl List Sim Stdlib Workload

@@ -1,0 +1,1 @@
+lib/experiments/lifetime_table.ml: Defaults Ftl List Printf Report Sim Stdlib Workload

@@ -1,0 +1,1 @@
+lib/experiments/lifetime_table.mli: Format

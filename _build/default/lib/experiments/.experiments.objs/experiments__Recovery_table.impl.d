@@ -1,0 +1,1 @@
+lib/experiments/recovery_table.ml: Defaults Difs Flash Fun List Printf Report Salamander Sim Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/recovery_table.mli: Difs Format

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Float Format List Printf Stdlib String

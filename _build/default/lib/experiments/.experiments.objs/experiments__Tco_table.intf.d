@@ -1,0 +1,1 @@
+lib/experiments/tco_table.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/terms.ml: List Report

@@ -1,0 +1,1 @@
+lib/experiments/uber_table.ml: Defaults Flash Ftl List Report Salamander Sim Stdlib Workload

@@ -1,0 +1,1 @@
+lib/experiments/uber_table.mli: Format

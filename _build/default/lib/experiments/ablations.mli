@@ -1,0 +1,28 @@
+(** Ablation studies for the design choices the paper leaves open.
+
+    - AB-MSIZE: minidisk size (§3.2 sets mSize "small, e.g., 1MB" and
+      leaves granularity a design question) — lifetime and shrink
+      granularity vs mSize.
+    - AB-LEVEL: how deep RegenS should go (§4's "limit itself to L < 2")
+      — device lifetime vs the max usable tiredness level.
+    - AB-SCRUB: §3.3's proactive retirement of the most worn pages on
+      each decommissioning, on vs off.
+    - AB-PLACE: replica placement across minidisks of one drive vs
+      distinct drives (§3.2's correlated-failure open question) — data
+      loss when whole devices die.
+    - AB-PATTERN: endurance under uniform, zipfian and sequential write
+      streams — does wear leveling keep skewed workloads from gutting
+      the lifetime gains?
+    - AB-ECC-PLACE: §4.2's mitigation of the 4/(4-L) penalty by storing
+      the extra ECC in dedicated pages (analytic comparison). *)
+
+val msize : Format.formatter -> unit
+val max_level : Format.formatter -> unit
+val scrub : Format.formatter -> unit
+val placement : Format.formatter -> unit
+val pattern : Format.formatter -> unit
+val queueing : Format.formatter -> unit
+val ecc_placement : Format.formatter -> unit
+
+val run : Format.formatter -> unit
+(** All of the above. *)

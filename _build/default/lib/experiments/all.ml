@@ -1,0 +1,26 @@
+let fig4_with_measured fmt =
+  (* TAB-LIFE feeds its measured lifetime factors into the carbon model so
+     Fig. 4 appears both with the paper's parameters and with ours. *)
+  let rows = Lifetime_table.run fmt in
+  Fig4.run ~measured_lifetime:(Lifetime_table.lifetime_factors rows) fmt
+
+let experiments =
+  [
+    ("terms", Terms.run);
+    ("fig2", Fig2.run);
+    ("fig3ab", Fig3ab.run ?days:None ?devices:None);
+    ("fig3cd", Fig3perf.run);
+    ("lifetime+fig4", fig4_with_measured);
+    ("tco", Tco_table.run);
+    ("recovery", Recovery_table.run);
+    ("uber", Uber_table.run);
+    ("ablations", Ablations.run);
+  ]
+
+let run fmt =
+  List.iter
+    (fun (id, runner) ->
+      Format.fprintf fmt "@.### experiment %s@." id;
+      runner fmt)
+    experiments;
+  Format.fprintf fmt "@."

@@ -1,0 +1,7 @@
+(** Run every experiment in DESIGN.md's per-experiment index, in order. *)
+
+val run : Format.formatter -> unit
+
+val experiments : (string * (Format.formatter -> unit)) list
+(** (id, runner) pairs for CLI dispatch: fig2, fig3a (with fig3b),
+    fig3c (with fig3d), fig4, lifetime, tco, recovery, terms. *)

@@ -1,0 +1,50 @@
+let geometry = Flash.Geometry.create ~pages_per_block:16 ~blocks:32 ()
+let reference_geometry = Flash.Geometry.create ~pages_per_block:64 ~blocks:64 ()
+let target_pec = 60
+
+let model =
+  (* Anchor the wear curve so a median page exhausts the level-0 code at
+     [target_pec] cycles; all level ratios follow from the code rates. *)
+  let profile = Salamander.Tiredness.profile ~max_level:1 geometry in
+  Flash.Rber_model.calibrate
+    ~target_rber:
+      (Salamander.Tiredness.info profile 0).Salamander.Tiredness.tolerable_rber
+    ~target_pec ()
+
+let mdisk_opages = 64
+
+let salamander_config ~mode =
+  { Salamander.Device.default_config with Salamander.Device.mode; mdisk_opages }
+
+let fleet_devices = 24
+let fleet_seed = 1789
+
+let make_device kind ~seed =
+  let rng = Sim.Rng.create seed in
+  match kind with
+  | `Baseline ->
+      let d = Ftl.Baseline_ssd.create ~geometry ~model ~rng () in
+      Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d)
+  | `Cvss ->
+      let d = Ftl.Cvss.create ~geometry ~model ~rng () in
+      Ftl.Device_intf.Packed ((module Ftl.Cvss), d)
+  | `Shrinks ->
+      let d =
+        Salamander.Device.create
+          ~config:(salamander_config ~mode:Salamander.Device.Shrink_s)
+          ~geometry ~model ~rng ()
+      in
+      Salamander.Device.pack d
+  | `Regens ->
+      let d =
+        Salamander.Device.create
+          ~config:(salamander_config ~mode:Salamander.Device.Regen_s)
+          ~geometry ~model ~rng ()
+      in
+      Salamander.Device.pack d
+
+let kind_label = function
+  | `Baseline -> "baseline"
+  | `Cvss -> "cvss"
+  | `Shrinks -> "shrinks"
+  | `Regens -> "regens"

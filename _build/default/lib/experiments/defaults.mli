@@ -1,0 +1,38 @@
+(** Shared experiment scale.
+
+    The paper's analysis assumes datacenter drives (hundreds of GiB,
+    ~3 000 P/E cycles).  Simulating that scale write-by-write is pointless;
+    all the dynamics the figures plot are ratios, so the experiments run
+    a scaled device — a few MiB of flash wearing out within tens of
+    cycles — and EXPERIMENTS.md records the scaling.  The calibration in
+    DESIGN.md keeps the level-to-level lifetime ratios identical to the
+    full-scale device because the wear exponent, code rates and failure
+    thresholds are unchanged. *)
+
+val geometry : Flash.Geometry.t
+(** 32 blocks x 16 fPages (8 MiB of 4 KiB oPages, 2048 slots). *)
+
+val reference_geometry : Flash.Geometry.t
+(** The paper's full-page geometry for analytic figures. *)
+
+val model : Flash.Rber_model.t
+(** Wear model calibrated so a median page exhausts the default code at
+    60 cycles: the accelerated-aging anchor. *)
+
+val target_pec : int
+
+val mdisk_opages : int
+(** 64 oPages = 256 KiB minidisks at experiment scale. *)
+
+val salamander_config : mode:Salamander.Device.mode -> Salamander.Device.config
+
+val fleet_devices : int
+val fleet_seed : int
+
+val make_device :
+  [ `Baseline | `Cvss | `Shrinks | `Regens ] ->
+  seed:int ->
+  Ftl.Device_intf.packed
+(** A fresh device of each competing design on the shared scale. *)
+
+val kind_label : [ `Baseline | `Cvss | `Shrinks | `Regens ] -> string

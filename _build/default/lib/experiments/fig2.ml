@@ -1,0 +1,33 @@
+let points () =
+  Sustain.Lifetime.curve ~max_level:3 Defaults.reference_geometry
+
+let run fmt =
+  Report.section fmt
+    "FIG2: tiredness level vs code rate vs lifetime (paper Fig. 2)";
+  let points = points () in
+  Report.table fmt
+    ~header:
+      [ "level"; "data oPages"; "code rate"; "tolerable RBER"; "PEC limit";
+        "benefit vs L0"; "marginal benefit" ]
+    ~rows:
+      (List.mapi
+         (fun i p ->
+           let marginal =
+             if i = 0 then 1.
+             else
+               let prev = List.nth points (i - 1) in
+               p.Sustain.Lifetime.pec_limit /. prev.Sustain.Lifetime.pec_limit
+           in
+           [
+             Printf.sprintf "L%d" p.Sustain.Lifetime.level;
+             string_of_int (4 - p.Sustain.Lifetime.level);
+             Report.cell_f p.Sustain.Lifetime.code_rate;
+             Printf.sprintf "%.3e" p.Sustain.Lifetime.tolerable_rber;
+             Report.cell_f p.Sustain.Lifetime.pec_limit;
+             Printf.sprintf "%.2fx" p.Sustain.Lifetime.benefit;
+             Printf.sprintf "%.2fx" marginal;
+           ])
+         points);
+  Report.note fmt
+    "paper: ~50% lifetime benefit at L1, marginal utility shrinking beyond \
+     L1 (hence RegenS limits itself to L < 2)"

@@ -1,0 +1,13 @@
+(** FIG2 — "Switching oPages to additional ECC trades capacity for
+    increasingly diminishing lifetime benefits."
+
+    Reproduces the paper's Fig. 2 from first principles: for each
+    tiredness level of the reference 16 KiB fPage + 2 KiB spare geometry,
+    the code rate, the maximum tolerable RBER of the level's BCH code,
+    and the resulting P/E-cycle limit under the calibrated wear curve.
+    Expected shape: L1 buys ~1.5x lifetime for 25% capacity; L2/L3 add
+    progressively less per sacrificed oPage. *)
+
+val points : unit -> Sustain.Lifetime.level_point list
+
+val run : Format.formatter -> unit

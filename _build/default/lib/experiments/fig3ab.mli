@@ -1,0 +1,10 @@
+(** FIG3A / FIG3B — functioning devices and available capacity over time
+    for a deployed batch, baseline vs RegenS (ShrinkS and CVSS included
+    for context).
+
+    Expected shape (paper Fig. 3a/3b): the baseline's alive count and
+    capacity fall off a cliff as the batch reaches its wear limit
+    together; Salamander flattens both slopes because devices shrink
+    gradually instead of failing, and RegenS flattens them further. *)
+
+val run : ?days:int -> ?devices:int -> Format.formatter -> unit

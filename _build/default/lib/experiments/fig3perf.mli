@@ -1,0 +1,30 @@
+(** FIG3C / FIG3D — RegenS performance degradation as fPages transition
+    to L1 (paper Figs. 3c and 3d).
+
+    A RegenS device is prepared with a chosen fraction of its fPages
+    forced to tiredness L1 (the state a worn device reaches), filled
+    sequentially, and then measured with the latency model against the
+    real physical layout the FTL produced:
+
+    - sequential read throughput over the whole device;
+    - 16 KiB random-read cost, reported both as fPages touched per access
+      (the paper's 4/(4-L) factor) and as serialized latency;
+    - 4 KiB random-read latency, which should stay flat.
+
+    Because an L1 page holds 3 oPages instead of 4, a 16 KiB extent
+    always spans 2 fPages on L1 flash: sequential throughput drops by
+    ~4/(4-L) (25% at all-L1) while 4 KiB accesses are untouched. *)
+
+type point = {
+  l1_fraction : float;  (** fraction of fPages forced to L1 *)
+  seq_throughput_mib_s : float;
+  random16k_pages : float;  (** avg fPages touched per 16 KiB access *)
+  random16k_us : float;  (** serialized latency (upper bound) *)
+  random16k_parallel_us : float;
+      (** plane-parallel senses, shared channel (lower bound) *)
+  random4k_us : float;
+}
+
+val measure : ?fractions:float list -> ?seed:int -> unit -> point list
+
+val run : Format.formatter -> unit

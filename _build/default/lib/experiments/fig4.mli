@@ -1,0 +1,13 @@
+(** FIG4 — CO2e reduction of Salamander deployments in different system
+    configurations (paper Fig. 4).
+
+    Applies Eq. 3 with the paper's parameters: expected savings 3-8%
+    under today's grid mix and 11-20% when operations run on renewables
+    (leaving embodied carbon dominant).  Alongside the paper's fixed
+    upgrade rates, the table re-derives Ru from the lifetime factors this
+    repository *measures* (TAB-LIFE), closing the loop between the fleet
+    simulation and the carbon model. *)
+
+val run : ?measured_lifetime:float * float -> Format.formatter -> unit
+(** [measured_lifetime] optionally supplies (ShrinkS, RegenS) lifetime
+    factors from the aging experiment to drive a second set of bars. *)

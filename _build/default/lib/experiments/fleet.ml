@@ -1,0 +1,101 @@
+type kind = [ `Baseline | `Cvss | `Shrinks | `Regens ]
+
+type snapshot = { day : int; alive : int; capacity_opages : int }
+
+type result = {
+  kind : kind;
+  devices : int;
+  snapshots : snapshot list;
+  total_host_writes : int;
+  wear_deaths : int;
+  afr_deaths : int;
+}
+
+type member = {
+  device : Ftl.Device_intf.packed;
+  pattern : Workload.Pattern.t;
+  rng : Sim.Rng.t;
+  mutable afr_dead : bool;
+  mutable wear_dead : bool;
+}
+
+let member_alive m =
+  (not m.afr_dead) && (not m.wear_dead) && Ftl.Device_intf.alive m.device
+
+let member_capacity m =
+  if member_alive m then Ftl.Device_intf.logical_capacity m.device else 0
+
+let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
+    ?(afr_per_day = 0.0011) ?(seed = Defaults.fleet_seed) kind =
+  let fleet =
+    Array.init devices (fun i ->
+        let device = Defaults.make_device kind ~seed:(seed + (31 * i)) in
+        {
+          device;
+          pattern =
+            Workload.Pattern.uniform
+              ~window:
+                (Stdlib.max 1
+                   (int_of_float
+                      (0.85
+                      *. float_of_int
+                           (Ftl.Device_intf.logical_capacity device))))
+              ~read_fraction:0.;
+          rng = Sim.Rng.create (seed + (977 * i));
+          afr_dead = false;
+          wear_dead = false;
+        })
+  in
+  let failure_rng = Sim.Rng.create (seed + 5) in
+  let total_host_writes = ref 0 in
+  let snapshots = ref [] in
+  let snapshot day =
+    let alive = ref 0 and capacity = ref 0 in
+    Array.iter
+      (fun m ->
+        if member_alive m then begin
+          incr alive;
+          capacity := !capacity + member_capacity m
+        end)
+      fleet;
+    snapshots := { day; alive = !alive; capacity_opages = !capacity } :: !snapshots
+  in
+  snapshot 0;
+  for day = 1 to days do
+    Array.iter
+      (fun m ->
+        if member_alive m then begin
+          (* Random, non-wear failure (controller, DRAM, firmware): the
+             ~1%-AFR class of failures the field studies report. *)
+          if Sim.Rng.chance failure_rng afr_per_day then m.afr_dead <- true
+          else begin
+            let quota =
+              int_of_float (dwpd *. float_of_int (member_capacity m))
+            in
+            let outcome =
+              Workload.Aging.run_until ~rng:m.rng ~pattern:m.pattern
+                ~device:m.device
+                ~stop:(fun writes -> writes >= quota)
+                ()
+            in
+            total_host_writes := !total_host_writes + outcome.Workload.Aging.host_writes;
+            if outcome.Workload.Aging.died then m.wear_dead <- true
+          end
+        end)
+      fleet;
+    snapshot day
+  done;
+  let wear_deaths =
+    Array.fold_left (fun acc m -> if m.wear_dead then acc + 1 else acc) 0 fleet
+  in
+  let afr_deaths =
+    Array.fold_left (fun acc m -> if m.afr_dead then acc + 1 else acc) 0 fleet
+  in
+  {
+    kind;
+    devices;
+    snapshots = List.rev !snapshots;
+    total_host_writes = !total_host_writes;
+    wear_deaths;
+    afr_deaths;
+  }

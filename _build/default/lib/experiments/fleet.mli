@@ -1,0 +1,39 @@
+(** Fleet aging simulation behind Figs. 3a and 3b: a batch of identical
+    devices deployed together, each absorbing a daily write quota (DWPD),
+    with wear-driven failures from the flash model and non-wear failures
+    injected at a configurable rate (the field AFR the paper cites).
+
+    Time is in scaled days: one day = one drive-write-per-day of the
+    device's *current* capacity, so a device with target_pec 60 and write
+    amplification ~1.3 lives ~45 scaled days.  Shrinking devices write
+    less per day as they shrink, exactly like a real deployment whose
+    data has been rebalanced away. *)
+
+type kind = [ `Baseline | `Cvss | `Shrinks | `Regens ]
+
+type snapshot = {
+  day : int;
+  alive : int;
+  capacity_opages : int;  (** summed over live devices *)
+}
+
+type result = {
+  kind : kind;
+  devices : int;
+  snapshots : snapshot list;  (** one per day, day 0 first *)
+  total_host_writes : int;
+  wear_deaths : int;
+  afr_deaths : int;
+}
+
+val run :
+  ?devices:int ->
+  ?days:int ->
+  ?dwpd:float ->
+  ?afr_per_day:float ->
+  ?seed:int ->
+  kind ->
+  result
+(** Defaults: {!Defaults.fleet_devices} devices, 150 days, 1 DWPD,
+    AFR 0.0011/day (1%/year compressed by the same ~40x factor as the
+    wear scale), seed {!Defaults.fleet_seed}. *)

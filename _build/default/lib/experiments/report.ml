@@ -1,0 +1,46 @@
+let section fmt title =
+  Format.fprintf fmt "@.=== %s ===@." title
+
+let note fmt text = Format.fprintf fmt "  note: %s@." text
+
+let table fmt ~header ~rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width column =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row column with
+        | Some cell -> Stdlib.max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let print_row row =
+    Format.fprintf fmt "  ";
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Format.fprintf fmt "%-*s  " w cell)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let series fmt ~title ~columns points =
+  Format.fprintf fmt "  -- %s --@." title;
+  table fmt ~header:("x" :: columns)
+    ~rows:
+      (List.map
+         (fun (x, ys) ->
+           Printf.sprintf "%.2f" x :: List.map (fun y -> Printf.sprintf "%.4g" y) ys)
+         points)
+
+let cell_f v =
+  if Float.is_nan v then "n/a"
+  else if Float.abs v >= 100. then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 1. then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4g" v
+
+let cell_pct v = Printf.sprintf "%.1f%%" (100. *. v)

@@ -1,0 +1,25 @@
+(** Plain-text rendering of experiment results: the tables and series the
+    bench harness prints so runs can be compared against the paper. *)
+
+val section : Format.formatter -> string -> unit
+(** A banner: experiment id and title. *)
+
+val note : Format.formatter -> string -> unit
+
+val table :
+  Format.formatter -> header:string list -> rows:string list list -> unit
+(** Column-aligned table. *)
+
+val series :
+  Format.formatter ->
+  title:string ->
+  columns:string list ->
+  (float * float list) list ->
+  unit
+(** A plottable series: x value then one column per line. *)
+
+val cell_f : float -> string
+(** Compact float cell ("3.25", "0.0031"). *)
+
+val cell_pct : float -> string
+(** Percentage with sign convention for savings ("8.0%"). *)

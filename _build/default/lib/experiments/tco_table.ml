@@ -1,0 +1,22 @@
+let rows scenarios =
+  List.map
+    (fun s ->
+      [
+        s.Sustain.Tco.label;
+        Report.cell_f s.Sustain.Tco.f_opex;
+        Report.cell_f s.Sustain.Tco.upgrade_rate;
+        Report.cell_f (Sustain.Tco.cost_upgrade_rate s);
+        Report.cell_f (Sustain.Tco.relative_tco s);
+        Report.cell_pct (Sustain.Tco.savings s);
+      ])
+    scenarios
+
+let header = [ "design"; "f_opex"; "Ru"; "CRu"; "TCO vs baseline"; "savings" ]
+
+let run fmt =
+  Report.section fmt "TAB-TCO: cost analysis (paper §4.4, Eq. 4)";
+  Report.table fmt ~header ~rows:(rows Sustain.Tco.paper_scenarios);
+  Report.note fmt "paper: 13% (ShrinkS) and 25% (RegenS) cost savings";
+  Report.section fmt "TAB-TCO sensitivity: operational costs at half the budget";
+  Report.table fmt ~header ~rows:(rows (Sustain.Tco.sensitivity ~f_opex:0.5));
+  Report.note fmt "paper: still 6-14% savings when f_opex = 0.5"

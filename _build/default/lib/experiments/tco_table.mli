@@ -1,0 +1,7 @@
+(** TAB-TCO — total cost of ownership analysis (§4.4, Eq. 4).
+
+    Expected: ~13% savings for ShrinkS and ~25% for RegenS at the paper's
+    f_opex = 0.14, degrading to single/low-double digits when operational
+    costs are half the budget. *)
+
+val run : Format.formatter -> unit

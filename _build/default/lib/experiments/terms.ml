@@ -1,0 +1,23 @@
+let rows =
+  [
+    ("diFS", "distributed file system", "Difs.Cluster");
+    ("LBA", "host logical block address", "Ftl.Engine / Salamander.Minidisk");
+    ("oPage", "logical data page in an fPage (4KB)", "Flash.Geometry");
+    ("fPage", "flash physical page containing oPages", "Flash.Chip");
+    ("mDisk", "minidisk", "Salamander.Minidisk");
+    ("mSize", "size of mDisk (e.g., 1MB)", "Salamander.Device.config");
+    ("L(fPage)", "fPage tiredness level", "Salamander.Tiredness");
+    ("limbo[Lj]", "# of fPages with tiredness level j", "Salamander.Limbo");
+    ("CO2e(X)", "carbon footprint of deployment X", "Sustain.Carbon");
+    ("f_op", "fraction of operational emissions", "Sustain.Params");
+    ("f_opex", "fraction of operational costs", "Sustain.Params");
+    ("PE_A|B", "power effectiveness of SSD A vs B", "Sustain.Params");
+    ("Ru_A|B", "upgrade rate of SSDs in A vs B", "Sustain.Carbon");
+    ("CRu_A|B", "cost upgrade rate of SSDs in A vs B", "Sustain.Tco");
+  ]
+
+let run fmt =
+  Report.section fmt "TAB-T1: terminology (paper Table 1)";
+  Report.table fmt
+    ~header:[ "term"; "definition"; "module" ]
+    ~rows:(List.map (fun (a, b, c) -> [ a; b; c ]) rows)

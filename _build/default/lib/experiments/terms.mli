@@ -1,0 +1,5 @@
+(** TAB-T1 — the paper's Table 1: terminology used to describe and
+    analyze Salamander, with the corresponding modules of this
+    repository. *)
+
+val run : Format.formatter -> unit

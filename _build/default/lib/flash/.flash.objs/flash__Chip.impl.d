@@ -1,0 +1,1 @@
+lib/flash/chip.ml: Array Geometry Rber_model Sim

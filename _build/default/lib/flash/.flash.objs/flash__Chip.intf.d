@@ -1,0 +1,1 @@
+lib/flash/chip.mli: Geometry Rber_model Sim

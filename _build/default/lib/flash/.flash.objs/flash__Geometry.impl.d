@@ -1,0 +1,1 @@
+lib/flash/geometry.ml: Format Printf

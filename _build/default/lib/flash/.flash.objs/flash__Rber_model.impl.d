@@ -1,0 +1,1 @@
+lib/flash/rber_model.ml: Float Sim

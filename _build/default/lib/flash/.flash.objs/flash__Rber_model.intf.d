@@ -1,0 +1,1 @@
+lib/flash/rber_model.mli: Sim

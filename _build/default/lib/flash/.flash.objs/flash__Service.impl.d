@@ -1,0 +1,1 @@
+lib/flash/service.ml: Array Float Latency List Sim

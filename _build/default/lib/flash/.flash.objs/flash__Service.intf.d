@@ -1,0 +1,1 @@
+lib/flash/service.mli: Latency Sim

@@ -1,0 +1,133 @@
+type payload = int
+
+type page_state = Free | Programmed of payload option array
+
+type page = {
+  strength : float;
+  mutable state : page_state;
+  mutable reads_since_erase : int;
+}
+
+type block_state = { mutable pec : int; pages : page array }
+
+type t = {
+  geometry : Geometry.t;
+  model : Rber_model.t;
+  blocks : block_state array;
+  mutable programs : int;
+  mutable reads : int;
+  mutable erases : int;
+}
+
+let create ~rng ~geometry ~model =
+  (* Endurance variance has a block-level component (process corner,
+     position on the die) and a page-level one (layer-to-layer variation
+     within the block, [42]); split the model's lognormal sigma evenly so
+     the total spread matches {!Rber_model.sample_strength}. *)
+  let component_sigma = model.Rber_model.strength_sigma *. sqrt 0.5 in
+  let make_block _ =
+    let block_strength =
+      Sim.Dist.lognormal rng ~mu:0. ~sigma:component_sigma
+    in
+    {
+      pec = 0;
+      pages =
+        Array.init geometry.Geometry.pages_per_block (fun _ ->
+            {
+              strength =
+                block_strength
+                *. Sim.Dist.lognormal rng ~mu:0. ~sigma:component_sigma;
+              state = Free;
+              reads_since_erase = 0;
+            });
+    }
+  in
+  {
+    geometry;
+    model;
+    blocks = Array.init geometry.Geometry.blocks make_block;
+    programs = 0;
+    reads = 0;
+    erases = 0;
+  }
+
+let geometry t = t.geometry
+let model t = t.model
+
+let get_block t block =
+  if block < 0 || block >= Array.length t.blocks then
+    invalid_arg "Chip: block out of range";
+  t.blocks.(block)
+
+let get_page t block page =
+  let b = get_block t block in
+  if page < 0 || page >= Array.length b.pages then
+    invalid_arg "Chip: page out of range";
+  (b, b.pages.(page))
+
+let program t ~block ~page slots =
+  let _, p = get_page t block page in
+  if Array.length slots <> t.geometry.Geometry.opages_per_fpage then
+    invalid_arg "Chip.program: slot array length mismatch";
+  (match p.state with
+  | Free -> ()
+  | Programmed _ ->
+      invalid_arg "Chip.program: page already programmed (erase first)");
+  p.state <- Programmed (Array.copy slots);
+  t.programs <- t.programs + 1
+
+let read t ~block ~page =
+  let _, p = get_page t block page in
+  t.reads <- t.reads + 1;
+  p.reads_since_erase <- p.reads_since_erase + 1;
+  match p.state with
+  | Free -> Free
+  | Programmed slots -> Programmed (Array.copy slots)
+
+let read_slot t ~block ~page ~slot =
+  let _, p = get_page t block page in
+  if slot < 0 || slot >= t.geometry.Geometry.opages_per_fpage then
+    invalid_arg "Chip.read_slot: slot out of range";
+  t.reads <- t.reads + 1;
+  p.reads_since_erase <- p.reads_since_erase + 1;
+  match p.state with
+  | Free -> invalid_arg "Chip.read_slot: page is erased"
+  | Programmed slots -> slots.(slot)
+
+let erase t ~block =
+  let b = get_block t block in
+  b.pec <- b.pec + 1;
+  Array.iter
+    (fun p ->
+      p.state <- Free;
+      p.reads_since_erase <- 0)
+    b.pages;
+  t.erases <- t.erases + 1
+
+let pec t ~block = (get_block t block).pec
+
+let strength t ~block ~page =
+  let _, p = get_page t block page in
+  p.strength
+
+let rber t ~block ~page =
+  let b, p = get_page t block page in
+  Rber_model.rber ~reads:p.reads_since_erase t.model ~pec:b.pec
+    ~strength:p.strength
+
+let rber_after_next_erase t ~block ~page =
+  (* An erase clears the accumulated read disturb along with the data. *)
+  let b, p = get_page t block page in
+  Rber_model.rber t.model ~pec:(b.pec + 1) ~strength:p.strength
+
+let reads_since_erase t ~block ~page =
+  let _, p = get_page t block page in
+  p.reads_since_erase
+
+let is_free t ~block ~page =
+  let _, p = get_page t block page in
+  match p.state with Free -> true | Programmed _ -> false
+
+let programs t = t.programs
+let reads t = t.reads
+let erases t = t.erases

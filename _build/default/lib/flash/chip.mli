@@ -1,0 +1,70 @@
+(** Simulated NAND flash chip: the raw medium beneath every FTL.
+
+    The chip stores one opaque payload per oPage slot (the FTL uses these
+    as fingerprints of logical content; the byte-level data path is
+    exercised by the ECC library directly).  Each fPage can be programmed
+    once between erases, erases are whole-block and increment the block's
+    P/E cycle count, and every page carries a wear-independent strength
+    multiplier so pages within one block age at different rates — the
+    variance that motivates Salamander's page-granularity retirement.
+
+    The chip itself enforces only physics: program-once, erase-before-
+    reuse, wear accounting, and the RBER of every page.  Policy (ECC
+    sufficiency, retirement, mapping) belongs to the layers above. *)
+
+type t
+
+type payload = int
+(** Opaque per-oPage content fingerprint chosen by the FTL. *)
+
+type page_state =
+  | Free  (** erased, programmable *)
+  | Programmed of payload option array
+      (** one entry per oPage slot; [None] marks slots the owner reserved
+          for extra ECC rather than data *)
+
+val create : rng:Sim.Rng.t -> geometry:Geometry.t -> model:Rber_model.t -> t
+(** Per-page strengths are drawn from [rng] at creation. *)
+
+val geometry : t -> Geometry.t
+val model : t -> Rber_model.t
+
+val program : t -> block:int -> page:int -> payload option array -> unit
+(** Program a free fPage with one entry per oPage slot.
+    @raise Invalid_argument if out of range, if the slot-array length is
+    not [opages_per_fpage], or if the page is not [Free] (program-once). *)
+
+val read : t -> block:int -> page:int -> page_state
+(** Current state; for a programmed page the array is a copy. *)
+
+val read_slot : t -> block:int -> page:int -> slot:int -> payload option
+(** Single-slot read; [None] for ECC-reserved slots.
+    @raise Invalid_argument on a [Free] page or bad indices. *)
+
+val erase : t -> block:int -> unit
+(** Erase a block: all its pages become [Free]; its PEC increments. *)
+
+val pec : t -> block:int -> int
+val strength : t -> block:int -> page:int -> float
+
+val rber : t -> block:int -> page:int -> float
+(** Current raw bit error rate of the page: program/erase wear plus
+    accumulated read disturb since the block's last erase. *)
+
+val rber_after_next_erase : t -> block:int -> page:int -> float
+(** The RBER the page will have once its block is erased one more time
+    (an erase also clears the read disturb); the retirement policies look
+    ahead with this. *)
+
+val reads_since_erase : t -> block:int -> page:int -> int
+(** Reads the page absorbed since its block's last erase: the read
+    disturb exposure counter. *)
+
+val is_free : t -> block:int -> page:int -> bool
+
+(** Cumulative operation counters, for write-amplification and endurance
+    accounting. *)
+
+val programs : t -> int
+val reads : t -> int
+val erases : t -> int

@@ -1,0 +1,66 @@
+(** Raw bit-error rate as a function of wear.
+
+    Following the characterization literature the paper builds on (Kim et
+    al. FAST '19; Cai et al. 2017), RBER grows polynomially with program/
+    erase cycles:
+
+    {v rber(pec) = floor + strength * coefficient * (pec / pec_scale)^exponent v}
+
+    [strength] is a per-page multiplier (lognormal across pages) modelling
+    the large page-to-page endurance variance in 3D NAND that motivates
+    Salamander's page-granularity retirement.  The exponent defaults to
+    3.5, which makes the L1/L0 lifetime ratio land at the paper's ~1.5x
+    (see DESIGN.md, Calibration). *)
+
+type t = private {
+  floor_rber : float;  (** error rate of pristine flash *)
+  coefficient : float;  (** wear-induced RBER at [pec = pec_scale], strength 1 *)
+  exponent : float;  (** polynomial growth exponent *)
+  pec_scale : float;  (** normalization constant, in erase cycles *)
+  strength_sigma : float;  (** lognormal sigma of the per-page multiplier *)
+  read_disturb_per_read : float;
+      (** RBER added per read of the page since its block's last erase
+          (§2 lists read disturb among the error sources).  0 disables
+          the effect; devices counter it with read-reclaim scrubbing. *)
+}
+
+val default_exponent : float
+val default_strength_sigma : float
+
+val create :
+  ?floor_rber:float ->
+  ?exponent:float ->
+  ?strength_sigma:float ->
+  ?read_disturb_per_read:float ->
+  coefficient:float ->
+  pec_scale:float ->
+  unit ->
+  t
+
+val calibrate :
+  ?floor_rber:float ->
+  ?exponent:float ->
+  ?strength_sigma:float ->
+  ?read_disturb_per_read:float ->
+  target_rber:float ->
+  target_pec:int ->
+  unit ->
+  t
+(** [calibrate ~target_rber ~target_pec ()] returns a model in which a
+    median-strength page reaches [target_rber] after exactly [target_pec]
+    erase cycles — the standard way to pin the simulated endurance to a
+    known device class (e.g. 3 000 cycles for datacenter TLC), or to an
+    accelerated scale for fleet simulations. *)
+
+val rber : ?reads:int -> t -> pec:int -> strength:float -> float
+(** Current raw bit-error rate: the wear term plus [reads] (reads of the
+    page since its block's last erase, default 0) times the disturb
+    coefficient, both scaled by the page strength. *)
+
+val pec_at : t -> rber:float -> strength:float -> float
+(** Inverse of {!rber} in [pec]: the cycle count at which the page reaches
+    the given error rate.  Returns 0 when the rate is at or below the
+    pristine floor. *)
+
+val sample_strength : t -> Sim.Rng.t -> float
+(** Draw a page-strength multiplier (median 1). *)

@@ -1,0 +1,59 @@
+type config = { channels : int; dies_per_channel : int; latency : Latency.t }
+
+let default_config =
+  { channels = 4; dies_per_channel = 2; latency = Latency.default }
+
+type t = {
+  engine : Sim.Engine.t;
+  config : config;
+  die_free_at : float array;
+  channel_free_at : float array;
+  die_busy_us : float array;
+}
+
+let create ~engine config =
+  if config.channels <= 0 || config.dies_per_channel <= 0 then
+    invalid_arg "Service.create: channels and dies must be positive";
+  let dies = config.channels * config.dies_per_channel in
+  {
+    engine;
+    config;
+    die_free_at = Array.make dies 0.;
+    channel_free_at = Array.make config.channels 0.;
+    die_busy_us = Array.make dies 0.;
+  }
+
+type page_read = { die_hint : int; sense_us : float; transfer_us : float }
+
+let dies t = Array.length t.die_free_at
+
+(* FCFS resource booking: a page read holds its die for the sense, then
+   its channel for the transfer.  Because service times are known at
+   submission, each page's completion time can be computed immediately;
+   the engine event only delivers the callback at that simulated time. *)
+let submit t ~pages ~on_complete =
+  if pages = [] then invalid_arg "Service.submit: empty request";
+  let now = Sim.Engine.now t.engine in
+  let finish =
+    List.fold_left
+      (fun finish { die_hint; sense_us; transfer_us } ->
+        let die = ((die_hint mod dies t) + dies t) mod dies t in
+        let channel = die / t.config.dies_per_channel in
+        let sense_start = Float.max now t.die_free_at.(die) in
+        let sense_end = sense_start +. sense_us in
+        t.die_free_at.(die) <- sense_end;
+        t.die_busy_us.(die) <- t.die_busy_us.(die) +. sense_us;
+        let transfer_start =
+          Float.max sense_end t.channel_free_at.(channel)
+        in
+        let transfer_end = transfer_start +. transfer_us in
+        t.channel_free_at.(channel) <- transfer_end;
+        Float.max finish transfer_end)
+      now pages
+  in
+  Sim.Engine.schedule_at t.engine ~time:finish (fun _ ->
+      on_complete ~latency_us:(finish -. now))
+
+let busy_fraction t ~die =
+  let now = Sim.Engine.now t.engine in
+  if now <= 0. then 0. else t.die_busy_us.(die) /. now

@@ -1,0 +1,46 @@
+(** Queued service model of an SSD's internal parallelism.
+
+    A drive is a grid of dies behind shared channels: a page read first
+    occupies its die for the sense time, then its channel for the data
+    transfer.  Requests spanning several pages (a 16 KiB extent on L1
+    flash touches two fPages) finish when the last page lands.
+
+    This is what turns the per-page costs of {!Latency} into end-to-end
+    numbers under load: at queue depth 1 parallel senses hide most of
+    RegenS's extra page read, while at saturation the extra senses eat
+    throughput — the nuance behind the paper's §4.2 performance claims.
+
+    The model runs on {!Sim.Engine} so callers can drive closed-loop
+    workloads: submit a request, get a completion callback at the
+    simulated finish time, submit the next. *)
+
+type config = {
+  channels : int;
+  dies_per_channel : int;
+  latency : Latency.t;
+}
+
+val default_config : config
+(** 4 channels x 2 dies, default timings. *)
+
+type t
+
+val create : engine:Sim.Engine.t -> config -> t
+
+type page_read = {
+  die_hint : int;  (** mapped onto a die by modulo; callers pass e.g. the
+                       physical block number *)
+  sense_us : float;
+  transfer_us : float;
+}
+
+val submit :
+  t -> pages:page_read list -> on_complete:(latency_us:float -> unit) -> unit
+(** Enqueue a multi-page read at the current simulated time; the callback
+    fires (as an engine event) when its last page has transferred, with
+    the request's total latency.
+    @raise Invalid_argument on an empty page list. *)
+
+val dies : t -> int
+val busy_fraction : t -> die:int -> float
+(** Fraction of elapsed simulated time the die has spent sensing. *)

@@ -1,0 +1,1 @@
+lib/ftl/baseline_ssd.ml: Array Device_intf Ecc_profile Engine Flash Policy Sim

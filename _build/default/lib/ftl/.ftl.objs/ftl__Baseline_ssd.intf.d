@@ -1,0 +1,1 @@
+lib/ftl/baseline_ssd.mli: Device_intf Ecc_profile Engine Flash Sim

@@ -1,0 +1,1 @@
+lib/ftl/cvss.ml: Array Device_intf Ecc_profile Engine Flash Policy Sim Stdlib

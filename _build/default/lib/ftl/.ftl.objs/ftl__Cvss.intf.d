@@ -1,0 +1,1 @@
+lib/ftl/cvss.mli: Device_intf Ecc_profile Engine Flash Sim

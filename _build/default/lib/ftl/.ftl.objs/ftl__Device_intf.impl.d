@@ -1,0 +1,1 @@
+lib/ftl/device_intf.ml:

@@ -1,0 +1,1 @@
+lib/ftl/ecc_profile.mli: Ecc Flash

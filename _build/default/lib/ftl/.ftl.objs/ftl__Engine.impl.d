@@ -1,0 +1,1 @@
+lib/ftl/engine.ml: Array Flash Hashtbl List Location Mapping Option Policy Sim Stdlib Write_buffer

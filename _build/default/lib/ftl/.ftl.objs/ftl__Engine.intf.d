@@ -1,0 +1,1 @@
+lib/ftl/engine.mli: Flash Location Policy Sim

@@ -1,0 +1,1 @@
+lib/ftl/location.mli: Format

@@ -1,0 +1,1 @@
+lib/ftl/mapping.ml: Array Flash Location

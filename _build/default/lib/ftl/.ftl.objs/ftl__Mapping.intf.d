@@ -1,0 +1,1 @@
+lib/ftl/mapping.mli: Flash Location

@@ -1,0 +1,1 @@
+lib/ftl/policy.mli:

@@ -1,0 +1,1 @@
+lib/ftl/write_buffer.ml: Hashtbl List Queue

@@ -1,0 +1,106 @@
+type config = { over_provisioning : float; fail_threshold : float }
+
+let default_config = { over_provisioning = 0.07; fail_threshold = 0.025 }
+
+type t = {
+  config : config;
+  ecc : Ecc_profile.t;
+  geometry : Flash.Geometry.t;
+  engine : Engine.t;
+  block_bad : bool array;
+  mutable bad_blocks : int;
+  mutable dead : bool;
+  capacity : int;
+}
+
+let create ?(config = default_config) ?ecc ~geometry ~model ~rng () =
+  let ecc =
+    match ecc with Some e -> e | None -> Ecc_profile.of_geometry geometry
+  in
+  let chip = Flash.Chip.create ~rng:(Sim.Rng.split rng) ~geometry ~model in
+  let block_bad = Array.make geometry.Flash.Geometry.blocks false in
+  let opages = geometry.Flash.Geometry.opages_per_fpage in
+  let policy =
+    {
+      Policy.data_slots =
+        (fun ~block ~page ->
+          ignore page;
+          if block_bad.(block) then 0 else opages);
+      read_fail_prob =
+        (fun ~rber ~block:_ ~page:_ -> Ecc_profile.opage_read_fail_prob ecc ~rber);
+      should_reclaim =
+        (fun ~rber ~block:_ ~page:_ -> Ecc_profile.should_reclaim ecc ~rber);
+      on_block_erased = (fun ~block:_ -> ());
+    }
+  in
+  let capacity =
+    int_of_float
+      (float_of_int (Flash.Geometry.total_opages geometry)
+      *. (1. -. config.over_provisioning))
+  in
+  let engine =
+    Engine.create ~chip ~rng:(Sim.Rng.split rng) ~policy
+      ~logical_capacity:capacity ()
+  in
+  let t =
+    { config; ecc; geometry; engine; block_bad; bad_blocks = 0; dead = false;
+      capacity }
+  in
+  (* Baseline block retirement: the moment the *weakest* page of a block
+     would exceed the default code's tolerance after the erase it just
+     received, the whole block is marked bad. *)
+  policy.Policy.on_block_erased <-
+    (fun ~block ->
+      if not t.block_bad.(block) then begin
+        let pages = geometry.Flash.Geometry.pages_per_block in
+        let tired = ref false in
+        for page = 0 to pages - 1 do
+          let rber = Flash.Chip.rber chip ~block ~page in
+          if Ecc_profile.page_is_tired ecc ~rber then tired := true
+        done;
+        if !tired then begin
+          t.block_bad.(block) <- true;
+          t.bad_blocks <- t.bad_blocks + 1;
+          if
+            float_of_int t.bad_blocks
+            > t.config.fail_threshold *. float_of_int geometry.Flash.Geometry.blocks
+          then t.dead <- true
+        end
+      end);
+  t
+
+let ecc t = t.ecc
+let engine t = t.engine
+let bad_blocks t = t.bad_blocks
+
+let bad_block_fraction t =
+  float_of_int t.bad_blocks /. float_of_int t.geometry.Flash.Geometry.blocks
+
+let label _ = "baseline"
+
+let write t ~lba ~payload =
+  if t.dead then Error `Dead
+  else if lba < 0 || lba >= t.capacity then Error `Out_of_range
+  else
+    match Engine.write t.engine ~logical:lba ~payload with
+    | Ok () -> Ok () (* the drive may have bricked *during* this write;
+                        callers observe that through [alive] *)
+    | Error `No_space ->
+        t.dead <- true;
+        Error `No_space
+
+let read t ~lba =
+  if lba < 0 || lba >= t.capacity then Error `Out_of_range
+  else
+    (Engine.read t.engine ~logical:lba
+      :> (int, Device_intf.read_error) result)
+
+let trim t ~lba =
+  if not t.dead && lba >= 0 && lba < t.capacity then
+    Engine.discard t.engine ~logical:lba
+
+let alive t = not t.dead
+let logical_capacity t = if t.dead then 0 else t.capacity
+let initial_capacity t = t.capacity
+let host_writes t = Engine.host_writes t.engine
+let write_amplification t = Engine.write_amplification t.engine

@@ -1,0 +1,32 @@
+(** The baseline datacenter SSD the paper argues against.
+
+    Monolithic fixed-capacity volume; firmware retires a whole erase block
+    as soon as its weakest page can no longer be protected by the default
+    ECC, replacing it from over-provisioned spare space; and the device
+    bricks (goes read-only) once retired blocks exceed a small threshold —
+    2.5 % by default, per the NetApp field study the paper cites [14]. *)
+
+type t
+
+type config = {
+  over_provisioning : float;  (** spare fraction of physical space, 0.07 *)
+  fail_threshold : float;  (** bad-block fraction that bricks the drive *)
+}
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  ?ecc:Ecc_profile.t ->
+  geometry:Flash.Geometry.t ->
+  model:Flash.Rber_model.t ->
+  rng:Sim.Rng.t ->
+  unit ->
+  t
+
+val ecc : t -> Ecc_profile.t
+val engine : t -> Engine.t
+val bad_blocks : t -> int
+val bad_block_fraction : t -> float
+
+include Device_intf.S with type t := t

@@ -1,0 +1,124 @@
+type config = { over_provisioning : float; min_capacity_fraction : float }
+
+let default_config = { over_provisioning = 0.07; min_capacity_fraction = 0.5 }
+
+type t = {
+  config : config;
+  ecc : Ecc_profile.t;
+  geometry : Flash.Geometry.t;
+  engine : Engine.t;
+  block_bad : bool array;
+  mutable retired_blocks : int;
+  mutable capacity : int;
+  initial_capacity : int;
+  mutable shrunk : int;
+  mutable dead : bool;
+}
+
+let create ?(config = default_config) ?ecc ~geometry ~model ~rng () =
+  let ecc =
+    match ecc with Some e -> e | None -> Ecc_profile.of_geometry geometry
+  in
+  let chip = Flash.Chip.create ~rng:(Sim.Rng.split rng) ~geometry ~model in
+  let block_bad = Array.make geometry.Flash.Geometry.blocks false in
+  let opages = geometry.Flash.Geometry.opages_per_fpage in
+  let policy =
+    {
+      Policy.data_slots =
+        (fun ~block ~page ->
+          ignore page;
+          if block_bad.(block) then 0 else opages);
+      read_fail_prob =
+        (fun ~rber ~block:_ ~page:_ ->
+          Ecc_profile.opage_read_fail_prob ecc ~rber);
+      should_reclaim =
+        (fun ~rber ~block:_ ~page:_ -> Ecc_profile.should_reclaim ecc ~rber);
+      on_block_erased = (fun ~block:_ -> ());
+    }
+  in
+  let initial_capacity =
+    int_of_float
+      (float_of_int (Flash.Geometry.total_opages geometry)
+      *. (1. -. config.over_provisioning))
+  in
+  let engine =
+    Engine.create ~chip ~rng:(Sim.Rng.split rng) ~policy
+      ~logical_capacity:initial_capacity ()
+  in
+  let t =
+    {
+      config;
+      ecc;
+      geometry;
+      engine;
+      block_bad;
+      retired_blocks = 0;
+      capacity = initial_capacity;
+      initial_capacity;
+      shrunk = 0;
+      dead = false;
+    }
+  in
+  policy.Policy.on_block_erased <-
+    (fun ~block ->
+      if not t.block_bad.(block) then begin
+        let pages = geometry.Flash.Geometry.pages_per_block in
+        let tired = ref false in
+        for page = 0 to pages - 1 do
+          let rber = Flash.Chip.rber chip ~block ~page in
+          if Ecc_profile.page_is_tired ecc ~rber then tired := true
+        done;
+        if !tired then begin
+          t.block_bad.(block) <- true;
+          t.retired_blocks <- t.retired_blocks + 1;
+          (* Shrink: surrender a block's worth of LBAs from the top of the
+             address space.  The host file system absorbs the loss from
+             its free space; any data there is trimmed away here and the
+             host re-creates it elsewhere (counted in [shrunk]). *)
+          let block_opages = pages * opages in
+          let new_capacity = Stdlib.max 0 (t.capacity - block_opages) in
+          for lba = new_capacity to t.capacity - 1 do
+            Engine.discard t.engine ~logical:lba;
+            t.shrunk <- t.shrunk + 1
+          done;
+          t.capacity <- new_capacity;
+          if
+            float_of_int t.capacity
+            < t.config.min_capacity_fraction
+              *. float_of_int t.initial_capacity
+          then t.dead <- true
+        end
+      end);
+  t
+
+let ecc t = t.ecc
+let engine t = t.engine
+let retired_blocks t = t.retired_blocks
+let shrunk_opages t = t.shrunk
+let label _ = "cvss"
+
+let write t ~lba ~payload =
+  if t.dead then Error `Dead
+  else if lba < 0 || lba >= t.capacity then Error `Out_of_range
+  else
+    match Engine.write t.engine ~logical:lba ~payload with
+    | Ok () -> Ok ()
+    | Error `No_space ->
+        t.dead <- true;
+        Error `No_space
+
+let read t ~lba =
+  if lba < 0 || lba >= t.initial_capacity then Error `Out_of_range
+  else
+    (Engine.read t.engine ~logical:lba
+      :> (int, Device_intf.read_error) result)
+
+let trim t ~lba =
+  if lba >= 0 && lba < t.initial_capacity then
+    Engine.discard t.engine ~logical:lba
+
+let alive t = not t.dead
+let logical_capacity t = if t.dead then 0 else t.capacity
+let initial_capacity t = t.initial_capacity
+let host_writes t = Engine.host_writes t.engine
+let write_amplification t = Engine.write_amplification t.engine

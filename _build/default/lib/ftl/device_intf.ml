@@ -1,0 +1,45 @@
+(** Common face of every simulated SSD, for workloads and fleet experiments
+    that age heterogeneous devices side by side.
+
+    The LBA space is flat and in oPage units; Salamander devices expose a
+    richer per-mDisk API natively and satisfy this signature through an
+    adapter that concatenates the LBA spaces of their live minidisks. *)
+
+type write_error = [ `Dead | `No_space | `Out_of_range ]
+type read_error = [ `Dead | `Unmapped | `Uncorrectable | `Out_of_range ]
+
+module type S = sig
+  type t
+
+  val label : t -> string
+  (** Human-readable device kind for reports. *)
+
+  val write : t -> lba:int -> payload:int -> (unit, write_error) result
+  val read : t -> lba:int -> (int, read_error) result
+
+  val trim : t -> lba:int -> unit
+  (** Discard an oPage (no-op on dead devices). *)
+
+  val alive : t -> bool
+  (** False once the device no longer accepts writes. *)
+
+  val logical_capacity : t -> int
+  (** Currently writable LBAs; shrinking devices reduce this over time. *)
+
+  val initial_capacity : t -> int
+  val host_writes : t -> int
+  val write_amplification : t -> float
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+(** Existential wrapper so fleets can mix device designs. *)
+
+let label (Packed ((module D), d)) = D.label d
+let write (Packed ((module D), d)) ~lba ~payload = D.write d ~lba ~payload
+let read (Packed ((module D), d)) ~lba = D.read d ~lba
+let trim (Packed ((module D), d)) ~lba = D.trim d ~lba
+let alive (Packed ((module D), d)) = D.alive d
+let logical_capacity (Packed ((module D), d)) = D.logical_capacity d
+let initial_capacity (Packed ((module D), d)) = D.initial_capacity d
+let host_writes (Packed ((module D), d)) = D.host_writes d
+let write_amplification (Packed ((module D), d)) = D.write_amplification d

@@ -1,0 +1,454 @@
+type config = {
+  gc_reserve_blocks : int;
+  wear_level_period : int;
+  wear_level_gap : int;
+}
+
+let default_config =
+  { gc_reserve_blocks = 2; wear_level_period = 16; wear_level_gap = 8 }
+
+type block_class = Free | Open | Closed | Retired
+
+type t = {
+  chip : Flash.Chip.t;
+  rng : Sim.Rng.t;
+  policy : Policy.t;
+  config : config;
+  mapping : Mapping.t;
+  buffer : Write_buffer.t;
+  classes : block_class array;
+  logical_capacity : int;
+  oob : (int * int) option array;
+      (* per physical slot: (logical, sequence) tag written with the data;
+         cleared by the block's erase, like real OOB bytes *)
+  trim_journal : (int, int) Hashtbl.t;
+      (* logical -> sequence of its latest trim (non-volatile journal) *)
+  mutable sequence : int;
+  mutable open_block : int option;
+  mutable next_page : int;
+  mutable free_count : int;
+  mutable retired_count : int;
+  mutable host_writes : int;
+  mutable relocated : int;
+  mutable gc_runs : int;
+  mutable padded : int;
+  mutable reclaims : int;
+  mutable in_gc : bool;
+}
+
+type write_error = [ `No_space ]
+type read_error = [ `Unmapped | `Uncorrectable ]
+
+let geometry t = Flash.Chip.geometry t.chip
+
+let create ?(config = default_config) ~chip ~rng ~policy ~logical_capacity () =
+  if config.gc_reserve_blocks < 2 then
+    invalid_arg "Engine.create: gc_reserve_blocks must be >= 2";
+  let geometry = Flash.Chip.geometry chip in
+  if logical_capacity <= 0 then invalid_arg "Engine.create: logical_capacity";
+  let slots =
+    geometry.Flash.Geometry.blocks * geometry.Flash.Geometry.pages_per_block
+    * geometry.Flash.Geometry.opages_per_fpage
+  in
+  {
+    chip;
+    rng;
+    policy;
+    config;
+    mapping = Mapping.create ~geometry ~logical_opages:logical_capacity;
+    buffer = Write_buffer.create ();
+    classes = Array.make geometry.Flash.Geometry.blocks Free;
+    logical_capacity;
+    oob = Array.make slots None;
+    trim_journal = Hashtbl.create 64;
+    sequence = 0;
+    open_block = None;
+    next_page = 0;
+    free_count = geometry.Flash.Geometry.blocks;
+    retired_count = 0;
+    host_writes = 0;
+    relocated = 0;
+    gc_runs = 0;
+    padded = 0;
+    reclaims = 0;
+    in_gc = false;
+  }
+
+let chip t = t.chip
+let policy t = t.policy
+let logical_capacity t = t.logical_capacity
+
+let flat_slot t ~block ~page ~slot =
+  let g = geometry t in
+  ((block * g.Flash.Geometry.pages_per_block) + page)
+  * g.Flash.Geometry.opages_per_fpage
+  + slot
+
+let block_data_capacity t block =
+  let pages = (geometry t).Flash.Geometry.pages_per_block in
+  let capacity = ref 0 in
+  for page = 0 to pages - 1 do
+    capacity := !capacity + t.policy.Policy.data_slots ~block ~page
+  done;
+  !capacity
+
+(* --- relocation helpers ------------------------------------------------ *)
+
+(* Move a live slot's content into the buffer (unless a newer version is
+   already buffered) and unmap it, so the physical copy becomes stale. *)
+let relocate_slot t ~block ~page ~slot ~logical =
+  (match Write_buffer.payload_of t.buffer logical with
+  | Some _ -> () (* the buffer already holds newer data; old copy is dead *)
+  | None -> (
+      match Flash.Chip.read_slot t.chip ~block ~page ~slot with
+      | Some payload ->
+          Write_buffer.put t.buffer ~logical ~payload;
+          t.relocated <- t.relocated + 1
+      | None ->
+          (* The mapping never points at ECC-reserved slots. *)
+          assert false));
+  Mapping.unbind_logical t.mapping logical
+
+let relocate_block_contents t block =
+  Mapping.iter_block t.mapping ~block (fun ~page ~slot ~logical ->
+      relocate_slot t ~block ~page ~slot ~logical)
+
+let relocate_page t ~block ~page =
+  List.iter
+    (fun (slot, logical) -> relocate_slot t ~block ~page ~slot ~logical)
+    (Mapping.live_slots_in_page t.mapping ~block ~page)
+
+(* --- garbage collection ------------------------------------------------ *)
+
+let erase_and_reclassify t block =
+  Flash.Chip.erase t.chip ~block;
+  (* the erase wipes the OOB area along with the data *)
+  let g = geometry t in
+  for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
+    for slot = 0 to g.Flash.Geometry.opages_per_fpage - 1 do
+      t.oob.(flat_slot t ~block ~page ~slot) <- None
+    done
+  done;
+  t.policy.Policy.on_block_erased ~block;
+  if block_data_capacity t block = 0 then begin
+    t.classes.(block) <- Retired;
+    t.retired_count <- t.retired_count + 1
+  end
+  else begin
+    t.classes.(block) <- Free;
+    t.free_count <- t.free_count + 1
+  end
+
+let closed_blocks_fold t f init =
+  let acc = ref init in
+  Array.iteri (fun b c -> if c = Closed then acc := f !acc b) t.classes;
+  !acc
+
+(* Victim with fewest live oPages: the greedy-min-valid policy.  A block
+   with no dead slots yields nothing and is never picked — otherwise GC
+   would churn forever when the device is genuinely full. *)
+let pick_gc_victim t =
+  closed_blocks_fold t
+    (fun best block ->
+      let valid = Mapping.valid_in_block t.mapping ~block in
+      if valid >= block_data_capacity t block then best
+      else
+        match best with
+        | Some (_, best_valid) when best_valid <= valid -> best
+        | _ -> Some (block, valid))
+    None
+
+(* Coldest closed block, for wear-leveling sweeps: rewriting its (cold)
+   data elsewhere lets its low-PEC block re-enter the allocation pool. *)
+let pick_wear_level_victim t =
+  let coldest =
+    closed_blocks_fold t
+      (fun best block ->
+        let pec = Flash.Chip.pec t.chip ~block in
+        match best with
+        | Some (_, best_pec) when best_pec <= pec -> best
+        | _ -> Some (block, pec))
+      None
+  in
+  match coldest with
+  | None -> None
+  | Some (block, pec) ->
+      let max_pec = ref 0 in
+      for b = 0 to Array.length t.classes - 1 do
+        if t.classes.(b) <> Retired then
+          max_pec := Stdlib.max !max_pec (Flash.Chip.pec t.chip ~block:b)
+      done;
+      if !max_pec - pec > t.config.wear_level_gap then Some block else None
+
+let gc_once t =
+  let victim =
+    if
+      t.config.wear_level_period > 0
+      && t.gc_runs mod t.config.wear_level_period = t.config.wear_level_period - 1
+    then
+      match pick_wear_level_victim t with
+      | Some b -> Some b
+      | None -> Option.map fst (pick_gc_victim t)
+    else Option.map fst (pick_gc_victim t)
+  in
+  match victim with
+  | None -> false
+  | Some block ->
+      t.gc_runs <- t.gc_runs + 1;
+      relocate_block_contents t block;
+      erase_and_reclassify t block;
+      true
+
+let maybe_gc t =
+  if not t.in_gc then begin
+    t.in_gc <- true;
+    let continue = ref true in
+    while t.free_count < t.config.gc_reserve_blocks && !continue do
+      continue := gc_once t
+    done;
+    t.in_gc <- false
+  end
+
+(* --- allocation and flushing ------------------------------------------- *)
+
+let pick_free_block t =
+  maybe_gc t;
+  let best = ref None in
+  Array.iteri
+    (fun block c ->
+      if c = Free then
+        let pec = Flash.Chip.pec t.chip ~block in
+        match !best with
+        | Some (_, best_pec) when best_pec <= pec -> ()
+        | _ -> best := Some (block, pec))
+    t.classes;
+  match !best with
+  | None -> None
+  | Some (block, _) ->
+      t.classes.(block) <- Open;
+      t.free_count <- t.free_count - 1;
+      Some block
+
+(* Next programmable page of the open block, skipping pages the policy has
+   retired (data_slots = 0); opens a new block as needed. *)
+let rec open_position t =
+  match t.open_block with
+  | Some block ->
+      let pages = (geometry t).Flash.Geometry.pages_per_block in
+      let rec scan page =
+        if page >= pages then None
+        else
+          let slots = t.policy.Policy.data_slots ~block ~page in
+          if slots > 0 && Flash.Chip.is_free t.chip ~block ~page then
+            Some (page, slots)
+          else scan (page + 1)
+      in
+      (match scan t.next_page with
+      | Some (page, slots) ->
+          t.next_page <- page;
+          Some (block, page, slots)
+      | None ->
+          t.classes.(block) <- Closed;
+          t.open_block <- None;
+          open_position t)
+  | None -> (
+      match pick_free_block t with
+      | None -> None
+      | Some block ->
+          t.open_block <- Some block;
+          t.next_page <- 0;
+          open_position t)
+
+let program_page t ~block ~page ~slots entries =
+  let opages = (geometry t).Flash.Geometry.opages_per_fpage in
+  let contents = Array.make opages None in
+  List.iteri
+    (fun i (_, payload) -> contents.(i) <- Some payload)
+    entries;
+  Flash.Chip.program t.chip ~block ~page contents;
+  List.iteri
+    (fun i (logical, _) ->
+      t.sequence <- t.sequence + 1;
+      t.oob.(flat_slot t ~block ~page ~slot:i) <- Some (logical, t.sequence);
+      Mapping.bind t.mapping ~logical { Location.block; page; slot = i })
+    entries;
+  t.padded <- t.padded + (slots - List.length entries);
+  t.next_page <- page + 1
+
+(* Flush whole fPages while the buffer can fill them; with [force], flush
+   a final partial page too. *)
+let rec drain t ~force =
+  if Write_buffer.is_empty t.buffer then Ok ()
+  else
+    match open_position t with
+    | None -> Error `No_space
+    | Some (block, page, slots) ->
+        if force || Write_buffer.length t.buffer >= slots then begin
+          program_page t ~block ~page ~slots
+            (Write_buffer.pop t.buffer slots);
+          drain t ~force
+        end
+        else Ok ()
+
+let write t ~logical ~payload =
+  if logical < 0 || logical >= t.logical_capacity then
+    invalid_arg "Engine.write: logical index out of range";
+  t.host_writes <- t.host_writes + 1;
+  Write_buffer.put t.buffer ~logical ~payload;
+  drain t ~force:false
+
+let flush t = drain t ~force:true
+
+let read t ~logical =
+  if logical < 0 || logical >= t.logical_capacity then
+    invalid_arg "Engine.read: logical index out of range";
+  match Write_buffer.payload_of t.buffer logical with
+  | Some payload -> Ok payload
+  | None -> (
+      match Mapping.find t.mapping logical with
+      | None -> Error `Unmapped
+      | Some { Location.block; page; slot } ->
+          let rber = Flash.Chip.rber t.chip ~block ~page in
+          let fail = t.policy.Policy.read_fail_prob ~rber ~block ~page in
+          if Sim.Rng.chance t.rng fail then Error `Uncorrectable
+          else begin
+            let result =
+              match Flash.Chip.read_slot t.chip ~block ~page ~slot with
+              | Some payload -> Ok payload
+              | None -> assert false
+            in
+            (* Read-reclaim: the read itself disturbed the page; if its
+               error rate has crept toward the code's limit, move the live
+               data somewhere younger before it becomes uncorrectable. *)
+            if t.policy.Policy.should_reclaim ~rber ~block ~page then begin
+              t.reclaims <- t.reclaims + 1;
+              relocate_page t ~block ~page
+            end;
+            result
+          end)
+
+let discard t ~logical =
+  if logical < 0 || logical >= t.logical_capacity then
+    invalid_arg "Engine.discard: logical index out of range";
+  t.sequence <- t.sequence + 1;
+  Hashtbl.replace t.trim_journal logical t.sequence;
+  Write_buffer.drop t.buffer logical;
+  Mapping.unbind_logical t.mapping logical
+
+let gc_now t = gc_once t
+
+(* --- introspection ------------------------------------------------------ *)
+
+let block_class t block = t.classes.(block)
+let free_blocks t = t.free_count
+let retired_blocks t = t.retired_count
+
+let total_data_slots t =
+  let total = ref 0 in
+  Array.iteri
+    (fun block c ->
+      if c <> Retired then total := !total + block_data_capacity t block)
+    t.classes;
+  !total
+
+let mapped_opages t = Mapping.mapped_count t.mapping
+
+let mapped_in_range t ~lo ~len =
+  let count = ref 0 in
+  for logical = lo to Stdlib.min (lo + len) t.logical_capacity - 1 do
+    match Mapping.find t.mapping logical with
+    | Some _ -> incr count
+    | None ->
+        if Option.is_some (Write_buffer.payload_of t.buffer logical) then
+          incr count
+  done;
+  !count
+let buffered_opages t = Write_buffer.length t.buffer
+let host_writes t = t.host_writes
+let relocated_opages t = t.relocated
+let gc_runs t = t.gc_runs
+let padded_slots t = t.padded
+let read_reclaims t = t.reclaims
+
+let write_amplification t =
+  if t.host_writes = 0 then nan
+  else
+    let opages = (geometry t).Flash.Geometry.opages_per_fpage in
+    float_of_int (Flash.Chip.programs t.chip * opages)
+    /. float_of_int t.host_writes
+
+let locate t ~logical = Mapping.find t.mapping logical
+
+(* Power-fail recovery: scan the flash, replay OOB tags in sequence order
+   (highest sequence wins), suppress anything the trim journal outdates,
+   and rebuild block classes from the chip's page states.  The write
+   buffer and trim journal are non-volatile and carry over. *)
+let crash_rebuild old =
+  let g = Flash.Chip.geometry old.chip in
+  let t =
+    {
+      old with
+      mapping =
+        Mapping.create ~geometry:g ~logical_opages:old.logical_capacity;
+      open_block = None;
+      next_page = 0;
+      free_count = 0;
+      retired_count = 0;
+      in_gc = false;
+    }
+  in
+  (* Collect surviving OOB tags and replay them oldest-first so that
+     Mapping.bind leaves the newest copy of each logical in place. *)
+  let tags = ref [] in
+  for block = 0 to g.Flash.Geometry.blocks - 1 do
+    for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
+      if not (Flash.Chip.is_free t.chip ~block ~page) then
+        for slot = 0 to g.Flash.Geometry.opages_per_fpage - 1 do
+          match t.oob.(flat_slot t ~block ~page ~slot) with
+          | Some (logical, sequence) ->
+              tags := (sequence, logical, { Location.block; page; slot }) :: !tags
+          | None -> ()
+        done
+    done
+  done;
+  let tags = List.sort compare !tags in
+  List.iter
+    (fun (sequence, logical, location) ->
+      let trimmed_after =
+        match Hashtbl.find_opt t.trim_journal logical with
+        | Some trim_sequence -> trim_sequence > sequence
+        | None -> false
+      in
+      if not trimmed_after then Mapping.bind t.mapping ~logical location)
+    tags;
+  (* Anything the buffer still holds is newer than any flash copy. *)
+  (* (reads consult the buffer first, so no rebinding is needed) *)
+  (* Reconstruct block classes: blocks with any programmed page are
+     closed; empty ones rejoin the free pool unless the policy retired
+     them. *)
+  for block = 0 to g.Flash.Geometry.blocks - 1 do
+    let any_programmed = ref false in
+    for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
+      if not (Flash.Chip.is_free t.chip ~block ~page) then
+        any_programmed := true
+    done;
+    if block_data_capacity t block = 0 then begin
+      t.classes.(block) <- Retired;
+      t.retired_count <- t.retired_count + 1
+    end
+    else if !any_programmed then t.classes.(block) <- Closed
+    else begin
+      t.classes.(block) <- Free;
+      t.free_count <- t.free_count + 1
+    end
+  done;
+  t
+
+let live_entries t =
+  let acc = ref [] in
+  for logical = 0 to t.logical_capacity - 1 do
+    match Mapping.find t.mapping logical with
+    | Some location -> acc := (logical, location) :: !acc
+    | None -> ()
+  done;
+  List.rev !acc

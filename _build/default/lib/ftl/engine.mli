@@ -1,0 +1,134 @@
+(** The page-mapped FTL engine shared by every simulated device.
+
+    Responsibilities: a deduplicating write buffer flushed one fPage at a
+    time, log-structured allocation into the least-worn free block, greedy
+    garbage collection with a free-block reserve, periodic wear-leveling
+    sweeps, and the bidirectional mapping.  Behaviour that distinguishes
+    device designs is injected through {!Policy.t}.
+
+    Logical space: the engine accepts any logical oPage index in
+    [0, logical_capacity); layering (flat LBAs for a baseline disk,
+    per-mDisk spaces for Salamander) is the device's business. *)
+
+type t
+
+type config = {
+  gc_reserve_blocks : int;
+      (** GC keeps at least this many erased blocks in reserve (>= 2 so
+          relocation always has a destination). *)
+  wear_level_period : int;
+      (** Every Nth garbage collection is a wear-leveling sweep. *)
+  wear_level_gap : int;
+      (** A sweep targets the coldest block only when its PEC lags the
+          hottest by more than this. *)
+}
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  chip:Flash.Chip.t ->
+  rng:Sim.Rng.t ->
+  policy:Policy.t ->
+  logical_capacity:int ->
+  unit ->
+  t
+
+val chip : t -> Flash.Chip.t
+val policy : t -> Policy.t
+val logical_capacity : t -> int
+
+type write_error = [ `No_space ]
+type read_error = [ `Unmapped | `Uncorrectable ]
+
+val write : t -> logical:int -> payload:int -> (unit, write_error) result
+(** Buffer a host write; flushes full fPages as the buffer fills.
+    [`No_space] means garbage collection could not reclaim a destination:
+    the device has run out of usable flash (the caller decides whether
+    that means death or a capacity reduction). *)
+
+val read : t -> logical:int -> (int, read_error) result
+(** Read a logical oPage: the buffer first, then flash.  [`Uncorrectable]
+    is sampled from the policy's failure probability at the page's current
+    RBER — rare below the retirement threshold, exactly the residual UBER
+    a real drive exhibits. *)
+
+val discard : t -> logical:int -> unit
+(** Trim: drop any buffered copy and unmap the logical oPage. *)
+
+val flush : t -> (unit, write_error) result
+(** Force out all buffered writes, padding the final fPage if needed. *)
+
+val relocate_page : t -> block:int -> page:int -> unit
+(** Move every live oPage of one physical page into the write buffer (to
+    be rewritten elsewhere) and unmap it from the page.  Used by
+    Salamander's decommissioning to drain the most worn pages; the space
+    itself is reclaimed when the block is later erased. *)
+
+val gc_now : t -> bool
+(** Run one garbage-collection pass; [false] if no victim was available. *)
+
+(** {2 Introspection} *)
+
+type block_class = Free | Open | Closed | Retired
+
+val block_class : t -> int -> block_class
+val free_blocks : t -> int
+val retired_blocks : t -> int
+
+val total_data_slots : t -> int
+(** Device-wide data capacity in oPages under the current policy (free,
+    open and closed blocks; retired blocks excluded).  This is the left
+    side of the paper's Eq. 2. *)
+
+val mapped_opages : t -> int
+
+val mapped_in_range : t -> lo:int -> len:int -> int
+(** Logical indices in [lo, lo+len) currently mapped to flash or pending
+    in the buffer: the live data a minidisk decommissioning would lose. *)
+
+val buffered_opages : t -> int
+
+val host_writes : t -> int
+(** oPages accepted from the host. *)
+
+val relocated_opages : t -> int
+(** oPages rewritten internally (GC + explicit relocation). *)
+
+val gc_runs : t -> int
+val padded_slots : t -> int
+(** Data slots wasted by forced flushes of a partly-empty buffer. *)
+
+val read_reclaims : t -> int
+(** Pages whose live data was moved by read-reclaim (the scrub against
+    read disturb and creeping wear). *)
+
+(** {2 Power-fail recovery}
+
+    Real FTLs persist, alongside each physical page, a few bytes of
+    out-of-band metadata — the logical address and a monotonically
+    increasing sequence number — and journal trims; after a crash the
+    mapping is rebuilt by scanning the flash and letting the highest
+    sequence number win.  The engine models exactly that: OOB tags are
+    recorded at program time (and vanish with the block's erase), trims
+    go to a journal, and the write buffer is non-volatile (§3.2). *)
+
+val crash_rebuild : t -> t
+(** Simulate a power cycle: throw away every volatile structure and
+    reconstruct the engine from the chip's contents, the OOB tags, the
+    trim journal and the non-volatile write buffer.  The returned engine
+    shares the chip (and its wear) with the old one, which must no longer
+    be used.  Every acknowledged write is readable afterwards; every
+    trimmed LBA stays trimmed. *)
+
+val write_amplification : t -> float
+(** Physical oPage programs divided by host oPage writes. *)
+
+val live_entries : t -> (int * Location.t) list
+(** All (logical, location) pairs currently mapped to flash (excludes
+    buffered-only entries); for integrity checks in tests. *)
+
+val locate : t -> logical:int -> Location.t option
+(** Physical location of a logical oPage (ignoring the buffer); the
+    performance experiments use this to count how many fPages an extent
+    read touches. *)

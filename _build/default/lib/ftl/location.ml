@@ -1,0 +1,7 @@
+type t = { block : int; page : int; slot : int }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  Format.fprintf fmt "(block %d, page %d, slot %d)" t.block t.page t.slot

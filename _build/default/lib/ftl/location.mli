@@ -1,0 +1,7 @@
+(** Physical location of one oPage: a slot within an fPage. *)
+
+type t = { block : int; page : int; slot : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

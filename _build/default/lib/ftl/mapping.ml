@@ -1,0 +1,105 @@
+type t = {
+  geometry : Flash.Geometry.t;
+  logical_opages : int;
+  forward : Location.t option array; (* indexed by logical oPage *)
+  reverse : int array; (* indexed by flat slot index; -1 = stale/free *)
+  valid_per_block : int array;
+  mutable mapped : int;
+}
+
+let slots_per_block geometry =
+  geometry.Flash.Geometry.pages_per_block
+  * geometry.Flash.Geometry.opages_per_fpage
+
+let flat_index t { Location.block; page; slot } =
+  (block * slots_per_block t.geometry)
+  + (page * t.geometry.Flash.Geometry.opages_per_fpage)
+  + slot
+
+let create ~geometry ~logical_opages =
+  if logical_opages <= 0 then invalid_arg "Mapping.create: logical_opages";
+  {
+    geometry;
+    logical_opages;
+    forward = Array.make logical_opages None;
+    reverse = Array.make (geometry.Flash.Geometry.blocks * slots_per_block geometry) (-1);
+    valid_per_block = Array.make geometry.Flash.Geometry.blocks 0;
+    mapped = 0;
+  }
+
+let logical_opages t = t.logical_opages
+
+let check_logical t logical =
+  if logical < 0 || logical >= t.logical_opages then
+    invalid_arg "Mapping: logical index out of range"
+
+let find t logical =
+  check_logical t logical;
+  t.forward.(logical)
+
+let owner t location =
+  let flat = flat_index t location in
+  if t.reverse.(flat) < 0 then None else Some t.reverse.(flat)
+
+let invalidate_location t location =
+  let flat = flat_index t location in
+  if t.reverse.(flat) >= 0 then begin
+    t.reverse.(flat) <- -1;
+    t.valid_per_block.(location.Location.block) <-
+      t.valid_per_block.(location.Location.block) - 1
+  end
+
+let unbind_logical t logical =
+  check_logical t logical;
+  match t.forward.(logical) with
+  | None -> ()
+  | Some location ->
+      invalidate_location t location;
+      t.forward.(logical) <- None;
+      t.mapped <- t.mapped - 1
+
+let bind t ~logical location =
+  check_logical t logical;
+  (* Evict any previous occupant of the slot and any previous location of
+     the logical index, keeping both directions consistent. *)
+  (match owner t location with
+  | Some previous_owner when previous_owner <> logical ->
+      t.forward.(previous_owner) <- None;
+      t.mapped <- t.mapped - 1
+  | _ -> ());
+  invalidate_location t location;
+  (match t.forward.(logical) with
+  | Some old -> invalidate_location t old
+  | None -> t.mapped <- t.mapped + 1);
+  t.forward.(logical) <- Some location;
+  t.reverse.(flat_index t location) <- logical;
+  t.valid_per_block.(location.Location.block) <-
+    t.valid_per_block.(location.Location.block) + 1
+
+let mapped_count t = t.mapped
+
+let valid_in_block t ~block = t.valid_per_block.(block)
+
+let live_slots_in_page t ~block ~page =
+  let opages = t.geometry.Flash.Geometry.opages_per_fpage in
+  let base =
+    (block * slots_per_block t.geometry) + (page * opages)
+  in
+  let rec collect slot acc =
+    if slot < 0 then acc
+    else
+      let logical = t.reverse.(base + slot) in
+      if logical >= 0 then collect (slot - 1) ((slot, logical) :: acc)
+      else collect (slot - 1) acc
+  in
+  collect (opages - 1) []
+
+let iter_block t ~block f =
+  let opages = t.geometry.Flash.Geometry.opages_per_fpage in
+  for page = 0 to t.geometry.Flash.Geometry.pages_per_block - 1 do
+    let base = (block * slots_per_block t.geometry) + (page * opages) in
+    for slot = 0 to opages - 1 do
+      let logical = t.reverse.(base + slot) in
+      if logical >= 0 then f ~page ~slot ~logical
+    done
+  done

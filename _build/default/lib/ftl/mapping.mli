@@ -1,0 +1,39 @@
+(** Bidirectional logical-to-physical mapping.
+
+    Forward: logical oPage index -> {!Location.t}.  Reverse: every
+    programmed slot knows which logical index owns it (or that it is
+    stale), which is what garbage collection walks.  The two directions
+    are updated together so they can never disagree; the invariant is
+    checked by the property tests. *)
+
+type t
+
+val create : geometry:Flash.Geometry.t -> logical_opages:int -> t
+
+val logical_opages : t -> int
+
+val find : t -> int -> Location.t option
+(** Physical location of a logical index, if mapped. *)
+
+val owner : t -> Location.t -> int option
+(** Logical index stored in a physical slot, if the slot is live. *)
+
+val bind : t -> logical:int -> Location.t -> unit
+(** Map [logical] to the location, invalidating both [logical]'s previous
+    location and any previous owner of the new location. *)
+
+val unbind_logical : t -> int -> unit
+(** Drop the mapping for a logical index (trim/discard); its old slot
+    becomes stale. *)
+
+val mapped_count : t -> int
+(** Number of logical indices currently mapped to flash. *)
+
+val valid_in_block : t -> block:int -> int
+(** Live slots in a block: the GC victim-selection metric. *)
+
+val live_slots_in_page : t -> block:int -> page:int -> (int * int) list
+(** [(slot, logical)] pairs live in an fPage, slot-ordered. *)
+
+val iter_block : t -> block:int -> (page:int -> slot:int -> logical:int -> unit) -> unit
+(** Visit every live slot of a block. *)

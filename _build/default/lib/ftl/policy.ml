@@ -1,0 +1,14 @@
+type t = {
+  data_slots : block:int -> page:int -> int;
+  read_fail_prob : rber:float -> block:int -> page:int -> float;
+  should_reclaim : rber:float -> block:int -> page:int -> bool;
+  mutable on_block_erased : block:int -> unit;
+}
+
+let always_fresh ~opages_per_fpage =
+  {
+    data_slots = (fun ~block:_ ~page:_ -> opages_per_fpage);
+    read_fail_prob = (fun ~rber:_ ~block:_ ~page:_ -> 0.);
+    should_reclaim = (fun ~rber:_ ~block:_ ~page:_ -> false);
+    on_block_erased = (fun ~block:_ -> ());
+  }

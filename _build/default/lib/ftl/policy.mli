@@ -1,0 +1,38 @@
+(** Device-specific policy hooks that parameterize the FTL {!Engine}.
+
+    The engine implements everything common to a page-mapped SSD — write
+    buffering, allocation, garbage collection, wear leveling, the
+    logical-to-physical map.  What differs between a baseline SSD, a
+    CVSS-style shrinking SSD and a Salamander device is captured here:
+
+    - how many oPage slots of a physical page may hold data right now
+      (0 retires the page; Salamander returns [4 - L] for tiredness L);
+    - the probability that a read of a page fails uncorrectably given its
+      current raw bit-error rate (depends on the page's code rate);
+    - what to do when a block is erased (re-evaluate wear, advance
+      tiredness levels, update limbo accounting).
+
+    The erase hook is mutable because devices need the engine to exist
+    before they can install a hook that talks back to it. *)
+
+type t = {
+  data_slots : block:int -> page:int -> int;
+      (** Data capacity of a physical page, in oPages, under the current
+          wear state; 0 retires the page.  The engine re-reads this on
+          every allocation, so devices may change it at any time (erase
+          hooks, proactive retirement). *)
+  read_fail_prob : rber:float -> block:int -> page:int -> float;
+      (** Probability that ECC fails to correct a read at this error
+          rate. *)
+  should_reclaim : rber:float -> block:int -> page:int -> bool;
+      (** Read-reclaim trigger: when a read observes this error rate, move
+          the page's live data elsewhere before disturb pushes it past the
+          code's capability (real controllers scrub exactly this way). *)
+  mutable on_block_erased : block:int -> unit;
+      (** Called after every erase, before the engine re-computes the
+          block's capacity. *)
+}
+
+val always_fresh : opages_per_fpage:int -> t
+(** A policy for tests: every page always holds [opages_per_fpage] data
+    slots, reads never fail, nothing is reclaimed, erases are ignored. *)

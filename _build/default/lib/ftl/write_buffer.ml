@@ -1,0 +1,28 @@
+type t = {
+  pending : (int, int) Hashtbl.t; (* logical -> payload *)
+  order : int Queue.t; (* arrival order; may contain stale entries *)
+}
+
+let create () = { pending = Hashtbl.create 64; order = Queue.create () }
+let length t = Hashtbl.length t.pending
+let is_empty t = length t = 0
+
+let put t ~logical ~payload =
+  if not (Hashtbl.mem t.pending logical) then Queue.push logical t.order;
+  Hashtbl.replace t.pending logical payload
+
+let payload_of t logical = Hashtbl.find_opt t.pending logical
+let drop t logical = Hashtbl.remove t.pending logical
+
+let pop t n =
+  let rec take remaining acc =
+    if remaining = 0 || Queue.is_empty t.order then List.rev acc
+    else
+      let logical = Queue.pop t.order in
+      match Hashtbl.find_opt t.pending logical with
+      | None -> take remaining acc (* stale: rewritten and already popped *)
+      | Some payload ->
+          Hashtbl.remove t.pending logical;
+          take (remaining - 1) ((logical, payload) :: acc)
+  in
+  take n []

@@ -1,0 +1,27 @@
+(** The SSD's small non-volatile write buffer.
+
+    Host writes accumulate here until enough oPages are pending to fill
+    the next available fPage (§3.2 of the paper).  The buffer deduplicates
+    by logical index — rewriting a buffered oPage just replaces its
+    payload — and reads must consult it before the mapping. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+(** Number of distinct logical oPages pending. *)
+
+val is_empty : t -> bool
+
+val put : t -> logical:int -> payload:int -> unit
+(** Add or replace the pending payload for a logical oPage. *)
+
+val payload_of : t -> int -> int option
+(** Pending payload, if any (the read-path buffer hit). *)
+
+val drop : t -> int -> unit
+(** Remove a pending entry (trim of a buffered oPage). *)
+
+val pop : t -> int -> (int * int) list
+(** [pop t n] removes and returns up to [n] [(logical, payload)] entries
+    in arrival order (of each logical's most recent write). *)

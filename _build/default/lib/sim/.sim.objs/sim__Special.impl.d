@@ -1,0 +1,1 @@
+lib/sim/special.ml: Array Float List

@@ -1,0 +1,38 @@
+type t = { mutable now : float; queue : (t -> unit) Event_queue.t }
+
+let create () = { now = 0.; queue = Event_queue.create () }
+let now t = t.now
+
+let schedule_at t ~time handler =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
+  if time < t.now then invalid_arg "Engine.schedule_at: time is in the past";
+  Event_queue.push t.queue ~time handler
+
+let schedule t ~after handler =
+  if Float.is_nan after || after < 0. then
+    invalid_arg "Engine.schedule: negative or NaN delay";
+  schedule_at t ~time:(t.now +. after) handler
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, handler) ->
+      t.now <- time;
+      handler t;
+      true
+
+let run ?until t =
+  let continue () =
+    match (until, Event_queue.peek_time t.queue) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when limit > t.now -> t.now <- limit
+  | _ -> ()
+
+let pending t = Event_queue.length t.queue

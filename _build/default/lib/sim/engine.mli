@@ -1,0 +1,28 @@
+(** Minimal discrete-event simulation loop.
+
+    Handlers run at their scheduled time and may schedule further events.
+    Time only moves forward; scheduling in the past is an error, which
+    catches causality bugs early. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time (0 at creation). *)
+
+val schedule : t -> after:float -> (t -> unit) -> unit
+(** [schedule t ~after f] runs [f] at [now t +. after].
+    @raise Invalid_argument if [after] is negative or NaN. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Absolute-time variant.  @raise Invalid_argument if [time < now t]. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in timestamp order until the queue drains, or until the
+    first event past [until] (which remains queued). *)
+
+val step : t -> bool
+(** Process exactly one event; [false] when the queue was empty. *)
+
+val pending : t -> int

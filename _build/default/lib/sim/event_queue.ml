@@ -1,0 +1,74 @@
+type 'a entry = { time : float; sequence : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* heap.(0 .. size-1) is a valid min-heap; remaining slots hold stale
+     entries kept alive only until overwritten. *)
+  mutable size : int;
+  mutable next_sequence : int;
+}
+
+let create () = { heap = [||]; size = 0; next_sequence = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let earlier a b =
+  a.time < b.time || (a.time = b.time && a.sequence < b.sequence)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && earlier t.heap.(left) t.heap.(!smallest) then
+    smallest := left;
+  if right < t.size && earlier t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let ensure_capacity t =
+  if t.size >= Array.length t.heap then begin
+    let capacity = Stdlib.max 16 (2 * Array.length t.heap) in
+    let grown = Array.make capacity t.heap.(0) in
+    Array.blit t.heap 0 grown 0 t.size;
+    t.heap <- grown
+  end
+
+let push t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let entry = { time; sequence = t.next_sequence; payload } in
+  t.next_sequence <- t.next_sequence + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry
+  else ensure_capacity t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time

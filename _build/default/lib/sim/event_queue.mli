@@ -1,0 +1,20 @@
+(** Binary-heap priority queue of timestamped events.
+
+    Ties (equal timestamps) pop in insertion order so simulations stay
+    deterministic regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event at the given time.  @raise Invalid_argument if [time]
+    is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest event without removing it. *)

@@ -1,0 +1,50 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The simulator must be reproducible: every experiment takes an explicit
+    seed, and concurrent subsystems (devices, workload generators, failure
+    injectors) each receive an independent stream obtained with {!split} so
+    that adding a subsystem never perturbs the random sequence seen by the
+    others.  The generator is xoshiro256** (Blackman & Vigna), seeded through
+    splitmix64. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived from
+    [seed]. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose future output is independent of
+    [t]'s.  [t] itself advances, so successive splits differ. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the same
+    sequence. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val unit_float : t -> float
+(** Uniform in \[0, 1), with 53 bits of precision. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to \[0,1\]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element.  @raise Invalid_argument on empty array. *)

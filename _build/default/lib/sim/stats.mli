@@ -1,0 +1,58 @@
+(** Online statistics and histograms for experiment measurement. *)
+
+(** Single-pass mean/variance accumulator (Welford's algorithm). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of the observations; [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val merge : t -> t -> t
+  (** Combine two accumulators as if all observations went to one. *)
+end
+
+(** Fixed-bucket histogram with percentile queries, for latency
+    distributions. *)
+module Histogram : sig
+  type t
+
+  val create : ?buckets:int -> lo:float -> hi:float -> unit -> t
+  (** Linear buckets spanning \[lo, hi); out-of-range samples are clamped to
+      the first/last bucket.  Default 128 buckets. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] approximates the p99 value (midpoint of the bucket
+      containing that rank).  @raise Invalid_argument on an empty histogram
+      or a rank outside \[0, 1\]. *)
+
+  val mean : t -> float
+end
+
+(** Time series accumulation: samples tagged with a simulation timestamp,
+    binned for plotting figure series. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> time:float -> float -> unit
+  val to_list : t -> (float * float) list
+  (** Points in insertion order. *)
+
+  val binned : t -> bin:float -> (float * float) list
+  (** Average of the samples within each [bin]-wide window, keyed by the
+      window's start time, in increasing time order. *)
+
+  val last : t -> (float * float) option
+end

@@ -1,0 +1,1 @@
+lib/sustain/lifetime.ml: Flash List Salamander

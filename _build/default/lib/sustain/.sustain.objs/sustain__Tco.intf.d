@@ -1,0 +1,1 @@
+lib/sustain/tco.mli:

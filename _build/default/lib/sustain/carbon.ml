@@ -1,0 +1,47 @@
+type scenario = {
+  label : string;
+  f_op : float;
+  power_effectiveness : float;
+  upgrade_rate : float;
+}
+
+let relative_footprint s =
+  (s.f_op *. s.power_effectiveness) +. ((1. -. s.f_op) *. s.upgrade_rate)
+
+let savings s = 1. -. relative_footprint s
+
+let raw_upgrade_rate ~lifetime_factor =
+  if lifetime_factor <= 0. then invalid_arg "Carbon.raw_upgrade_rate";
+  1. /. lifetime_factor
+
+let adjusted_upgrade_rate ~lifetime_factor ~adjustment =
+  let raw = raw_upgrade_rate ~lifetime_factor in
+  raw +. ((1. -. raw) *. adjustment)
+
+let paper_scenarios =
+  [
+    {
+      label = "ShrinkS (current grid)";
+      f_op = Params.f_op_ssd_servers;
+      power_effectiveness = Params.power_effectiveness;
+      upgrade_rate = Params.shrinks_upgrade_rate;
+    };
+    {
+      label = "RegenS (current grid)";
+      f_op = Params.f_op_ssd_servers;
+      power_effectiveness = Params.power_effectiveness;
+      upgrade_rate = Params.regens_upgrade_rate;
+    };
+    {
+      label = "ShrinkS (renewable ops)";
+      f_op = 0.;
+      power_effectiveness = Params.power_effectiveness;
+      upgrade_rate = Params.shrinks_upgrade_rate;
+    };
+    {
+      label = "RegenS (renewable ops)";
+      f_op = 0.;
+      power_effectiveness = Params.power_effectiveness;
+      upgrade_rate = Params.regens_upgrade_rate;
+    };
+  ]

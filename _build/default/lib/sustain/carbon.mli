@@ -1,0 +1,37 @@
+(** The paper's carbon model (Eq. 3, §4.1).
+
+    Relative footprint of a Salamander deployment S against baseline B:
+
+    {v CO2e(S)/CO2e(B) = f_op * PE + (1 - f_op) * Ru v}
+
+    where [f_op] is the operational share of emissions, [PE] the
+    operational penalty of running older (less power-efficient) drives,
+    and [Ru] the relative SSD upgrade (replacement) rate bought by the
+    longer lifetime. *)
+
+type scenario = {
+  label : string;
+  f_op : float;  (** operational fraction of total emissions *)
+  power_effectiveness : float;
+  upgrade_rate : float;
+}
+
+val relative_footprint : scenario -> float
+(** Eq. 3: S's footprint as a fraction of B's. *)
+
+val savings : scenario -> float
+(** [1 - relative_footprint]. *)
+
+val raw_upgrade_rate : lifetime_factor:float -> float
+(** 1 / lifetime extension: the upgrade-rate gain before any capacity
+    haircut (0.83 for ShrinkS, 0.66 for RegenS). *)
+
+val adjusted_upgrade_rate : lifetime_factor:float -> adjustment:float -> float
+(** The paper's conservative fix: give back [adjustment] of the gain to
+    account for replacement capacity (0.4 turns 0.83 into ~0.9 and 0.66
+    into ~0.8). *)
+
+val paper_scenarios : scenario list
+(** The four bars of Fig. 4: ShrinkS and RegenS under the current grid
+    (f_op = 0.46) and under fully renewable operations (f_op = 0, where
+    only embodied carbon remains). *)

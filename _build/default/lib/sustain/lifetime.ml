@@ -1,0 +1,44 @@
+type level_point = {
+  level : int;
+  code_rate : float;
+  tolerable_rber : float;
+  pec_limit : float;
+  benefit : float;
+}
+
+let reference_geometry () =
+  Flash.Geometry.create ~pages_per_block:64 ~blocks:64 ()
+
+let curve ?(max_level = 3) ?(target_pec_l0 = 3000) geometry =
+  let profile = Salamander.Tiredness.profile ~max_level geometry in
+  let l0_rber =
+    (Salamander.Tiredness.info profile 0).Salamander.Tiredness.tolerable_rber
+  in
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:l0_rber ~target_pec:target_pec_l0
+      ()
+  in
+  let l0_pec =
+    Flash.Rber_model.pec_at model ~rber:l0_rber ~strength:1.
+  in
+  List.init (max_level + 1) (fun level ->
+      let info = Salamander.Tiredness.info profile level in
+      let pec_limit =
+        Flash.Rber_model.pec_at model
+          ~rber:info.Salamander.Tiredness.tolerable_rber ~strength:1.
+      in
+      {
+        level;
+        code_rate = info.Salamander.Tiredness.code_rate;
+        tolerable_rber = info.Salamander.Tiredness.tolerable_rber;
+        pec_limit;
+        benefit = pec_limit /. l0_pec;
+      })
+
+let l1_benefit ?geometry () =
+  let geometry =
+    match geometry with Some g -> g | None -> reference_geometry ()
+  in
+  match curve ~max_level:1 geometry with
+  | [ _; l1 ] -> l1.benefit
+  | _ -> assert false

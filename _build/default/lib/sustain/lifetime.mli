@@ -1,0 +1,25 @@
+(** The analytic lifetime model behind Fig. 2: how many extra erase
+    cycles each tiredness level buys, from the code-rate/ECC-capability
+    relationship and the RBER wear curve. *)
+
+type level_point = {
+  level : int;
+  code_rate : float;
+  tolerable_rber : float;
+  pec_limit : float;  (** cycles until a median page exceeds the level *)
+  benefit : float;  (** pec_limit / pec_limit(L0) *)
+}
+
+val curve :
+  ?max_level:int ->
+  ?target_pec_l0:int ->
+  Flash.Geometry.t ->
+  level_point list
+(** Compute the per-level points for a geometry.  The wear model is
+    calibrated so a median page exhausts L0 at [target_pec_l0] (default
+    3000, datacenter TLC); the *ratios* between levels are what Fig. 2
+    plots and are independent of that anchor. *)
+
+val l1_benefit : ?geometry:Flash.Geometry.t -> unit -> float
+(** The headline number: RegenS's L1 lifetime factor for the paper's
+    reference geometry (expected ~1.5). *)

@@ -1,0 +1,37 @@
+type scenario = {
+  label : string;
+  f_opex : float;
+  upgrade_rate : float;
+  cost_effectiveness_new : float;
+  capacity_gap : float;
+}
+
+let cost_upgrade_rate s =
+  s.upgrade_rate
+  +. ((1. -. s.upgrade_rate) *. s.cost_effectiveness_new *. s.capacity_gap)
+
+let relative_tco s =
+  s.f_opex +. ((1. -. s.f_opex) *. cost_upgrade_rate s)
+
+let savings s = 1. -. relative_tco s
+
+let scenario_pair ~f_opex =
+  [
+    {
+      label = "ShrinkS";
+      f_opex;
+      upgrade_rate = 1. /. Params.shrinks_lifetime_factor;
+      cost_effectiveness_new = Params.cost_effectiveness_new;
+      capacity_gap = Params.capacity_gap_fraction;
+    };
+    {
+      label = "RegenS";
+      f_opex;
+      upgrade_rate = 1. /. Params.regens_lifetime_factor;
+      cost_effectiveness_new = Params.cost_effectiveness_new;
+      capacity_gap = Params.capacity_gap_fraction;
+    };
+  ]
+
+let paper_scenarios = scenario_pair ~f_opex:Params.f_opex
+let sensitivity ~f_opex = scenario_pair ~f_opex

@@ -1,0 +1,36 @@
+(** The paper's total-cost-of-ownership model (Eq. 4, §4.4).
+
+    {v TCO(S)/TCO(B) = f_opex + (1 - f_opex) * CRu v}
+
+    with the cost upgrade rate
+
+    {v CRu = Ru + (1 - Ru) * CE_new * Cap_new v}
+
+    [Ru] is the raw upgrade rate bought by longer lifetime (1/1.2 for
+    ShrinkS, 1/1.5 for RegenS), [CE_new] the relative $/TB of the newer
+    baseline drives bought to backfill, and [Cap_new] the capacity
+    fraction that needs backfilling while Salamander drives run shrunken. *)
+
+type scenario = {
+  label : string;
+  f_opex : float;  (** operational share of TCO *)
+  upgrade_rate : float;  (** raw Ru = 1 / lifetime factor *)
+  cost_effectiveness_new : float;
+  capacity_gap : float;
+}
+
+val cost_upgrade_rate : scenario -> float
+(** CRu as defined above. *)
+
+val relative_tco : scenario -> float
+(** Eq. 4: S's cost as a fraction of B's. *)
+
+val savings : scenario -> float
+
+val paper_scenarios : scenario list
+(** ShrinkS and RegenS at the paper's parameters (f_opex = 0.14):
+    expected savings ~13% and ~25%. *)
+
+val sensitivity : f_opex:float -> scenario list
+(** The same pair at a different operational-cost share; the paper quotes
+    6-14% savings at f_opex = 0.5. *)

@@ -1,0 +1,1 @@
+lib/workload/aging.ml: Access Ftl Pattern Stdlib

@@ -1,0 +1,9 @@
+type kind = Read | Write | Trim
+
+type t = { kind : kind; lba : int }
+
+let pp fmt t =
+  let kind =
+    match t.kind with Read -> "read" | Write -> "write" | Trim -> "trim"
+  in
+  Format.fprintf fmt "%s %d" kind t.lba

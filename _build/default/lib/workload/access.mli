@@ -1,0 +1,7 @@
+(** Host accesses, in oPage units. *)
+
+type kind = Read | Write | Trim
+
+type t = { kind : kind; lba : int }
+
+val pp : Format.formatter -> t -> unit

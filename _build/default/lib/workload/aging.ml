@@ -1,0 +1,63 @@
+type outcome = {
+  host_writes : int;
+  reads : int;
+  unmapped_reads : int;
+  uncorrectable_reads : int;
+  died : bool;
+}
+
+let sync_window pattern device ~utilization =
+  let capacity = Ftl.Device_intf.logical_capacity device in
+  let window =
+    Stdlib.max 1 (int_of_float (float_of_int capacity *. utilization))
+  in
+  if window <> Pattern.window pattern && capacity > 0 then
+    Pattern.resize pattern ~window
+
+let run_until ?(utilization = 0.85) ~rng ~pattern ~device ~stop () =
+  let host_writes = ref 0 in
+  let reads = ref 0 in
+  let unmapped_reads = ref 0 in
+  let uncorrectable_reads = ref 0 in
+  let died = ref false in
+  (try
+     while not (stop !host_writes) do
+       if not (Ftl.Device_intf.alive device) then begin
+         died := true;
+         raise Exit
+       end;
+       if !host_writes land 0xff = 0 then
+         sync_window pattern device ~utilization;
+       let access = Pattern.next pattern rng in
+       match access.Access.kind with
+       | Access.Write -> (
+           match
+             Ftl.Device_intf.write device ~lba:access.Access.lba
+               ~payload:!host_writes
+           with
+           | Ok () -> incr host_writes
+           | Error (`Dead | `No_space) ->
+               died := true;
+               raise Exit
+           | Error `Out_of_range -> sync_window pattern device ~utilization)
+       | Access.Read -> (
+           incr reads;
+           match Ftl.Device_intf.read device ~lba:access.Access.lba with
+           | Ok _ -> ()
+           | Error `Unmapped -> incr unmapped_reads
+           | Error `Uncorrectable -> incr uncorrectable_reads
+           | Error `Dead ->
+               died := true;
+               raise Exit
+           | Error `Out_of_range -> sync_window pattern device ~utilization)
+       | Access.Trim -> Ftl.Device_intf.trim device ~lba:access.Access.lba
+     done
+   with Exit -> ());
+  { host_writes = !host_writes; reads = !reads;
+    unmapped_reads = !unmapped_reads;
+    uncorrectable_reads = !uncorrectable_reads; died = !died }
+
+let run ?(max_writes = 10_000_000) ?utilization ~rng ~pattern ~device () =
+  run_until ?utilization ~rng ~pattern ~device
+    ~stop:(fun writes -> writes >= max_writes)
+    ()

@@ -1,0 +1,40 @@
+(** Drivers that wear a device out under a workload.
+
+    These run against any {!Ftl.Device_intf.packed} device (Salamander
+    devices through their flat adapter), confining the pattern window to
+    a fixed utilization of whatever capacity the device currently exports
+    — the distributed-system assumption that freed space is rebalanced
+    away rather than left stranded. *)
+
+type outcome = {
+  host_writes : int;  (** oPages accepted before stopping *)
+  reads : int;
+  unmapped_reads : int;  (** reads of never-written LBAs (workload artifact) *)
+  uncorrectable_reads : int;  (** media-level errors ECC could not fix *)
+  died : bool;  (** stopped because the device failed, not the cap *)
+}
+
+val run :
+  ?max_writes:int ->
+  ?utilization:float ->
+  rng:Sim.Rng.t ->
+  pattern:Pattern.t ->
+  device:Ftl.Device_intf.packed ->
+  unit ->
+  outcome
+(** Drive accesses until the device dies or [max_writes] (default 10M)
+    writes have been accepted.  The pattern window tracks
+    [utilization * logical_capacity] (default 0.85) as the device
+    shrinks. *)
+
+val run_until :
+  ?utilization:float ->
+  rng:Sim.Rng.t ->
+  pattern:Pattern.t ->
+  device:Ftl.Device_intf.packed ->
+  stop:(int -> bool) ->
+  unit ->
+  outcome
+(** Same, but the [stop] predicate (called with accepted writes so far,
+    every 256 writes) ends the run; used by fleet simulations that
+    interleave devices. *)

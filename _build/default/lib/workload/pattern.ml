@@ -1,0 +1,52 @@
+type shape =
+  | Sequential of { mutable cursor : int }
+  | Uniform of { read_fraction : float }
+  | Zipfian of { mutable zipf : Sim.Dist.Zipf.t; theta : float; read_fraction : float }
+
+type t = { mutable window : int; shape : shape }
+
+let check_window window =
+  if window <= 0 then invalid_arg "Pattern: window must be positive"
+
+let sequential ~window =
+  check_window window;
+  { window; shape = Sequential { cursor = 0 } }
+
+let uniform ~window ~read_fraction =
+  check_window window;
+  { window; shape = Uniform { read_fraction } }
+
+let zipfian ~window ~theta ~read_fraction =
+  check_window window;
+  {
+    window;
+    shape =
+      Zipfian { zipf = Sim.Dist.Zipf.create ~n:window ~theta; theta; read_fraction };
+  }
+
+let next t rng =
+  check_window t.window;
+  match t.shape with
+  | Sequential state ->
+      if state.cursor >= t.window then state.cursor <- 0;
+      let lba = state.cursor in
+      state.cursor <- state.cursor + 1;
+      { Access.kind = Access.Write; lba }
+  | Uniform { read_fraction } ->
+      let kind =
+        if Sim.Rng.chance rng read_fraction then Access.Read else Access.Write
+      in
+      { Access.kind; lba = Sim.Rng.int rng t.window }
+  | Zipfian z ->
+      if Sim.Dist.Zipf.n z.zipf <> t.window then
+        z.zipf <- Sim.Dist.Zipf.create ~n:t.window ~theta:z.theta;
+      let kind =
+        if Sim.Rng.chance rng z.read_fraction then Access.Read else Access.Write
+      in
+      { Access.kind; lba = Sim.Dist.Zipf.sample z.zipf rng }
+
+let resize t ~window =
+  check_window window;
+  t.window <- window
+
+let window t = t.window

@@ -1,0 +1,27 @@
+(** Synthetic access-pattern generators.
+
+    A pattern is a stateful stream of {!Access.t} over a window of LBAs.
+    The window can be resized between draws — shrinking devices hand the
+    generator their current capacity, the same way a file system confines
+    itself to the space the device still exports. *)
+
+type t
+
+val sequential : window:int -> t
+(** Wrapping sequential writes: the classic aging workload. *)
+
+val uniform : window:int -> read_fraction:float -> t
+(** Uniformly random LBAs; each access is a read with the given
+    probability, otherwise a write. *)
+
+val zipfian : window:int -> theta:float -> read_fraction:float -> t
+(** Skewed accesses: rank-0 hottest.  [theta] around 0.99 approximates the
+    classic hot/cold datacenter mix. *)
+
+val next : t -> Sim.Rng.t -> Access.t
+(** Draw the next access.  @raise Invalid_argument if the window is 0. *)
+
+val resize : t -> window:int -> unit
+(** Change the LBA window (device grew or shrank). *)
+
+val window : t -> int

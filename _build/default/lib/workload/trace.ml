@@ -1,0 +1,21 @@
+type t = { mutable accesses : Access.t list; mutable count : int }
+(* stored in reverse order; reversed on iteration *)
+
+let create () = { accesses = []; count = 0 }
+
+let record t access =
+  t.accesses <- access :: t.accesses;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let capture t pattern rng ~n =
+  for _ = 1 to n do
+    record t (Pattern.next pattern rng)
+  done
+
+let to_list t = List.rev t.accesses
+let iter t f = List.iter f (to_list t)
+
+let of_list accesses =
+  { accesses = List.rev accesses; count = List.length accesses }

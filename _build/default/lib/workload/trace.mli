@@ -1,0 +1,18 @@
+(** Access-trace recording and replay, so an experiment can subject two
+    device designs to the byte-identical request stream. *)
+
+type t
+
+val create : unit -> t
+val record : t -> Access.t -> unit
+val length : t -> int
+
+val capture : t -> Pattern.t -> Sim.Rng.t -> n:int -> unit
+(** Draw [n] accesses from a pattern and append them. *)
+
+val iter : t -> (Access.t -> unit) -> unit
+(** Replay in recorded order. *)
+
+val to_list : t -> Access.t list
+
+val of_list : Access.t list -> t

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_core Test_difs Test_ecc Test_experiments Test_flash Test_ftl Test_sim Test_sustain Test_workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ecc Flash Ftl Fun Hashtbl List Option Printf QCheck QCheck_alcotest Salamander Sim Stdlib

@@ -1,0 +1,1 @@
+test/test_difs.ml: Alcotest Difs Flash Ftl List Option Printf Salamander Sim

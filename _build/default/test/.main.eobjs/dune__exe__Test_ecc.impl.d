@@ -1,0 +1,1 @@
+test/test_ecc.ml: Alcotest Array Bytes Char Ecc Float Fun Hashtbl List Printf QCheck QCheck_alcotest Sim Stdlib

@@ -1,0 +1,1 @@
+test/test_ftl.ml: Alcotest Array Flash Ftl Hashtbl List Option Printf QCheck QCheck_alcotest Sim Stdlib

@@ -1,0 +1,1 @@
+test/test_sustain.ml: Alcotest Flash List Printf Sustain

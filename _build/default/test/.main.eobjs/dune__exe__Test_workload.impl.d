@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Flash Float Ftl List Sim Workload

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "salamander"
+    [
+      ("sim", Test_sim.suite);
+      ("ecc", Test_ecc.suite);
+      ("flash", Test_flash.suite);
+      ("ftl", Test_ftl.suite);
+      ("core", Test_core.suite);
+      ("difs", Test_difs.suite);
+      ("workload", Test_workload.suite);
+      ("sustain", Test_sustain.suite);
+      ("experiments", Test_experiments.suite);
+    ]

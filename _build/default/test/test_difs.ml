@@ -1,0 +1,570 @@
+(* Tests for the distributed storage substrate: target allocation, chunk
+   placement, and — the property the paper leans on — recovery from device
+   and minidisk failures with no acknowledged data lost while redundancy
+   and capacity remain. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let geometry = Flash.Geometry.create ~pages_per_block:8 ~blocks:16 ()
+
+let fast_model =
+  Flash.Rber_model.calibrate ~target_rber:6e-3 ~target_pec:40 ()
+
+let gentle_model =
+  Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+
+(* --- Target -------------------------------------------------------------- *)
+
+let test_target_allocator () =
+  let target =
+    Difs.Target.create
+      ~key:{ Difs.Target.device = 0; mdisk = None }
+      ~node:0 ~capacity:64 ~chunk_opages:16
+  in
+  checki "four ranges" 4 (Difs.Target.free_count target);
+  let a = Option.get (Difs.Target.allocate target) in
+  let b = Option.get (Difs.Target.allocate target) in
+  checkb "distinct ranges" true (a <> b);
+  checki "two left" 2 (Difs.Target.free_count target);
+  checki "two used" 2 (Difs.Target.used_count target);
+  Difs.Target.release target a;
+  checki "released" 3 (Difs.Target.free_count target)
+
+let test_target_fail () =
+  let target =
+    Difs.Target.create
+      ~key:{ Difs.Target.device = 0; mdisk = None }
+      ~node:0 ~capacity:64 ~chunk_opages:16
+  in
+  Difs.Target.fail target;
+  checkb "no allocation after failure" true
+    (Difs.Target.allocate target = None);
+  checkb "inactive" true (not (Difs.Target.is_active target))
+
+let test_target_truncate () =
+  let target =
+    Difs.Target.create
+      ~key:{ Difs.Target.device = 0; mdisk = None }
+      ~node:0 ~capacity:64 ~chunk_opages:16
+  in
+  (* allocate ranges 0 and 16 (LIFO pops 0 first after List.init order) *)
+  let a = Option.get (Difs.Target.allocate target) in
+  let b = Option.get (Difs.Target.allocate target) in
+  (* cut capacity to 40: ranges [32,48) and [48,64) are gone; of those
+     only free ones disappear silently — allocated ones are reported. *)
+  let lost = Difs.Target.truncate target ~capacity:40 in
+  checki "no allocated ranges lost" 0 (List.length lost);
+  checki "free pool shrank to zero" 0 (Difs.Target.free_count target);
+  ignore (a, b);
+  (* truncating below an allocated range reports it *)
+  let lost = Difs.Target.truncate target ~capacity:8 in
+  checkb "allocated range reported lost" true (List.mem b lost || List.mem a lost)
+
+(* --- Chunk ----------------------------------------------------------------- *)
+
+let test_chunk_payload_deterministic () =
+  checki "same inputs same payload"
+    (Difs.Chunk.payload ~id:3 ~offset:5 ~version:7)
+    (Difs.Chunk.payload ~id:3 ~offset:5 ~version:7);
+  checkb "version changes payload" true
+    (Difs.Chunk.payload ~id:3 ~offset:5 ~version:7
+    <> Difs.Chunk.payload ~id:3 ~offset:5 ~version:8)
+
+(* --- Cluster helpers --------------------------------------------------------- *)
+
+let baseline_cluster ?(devices = 4) ?(model = gentle_model) ?(seed = 1) () =
+  let cluster = Difs.Cluster.create () in
+  let raw =
+    List.init devices (fun i ->
+        let rng = Sim.Rng.create (seed + i) in
+        let d = Ftl.Baseline_ssd.create ~geometry ~model ~rng () in
+        ignore
+          (Difs.Cluster.add_device cluster ~node:i
+             (Difs.Cluster.Monolithic
+                (Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d))));
+        d)
+  in
+  (cluster, raw)
+
+let salamander_cluster ?(devices = 4) ?(model = fast_model) ?(seed = 1)
+    ?(config = Salamander.Device.default_config) () =
+  let cluster = Difs.Cluster.create () in
+  let device_config = { config with Salamander.Device.mdisk_opages = 32 } in
+  let raw =
+    List.init devices (fun i ->
+        let d =
+          Salamander.Device.create ~config:device_config ~geometry ~model
+            ~rng:(Sim.Rng.create (seed + i)) ()
+        in
+        ignore
+          (Difs.Cluster.add_device cluster ~node:i (Difs.Cluster.Salamander d));
+        d)
+  in
+  (cluster, raw)
+
+let write_ok cluster id =
+  match Difs.Cluster.write_chunk cluster id with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail (Printf.sprintf "write of chunk %d failed" id)
+
+(* --- Cluster: basics --------------------------------------------------------- *)
+
+let test_cluster_write_read_verify () =
+  let cluster, _ = baseline_cluster () in
+  for id = 0 to 9 do
+    write_ok cluster id
+  done;
+  for id = 0 to 9 do
+    match Difs.Cluster.read_chunk cluster id with
+    | Ok matches -> checki "all opages verify" 16 matches
+    | Error _ -> Alcotest.fail "read failed"
+  done;
+  let health = Difs.Cluster.health cluster in
+  checki "all intact" 10 health.Difs.Cluster.intact;
+  checki "none lost" 0 health.Difs.Cluster.lost
+
+let test_cluster_overwrite_bumps_version () =
+  let cluster, _ = baseline_cluster () in
+  write_ok cluster 5;
+  write_ok cluster 5;
+  checkb "verifies at latest version" true (Difs.Cluster.verify_chunk cluster 5)
+
+let test_cluster_replicas_on_distinct_devices () =
+  let cluster, _ = baseline_cluster () in
+  write_ok cluster 1;
+  (* 4 devices, replication 3: one target per device, so there must be 3
+     distinct live targets serving the chunk; verify via health + a
+     white-box read of every device (indirectly through verify). *)
+  checkb "verify" true (Difs.Cluster.verify_chunk cluster 1);
+  checki "targets available" 4 (Difs.Cluster.live_targets cluster)
+
+let test_cluster_unknown_chunk () =
+  let cluster, _ = baseline_cluster () in
+  checkb "unknown chunk" true
+    (Difs.Cluster.read_chunk cluster 99 = Error `Unknown_chunk)
+
+let test_cluster_delete () =
+  let cluster, _ = baseline_cluster () in
+  let free_before = Difs.Cluster.total_free_ranges cluster in
+  write_ok cluster 1;
+  Difs.Cluster.delete_chunk cluster 1;
+  checki "ranges returned" free_before (Difs.Cluster.total_free_ranges cluster);
+  checkb "gone" true (Difs.Cluster.read_chunk cluster 1 = Error `Unknown_chunk)
+
+let test_cluster_no_capacity () =
+  (* A single device cannot host even one replica set of 3 under
+     Spread_devices... it can host one replica.  Fill everything and the
+     next chunk must report either success with fewer replicas or
+     No_capacity when nothing is free. *)
+  let cluster = Difs.Cluster.create () in
+  let rng = Sim.Rng.create 3 in
+  let d = Ftl.Baseline_ssd.create ~geometry ~model:gentle_model ~rng () in
+  ignore
+    (Difs.Cluster.add_device cluster ~node:0
+       (Difs.Cluster.Monolithic
+          (Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d))));
+  (* 476 capacity / 16 = 29 ranges on the single target. *)
+  let failures = ref 0 in
+  for id = 0 to 40 do
+    match Difs.Cluster.write_chunk cluster id with
+    | Ok () -> ()
+    | Error `No_capacity -> incr failures
+    | Error _ -> Alcotest.fail "unexpected error"
+  done;
+  checkb "eventually out of capacity" true (!failures > 0)
+
+(* --- Cluster: failure recovery ------------------------------------------------ *)
+
+let test_cluster_survives_baseline_death () =
+  (* Six baseline devices on fast-wearing flash; rewrite chunks until at
+     least one drive bricks.  Every chunk must remain readable. *)
+  let cluster, raw = baseline_cluster ~devices:6 ~model:fast_model () in
+  let chunks = 12 in
+  for id = 0 to chunks - 1 do
+    write_ok cluster id
+  done;
+  let rewrites = ref 0 in
+  let rng = Sim.Rng.create 42 in
+  while Difs.Cluster.devices_alive cluster = 6 && !rewrites < 100_000 do
+    incr rewrites;
+    ignore (Difs.Cluster.write_chunk cluster (Sim.Rng.int rng chunks))
+  done;
+  checkb "a device died" true (Difs.Cluster.devices_alive cluster < 6);
+  checkb "its death was observed as recovery" true
+    (Difs.Cluster.recovery_events cluster > 0);
+  checkb "recovery moved data" true (Difs.Cluster.recovery_opages cluster > 0);
+  Difs.Cluster.repair cluster;
+  checki "no chunk lost" 0 (Difs.Cluster.lost_chunks cluster);
+  for id = 0 to chunks - 1 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done;
+  ignore raw
+
+let test_cluster_survives_mdisk_decommissions () =
+  (* Salamander devices shrink minidisk by minidisk; the cluster should
+     absorb each decommissioning with small recoveries and no loss.  Age
+     only until a handful of decommissions have been observed — aging past
+     the whole fleet's death would legitimately lose data. *)
+  let cluster, raw = salamander_cluster ~devices:4 () in
+  let chunks = 10 in
+  for id = 0 to chunks - 1 do
+    write_ok cluster id
+  done;
+  let total_decommissions () =
+    List.fold_left
+      (fun acc d -> acc + Salamander.Device.decommissions d)
+      0 raw
+  in
+  let rng = Sim.Rng.create 7 in
+  let rewrites = ref 0 in
+  while total_decommissions () < 4 && !rewrites < 100_000 do
+    incr rewrites;
+    ignore (Difs.Cluster.write_chunk cluster (Sim.Rng.int rng chunks))
+  done;
+  Difs.Cluster.repair cluster;
+  checkb "decommissions happened" true (total_decommissions () >= 4);
+  checkb "recoveries recorded" true
+    (Difs.Cluster.recovery_events cluster > 0);
+  checki "no chunk lost" 0 (Difs.Cluster.lost_chunks cluster);
+  for id = 0 to chunks - 1 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done
+
+let test_cluster_gains_regenerated_targets () =
+  let cluster, raw = salamander_cluster ~devices:4 () in
+  let before = Difs.Cluster.live_targets cluster in
+  let chunks = 10 in
+  for id = 0 to chunks - 1 do
+    write_ok cluster id
+  done;
+  let total_regenerations () =
+    List.fold_left
+      (fun acc d -> acc + Salamander.Device.regenerations d)
+      0 raw
+  in
+  let rng = Sim.Rng.create 8 in
+  let rewrites = ref 0 in
+  while total_regenerations () < 1 && !rewrites < 100_000 do
+    incr rewrites;
+    ignore (Difs.Cluster.write_chunk cluster (Sim.Rng.int rng chunks))
+  done;
+  Difs.Cluster.repair cluster;
+  let regenerations = total_regenerations () in
+  checkb "regenerations happened" true (regenerations > 0);
+  (* Regenerated minidisks became cluster targets (their creation events
+     were consumed); total targets = initial - decommissioned + created,
+     so at minimum the cluster saw target arrivals. *)
+  let decommissions =
+    List.fold_left
+      (fun acc d -> acc + Salamander.Device.decommissions d)
+      0 raw
+  in
+  checki "live targets balance" (before - decommissions + regenerations)
+    (Difs.Cluster.live_targets cluster)
+
+let test_cluster_survives_cvss_shrink () =
+  let cluster = Difs.Cluster.create () in
+  let raw =
+    List.init 5 (fun i ->
+        let rng = Sim.Rng.create (50 + i) in
+        let d = Ftl.Cvss.create ~geometry ~model:fast_model ~rng () in
+        ignore
+          (Difs.Cluster.add_device cluster ~node:i
+             (Difs.Cluster.Monolithic
+                (Ftl.Device_intf.Packed ((module Ftl.Cvss), d))));
+        d)
+  in
+  let chunks = 10 in
+  for id = 0 to chunks - 1 do
+    write_ok cluster id
+  done;
+  (* Rewrite until some device retires a block (shrinks). *)
+  let rng = Sim.Rng.create 60 in
+  let shrunk () = List.exists (fun d -> Ftl.Cvss.retired_blocks d > 0) raw in
+  let rewrites = ref 0 in
+  while (not (shrunk ())) && !rewrites < 100_000 do
+    incr rewrites;
+    ignore (Difs.Cluster.write_chunk cluster (Sim.Rng.int rng chunks))
+  done;
+  checkb "a device shrank" true (shrunk ());
+  Difs.Cluster.repair cluster;
+  checki "no chunk lost" 0 (Difs.Cluster.lost_chunks cluster);
+  for id = 0 to chunks - 1 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done
+
+let test_cluster_grace_avoids_degraded_window () =
+  (* With grace-period devices, the cluster migrates data off a retiring
+     minidisk while it is still readable and acknowledges afterwards:
+     aging should proceed with zero lost chunks and every chunk verified,
+     and the devices should hold no unacknowledged drains. *)
+  let config =
+    {
+      Salamander.Device.default_config with
+      Salamander.Device.mdisk_opages = 32;
+      decommission_grace = true;
+    }
+  in
+  let cluster, raw = salamander_cluster ~devices:4 ~config () in
+  let chunks = 10 in
+  for id = 0 to chunks - 1 do
+    write_ok cluster id
+  done;
+  let total_decommissions () =
+    List.fold_left
+      (fun acc d -> acc + Salamander.Device.decommissions d)
+      0 raw
+  in
+  let rng = Sim.Rng.create 17 in
+  let rewrites = ref 0 in
+  while total_decommissions () < 4 && !rewrites < 100_000 do
+    incr rewrites;
+    ignore (Difs.Cluster.write_chunk cluster (Sim.Rng.int rng chunks))
+  done;
+  Difs.Cluster.repair cluster;
+  checkb "grace decommissions happened" true (total_decommissions () >= 4);
+  checki "no chunk lost" 0 (Difs.Cluster.lost_chunks cluster);
+  List.iter
+    (fun d ->
+      checki "all drains acknowledged" 0
+        (List.length
+           (Salamander.Minidisk.Registry.draining
+              (Salamander.Device.registry d))))
+    raw;
+  for id = 0 to chunks - 1 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done
+
+let test_cluster_kill_device_injection () =
+  (* Controller-death injection: an otherwise healthy device is declared
+     dead; every chunk must be re-replicated from survivors. *)
+  let cluster, _ = baseline_cluster ~devices:5 () in
+  let chunks = 12 in
+  for id = 0 to chunks - 1 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.kill_device cluster 2;
+  checkb "marked killed" true (Difs.Cluster.is_device_killed cluster 2);
+  checki "alive count reflects it" 4 (Difs.Cluster.devices_alive cluster);
+  checkb "recovery ran" true (Difs.Cluster.recovery_events cluster > 0);
+  checki "nothing lost" 0 (Difs.Cluster.lost_chunks cluster);
+  let health = Difs.Cluster.health cluster in
+  checki "all chunks intact again" chunks health.Difs.Cluster.intact;
+  for id = 0 to chunks - 1 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done;
+  (* idempotent *)
+  Difs.Cluster.kill_device cluster 2;
+  checki "still nothing lost" 0 (Difs.Cluster.lost_chunks cluster)
+
+let test_cluster_kill_two_of_five () =
+  (* Killing two devices simultaneously still leaves one replica of every
+     chunk; repair must restore full replication on the remaining three. *)
+  let cluster, _ = baseline_cluster ~devices:5 () in
+  let chunks = 8 in
+  for id = 0 to chunks - 1 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.kill_device cluster 0;
+  Difs.Cluster.kill_device cluster 1;
+  Difs.Cluster.repair cluster;
+  checki "nothing lost" 0 (Difs.Cluster.lost_chunks cluster);
+  for id = 0 to chunks - 1 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done
+
+(* --- Erasure coding ---------------------------------------------------------- *)
+
+let ec_cluster ?(devices = 6) ?(seed = 70) () =
+  let cluster = Difs.Cluster.create ~config:Difs.Cluster.default_ec_config () in
+  let raw =
+    List.init devices (fun i ->
+        let rng = Sim.Rng.create (seed + i) in
+        let d = Ftl.Baseline_ssd.create ~geometry ~model:gentle_model ~rng () in
+        ignore
+          (Difs.Cluster.add_device cluster ~node:i
+             (Difs.Cluster.Monolithic
+                (Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d))));
+        d)
+  in
+  (cluster, raw)
+
+let test_ec_write_read_verify () =
+  let cluster, _ = ec_cluster () in
+  checki "6 shares per chunk" 6 (Difs.Cluster.total_shares cluster);
+  checki "quorum 4" 4 (Difs.Cluster.read_quorum cluster);
+  checki "4-opage shares" 4 (Difs.Cluster.share_opages cluster);
+  Alcotest.check (Alcotest.float 1e-9) "1.5x overhead" 1.5
+    (Difs.Cluster.storage_overhead cluster);
+  for id = 0 to 9 do
+    write_ok cluster id
+  done;
+  for id = 0 to 9 do
+    match Difs.Cluster.read_chunk cluster id with
+    | Ok matches -> checki "all data opages verify" 16 matches
+    | Error _ -> Alcotest.fail "read failed"
+  done;
+  for id = 0 to 9 do
+    checkb (Printf.sprintf "chunk %d verifies" id) true
+      (Difs.Cluster.verify_chunk cluster id)
+  done
+
+let test_ec_survives_one_device_death () =
+  (* 8 devices leave room to re-spread the lost shares after the death. *)
+  let cluster, _ = ec_cluster ~devices:8 () in
+  for id = 0 to 7 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.kill_device cluster 3;
+  Difs.Cluster.repair cluster;
+  checki "no chunk lost" 0 (Difs.Cluster.lost_chunks cluster);
+  let health = Difs.Cluster.health cluster in
+  checki "all back to full redundancy" 8 health.Difs.Cluster.intact;
+  for id = 0 to 7 do
+    match Difs.Cluster.read_chunk cluster id with
+    | Ok matches -> checki "data intact via decode" 16 matches
+    | Error _ -> Alcotest.fail "read failed after device death"
+  done;
+  (* EC repair amplification: rebuilding read ~k times what it wrote *)
+  checkb "rebuilt shares" true (Difs.Cluster.recovery_opages cluster > 0);
+  let amplification =
+    float_of_int (Difs.Cluster.recovery_read_opages cluster)
+    /. float_of_int (Difs.Cluster.recovery_opages cluster)
+  in
+  checkb
+    (Printf.sprintf "read amplification %.1f ~ k=4" amplification)
+    true
+    (amplification > 3. && amplification < 5.)
+
+let test_ec_two_device_deaths_at_quorum_edge () =
+  (* 8 devices so shares can re-spread; kill two devices at once — two
+     shares of some chunks are gone, still within m = 2. *)
+  let cluster, _ = ec_cluster ~devices:8 () in
+  for id = 0 to 7 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.kill_device cluster 0;
+  Difs.Cluster.kill_device cluster 1;
+  Difs.Cluster.repair cluster;
+  checki "no chunk lost" 0 (Difs.Cluster.lost_chunks cluster);
+  for id = 0 to 7 do
+    checkb (Printf.sprintf "chunk %d verifies" id) true
+      (Difs.Cluster.verify_chunk cluster id)
+  done
+
+let test_ec_loses_beyond_parity () =
+  (* 6 devices, 6 shares: each device holds exactly one share of every
+     chunk.  Killing 3 devices at once destroys 3 shares > m = 2: data
+     gone, and the cluster must say so rather than fabricate. *)
+  let cluster, _ = ec_cluster ~devices:6 () in
+  for id = 0 to 4 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.kill_device cluster 0;
+  Difs.Cluster.kill_device cluster 1;
+  Difs.Cluster.kill_device cluster 2;
+  Difs.Cluster.repair cluster;
+  checki "all chunks lost" 5 (Difs.Cluster.lost_chunks cluster);
+  for id = 0 to 4 do
+    checkb "read reports insufficient shares" true
+      (Difs.Cluster.read_chunk cluster id = Error `Insufficient_shares)
+  done
+
+let test_cluster_spread_targets_allows_same_device () =
+  (* With Spread_targets and a single Salamander device, a chunk's
+     replicas may share the drive across different minidisks — the
+     correlated-failure configuration the paper flags. *)
+  let cluster =
+    Difs.Cluster.create
+      ~config:
+        {
+          Difs.Cluster.default_config with
+          Difs.Cluster.placement = Difs.Cluster.Spread_targets;
+        }
+      ()
+  in
+  let d =
+    Salamander.Device.create
+      ~config:
+        { Salamander.Device.default_config with Salamander.Device.mdisk_opages = 32 }
+      ~geometry ~model:gentle_model ~rng:(Sim.Rng.create 5) ()
+  in
+  ignore (Difs.Cluster.add_device cluster ~node:0 (Difs.Cluster.Salamander d));
+  (match Difs.Cluster.write_chunk cluster 0 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "single-device replication failed");
+  checkb "verifies with 3 replicas on one device" true
+    (Difs.Cluster.verify_chunk cluster 0);
+  let health = Difs.Cluster.health cluster in
+  checki "fully replicated" 1 health.Difs.Cluster.intact
+
+let test_cluster_spread_devices_blocks_same_device () =
+  (* Same setup under the default policy: only one replica fits. *)
+  let cluster = Difs.Cluster.create () in
+  let d =
+    Salamander.Device.create
+      ~config:
+        { Salamander.Device.default_config with Salamander.Device.mdisk_opages = 32 }
+      ~geometry ~model:gentle_model ~rng:(Sim.Rng.create 5) ()
+  in
+  ignore (Difs.Cluster.add_device cluster ~node:0 (Difs.Cluster.Salamander d));
+  (match Difs.Cluster.write_chunk cluster 0 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write failed");
+  let health = Difs.Cluster.health cluster in
+  checki "under-replicated" 1 health.Difs.Cluster.degraded
+
+let suite =
+  [
+    ("target allocator", `Quick, test_target_allocator);
+    ("target fail", `Quick, test_target_fail);
+    ("target truncate", `Quick, test_target_truncate);
+    ("chunk payload deterministic", `Quick, test_chunk_payload_deterministic);
+    ("cluster write/read/verify", `Quick, test_cluster_write_read_verify);
+    ("cluster overwrite bumps version", `Quick,
+     test_cluster_overwrite_bumps_version);
+    ("cluster replica placement", `Quick,
+     test_cluster_replicas_on_distinct_devices);
+    ("cluster unknown chunk", `Quick, test_cluster_unknown_chunk);
+    ("cluster delete", `Quick, test_cluster_delete);
+    ("cluster no capacity", `Quick, test_cluster_no_capacity);
+    ("cluster survives baseline death", `Slow,
+     test_cluster_survives_baseline_death);
+    ("cluster survives mdisk decommissions", `Slow,
+     test_cluster_survives_mdisk_decommissions);
+    ("cluster gains regenerated targets", `Slow,
+     test_cluster_gains_regenerated_targets);
+    ("cluster survives cvss shrink", `Slow, test_cluster_survives_cvss_shrink);
+    ("cluster grace avoids degraded window", `Slow,
+     test_cluster_grace_avoids_degraded_window);
+    ("cluster kill device injection", `Quick, test_cluster_kill_device_injection);
+    ("cluster kill two of five", `Quick, test_cluster_kill_two_of_five);
+    ("ec write/read/verify", `Quick, test_ec_write_read_verify);
+    ("ec survives one device death", `Quick, test_ec_survives_one_device_death);
+    ("ec two deaths at quorum edge", `Quick,
+     test_ec_two_device_deaths_at_quorum_edge);
+    ("ec loses beyond parity", `Quick, test_ec_loses_beyond_parity);
+    ("cluster spread_targets same device", `Quick,
+     test_cluster_spread_targets_allows_same_device);
+    ("cluster spread_devices distinct", `Quick,
+     test_cluster_spread_devices_blocks_same_device);
+  ]

@@ -1,0 +1,169 @@
+(* Smoke and sanity tests for the experiment harness: each paper artifact
+   must run and exhibit the qualitative shape claimed in EXPERIMENTS.md. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* --- report helpers ------------------------------------------------------- *)
+
+let test_report_table_alignment () =
+  let buffer = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buffer in
+  Experiments.Report.table fmt ~header:[ "a"; "bb" ]
+    ~rows:[ [ "xxx"; "y" ]; [ "z"; "wwww" ] ];
+  Format.pp_print_flush fmt ();
+  let lines = String.split_on_char '\n' (Buffer.contents buffer) in
+  (* header + separator + 2 rows (+ trailing blank) *)
+  checkb "at least 4 lines" true (List.length lines >= 4);
+  (* all non-empty lines share a width *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.trim l = "" then None else Some (String.length l))
+      lines
+  in
+  checkb "aligned columns" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_report_cells () =
+  Alcotest.(check string) "percentage" "12.5%" (Experiments.Report.cell_pct 0.125);
+  Alcotest.(check string) "nan" "n/a" (Experiments.Report.cell_f nan)
+
+(* --- fig2 ------------------------------------------------------------------ *)
+
+let test_fig2_shape () =
+  let points = Experiments.Fig2.points () in
+  checki "four levels" 4 (List.length points);
+  let benefits = List.map (fun p -> p.Sustain.Lifetime.benefit) points in
+  (match benefits with
+  | [ l0; l1; l2; l3 ] ->
+      checkb "L0 anchor" true (Float.abs (l0 -. 1.) < 1e-9);
+      checkb "L1 near paper's 1.5x" true (l1 > 1.4 && l1 < 1.6);
+      checkb "monotone" true (l2 > l1 && l3 > l2);
+      checkb "diminishing" true (l2 /. l1 < l1 /. l0 && l3 /. l2 < l2 /. l1)
+  | _ -> Alcotest.fail "expected 4 points");
+  Experiments.Fig2.run null_fmt
+
+(* --- fleet (fig3a/b) --------------------------------------------------------- *)
+
+let test_fleet_baseline_dies_as_cohort () =
+  let result = Experiments.Fleet.run ~devices:6 ~days:60 ~seed:33 `Baseline in
+  checki "snapshot per day" 61 (List.length result.Experiments.Fleet.snapshots);
+  let first = List.hd result.Experiments.Fleet.snapshots in
+  checki "all alive at day 0" 6 first.Experiments.Fleet.alive;
+  checkb "all dead by day 60" true
+    ((List.nth result.Experiments.Fleet.snapshots 60).Experiments.Fleet.alive
+    = 0);
+  checki "deaths accounted" 6
+    (result.Experiments.Fleet.wear_deaths + result.Experiments.Fleet.afr_deaths)
+
+let test_fleet_regens_outlives_baseline () =
+  let life kind =
+    let result = Experiments.Fleet.run ~devices:6 ~days:80 ~seed:34 kind in
+    (* device-days of service *)
+    List.fold_left
+      (fun acc s -> acc + s.Experiments.Fleet.alive)
+      0 result.Experiments.Fleet.snapshots
+  in
+  let baseline = life `Baseline and regens = life `Regens in
+  checkb
+    (Printf.sprintf "regens device-days %d > baseline %d" regens baseline)
+    true (regens > baseline)
+
+let test_fleet_capacity_declines_gradually_for_regens () =
+  let result = Experiments.Fleet.run ~devices:6 ~days:80 ~seed:35 `Regens in
+  let capacities =
+    List.map (fun s -> s.Experiments.Fleet.capacity_opages)
+      result.Experiments.Fleet.snapshots
+  in
+  let initial = List.hd capacities in
+  (* there exists an intermediate day with capacity strictly between 10%
+     and 90% of initial: the gradual-decline signature the baseline lacks *)
+  checkb "gradual decline" true
+    (List.exists
+       (fun c ->
+         c > initial / 10 && c < initial * 9 / 10)
+       capacities)
+
+(* --- fig3cd ------------------------------------------------------------------- *)
+
+let test_fig3perf_shape () =
+  let points = Experiments.Fig3perf.measure ~fractions:[ 0.; 1. ] () in
+  match points with
+  | [ fresh; tired ] ->
+      let ratio =
+        tired.Experiments.Fig3perf.seq_throughput_mib_s
+        /. fresh.Experiments.Fig3perf.seq_throughput_mib_s
+      in
+      checkb
+        (Printf.sprintf "all-L1 sequential ratio %.2f near 0.75" ratio)
+        true
+        (ratio > 0.68 && ratio < 0.82);
+      checkb "fresh extents fit one page" true
+        (fresh.Experiments.Fig3perf.random16k_pages < 1.05);
+      checkb "L1 extents span two pages" true
+        (tired.Experiments.Fig3perf.random16k_pages > 1.95);
+      checkb "4KiB latency flat" true
+        (Float.abs
+           (tired.Experiments.Fig3perf.random4k_us
+           -. fresh.Experiments.Fig3perf.random4k_us)
+        < 2.)
+  | _ -> Alcotest.fail "expected 2 points"
+
+(* --- lifetime table -------------------------------------------------------------- *)
+
+let test_lifetime_ordering () =
+  let rows = Experiments.Lifetime_table.measure ~seeds:[ 7 ] () in
+  let factor kind =
+    (List.find (fun r -> r.Experiments.Lifetime_table.kind = kind) rows)
+      .Experiments.Lifetime_table.factor
+  in
+  checkb "baseline anchor" true (Float.abs (factor `Baseline -. 1.) < 1e-9);
+  checkb "cvss beats baseline" true (factor `Cvss > 1.05);
+  checkb "shrinks beats cvss" true (factor `Shrinks > factor `Cvss);
+  checkb "regens beats shrinks" true (factor `Regens > factor `Shrinks)
+
+(* --- uber --------------------------------------------------------------------------- *)
+
+let test_uber_reliability_holds () =
+  let rows = Experiments.Uber_table.measure ~seed:77 () in
+  checki "four designs" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      (* at a 1e-11 codeword budget, uncorrectable reads in tens of
+         thousands of reads must be essentially absent for every design *)
+      checkb
+        (Printf.sprintf "%s error rate vanishing"
+           (Experiments.Defaults.kind_label r.Experiments.Uber_table.kind))
+        true
+        (r.Experiments.Uber_table.error_rate_ppm < 100.))
+    rows;
+  let writes kind =
+    (List.find (fun r -> r.Experiments.Uber_table.kind = kind) rows)
+      .Experiments.Uber_table.host_writes
+  in
+  checkb "salamander lives longer at equal reliability" true
+    (writes `Regens > writes `Baseline)
+
+(* --- carbon closing the loop ------------------------------------------------------------ *)
+
+let test_fig4_runs_with_measured_factors () =
+  Experiments.Fig4.run ~measured_lifetime:(1.6, 1.8) null_fmt;
+  Experiments.Tco_table.run null_fmt;
+  Experiments.Terms.run null_fmt
+
+let suite =
+  [
+    ("report table alignment", `Quick, test_report_table_alignment);
+    ("report cells", `Quick, test_report_cells);
+    ("fig2 shape", `Quick, test_fig2_shape);
+    ("fleet baseline cohort death", `Slow, test_fleet_baseline_dies_as_cohort);
+    ("fleet regens outlives baseline", `Slow,
+     test_fleet_regens_outlives_baseline);
+    ("fleet regens gradual decline", `Slow,
+     test_fleet_capacity_declines_gradually_for_regens);
+    ("fig3perf shape", `Slow, test_fig3perf_shape);
+    ("lifetime ordering", `Slow, test_lifetime_ordering);
+    ("uber reliability holds", `Slow, test_uber_reliability_holds);
+    ("fig4/tco/terms run", `Quick, test_fig4_runs_with_measured_factors);
+  ]

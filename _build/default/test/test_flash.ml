@@ -1,0 +1,346 @@
+(* Tests for the flash substrate: geometry arithmetic, the RBER wear
+   model, the chip simulator's physics rules, and the latency model. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf epsilon = Alcotest.check (Alcotest.float epsilon)
+
+let small_geometry =
+  Flash.Geometry.create ~pages_per_block:8 ~blocks:4 ()
+
+(* --- Geometry ---------------------------------------------------------- *)
+
+let test_geometry_defaults () =
+  let g = small_geometry in
+  checki "opage bytes" 4096 g.Flash.Geometry.opage_bytes;
+  checki "opages per fpage" 4 g.Flash.Geometry.opages_per_fpage;
+  checki "spare" 2048 g.Flash.Geometry.spare_bytes;
+  checki "fpage data bytes" 16384 (Flash.Geometry.fpage_data_bytes g);
+  checki "fpages" 32 (Flash.Geometry.fpages g);
+  checki "total opages" 128 (Flash.Geometry.total_opages g);
+  checki "physical bytes" (32 * 16384) (Flash.Geometry.physical_data_bytes g);
+  checki "codewords per fpage" 8 (Flash.Geometry.codewords_per_fpage g)
+
+let test_geometry_invalid () =
+  Alcotest.check_raises "zero blocks"
+    (Invalid_argument "Geometry.create: blocks must be > 0") (fun () ->
+      ignore (Flash.Geometry.create ~pages_per_block:4 ~blocks:0 ()))
+
+(* --- RBER model -------------------------------------------------------- *)
+
+let test_rber_monotone_in_pec () =
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:3000 ()
+  in
+  let previous = ref 0. in
+  List.iter
+    (fun pec ->
+      let r = Flash.Rber_model.rber model ~pec ~strength:1. in
+      checkb (Printf.sprintf "rber grows at pec %d" pec) true (r >= !previous);
+      previous := r)
+    [ 0; 100; 500; 1000; 2000; 3000; 5000 ]
+
+let test_rber_calibration_point () =
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:3000 ()
+  in
+  checkf 1e-12 "hits the target" 3e-3
+    (Flash.Rber_model.rber model ~pec:3000 ~strength:1.)
+
+let test_rber_inverse () =
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:3000 ()
+  in
+  List.iter
+    (fun pec ->
+      let r = Flash.Rber_model.rber model ~pec ~strength:1.3 in
+      let recovered = Flash.Rber_model.pec_at model ~rber:r ~strength:1.3 in
+      checkf 0.5 (Printf.sprintf "inverse at pec %d" pec) (float_of_int pec)
+        recovered)
+    [ 500; 1500; 3000; 6000 ]
+
+let test_rber_strength_scales () =
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:3000 ()
+  in
+  let weak = Flash.Rber_model.rber model ~pec:2000 ~strength:2. in
+  let strong = Flash.Rber_model.rber model ~pec:2000 ~strength:0.5 in
+  checkb "weak pages err more" true (weak > strong)
+
+let test_rber_strength_distribution () =
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:3000 ()
+  in
+  let rng = Sim.Rng.create 5 in
+  let online = Sim.Stats.Online.create () in
+  for _ = 1 to 10_000 do
+    Sim.Stats.Online.add online
+      (log (Flash.Rber_model.sample_strength model rng))
+  done;
+  (* Lognormal with mu=0: log has mean 0, stddev = sigma. *)
+  checkf 0.02 "median 1" 0. (Sim.Stats.Online.mean online);
+  checkf 0.02 "sigma" Flash.Rber_model.default_strength_sigma
+    (Sim.Stats.Online.stddev online)
+
+(* --- Chip --------------------------------------------------------------- *)
+
+let make_chip ?(seed = 1) () =
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:100 ()
+  in
+  Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry:small_geometry ~model
+
+let test_chip_program_read_roundtrip () =
+  let chip = make_chip () in
+  let contents = [| Some 11; Some 22; None; Some 44 |] in
+  Flash.Chip.program chip ~block:0 ~page:3 contents;
+  (match Flash.Chip.read chip ~block:0 ~page:3 with
+  | Flash.Chip.Programmed slots ->
+      Alcotest.(check (array (option int))) "slots back" contents slots
+  | Flash.Chip.Free -> Alcotest.fail "expected programmed");
+  Alcotest.(check (option int)) "slot read" (Some 44)
+    (Flash.Chip.read_slot chip ~block:0 ~page:3 ~slot:3);
+  Alcotest.(check (option int)) "ecc slot reads None" None
+    (Flash.Chip.read_slot chip ~block:0 ~page:3 ~slot:2)
+
+let test_chip_program_once () =
+  let chip = make_chip () in
+  let contents = [| Some 1; Some 2; Some 3; Some 4 |] in
+  Flash.Chip.program chip ~block:1 ~page:0 contents;
+  Alcotest.check_raises "double program"
+    (Invalid_argument "Chip.program: page already programmed (erase first)")
+    (fun () -> Flash.Chip.program chip ~block:1 ~page:0 contents)
+
+let test_chip_erase_frees_and_wears () =
+  let chip = make_chip () in
+  let contents = [| Some 1; Some 2; Some 3; Some 4 |] in
+  Flash.Chip.program chip ~block:2 ~page:5 contents;
+  checki "pec 0" 0 (Flash.Chip.pec chip ~block:2);
+  Flash.Chip.erase chip ~block:2;
+  checki "pec 1" 1 (Flash.Chip.pec chip ~block:2);
+  checkb "page free again" true (Flash.Chip.is_free chip ~block:2 ~page:5);
+  (* reprogram allowed *)
+  Flash.Chip.program chip ~block:2 ~page:5 contents
+
+let test_chip_rber_tracks_wear () =
+  let chip = make_chip () in
+  let before = Flash.Chip.rber chip ~block:0 ~page:0 in
+  for _ = 1 to 50 do
+    Flash.Chip.erase chip ~block:0
+  done;
+  let after = Flash.Chip.rber chip ~block:0 ~page:0 in
+  checkb "wear raises rber" true (after > before);
+  checkf 1e-15 "lookahead equals rber at pec+1"
+    (Flash.Rber_model.rber (Flash.Chip.model chip) ~pec:51
+       ~strength:(Flash.Chip.strength chip ~block:0 ~page:0))
+    (Flash.Chip.rber_after_next_erase chip ~block:0 ~page:0)
+
+let test_chip_page_variance () =
+  let chip = make_chip () in
+  (* Two different pages should essentially never share a strength. *)
+  let s1 = Flash.Chip.strength chip ~block:0 ~page:0 in
+  let s2 = Flash.Chip.strength chip ~block:0 ~page:1 in
+  checkb "distinct strengths" true (s1 <> s2)
+
+let test_chip_counters () =
+  let chip = make_chip () in
+  let contents = [| Some 1; None; None; None |] in
+  Flash.Chip.program chip ~block:0 ~page:0 contents;
+  ignore (Flash.Chip.read chip ~block:0 ~page:0);
+  Flash.Chip.erase chip ~block:0;
+  checki "programs" 1 (Flash.Chip.programs chip);
+  checki "reads" 1 (Flash.Chip.reads chip);
+  checki "erases" 1 (Flash.Chip.erases chip)
+
+let test_chip_bounds () =
+  let chip = make_chip () in
+  Alcotest.check_raises "block range" (Invalid_argument "Chip: block out of range")
+    (fun () -> ignore (Flash.Chip.pec chip ~block:99));
+  Alcotest.check_raises "page range" (Invalid_argument "Chip: page out of range")
+    (fun () -> ignore (Flash.Chip.rber chip ~block:0 ~page:99))
+
+(* --- Read disturb -------------------------------------------------------- *)
+
+let disturb_model =
+  Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:100
+    ~read_disturb_per_read:1e-5 ()
+
+let test_read_disturb_accumulates () =
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 2) ~geometry:small_geometry
+      ~model:disturb_model
+  in
+  Flash.Chip.program chip ~block:0 ~page:0 [| Some 1; Some 2; Some 3; Some 4 |];
+  let before = Flash.Chip.rber chip ~block:0 ~page:0 in
+  for _ = 1 to 1000 do
+    ignore (Flash.Chip.read_slot chip ~block:0 ~page:0 ~slot:0)
+  done;
+  checki "reads counted" 1000 (Flash.Chip.reads_since_erase chip ~block:0 ~page:0);
+  let after = Flash.Chip.rber chip ~block:0 ~page:0 in
+  checkb "disturb raised rber" true (after > before);
+  (* disturb scales with the page strength times the coefficient *)
+  let strength = Flash.Chip.strength chip ~block:0 ~page:0 in
+  checkf 1e-12 "disturb magnitude" (strength *. 1e-5 *. 1000.) (after -. before)
+
+let test_read_disturb_cleared_by_erase () =
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 3) ~geometry:small_geometry
+      ~model:disturb_model
+  in
+  Flash.Chip.program chip ~block:1 ~page:0 [| Some 1; None; None; None |];
+  for _ = 1 to 500 do
+    ignore (Flash.Chip.read chip ~block:1 ~page:0)
+  done;
+  Flash.Chip.erase chip ~block:1;
+  checki "counter reset" 0 (Flash.Chip.reads_since_erase chip ~block:1 ~page:0);
+  (* lookahead rber never includes disturb *)
+  checkf 1e-15 "lookahead is wear-only"
+    (Flash.Rber_model.rber (Flash.Chip.model chip) ~pec:2
+       ~strength:(Flash.Chip.strength chip ~block:1 ~page:0))
+    (Flash.Chip.rber_after_next_erase chip ~block:1 ~page:0)
+
+let test_read_disturb_off_by_default () =
+  let model = Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:100 () in
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 4) ~geometry:small_geometry ~model
+  in
+  Flash.Chip.program chip ~block:0 ~page:0 [| Some 1; None; None; None |];
+  let before = Flash.Chip.rber chip ~block:0 ~page:0 in
+  for _ = 1 to 1000 do
+    ignore (Flash.Chip.read chip ~block:0 ~page:0)
+  done;
+  checkf 0. "no disturb by default" before (Flash.Chip.rber chip ~block:0 ~page:0)
+
+(* --- Latency ------------------------------------------------------------ *)
+
+let test_latency_retries_grow_with_margin () =
+  checki "fresh page no retries" 0 (Flash.Latency.expected_retries ~margin:0.1);
+  checki "half margin" 1 (Flash.Latency.expected_retries ~margin:0.7);
+  checki "near threshold" 1 (Flash.Latency.expected_retries ~margin:0.99);
+  checkb "beyond threshold retries more" true
+    (Flash.Latency.expected_retries ~margin:1.4 >= 2);
+  checki "capped" 4 (Flash.Latency.expected_retries ~margin:99.)
+
+let test_latency_read_composition () =
+  let l = Flash.Latency.default in
+  let base =
+    Flash.Latency.fpage_read_us l ~data_kib:16. ~raw_errors:0. ~retries:0
+  in
+  let retried =
+    Flash.Latency.fpage_read_us l ~data_kib:16. ~raw_errors:0. ~retries:2
+  in
+  checkf 1e-9 "two retries add 2x retry_us" (2. *. l.Flash.Latency.retry_us)
+    (retried -. base);
+  let small =
+    Flash.Latency.fpage_read_us l ~data_kib:4. ~raw_errors:0. ~retries:0
+  in
+  checkb "less data transfers faster" true (small < base)
+
+(* --- Service (queueing) --------------------------------------------------- *)
+
+let service_fixture () =
+  let engine = Sim.Engine.create () in
+  let service =
+    Flash.Service.create ~engine
+      { Flash.Service.default_config with Flash.Service.channels = 2;
+        dies_per_channel = 2 }
+  in
+  (engine, service)
+
+let page ~die ~sense ~transfer =
+  { Flash.Service.die_hint = die; sense_us = sense; transfer_us = transfer }
+
+let test_service_single_page_latency () =
+  let engine, service = service_fixture () in
+  let observed = ref nan in
+  Flash.Service.submit service
+    ~pages:[ page ~die:0 ~sense:60. ~transfer:4. ]
+    ~on_complete:(fun ~latency_us -> observed := latency_us);
+  Sim.Engine.run engine;
+  checkf 1e-9 "sense + transfer" 64. !observed
+
+let test_service_same_die_serializes () =
+  let engine, service = service_fixture () in
+  let observed = ref nan in
+  (* two pages on one die: second sense waits for the first *)
+  Flash.Service.submit service
+    ~pages:[ page ~die:0 ~sense:60. ~transfer:4.;
+             page ~die:0 ~sense:60. ~transfer:4. ]
+    ~on_complete:(fun ~latency_us -> observed := latency_us);
+  Sim.Engine.run engine;
+  checkf 1e-9 "serialized senses" 124. !observed
+
+let test_service_different_dies_overlap () =
+  let engine, service = service_fixture () in
+  let observed = ref nan in
+  (* dies 0 and 2 sit on different channels: full overlap *)
+  Flash.Service.submit service
+    ~pages:[ page ~die:0 ~sense:60. ~transfer:4.;
+             page ~die:2 ~sense:60. ~transfer:4. ]
+    ~on_complete:(fun ~latency_us -> observed := latency_us);
+  Sim.Engine.run engine;
+  checkf 1e-9 "parallel senses" 64. !observed
+
+let test_service_channel_contention () =
+  let engine, service = service_fixture () in
+  let observed = ref nan in
+  (* dies 0 and 1 share channel 0: senses overlap, transfers serialize *)
+  Flash.Service.submit service
+    ~pages:[ page ~die:0 ~sense:60. ~transfer:4.;
+             page ~die:1 ~sense:60. ~transfer:4. ]
+    ~on_complete:(fun ~latency_us -> observed := latency_us);
+  Sim.Engine.run engine;
+  checkf 1e-9 "transfers share the channel" 68. !observed
+
+let test_service_closed_loop_throughput () =
+  (* With 4 dies and QD 4, four independent single-page requests complete
+     in one sense time each, fully overlapped. *)
+  let engine, service = service_fixture () in
+  let completed = ref 0 in
+  for die = 0 to 3 do
+    Flash.Service.submit service
+      ~pages:[ page ~die ~sense:60. ~transfer:1. ]
+      ~on_complete:(fun ~latency_us:_ -> incr completed)
+  done;
+  Sim.Engine.run engine;
+  checki "all done" 4 !completed;
+  (* dies on channel 0 finish at 61 and 62; clock ends at the last one *)
+  checkb "overlapped" true (Sim.Engine.now engine < 70.);
+  checkb "die was busy" true (Flash.Service.busy_fraction service ~die:0 > 0.5)
+
+let test_service_empty_request () =
+  let _, service = service_fixture () in
+  Alcotest.check_raises "empty" (Invalid_argument "Service.submit: empty request")
+    (fun () ->
+      Flash.Service.submit service ~pages:[]
+        ~on_complete:(fun ~latency_us:_ -> ()))
+
+let suite =
+  [
+    ("geometry defaults", `Quick, test_geometry_defaults);
+    ("geometry invalid", `Quick, test_geometry_invalid);
+    ("rber monotone in pec", `Quick, test_rber_monotone_in_pec);
+    ("rber calibration point", `Quick, test_rber_calibration_point);
+    ("rber inverse", `Quick, test_rber_inverse);
+    ("rber strength scales", `Quick, test_rber_strength_scales);
+    ("rber strength distribution", `Slow, test_rber_strength_distribution);
+    ("chip program/read roundtrip", `Quick, test_chip_program_read_roundtrip);
+    ("chip program once", `Quick, test_chip_program_once);
+    ("chip erase frees and wears", `Quick, test_chip_erase_frees_and_wears);
+    ("chip rber tracks wear", `Quick, test_chip_rber_tracks_wear);
+    ("chip page variance", `Quick, test_chip_page_variance);
+    ("chip counters", `Quick, test_chip_counters);
+    ("chip bounds", `Quick, test_chip_bounds);
+    ("read disturb accumulates", `Quick, test_read_disturb_accumulates);
+    ("read disturb cleared by erase", `Quick, test_read_disturb_cleared_by_erase);
+    ("read disturb off by default", `Quick, test_read_disturb_off_by_default);
+    ("latency retries grow", `Quick, test_latency_retries_grow_with_margin);
+    ("latency read composition", `Quick, test_latency_read_composition);
+    ("service single page latency", `Quick, test_service_single_page_latency);
+    ("service same die serializes", `Quick, test_service_same_die_serializes);
+    ("service different dies overlap", `Quick,
+     test_service_different_dies_overlap);
+    ("service channel contention", `Quick, test_service_channel_contention);
+    ("service closed loop", `Quick, test_service_closed_loop_throughput);
+    ("service empty request", `Quick, test_service_empty_request);
+  ]

@@ -1,0 +1,584 @@
+(* Tests for the FTL layer: mapping invariants, the write buffer, the
+   engine's read-your-writes behaviour under GC pressure, and the
+   baseline/CVSS devices' end-of-life behaviour. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let geometry = Flash.Geometry.create ~pages_per_block:8 ~blocks:16 ()
+(* 16 blocks x 8 fPages x 4 oPages = 512 oPage slots *)
+
+let gentle_model =
+  (* Effectively wear-free across a test's horizon. *)
+  Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+
+let fast_model =
+  (* Pages tire after a few dozen cycles: accelerated aging for
+     end-of-life tests. *)
+  Flash.Rber_model.calibrate ~target_rber:6e-3 ~target_pec:40 ()
+
+(* --- Mapping ------------------------------------------------------------ *)
+
+module Mapping_exposed = struct
+  let create () = Ftl.Mapping.create ~geometry ~logical_opages:64
+end
+
+let test_mapping_bind_find () =
+  let m = Mapping_exposed.create () in
+  let loc = { Ftl.Location.block = 1; page = 2; slot = 3 } in
+  Ftl.Mapping.bind m ~logical:7 loc;
+  (match Ftl.Mapping.find m 7 with
+  | Some l -> checkb "found" true (Ftl.Location.equal l loc)
+  | None -> Alcotest.fail "mapping lost");
+  Alcotest.(check (option int)) "reverse" (Some 7) (Ftl.Mapping.owner m loc);
+  checki "mapped count" 1 (Ftl.Mapping.mapped_count m);
+  checki "valid in block" 1 (Ftl.Mapping.valid_in_block m ~block:1)
+
+let test_mapping_rebind_invalidates_old () =
+  let m = Mapping_exposed.create () in
+  let old_loc = { Ftl.Location.block = 0; page = 0; slot = 0 } in
+  let new_loc = { Ftl.Location.block = 1; page = 1; slot = 1 } in
+  Ftl.Mapping.bind m ~logical:3 old_loc;
+  Ftl.Mapping.bind m ~logical:3 new_loc;
+  Alcotest.(check (option int)) "old slot stale" None (Ftl.Mapping.owner m old_loc);
+  checki "old block emptied" 0 (Ftl.Mapping.valid_in_block m ~block:0);
+  checki "still one mapping" 1 (Ftl.Mapping.mapped_count m)
+
+let test_mapping_slot_stealing () =
+  let m = Mapping_exposed.create () in
+  let loc = { Ftl.Location.block = 2; page = 3; slot = 1 } in
+  Ftl.Mapping.bind m ~logical:10 loc;
+  Ftl.Mapping.bind m ~logical:11 loc;
+  (* stealing the slot unmaps the previous owner *)
+  Alcotest.(check (option int)) "new owner" (Some 11) (Ftl.Mapping.owner m loc);
+  checkb "old logical unmapped" true (Ftl.Mapping.find m 10 = None);
+  checki "one mapping" 1 (Ftl.Mapping.mapped_count m)
+
+let test_mapping_unbind () =
+  let m = Mapping_exposed.create () in
+  let loc = { Ftl.Location.block = 0; page = 1; slot = 2 } in
+  Ftl.Mapping.bind m ~logical:5 loc;
+  Ftl.Mapping.unbind_logical m 5;
+  checkb "gone" true (Ftl.Mapping.find m 5 = None);
+  Alcotest.(check (option int)) "slot stale" None (Ftl.Mapping.owner m loc);
+  checki "none mapped" 0 (Ftl.Mapping.mapped_count m);
+  (* double unbind is a no-op *)
+  Ftl.Mapping.unbind_logical m 5
+
+(* Property: after arbitrary bind/unbind sequences forward and reverse
+   directions agree and the per-block valid counters are exact. *)
+let prop_mapping_consistency =
+  QCheck.Test.make ~count:100 ~name:"mapping forward/reverse consistency"
+    QCheck.(list (pair (int_range 0 63) (triple (int_range 0 15) (int_range 0 7) (int_range 0 3))))
+    (fun ops ->
+      let m = Mapping_exposed.create () in
+      List.iter
+        (fun (logical, (block, page, slot)) ->
+          if logical mod 7 = 0 then Ftl.Mapping.unbind_logical m logical
+          else Ftl.Mapping.bind m ~logical { Ftl.Location.block; page; slot })
+        ops;
+      (* forward -> reverse agreement *)
+      let consistent = ref true in
+      let count = ref 0 in
+      for logical = 0 to 63 do
+        match Ftl.Mapping.find m logical with
+        | None -> ()
+        | Some loc ->
+            incr count;
+            if Ftl.Mapping.owner m loc <> Some logical then consistent := false
+      done;
+      (* counters *)
+      let by_block = Array.make 16 0 in
+      for logical = 0 to 63 do
+        match Ftl.Mapping.find m logical with
+        | Some { Ftl.Location.block; _ } ->
+            by_block.(block) <- by_block.(block) + 1
+        | None -> ()
+      done;
+      let counters_ok = ref true in
+      Array.iteri
+        (fun block expected ->
+          if Ftl.Mapping.valid_in_block m ~block <> expected then
+            counters_ok := false)
+        by_block;
+      !consistent && !counters_ok
+      && Ftl.Mapping.mapped_count m = !count)
+
+(* --- Write buffer ------------------------------------------------------- *)
+
+let test_buffer_dedupe () =
+  let b = Ftl.Write_buffer.create () in
+  Ftl.Write_buffer.put b ~logical:1 ~payload:10;
+  Ftl.Write_buffer.put b ~logical:1 ~payload:20;
+  checki "one entry" 1 (Ftl.Write_buffer.length b);
+  Alcotest.(check (option int)) "latest payload" (Some 20)
+    (Ftl.Write_buffer.payload_of b 1)
+
+let test_buffer_pop_order () =
+  let b = Ftl.Write_buffer.create () in
+  Ftl.Write_buffer.put b ~logical:1 ~payload:10;
+  Ftl.Write_buffer.put b ~logical:2 ~payload:20;
+  Ftl.Write_buffer.put b ~logical:3 ~payload:30;
+  Alcotest.(check (list (pair int int)))
+    "first two in order"
+    [ (1, 10); (2, 20) ]
+    (Ftl.Write_buffer.pop b 2);
+  checki "one left" 1 (Ftl.Write_buffer.length b)
+
+let test_buffer_drop_then_rewrite () =
+  let b = Ftl.Write_buffer.create () in
+  Ftl.Write_buffer.put b ~logical:1 ~payload:10;
+  Ftl.Write_buffer.drop b 1;
+  checkb "empty" true (Ftl.Write_buffer.is_empty b);
+  Ftl.Write_buffer.put b ~logical:1 ~payload:30;
+  Alcotest.(check (list (pair int int))) "stale entry skipped" [ (1, 30) ]
+    (Ftl.Write_buffer.pop b 5);
+  checkb "drained" true (Ftl.Write_buffer.is_empty b)
+
+(* --- Engine -------------------------------------------------------------- *)
+
+let make_engine ?(seed = 1) ?(logical = 256) ?(model = gentle_model) () =
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model
+  in
+  let policy = Ftl.Policy.always_fresh ~opages_per_fpage:4 in
+  Ftl.Engine.create ~chip ~rng:(Sim.Rng.create (seed + 1)) ~policy
+    ~logical_capacity:logical ()
+
+let test_engine_read_your_writes () =
+  let engine = make_engine () in
+  for logical = 0 to 99 do
+    match Ftl.Engine.write engine ~logical ~payload:(logical * 3) with
+    | Ok () -> ()
+    | Error `No_space -> Alcotest.fail "unexpected no space"
+  done;
+  for logical = 0 to 99 do
+    match Ftl.Engine.read engine ~logical with
+    | Ok payload -> checki "payload" (logical * 3) payload
+    | Error _ -> Alcotest.fail "read failed"
+  done
+
+let test_engine_unmapped_read () =
+  let engine = make_engine () in
+  (match Ftl.Engine.read engine ~logical:5 with
+  | Error `Unmapped -> ()
+  | _ -> Alcotest.fail "expected unmapped");
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Engine.read: logical index out of range") (fun () ->
+      ignore (Ftl.Engine.read engine ~logical:9999))
+
+let test_engine_overwrite () =
+  let engine = make_engine () in
+  for round = 1 to 5 do
+    for logical = 0 to 49 do
+      match Ftl.Engine.write engine ~logical ~payload:((round * 1000) + logical) with
+      | Ok () -> ()
+      | Error `No_space -> Alcotest.fail "no space"
+    done
+  done;
+  for logical = 0 to 49 do
+    match Ftl.Engine.read engine ~logical with
+    | Ok payload -> checki "latest round" (5000 + logical) payload
+    | Error _ -> Alcotest.fail "read failed"
+  done
+
+let test_engine_gc_sustains_overwrites () =
+  (* 512 physical slots, 256 logical: heavy overwriting forces many GC
+     cycles; data must survive all of them. *)
+  let engine = make_engine ~logical:256 () in
+  let rng = Sim.Rng.create 77 in
+  let shadow = Hashtbl.create 256 in
+  for i = 1 to 20_000 do
+    let logical = Sim.Rng.int rng 256 in
+    (match Ftl.Engine.write engine ~logical ~payload:i with
+    | Ok () -> Hashtbl.replace shadow logical i
+    | Error `No_space -> Alcotest.fail "no space under 50% utilization");
+    ()
+  done;
+  checkb "GC actually ran" true (Ftl.Engine.gc_runs engine > 0);
+  Hashtbl.iter
+    (fun logical expected ->
+      match Ftl.Engine.read engine ~logical with
+      | Ok payload ->
+          checki (Printf.sprintf "logical %d" logical) expected payload
+      | Error _ -> Alcotest.fail "read failed after GC")
+    shadow;
+  checkb "write amplification sane" true
+    (Ftl.Engine.write_amplification engine >= 0.9)
+
+let test_engine_no_space_when_full () =
+  (* Logical space equals physical: after filling everything and
+     overwriting, GC cannot reclaim and the engine must say so. *)
+  let engine = make_engine ~logical:512 () in
+  let result = ref (Ok ()) in
+  (try
+     for round = 0 to 3 do
+       for logical = 0 to 511 do
+         match Ftl.Engine.write engine ~logical ~payload:round with
+         | Ok () -> ()
+         | Error `No_space ->
+             result := Error `No_space;
+             raise Exit
+       done
+     done
+   with Exit -> ());
+  checkb "eventually out of space" true (!result = Error `No_space)
+
+let test_engine_discard_frees_space () =
+  let engine = make_engine ~logical:512 () in
+  for logical = 0 to 400 do
+    match Ftl.Engine.write engine ~logical ~payload:1 with
+    | Ok () -> ()
+    | Error `No_space -> Alcotest.fail "filling failed"
+  done;
+  for logical = 0 to 400 do
+    Ftl.Engine.discard engine ~logical
+  done;
+  checkb "discarded unmapped" true
+    (Ftl.Engine.read engine ~logical:100 = Error `Unmapped);
+  (* All space is reclaimable now; writes keep succeeding. *)
+  for logical = 0 to 400 do
+    match Ftl.Engine.write engine ~logical ~payload:2 with
+    | Ok () -> ()
+    | Error `No_space -> Alcotest.fail "space not reclaimed after discard"
+  done
+
+let test_engine_flush_makes_buffer_durable () =
+  let engine = make_engine () in
+  (match Ftl.Engine.write engine ~logical:0 ~payload:42 with
+  | Ok () -> ()
+  | Error `No_space -> Alcotest.fail "no space");
+  checkb "pending in buffer" true (Ftl.Engine.buffered_opages engine > 0);
+  (match Ftl.Engine.flush engine with
+  | Ok () -> ()
+  | Error `No_space -> Alcotest.fail "flush failed");
+  checki "buffer drained" 0 (Ftl.Engine.buffered_opages engine);
+  checkb "mapped to flash" true (Ftl.Engine.mapped_opages engine > 0)
+
+let test_engine_relocate_page () =
+  let engine = make_engine () in
+  for logical = 0 to 7 do
+    ignore (Ftl.Engine.write engine ~logical ~payload:(100 + logical))
+  done;
+  (match Ftl.Engine.flush engine with Ok () -> () | Error _ -> ());
+  (* Find a live location and relocate its whole page. *)
+  match Ftl.Engine.live_entries engine with
+  | [] -> Alcotest.fail "nothing mapped"
+  | (logical, { Ftl.Location.block; page; _ }) :: _ ->
+      Ftl.Engine.relocate_page engine ~block ~page;
+      (* Data still readable (from buffer), and after a flush it lives
+         elsewhere. *)
+      (match Ftl.Engine.read engine ~logical with
+      | Ok payload -> checki "payload preserved" (100 + logical) payload
+      | Error _ -> Alcotest.fail "read after relocate");
+      (match Ftl.Engine.flush engine with Ok () -> () | Error _ -> ());
+      (match List.assoc_opt logical (Ftl.Engine.live_entries engine) with
+      | Some new_loc ->
+          checkb "moved off the page" true
+            (not (new_loc.Ftl.Location.block = block && new_loc.Ftl.Location.page = page))
+      | None -> Alcotest.fail "mapping lost after relocation")
+
+let test_engine_mapped_in_range () =
+  let engine = make_engine () in
+  for logical = 10 to 19 do
+    ignore (Ftl.Engine.write engine ~logical ~payload:0)
+  done;
+  checki "range count includes buffered" 10
+    (Ftl.Engine.mapped_in_range engine ~lo:10 ~len:10);
+  checki "empty range" 0 (Ftl.Engine.mapped_in_range engine ~lo:100 ~len:10)
+
+let test_engine_read_reclaim () =
+  (* A model with strong read disturb and a policy that reclaims at a
+     fixed threshold: hammering reads on one oPage must eventually move
+     its page's data elsewhere, without corrupting it. *)
+  let disturb_model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000
+      ~read_disturb_per_read:1e-5 ()
+  in
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 31) ~geometry ~model:disturb_model
+  in
+  let policy =
+    {
+      (Ftl.Policy.always_fresh ~opages_per_fpage:4) with
+      Ftl.Policy.should_reclaim = (fun ~rber ~block:_ ~page:_ -> rber > 2e-3);
+    }
+  in
+  let engine =
+    Ftl.Engine.create ~chip ~rng:(Sim.Rng.create 32) ~policy
+      ~logical_capacity:64 ()
+  in
+  for logical = 0 to 7 do
+    ignore (Ftl.Engine.write engine ~logical ~payload:(500 + logical))
+  done;
+  (match Ftl.Engine.flush engine with Ok () -> () | Error _ -> ());
+  let original = Option.get (Ftl.Engine.locate engine ~logical:0) in
+  let moved = ref false in
+  let i = ref 0 in
+  while (not !moved) && !i < 2_000 do
+    incr i;
+    (match Ftl.Engine.read engine ~logical:0 with
+    | Ok p -> checki "payload stable under reclaim" 500 p
+    | Error _ -> Alcotest.fail "read failed");
+    ignore (Ftl.Engine.flush engine);
+    match Ftl.Engine.locate engine ~logical:0 with
+    | Some loc when not (Ftl.Location.equal loc original) -> moved := true
+    | _ -> ()
+  done;
+  checkb "reclaim moved the data" true !moved;
+  checkb "reclaim counted" true (Ftl.Engine.read_reclaims engine > 0)
+
+(* --- power-fail recovery --------------------------------------------------- *)
+
+let test_crash_rebuild_preserves_data () =
+  let engine = make_engine ~seed:51 ~logical:200 () in
+  let shadow = Hashtbl.create 64 in
+  let rng = Sim.Rng.create 52 in
+  (* churn enough to force GC and overwrites *)
+  for i = 1 to 5_000 do
+    let logical = Sim.Rng.int rng 200 in
+    match Ftl.Engine.write engine ~logical ~payload:i with
+    | Ok () -> Hashtbl.replace shadow logical i
+    | Error `No_space -> Alcotest.fail "no space"
+  done;
+  (* some trims, including of buffered entries *)
+  for logical = 0 to 30 do
+    Ftl.Engine.discard engine ~logical;
+    Hashtbl.remove shadow logical
+  done;
+  let rebuilt = Ftl.Engine.crash_rebuild engine in
+  Hashtbl.iter
+    (fun logical expected ->
+      match Ftl.Engine.read rebuilt ~logical with
+      | Ok payload ->
+          checki (Printf.sprintf "logical %d after crash" logical) expected
+            payload
+      | Error _ -> Alcotest.fail "read failed after crash")
+    shadow;
+  for logical = 0 to 30 do
+    checkb "trim survived the crash" true
+      (Ftl.Engine.read rebuilt ~logical = Error `Unmapped)
+  done;
+  (* the rebuilt engine keeps working: more writes and GC *)
+  for i = 1 to 2_000 do
+    let logical = Sim.Rng.int rng 200 in
+    match Ftl.Engine.write rebuilt ~logical ~payload:(100_000 + i) with
+    | Ok () -> Hashtbl.replace shadow logical (100_000 + i)
+    | Error `No_space -> Alcotest.fail "no space after rebuild"
+  done;
+  Hashtbl.iter
+    (fun logical expected ->
+      match Ftl.Engine.read rebuilt ~logical with
+      | Ok payload -> checki "post-rebuild write" expected payload
+      | Error _ -> Alcotest.fail "read failed post rebuild")
+    shadow
+
+let test_crash_rebuild_trim_then_rewrite () =
+  let engine = make_engine ~seed:53 () in
+  ignore (Ftl.Engine.write engine ~logical:7 ~payload:1);
+  (match Ftl.Engine.flush engine with Ok () -> () | Error _ -> ());
+  Ftl.Engine.discard engine ~logical:7;
+  ignore (Ftl.Engine.write engine ~logical:7 ~payload:2);
+  (match Ftl.Engine.flush engine with Ok () -> () | Error _ -> ());
+  let rebuilt = Ftl.Engine.crash_rebuild engine in
+  (* the rewrite postdates the trim: it must win *)
+  checkb "rewrite after trim survives" true
+    (Ftl.Engine.read rebuilt ~logical:7 = Ok 2)
+
+(* Property: crash at an arbitrary point in a random workload loses no
+   acknowledged data and resurrects no trimmed LBA. *)
+let prop_crash_rebuild =
+  QCheck.Test.make ~count:25 ~name:"crash rebuild equals pre-crash state"
+    QCheck.(pair small_int (list (pair (int_range 0 99) (int_range 0 3))))
+    (fun (seed, ops) ->
+      let engine = make_engine ~seed:(seed + 60) ~logical:100 () in
+      let shadow = Hashtbl.create 32 in
+      List.iteri
+        (fun i (logical, op) ->
+          if op = 3 then begin
+            Ftl.Engine.discard engine ~logical;
+            Hashtbl.remove shadow logical
+          end
+          else
+            match Ftl.Engine.write engine ~logical ~payload:i with
+            | Ok () -> Hashtbl.replace shadow logical i
+            | Error `No_space -> ())
+        ops;
+      let rebuilt = Ftl.Engine.crash_rebuild engine in
+      let ok = ref true in
+      for logical = 0 to 99 do
+        let expected = Hashtbl.find_opt shadow logical in
+        let got =
+          match Ftl.Engine.read rebuilt ~logical with
+          | Ok payload -> Some payload
+          | Error _ -> None
+        in
+        if expected <> got then ok := false
+      done;
+      !ok)
+
+(* Property: random mixed workloads never lose acknowledged data. *)
+let prop_engine_read_your_writes =
+  QCheck.Test.make ~count:30 ~name:"engine read-your-writes under random ops"
+    QCheck.(pair small_int (list (pair (int_range 0 199) (int_range 0 2))))
+    (fun (seed, ops) ->
+      let engine = make_engine ~seed:(seed + 2) ~logical:200 () in
+      let shadow = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iteri
+        (fun i (logical, op) ->
+          match op with
+          | 0 | 1 -> (
+              match Ftl.Engine.write engine ~logical ~payload:i with
+              | Ok () -> Hashtbl.replace shadow logical i
+              | Error `No_space -> ())
+          | _ ->
+              Ftl.Engine.discard engine ~logical;
+              Hashtbl.remove shadow logical)
+        ops;
+      Hashtbl.iter
+        (fun logical expected ->
+          match Ftl.Engine.read engine ~logical with
+          | Ok payload -> if payload <> expected then ok := false
+          | Error _ -> ok := false)
+        shadow;
+      (* And everything not written reads unmapped. *)
+      for logical = 0 to 199 do
+        if not (Hashtbl.mem shadow logical) then
+          match Ftl.Engine.read engine ~logical with
+          | Error `Unmapped -> ()
+          | _ -> ok := false
+      done;
+      !ok)
+
+(* --- Baseline SSD --------------------------------------------------------- *)
+
+let age_device_until_death ?(max_writes = 3_000_000) device write_fraction =
+  (* Random overwrites across [write_fraction] of the capacity until the
+     device dies; returns total accepted host writes. *)
+  let rng = Sim.Rng.create 1234 in
+  let writes = ref 0 in
+  (try
+     while !writes < max_writes do
+       if not (Ftl.Device_intf.alive device) then raise Exit;
+       let capacity = Ftl.Device_intf.logical_capacity device in
+       let window =
+         Stdlib.max 1
+           (int_of_float (float_of_int capacity *. write_fraction))
+       in
+       let lba = Sim.Rng.int rng window in
+       (match Ftl.Device_intf.write device ~lba ~payload:!writes with
+       | Ok () -> incr writes
+       | Error `Dead | Error `No_space -> raise Exit
+       | Error `Out_of_range -> ())
+     done
+   with Exit -> ());
+  !writes
+
+let test_baseline_ages_and_bricks () =
+  let rng = Sim.Rng.create 9 in
+  let device =
+    Ftl.Baseline_ssd.create ~geometry ~model:fast_model ~rng ()
+  in
+  let packed =
+    Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), device)
+  in
+  let writes = age_device_until_death packed 0.9 in
+  checkb "died of wear" true (not (Ftl.Baseline_ssd.alive device));
+  checkb "survived a meaningful life" true (writes > 1000);
+  checkb "bad blocks at or beyond threshold" true
+    (Ftl.Baseline_ssd.bad_block_fraction device >= 0.025);
+  (* Read-only after death: reads still work. *)
+  let readable = ref false in
+  for lba = 0 to Ftl.Baseline_ssd.initial_capacity device - 1 do
+    if not !readable then
+      match Ftl.Baseline_ssd.read device ~lba with
+      | Ok _ -> readable := true
+      | Error _ -> ()
+  done;
+  checkb "still readable after brick" true !readable
+
+let test_baseline_capacity_constant_until_death () =
+  let rng = Sim.Rng.create 10 in
+  let device = Ftl.Baseline_ssd.create ~geometry ~model:fast_model ~rng () in
+  let initial = Ftl.Baseline_ssd.logical_capacity device in
+  checki "93% of physical" (int_of_float (512. *. 0.93)) initial;
+  let packed = Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), device) in
+  ignore (age_device_until_death packed 0.9);
+  checki "capacity drops to zero at death" 0
+    (Ftl.Baseline_ssd.logical_capacity device)
+
+(* --- CVSS ------------------------------------------------------------------ *)
+
+let test_cvss_shrinks_then_dies () =
+  let rng = Sim.Rng.create 11 in
+  let device = Ftl.Cvss.create ~geometry ~model:fast_model ~rng () in
+  let packed = Ftl.Device_intf.Packed ((module Ftl.Cvss), device) in
+  let writes = age_device_until_death packed 0.45 in
+  checkb "eventually dies" true (not (Ftl.Cvss.alive device));
+  checkb "shrank before dying" true (Ftl.Cvss.retired_blocks device > 0);
+  checkb "shrunk opages recorded" true (Ftl.Cvss.shrunk_opages device >= 0);
+  checkb "lived" true (writes > 1000);
+  (* Died by the min-capacity rule: capacity fell below half. *)
+  checkb "capacity below floor at death" true
+    (Ftl.Cvss.logical_capacity device = 0)
+
+let test_cvss_outlives_baseline () =
+  (* Same flash physics, same write stream: CVSS should absorb more total
+     writes than the baseline because it keeps going after the baseline's
+     2.5% threshold. *)
+  let make_baseline seed =
+    let rng = Sim.Rng.create seed in
+    let d = Ftl.Baseline_ssd.create ~geometry ~model:fast_model ~rng () in
+    Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d)
+  in
+  let make_cvss seed =
+    let rng = Sim.Rng.create seed in
+    let d = Ftl.Cvss.create ~geometry ~model:fast_model ~rng () in
+    Ftl.Device_intf.Packed ((module Ftl.Cvss), d)
+  in
+  let lifetime make =
+    let total = ref 0 in
+    List.iter
+      (fun seed -> total := !total + age_device_until_death (make seed) 0.45)
+      [ 21; 22; 23 ];
+    !total
+  in
+  let baseline_life = lifetime make_baseline in
+  let cvss_life = lifetime make_cvss in
+  checkb
+    (Printf.sprintf "cvss %d > baseline %d writes" cvss_life baseline_life)
+    true (cvss_life > baseline_life)
+
+let suite =
+  let qc = QCheck_alcotest.to_alcotest in
+  [
+    ("mapping bind/find", `Quick, test_mapping_bind_find);
+    ("mapping rebind invalidates", `Quick, test_mapping_rebind_invalidates_old);
+    ("mapping slot stealing", `Quick, test_mapping_slot_stealing);
+    ("mapping unbind", `Quick, test_mapping_unbind);
+    qc prop_mapping_consistency;
+    ("buffer dedupe", `Quick, test_buffer_dedupe);
+    ("buffer pop order", `Quick, test_buffer_pop_order);
+    ("buffer drop then rewrite", `Quick, test_buffer_drop_then_rewrite);
+    ("engine read-your-writes", `Quick, test_engine_read_your_writes);
+    ("engine unmapped read", `Quick, test_engine_unmapped_read);
+    ("engine overwrite", `Quick, test_engine_overwrite);
+    ("engine GC sustains overwrites", `Slow, test_engine_gc_sustains_overwrites);
+    ("engine no space when full", `Quick, test_engine_no_space_when_full);
+    ("engine discard frees space", `Quick, test_engine_discard_frees_space);
+    ("engine flush durability", `Quick, test_engine_flush_makes_buffer_durable);
+    ("engine relocate page", `Quick, test_engine_relocate_page);
+    ("engine mapped_in_range", `Quick, test_engine_mapped_in_range);
+    ("engine read reclaim", `Quick, test_engine_read_reclaim);
+    ("crash rebuild preserves data", `Quick, test_crash_rebuild_preserves_data);
+    ("crash rebuild trim then rewrite", `Quick,
+     test_crash_rebuild_trim_then_rewrite);
+    qc prop_crash_rebuild;
+    qc prop_engine_read_your_writes;
+    ("baseline ages and bricks", `Slow, test_baseline_ages_and_bricks);
+    ("baseline capacity until death", `Slow,
+     test_baseline_capacity_constant_until_death);
+    ("cvss shrinks then dies", `Slow, test_cvss_shrinks_then_dies);
+    ("cvss outlives baseline", `Slow, test_cvss_outlives_baseline);
+  ]

@@ -1,0 +1,397 @@
+(* Tests for the simulation substrate: RNG, distributions, special
+   functions, statistics, event queue and engine. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf epsilon = Alcotest.check (Alcotest.float epsilon)
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 1 in
+  for _ = 1 to 100 do
+    checkb "same seed, same stream" true (Sim.Rng.bits64 a = Sim.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.bits64 a <> Sim.Rng.bits64 b then differs := true
+  done;
+  checkb "different seeds diverge" true !differs
+
+let test_rng_copy () =
+  let a = Sim.Rng.create 5 in
+  ignore (Sim.Rng.bits64 a);
+  let b = Sim.Rng.copy a in
+  for _ = 1 to 50 do
+    checkb "copy replays" true (Sim.Rng.bits64 a = Sim.Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Sim.Rng.create 10 in
+  let child1 = Sim.Rng.split parent in
+  let child2 = Sim.Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Sim.Rng.bits64 child1 = Sim.Rng.bits64 child2 then incr same
+  done;
+  checki "children do not mirror each other" 0 !same
+
+let test_rng_int_bounds () =
+  let rng = Sim.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Sim.Rng.int rng 7 in
+    checkb "0 <= x < 7" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int rng 0))
+
+let test_rng_int_uniformity () =
+  let rng = Sim.Rng.create 17 in
+  let buckets = Array.make 10 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    let x = Sim.Rng.int rng 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      let expected = samples / 10 in
+      checkb
+        (Printf.sprintf "bucket %d within 5%% of uniform" i)
+        true
+        (abs (count - expected) < expected / 20))
+    buckets
+
+let test_rng_chance_extremes () =
+  let rng = Sim.Rng.create 4 in
+  checkb "p=0 never" false (Sim.Rng.chance rng 0.);
+  checkb "p=1 always" true (Sim.Rng.chance rng 1.);
+  checkb "p<0 never" false (Sim.Rng.chance rng (-0.5))
+
+let test_rng_shuffle_permutation () =
+  let rng = Sim.Rng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Sim.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation"
+    (Array.init 50 Fun.id) sorted
+
+(* --- Distributions ---------------------------------------------------- *)
+
+let sample_mean n f =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let test_dist_exponential_mean () =
+  let rng = Sim.Rng.create 21 in
+  let mean = sample_mean 50_000 (fun () -> Sim.Dist.exponential rng ~rate:2.) in
+  checkf 0.02 "mean 1/rate" 0.5 mean
+
+let test_dist_normal_moments () =
+  let rng = Sim.Rng.create 22 in
+  let online = Sim.Stats.Online.create () in
+  for _ = 1 to 50_000 do
+    Sim.Stats.Online.add online (Sim.Dist.normal rng ~mean:3. ~stddev:2.)
+  done;
+  checkf 0.05 "mean" 3. (Sim.Stats.Online.mean online);
+  checkf 0.1 "stddev" 2. (Sim.Stats.Online.stddev online)
+
+let test_dist_lognormal_positive () =
+  let rng = Sim.Rng.create 23 in
+  for _ = 1 to 1000 do
+    checkb "lognormal > 0" true (Sim.Dist.lognormal rng ~mu:0. ~sigma:0.25 > 0.)
+  done
+
+let test_dist_poisson_mean () =
+  let rng = Sim.Rng.create 24 in
+  let small =
+    sample_mean 20_000 (fun () ->
+        float_of_int (Sim.Dist.poisson rng ~mean:3.5))
+  in
+  checkf 0.1 "poisson small mean" 3.5 small;
+  let large =
+    sample_mean 20_000 (fun () ->
+        float_of_int (Sim.Dist.poisson rng ~mean:80.))
+  in
+  checkf 1.0 "poisson large mean" 80. large
+
+let test_dist_binomial_mean () =
+  let rng = Sim.Rng.create 25 in
+  (* exact regime *)
+  let exact =
+    sample_mean 20_000 (fun () ->
+        float_of_int (Sim.Dist.binomial rng ~n:40 ~p:0.3))
+  in
+  checkf 0.15 "binomial exact mean" 12. exact;
+  (* approximation regime *)
+  let approx =
+    sample_mean 20_000 (fun () ->
+        float_of_int (Sim.Dist.binomial rng ~n:10_000 ~p:0.01))
+  in
+  checkf 1.5 "binomial approx mean" 100. approx
+
+let test_dist_binomial_extremes () =
+  let rng = Sim.Rng.create 26 in
+  checki "p=0" 0 (Sim.Dist.binomial rng ~n:100 ~p:0.);
+  checki "p=1" 100 (Sim.Dist.binomial rng ~n:100 ~p:1.)
+
+let test_dist_zipf_skew () =
+  let rng = Sim.Rng.create 27 in
+  let zipf = Sim.Dist.Zipf.create ~n:100 ~theta:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let r = Sim.Dist.Zipf.sample zipf rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  checkb "rank 0 hotter than rank 50" true (counts.(0) > 10 * counts.(50));
+  (* theta = 0 is uniform *)
+  let uniform = Sim.Dist.Zipf.create ~n:10 ~theta:0. in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let r = Sim.Dist.Zipf.sample uniform rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      checkb (Printf.sprintf "uniform bucket %d" i) true
+        (abs (c - 5000) < 500))
+    counts
+
+(* --- Special functions ------------------------------------------------ *)
+
+let test_log_gamma_factorials () =
+  (* gamma(n+1) = n! *)
+  let factorial n =
+    let rec go acc i = if i <= 1 then acc else go (acc *. float_of_int i) (i - 1) in
+    go 1. n
+  in
+  List.iter
+    (fun n ->
+      checkf 1e-9
+        (Printf.sprintf "log_gamma %d" n)
+        (log (factorial n))
+        (Sim.Special.log_gamma (float_of_int (n + 1))))
+    [ 1; 2; 5; 10; 20 ]
+
+let test_log_choose () =
+  checkf 1e-9 "C(5,2)" (log 10.) (Sim.Special.log_choose 5 2);
+  checkf 1e-9 "C(10,0)" 0. (Sim.Special.log_choose 10 0);
+  checkf 1e-6 "C(100,50)"
+    (log 1.0089134454556417e29)
+    (Sim.Special.log_choose 100 50)
+
+let test_betai_reference_values () =
+  (* I_x(1,1) = x; I_x(2,1) = x^2 *)
+  checkf 1e-12 "I_x(1,1)" 0.37 (Sim.Special.betai 1. 1. 0.37);
+  checkf 1e-12 "I_x(2,1)" (0.4 ** 2.) (Sim.Special.betai 2. 1. 0.4);
+  checkf 1e-9 "symmetry" 1.
+    (Sim.Special.betai 3. 7. 0.2 +. Sim.Special.betai 7. 3. 0.8)
+
+let test_binomial_tail_matches_exact_sum () =
+  List.iter
+    (fun (n, p, t) ->
+      checkf 1e-10
+        (Printf.sprintf "tail n=%d p=%g t=%d" n p t)
+        (Sim.Special.binomial_tail_exact_sum n p t)
+        (Sim.Special.binomial_tail n p t))
+    [ (10, 0.3, 4); (100, 0.01, 3); (1000, 0.005, 10); (64, 0.5, 32) ]
+
+let test_binomial_tail_extremes () =
+  checkf 0. "t >= n" 0. (Sim.Special.binomial_tail 10 0.5 10);
+  checkf 0. "p = 0" 0. (Sim.Special.binomial_tail 10 0. 0);
+  checkf 0. "p = 1, t < n" 1. (Sim.Special.binomial_tail 10 1. 5);
+  checkf 1e-12 "t = -1 is certain" 1. (Sim.Special.binomial_tail 10 0.3 (-1))
+
+let test_binomial_tail_monotone_in_p () =
+  let previous = ref 0. in
+  List.iter
+    (fun p ->
+      let tail = Sim.Special.binomial_tail 10_000 p 50 in
+      checkb (Printf.sprintf "monotone at p=%g" p) true (tail >= !previous);
+      previous := tail)
+    [ 1e-4; 5e-4; 1e-3; 5e-3; 1e-2; 5e-2 ]
+
+let test_solve_monotone () =
+  let root =
+    Sim.Special.solve_monotone ~f:(fun x -> x *. x) ~target:2. ~lo:0. ~hi:2. ()
+  in
+  checkf 1e-9 "sqrt 2" (sqrt 2.) root
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_online_known_values () =
+  let online = Sim.Stats.Online.create () in
+  List.iter (Sim.Stats.Online.add online) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  checki "count" 8 (Sim.Stats.Online.count online);
+  checkf 1e-9 "mean" 5. (Sim.Stats.Online.mean online);
+  checkf 1e-9 "variance" (32. /. 7.) (Sim.Stats.Online.variance online);
+  checkf 1e-9 "min" 2. (Sim.Stats.Online.min online);
+  checkf 1e-9 "max" 9. (Sim.Stats.Online.max online);
+  checkf 1e-9 "total" 40. (Sim.Stats.Online.total online)
+
+let test_online_merge () =
+  let a = Sim.Stats.Online.create () and b = Sim.Stats.Online.create () in
+  let all = Sim.Stats.Online.create () in
+  let rng = Sim.Rng.create 31 in
+  for i = 1 to 1000 do
+    let x = Sim.Rng.unit_float rng *. 10. in
+    Sim.Stats.Online.add all x;
+    Sim.Stats.Online.add (if i mod 3 = 0 then a else b) x
+  done;
+  let merged = Sim.Stats.Online.merge a b in
+  checki "merged count" 1000 (Sim.Stats.Online.count merged);
+  checkf 1e-9 "merged mean" (Sim.Stats.Online.mean all)
+    (Sim.Stats.Online.mean merged);
+  checkf 1e-6 "merged variance" (Sim.Stats.Online.variance all)
+    (Sim.Stats.Online.variance merged)
+
+let test_histogram_percentiles () =
+  let hist = Sim.Stats.Histogram.create ~buckets:1000 ~lo:0. ~hi:100. () in
+  for i = 1 to 10_000 do
+    Sim.Stats.Histogram.add hist (float_of_int (i mod 100))
+  done;
+  checkf 1.0 "p50" 50. (Sim.Stats.Histogram.percentile hist 0.5);
+  checkf 1.5 "p99" 99. (Sim.Stats.Histogram.percentile hist 0.99);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      let empty = Sim.Stats.Histogram.create ~lo:0. ~hi:1. () in
+      ignore (Sim.Stats.Histogram.percentile empty 0.5))
+
+let test_series_binned () =
+  let series = Sim.Stats.Series.create () in
+  Sim.Stats.Series.add series ~time:0.1 10.;
+  Sim.Stats.Series.add series ~time:0.9 20.;
+  Sim.Stats.Series.add series ~time:1.5 30.;
+  let binned = Sim.Stats.Series.binned series ~bin:1.0 in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "binned averages"
+    [ (0., 15.); (1., 30.) ]
+    binned
+
+(* --- Event queue and engine ------------------------------------------- *)
+
+let test_event_queue_ordering () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q ~time:3. "c";
+  Sim.Event_queue.push q ~time:1. "a";
+  Sim.Event_queue.push q ~time:2. "b";
+  let pop () =
+    match Sim.Event_queue.pop q with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "queue empty"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "ordered" [ "a"; "b"; "c" ]
+    [ first; second; third ];
+  checkb "now empty" true (Sim.Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  List.iter (fun v -> Sim.Event_queue.push q ~time:1. v) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ ->
+      match Sim.Event_queue.pop q with
+      | Some (_, v) -> v
+      | None -> -1)
+  in
+  Alcotest.(check (list int)) "FIFO on ties" [ 1; 2; 3; 4; 5 ] order
+
+let test_event_queue_random_order () =
+  let q = Sim.Event_queue.create () in
+  let rng = Sim.Rng.create 41 in
+  for _ = 1 to 1000 do
+    Sim.Event_queue.push q ~time:(Sim.Rng.unit_float rng) ()
+  done;
+  let previous = ref neg_infinity in
+  let sorted = ref true in
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | None -> ()
+    | Some (time, ()) ->
+        if time < !previous then sorted := false;
+        previous := time;
+        drain ()
+  in
+  drain ();
+  checkb "pops in time order" true !sorted
+
+let test_engine_schedule_and_run () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule engine ~after:2. (fun _ -> log := "second" :: !log);
+  Sim.Engine.schedule engine ~after:1. (fun e ->
+      log := "first" :: !log;
+      Sim.Engine.schedule e ~after:0.5 (fun _ -> log := "nested" :: !log));
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "execution order"
+    [ "first"; "nested"; "second" ]
+    (List.rev !log);
+  checkf 1e-9 "clock at last event" 2. (Sim.Engine.now engine)
+
+let test_engine_until () =
+  let engine = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick e =
+    incr count;
+    Sim.Engine.schedule e ~after:1. tick
+  in
+  Sim.Engine.schedule engine ~after:1. tick;
+  Sim.Engine.run ~until:10.5 engine;
+  checki "ten ticks before 10.5" 10 !count;
+  checkf 1e-9 "clock advanced to until" 10.5 (Sim.Engine.now engine);
+  checki "next tick still pending" 1 (Sim.Engine.pending engine)
+
+let test_engine_rejects_past () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.schedule engine ~after:5. (fun e ->
+      Alcotest.check_raises "past scheduling"
+        (Invalid_argument "Engine.schedule_at: time is in the past")
+        (fun () -> Sim.Engine.schedule_at e ~time:1. (fun _ -> ())));
+  Sim.Engine.run engine
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng int uniformity", `Slow, test_rng_int_uniformity);
+    ("rng chance extremes", `Quick, test_rng_chance_extremes);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("dist exponential mean", `Slow, test_dist_exponential_mean);
+    ("dist normal moments", `Slow, test_dist_normal_moments);
+    ("dist lognormal positive", `Quick, test_dist_lognormal_positive);
+    ("dist poisson mean", `Slow, test_dist_poisson_mean);
+    ("dist binomial mean", `Slow, test_dist_binomial_mean);
+    ("dist binomial extremes", `Quick, test_dist_binomial_extremes);
+    ("dist zipf skew", `Slow, test_dist_zipf_skew);
+    ("special log_gamma factorials", `Quick, test_log_gamma_factorials);
+    ("special log_choose", `Quick, test_log_choose);
+    ("special betai reference", `Quick, test_betai_reference_values);
+    ("special binomial tail vs exact", `Quick,
+     test_binomial_tail_matches_exact_sum);
+    ("special binomial tail extremes", `Quick, test_binomial_tail_extremes);
+    ("special binomial tail monotone", `Quick,
+     test_binomial_tail_monotone_in_p);
+    ("special solve_monotone", `Quick, test_solve_monotone);
+    ("stats online known values", `Quick, test_online_known_values);
+    ("stats online merge", `Quick, test_online_merge);
+    ("stats histogram percentiles", `Quick, test_histogram_percentiles);
+    ("stats series binned", `Quick, test_series_binned);
+    ("event queue ordering", `Quick, test_event_queue_ordering);
+    ("event queue fifo ties", `Quick, test_event_queue_fifo_ties);
+    ("event queue random order", `Quick, test_event_queue_random_order);
+    ("engine schedule and run", `Quick, test_engine_schedule_and_run);
+    ("engine until", `Quick, test_engine_until);
+    ("engine rejects past", `Quick, test_engine_rejects_past);
+  ]

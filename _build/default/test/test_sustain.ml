@@ -1,0 +1,159 @@
+(* Tests for the sustainability models: the carbon (Eq. 3), TCO (Eq. 4)
+   and lifetime (Fig. 2) calculations must reproduce the paper's numbers
+   from its published parameters. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf epsilon = Alcotest.check (Alcotest.float epsilon)
+
+(* --- carbon (Eq. 3) -------------------------------------------------------- *)
+
+let find_scenario label =
+  List.find
+    (fun s -> s.Sustain.Carbon.label = label)
+    Sustain.Carbon.paper_scenarios
+
+let test_carbon_upgrade_rates () =
+  checkf 0.01 "raw ShrinkS Ru" 0.83
+    (Sustain.Carbon.raw_upgrade_rate
+       ~lifetime_factor:Sustain.Params.shrinks_lifetime_factor);
+  checkf 0.01 "raw RegenS Ru" 0.66
+    (Sustain.Carbon.raw_upgrade_rate
+       ~lifetime_factor:Sustain.Params.regens_lifetime_factor);
+  (* the paper's conservative 40% haircut gives 0.9 / 0.8 *)
+  checkf 0.01 "adjusted ShrinkS" 0.9
+    (Sustain.Carbon.adjusted_upgrade_rate
+       ~lifetime_factor:Sustain.Params.shrinks_lifetime_factor
+       ~adjustment:Sustain.Params.capacity_adjustment);
+  checkf 0.02 "adjusted RegenS" 0.8
+    (Sustain.Carbon.adjusted_upgrade_rate
+       ~lifetime_factor:Sustain.Params.regens_lifetime_factor
+       ~adjustment:Sustain.Params.capacity_adjustment)
+
+let test_carbon_paper_numbers () =
+  (* paper: 3-8% savings today, 11-20% under renewables *)
+  let shrinks = find_scenario "ShrinkS (current grid)" in
+  let regens = find_scenario "RegenS (current grid)" in
+  let shrinks_renewable = find_scenario "ShrinkS (renewable ops)" in
+  let regens_renewable = find_scenario "RegenS (renewable ops)" in
+  checkb "ShrinkS ~3%" true
+    (Sustain.Carbon.savings shrinks > 0.02
+    && Sustain.Carbon.savings shrinks < 0.05);
+  checkf 0.005 "RegenS 8%" 0.08 (Sustain.Carbon.savings regens);
+  checkf 0.005 "ShrinkS renewables 10%" 0.10
+    (Sustain.Carbon.savings shrinks_renewable);
+  checkf 0.005 "RegenS renewables 20%" 0.20
+    (Sustain.Carbon.savings regens_renewable)
+
+let test_carbon_monotone_in_lifetime () =
+  (* at 1.0x the power penalty makes savings slightly negative *)
+  let previous = ref neg_infinity in
+  List.iter
+    (fun lifetime ->
+      let savings =
+        Sustain.Carbon.savings
+          {
+            Sustain.Carbon.label = "";
+            f_op = Sustain.Params.f_op_ssd_servers;
+            power_effectiveness = Sustain.Params.power_effectiveness;
+            upgrade_rate =
+              Sustain.Carbon.adjusted_upgrade_rate ~lifetime_factor:lifetime
+                ~adjustment:Sustain.Params.capacity_adjustment;
+          }
+      in
+      checkb
+        (Printf.sprintf "savings grow at %.1fx" lifetime)
+        true (savings >= !previous);
+      previous := savings)
+    [ 1.0; 1.2; 1.5; 2.0; 3.0 ]
+
+let test_carbon_invalid () =
+  Alcotest.check_raises "zero lifetime"
+    (Invalid_argument "Carbon.raw_upgrade_rate") (fun () ->
+      ignore (Sustain.Carbon.raw_upgrade_rate ~lifetime_factor:0.))
+
+(* --- TCO (Eq. 4) --------------------------------------------------------------- *)
+
+let test_tco_paper_numbers () =
+  match Sustain.Tco.paper_scenarios with
+  | [ shrinks; regens ] ->
+      (* paper: 13% and 25% savings *)
+      checkf 0.01 "ShrinkS 13%" 0.13 (Sustain.Tco.savings shrinks);
+      checkf 0.015 "RegenS 25%" 0.25 (Sustain.Tco.savings regens)
+  | _ -> Alcotest.fail "expected two scenarios"
+
+let test_tco_sensitivity () =
+  (* paper: 6-14% when operational costs are half the budget *)
+  match Sustain.Tco.sensitivity ~f_opex:0.5 with
+  | [ shrinks; regens ] ->
+      let s = Sustain.Tco.savings shrinks and r = Sustain.Tco.savings regens in
+      checkb "ShrinkS in band" true (s > 0.05 && s < 0.14);
+      checkb "RegenS in band" true (r > 0.10 && r <= 0.16)
+  | _ -> Alcotest.fail "expected two scenarios"
+
+let test_tco_cru_definition () =
+  let s =
+    {
+      Sustain.Tco.label = "";
+      f_opex = 0.14;
+      upgrade_rate = 0.8;
+      cost_effectiveness_new = 0.25;
+      capacity_gap = 0.4;
+    }
+  in
+  (* CRu = Ru + (1-Ru) * CE * Cap = 0.8 + 0.2*0.25*0.4 = 0.82 *)
+  checkf 1e-9 "CRu" 0.82 (Sustain.Tco.cost_upgrade_rate s)
+
+(* --- lifetime (Fig. 2) ------------------------------------------------------------ *)
+
+let test_lifetime_l1_benefit () =
+  let benefit = Sustain.Lifetime.l1_benefit () in
+  checkb
+    (Printf.sprintf "L1 benefit %.2f in [1.4, 1.6]" benefit)
+    true
+    (benefit >= 1.4 && benefit <= 1.6)
+
+let test_lifetime_diminishing_returns () =
+  let points =
+    Sustain.Lifetime.curve ~max_level:3
+      (Flash.Geometry.create ~pages_per_block:64 ~blocks:64 ())
+  in
+  let benefits = List.map (fun p -> p.Sustain.Lifetime.benefit) points in
+  (match benefits with
+  | l0 :: rest ->
+      checkf 1e-9 "L0 is the anchor" 1.0 l0;
+      ignore rest
+  | [] -> Alcotest.fail "empty curve");
+  (* benefits grow with level but marginal gains shrink *)
+  let rec check_diminishing = function
+    | a :: b :: c :: rest ->
+        checkb "monotone" true (b > a && c > b);
+        checkb "diminishing" true (c /. b < b /. a);
+        check_diminishing (b :: c :: rest)
+    | _ -> ()
+  in
+  check_diminishing benefits
+
+let test_lifetime_scales_with_anchor () =
+  let geometry = Flash.Geometry.create ~pages_per_block:64 ~blocks:64 () in
+  let at_3000 = Sustain.Lifetime.curve ~target_pec_l0:3000 geometry in
+  let at_1000 = Sustain.Lifetime.curve ~target_pec_l0:1000 geometry in
+  (* the benefit ratios are anchor-independent *)
+  List.iter2
+    (fun a b ->
+      checkf 1e-6 "same benefit"
+        a.Sustain.Lifetime.benefit b.Sustain.Lifetime.benefit)
+    at_3000 at_1000
+
+let suite =
+  [
+    ("carbon upgrade rates", `Quick, test_carbon_upgrade_rates);
+    ("carbon paper numbers (Fig 4)", `Quick, test_carbon_paper_numbers);
+    ("carbon monotone in lifetime", `Quick, test_carbon_monotone_in_lifetime);
+    ("carbon invalid input", `Quick, test_carbon_invalid);
+    ("tco paper numbers", `Quick, test_tco_paper_numbers);
+    ("tco sensitivity band", `Quick, test_tco_sensitivity);
+    ("tco CRu definition", `Quick, test_tco_cru_definition);
+    ("lifetime L1 benefit (Fig 2)", `Quick, test_lifetime_l1_benefit);
+    ("lifetime diminishing returns", `Quick, test_lifetime_diminishing_returns);
+    ("lifetime anchor independence", `Quick, test_lifetime_scales_with_anchor);
+  ]
