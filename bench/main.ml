@@ -158,11 +158,80 @@ let carbon_subjects () =
              Sustain.Tco.paper_scenarios));
   ]
 
+let telemetry_subjects () =
+  (* The zero-cost claim behind lib/telemetry: an update to a null-registry
+     metric is a single branch on an immutable bool, so the instrumented
+     hot paths cost the same with telemetry off as they did before
+     instrumentation.  Compare a pure no-op closure, disabled and enabled
+     metric updates, and the full Salamander write path both ways. *)
+  let null_counter =
+    Telemetry.Registry.counter Telemetry.Registry.null "bench_noop_total"
+  in
+  let live_reg = Telemetry.Registry.create () in
+  let live_counter = Telemetry.Registry.counter live_reg "bench_live_total" in
+  let null_hist =
+    Telemetry.Registry.histogram Telemetry.Registry.null ~lo:0. ~hi:100.
+      "bench_noop_us"
+  in
+  let live_hist =
+    Telemetry.Registry.histogram live_reg ~lo:0. ~hi:100. "bench_live_us"
+  in
+  let make_device registry =
+    Telemetry.Registry.with_default registry @@ fun () ->
+    let gentle =
+      Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+    in
+    let device =
+      Salamander.Device.create
+        ~config:
+          (Experiments.Defaults.salamander_config
+             ~mode:Salamander.Device.Regen_s)
+        ~geometry:Experiments.Defaults.geometry ~model:gentle
+        ~rng:(Sim.Rng.create 3) ()
+    in
+    let mdisk =
+      (List.hd (Salamander.Device.active_mdisks device)).Salamander.Minidisk.id
+    in
+    for lba = 0 to 63 do
+      ignore (Salamander.Device.write device ~mdisk ~lba ~payload:lba)
+    done;
+    Salamander.Device.flush device;
+    (device, mdisk)
+  in
+  let dev_off, md_off = make_device Telemetry.Registry.null in
+  let dev_on, md_on = make_device live_reg in
+  let c_off = ref 0 and c_on = ref 0 in
+  [
+    Test.make ~name:"telemetry/baseline_nop" (Staged.stage (fun () -> ()));
+    Test.make ~name:"telemetry/counter_disabled"
+      (Staged.stage (fun () -> Telemetry.Registry.Counter.incr null_counter));
+    Test.make ~name:"telemetry/counter_enabled"
+      (Staged.stage (fun () -> Telemetry.Registry.Counter.incr live_counter));
+    Test.make ~name:"telemetry/histogram_disabled"
+      (Staged.stage (fun () ->
+           Telemetry.Registry.Histogram.observe null_hist 42.));
+    Test.make ~name:"telemetry/histogram_enabled"
+      (Staged.stage (fun () ->
+           Telemetry.Registry.Histogram.observe live_hist 42.));
+    Test.make ~name:"telemetry/salamander_write_disabled"
+      (Staged.stage (fun () ->
+           c_off := (!c_off + 1) land 63;
+           ignore
+             (Salamander.Device.write dev_off ~mdisk:md_off ~lba:!c_off
+                ~payload:1)));
+    Test.make ~name:"telemetry/salamander_write_enabled"
+      (Staged.stage (fun () ->
+           c_on := (!c_on + 1) land 63;
+           ignore
+             (Salamander.Device.write dev_on ~mdisk:md_on ~lba:!c_on
+                ~payload:1)));
+  ]
+
 let run_micro () =
   let tests =
     bch_subjects () @ device_subjects () @ cluster_subjects ()
     @ service_subjects () @ disturb_subjects () @ fleet_subjects ()
-    @ carbon_subjects ()
+    @ carbon_subjects () @ telemetry_subjects ()
   in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in
@@ -197,6 +266,27 @@ let run_micro () =
 
 (* --- dispatch -------------------------------------------------------------- *)
 
+(* Each experiment runs against its own fresh registry, so the snapshot
+   printed after it covers exactly the devices/clusters that experiment
+   built — cross-experiment aggregation would hide per-run regressions. *)
+let run_experiment fmt (id, runner) =
+  let reg = Telemetry.Registry.create () in
+  Telemetry.Registry.with_default reg (fun () ->
+      Telemetry.Trace.with_span ("experiment:" ^ id) (fun () -> runner fmt));
+  match Telemetry.Registry.snapshot reg with
+  | [] -> ()
+  | samples ->
+      Format.fprintf fmt "@.--- telemetry: %s ---@.%a@." id
+        Telemetry.Export.pp_table samples
+
+let run_all fmt =
+  List.iter
+    (fun (id, runner) ->
+      Format.fprintf fmt "@.### experiment %s@." id;
+      run_experiment fmt (id, runner))
+    Experiments.All.experiments;
+  Format.fprintf fmt "@."
+
 let usage () =
   print_endline "usage: main.exe [experiment|micro|all]";
   print_endline "experiments:";
@@ -210,11 +300,11 @@ let () =
   let fmt = Format.std_formatter in
   match Sys.argv with
   | [| _ |] | [| _; "all" |] ->
-      Experiments.All.run fmt;
+      run_all fmt;
       run_micro ()
   | [| _; "micro" |] -> run_micro ()
   | [| _; id |] -> (
       match List.assoc_opt id Experiments.All.experiments with
-      | Some runner -> runner fmt
+      | Some runner -> run_experiment fmt (id, runner)
       | None -> usage ())
   | _ -> usage ()

@@ -6,6 +6,73 @@ open Cmdliner
 
 let fmt = Format.std_formatter
 
+(* --- telemetry options ------------------------------------------------------ *)
+
+type metrics_format = Table | Prometheus | Jsonl
+
+let metrics_format_conv =
+  Arg.enum [ ("table", Table); ("prometheus", Prometheus); ("jsonl", Jsonl) ]
+
+type tel_opts = {
+  metrics : string option;
+  metrics_format : metrics_format;
+  verbosity : int;
+}
+
+let tel_opts_term =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect telemetry while running and write a metric snapshot to \
+             $(docv) (\"-\" for stdout).")
+  in
+  let metrics_format =
+    Arg.(
+      value
+      & opt metrics_format_conv Table
+      & info [ "metrics-format"; "format" ] ~docv:"FMT"
+          ~doc:"Snapshot format: table, prometheus or jsonl.")
+  in
+  let verbosity =
+    Arg.(
+      value & opt int 0
+      & info [ "verbosity" ] ~docv:"N"
+          ~doc:"Log verbosity: 0 = off, 1 = warnings, 2 = info, 3+ = debug.")
+  in
+  let make metrics metrics_format verbosity =
+    { metrics; metrics_format; verbosity }
+  in
+  Term.(const make $ metrics $ metrics_format $ verbosity)
+
+let render_snapshot format samples =
+  match format with
+  | Table -> Format.asprintf "%a" Telemetry.Export.pp_table samples
+  | Prometheus -> Telemetry.Export.to_prometheus samples
+  | Jsonl -> Telemetry.Export.to_jsonl samples
+
+(* Install the live registry *before* running [f]: components bind their
+   metric handles at creation time, so the registry must be the process
+   default when devices/clusters are constructed inside [f]. *)
+let with_telemetry opts f =
+  Telemetry.Trace.set_level (Telemetry.Trace.level_of_verbosity opts.verbosity);
+  if opts.verbosity > 0 then Logs.set_reporter (Logs.format_reporter ());
+  match opts.metrics with
+  | None -> f ()
+  | Some path ->
+      let reg = Telemetry.Registry.create () in
+      let result = Telemetry.Registry.with_default reg f in
+      (try
+         Telemetry.Export.write_file ~path
+           (render_snapshot opts.metrics_format
+              (Telemetry.Registry.snapshot reg))
+       with Sys_error msg ->
+         Printf.eprintf "salamander: cannot write metrics: %s\n" msg;
+         exit 1);
+      result
+
 (* --- experiments ----------------------------------------------------------- *)
 
 let experiment_ids = List.map fst Experiments.All.experiments
@@ -18,15 +85,17 @@ let experiments_cmd =
     in
     Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
   in
-  let run only =
+  let run tel only =
     match only with
     | None ->
-        Experiments.All.run fmt;
+        with_telemetry tel (fun () -> Experiments.All.run fmt);
         `Ok ()
     | Some id -> (
         match List.assoc_opt id Experiments.All.experiments with
         | Some runner ->
-            runner fmt;
+            with_telemetry tel (fun () ->
+                Telemetry.Trace.with_span ("experiment:" ^ id) (fun () ->
+                    runner fmt));
             `Ok ()
         | None ->
             `Error
@@ -37,7 +106,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (DESIGN.md index)")
-    Term.(ret (const run $ only))
+    Term.(ret (const run $ tel_opts_term $ only))
 
 (* --- age a single device ----------------------------------------------------- *)
 
@@ -63,7 +132,8 @@ let age_cmd =
       & info [ "utilization" ] ~docv:"FRACTION"
           ~doc:"Fraction of exported capacity kept live.")
   in
-  let run kind seed utilization =
+  let run tel kind seed utilization =
+    with_telemetry tel @@ fun () ->
     let device = Experiments.Defaults.make_device kind ~seed in
     let pattern =
       Workload.Pattern.uniform
@@ -75,9 +145,10 @@ let age_cmd =
         ~read_fraction:0.05
     in
     let outcome =
-      Workload.Aging.run ~max_writes:50_000_000 ~utilization
-        ~rng:(Sim.Rng.create (seed + 1))
-        ~pattern ~device ()
+      Telemetry.Trace.with_span "age" (fun () ->
+          Workload.Aging.run ~max_writes:50_000_000 ~utilization
+            ~rng:(Sim.Rng.create (seed + 1))
+            ~pattern ~device ())
     in
     Experiments.Report.section fmt
       (Printf.sprintf "aging %s (seed %d)" (Ftl.Device_intf.label device) seed);
@@ -102,7 +173,7 @@ let age_cmd =
   in
   Cmd.v
     (Cmd.info "age" ~doc:"Age one device to death and report its endurance")
-    Term.(const run $ kind $ seed $ utilization)
+    Term.(const run $ tel_opts_term $ kind $ seed $ utilization)
 
 (* --- fleet ------------------------------------------------------------------ *)
 
@@ -116,11 +187,63 @@ let fleet_cmd =
       & opt int Experiments.Defaults.fleet_devices
       & info [ "devices" ] ~docv:"N" ~doc:"Fleet size.")
   in
-  let run days devices = Experiments.Fig3ab.run ~days ~devices fmt in
+  let run tel days devices =
+    with_telemetry tel (fun () -> Experiments.Fig3ab.run ~days ~devices fmt)
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Fleet aging: alive devices and capacity over time (Figs. 3a/3b)")
-    Term.(const run $ days $ devices)
+    Term.(const run $ tel_opts_term $ days $ devices)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv `Regens
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Device design: baseline, cvss, shrinks or regens.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let writes =
+    Arg.(
+      value & opt int 200_000
+      & info [ "writes" ] ~docv:"N"
+          ~doc:"Host writes to issue before snapshotting.")
+  in
+  let run tel kind seed writes =
+    (* [stats] exists to print a snapshot, so collection is always on;
+       default destination is stdout. *)
+    let tel =
+      { tel with metrics = Some (Option.value tel.metrics ~default:"-") }
+    in
+    with_telemetry tel @@ fun () ->
+    Telemetry.Trace.with_span "stats" @@ fun () ->
+    let utilization = 0.85 in
+    let device = Experiments.Defaults.make_device kind ~seed in
+    let pattern =
+      Workload.Pattern.uniform
+        ~window:
+          (Stdlib.max 1
+             (int_of_float
+                (utilization
+                *. float_of_int (Ftl.Device_intf.logical_capacity device))))
+        ~read_fraction:0.2
+    in
+    ignore
+      (Workload.Aging.run ~max_writes:writes ~utilization
+         ~rng:(Sim.Rng.create (seed + 1))
+         ~pattern ~device ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Exercise one device briefly and dump its full metric snapshot \
+          (counters, gauges, latency histograms)")
+    Term.(const run $ tel_opts_term $ kind $ seed $ writes)
 
 (* --- levels ------------------------------------------------------------------ *)
 
@@ -225,5 +348,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ experiments_cmd; age_cmd; fleet_cmd; levels_cmd; carbon_cmd;
-            tco_cmd ]))
+          [ experiments_cmd; age_cmd; fleet_cmd; stats_cmd; levels_cmd;
+            carbon_cmd; tco_cmd ]))

@@ -25,6 +25,98 @@ let default_config =
 
 let shrink_config = { default_config with mode = Shrink_s }
 
+(* Telemetry handles, bound at device creation.  Per-level metrics are
+   arrays indexed by tiredness level (0 .. dead_level) with a
+   [level="Lj"] label; [tel_rng] is a private fixed-seed stream used
+   only to sample observational quantities (raw bit-error counts), so
+   enabling telemetry never perturbs the simulation's own RNG streams. *)
+type tel = {
+  tel_decommissions : Telemetry.Registry.Counter.t;
+  tel_urgent_decommissions : Telemetry.Registry.Counter.t;
+  tel_regenerations : Telemetry.Registry.Counter.t;
+  tel_transitions : Telemetry.Registry.Counter.t array; (* by to_level *)
+  tel_limbo : Telemetry.Registry.Gauge.t array; (* fPages per level *)
+  tel_decode_attempts : Telemetry.Registry.Counter.t array;
+  tel_corrected_bits : Telemetry.Registry.Counter.t array;
+  tel_uncorrectable : Telemetry.Registry.Counter.t array;
+  tel_active_mdisks : Telemetry.Registry.Gauge.t;
+  tel_exported_opages : Telemetry.Registry.Gauge.t;
+  tel_grace_writes : Telemetry.Registry.Histogram.t;
+  tel_rng : Sim.Rng.t;
+  drain_started : (int, int) Hashtbl.t; (* mdisk id -> host_writes *)
+}
+
+let level_label level = [ ("level", Printf.sprintf "L%d" level) ]
+
+let make_tel profile mode =
+  let registry = Telemetry.Registry.default () in
+  let dead = Tiredness.dead_level profile in
+  let mode_label =
+    [ ("mode", match mode with Shrink_s -> "shrinks" | Regen_s -> "regens") ]
+  in
+  let per_level name help =
+    Array.init (dead + 1) (fun level ->
+        Telemetry.Registry.counter registry ~help ~labels:(level_label level)
+          name)
+  in
+  {
+    tel_decommissions =
+      Telemetry.Registry.counter registry ~labels:mode_label
+        ~help:"Minidisks decommissioned (ShrinkS)"
+        "salamander_decommissions_total";
+    tel_urgent_decommissions =
+      Telemetry.Registry.counter registry ~labels:mode_label
+        ~help:"Decommissions forced by an out-of-space emergency"
+        "salamander_urgent_decommissions_total";
+    tel_regenerations =
+      Telemetry.Registry.counter registry ~labels:mode_label
+        ~help:"Minidisks regenerated from tired capacity (RegenS)"
+        "salamander_regenerations_total";
+    tel_transitions =
+      per_level "salamander_level_transitions_total"
+        "fPage tiredness transitions into each level";
+    tel_limbo =
+      Array.init (dead + 1) (fun level ->
+          Telemetry.Registry.gauge registry ~labels:(level_label level)
+            ~help:"fPages currently at each tiredness level (limbo census)"
+            "salamander_limbo_fpages");
+    tel_decode_attempts =
+      per_level "ecc_decode_attempts_total"
+        "oPage reads decoded at each tiredness level's code";
+    tel_corrected_bits =
+      per_level "ecc_corrected_bits_total"
+        "Raw bit errors corrected by each level's code (sampled)";
+    tel_uncorrectable =
+      per_level "ecc_uncorrectable_total"
+        "Reads that exceeded each level's correction capability";
+    tel_active_mdisks =
+      Telemetry.Registry.gauge registry ~help:"Live exported minidisks"
+        "salamander_active_mdisks";
+    tel_exported_opages =
+      Telemetry.Registry.gauge registry ~help:"Exported LBAs in oPages"
+        "salamander_exported_opages";
+    tel_grace_writes =
+      Telemetry.Registry.histogram registry
+        ~help:
+          "Host writes elapsed between Mdisk_retiring and its \
+           acknowledgement (grace-period duration)"
+        ~lo:0. ~hi:100_000. "salamander_grace_duration_writes";
+    tel_rng = Sim.Rng.create 0x7e1e7e1;
+    drain_started = Hashtbl.create 8;
+  }
+
+(* Move one fPage between limbo levels, mirroring the census into the
+   per-level metrics. *)
+let transition_with limbo tel ~from_level ~to_level =
+  Limbo.transition limbo ~from_level ~to_level;
+  Telemetry.Registry.Counter.incr tel.tel_transitions.(to_level);
+  if Telemetry.Registry.Gauge.is_active tel.tel_limbo.(from_level) then begin
+    Telemetry.Registry.Gauge.set tel.tel_limbo.(from_level)
+      (float_of_int (Limbo.count limbo ~level:from_level));
+    Telemetry.Registry.Gauge.set tel.tel_limbo.(to_level)
+      (float_of_int (Limbo.count limbo ~level:to_level))
+  end
+
 type t = {
   config : config;
   geometry : Flash.Geometry.t;
@@ -39,6 +131,7 @@ type t = {
       (* set by the erase hook (which outlives [create]'s scope), consumed
          by [maintain] once the engine call that triggered it returns *)
   initial_mdisks : int;
+  tel : tel;
   mutable dead : bool;
   mutable decommissions : int;
   mutable regenerations : int;
@@ -68,6 +161,7 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
     Minidisk.Registry.create ~opages_per_mdisk:config.mdisk_opages ~slots
   in
   let pending_check = ref false in
+  let tel = make_tel profile config.mode in
   let policy =
     {
       Ftl.Policy.data_slots =
@@ -76,9 +170,26 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
             levels.(page_index geometry ~block ~page));
       read_fail_prob =
         (fun ~rber ~block ~page ->
-          Tiredness.read_fail_prob profile
-            ~level:levels.(page_index geometry ~block ~page)
-            ~rber);
+          let level = levels.(page_index geometry ~block ~page) in
+          (* Per-level ECC decode metering.  Corrected bits are sampled
+             from the binomial raw-error count over the codewords one
+             oPage read decodes; the rare reads that turn out
+             uncorrectable are metered separately, so this slightly
+             overcounts corrected bits — by less than the residual UBER. *)
+          Telemetry.Registry.Counter.incr tel.tel_decode_attempts.(level);
+          (if Telemetry.Registry.Counter.is_active tel.tel_corrected_bits.(level)
+           then
+             match (Tiredness.info profile level).Tiredness.params with
+             | Some params ->
+                 let n =
+                   params.Ecc.Code_params.n_bits
+                   * geometry.Flash.Geometry.codewords_per_opage
+                 in
+                 Telemetry.Registry.Counter.incr
+                   tel.tel_corrected_bits.(level)
+                   ~by:(Sim.Dist.binomial tel.tel_rng ~n ~p:rber)
+             | None -> ());
+          Tiredness.read_fail_prob profile ~level ~rber);
       should_reclaim =
         (fun ~rber ~block ~page ->
           (* read-reclaim against the page's own level threshold *)
@@ -104,7 +215,7 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
           let rber = Flash.Chip.rber chip ~block ~page in
           let required = Tiredness.level_for_rber profile ~rber in
           if required > current then begin
-            Limbo.transition limbo ~from_level:current ~to_level:required;
+            transition_with limbo tel ~from_level:current ~to_level:required;
             levels.(index) <- required;
             pending_check := true
           end
@@ -121,6 +232,13 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
   for _ = 1 to initial do
     ignore (Minidisk.Registry.create_mdisk registry ~birth_level:0)
   done;
+  if Telemetry.Registry.Gauge.is_active tel.tel_active_mdisks then begin
+    Telemetry.Registry.Gauge.set tel.tel_limbo.(0)
+      (float_of_int (Limbo.count limbo ~level:0));
+    Telemetry.Registry.Gauge.set tel.tel_active_mdisks (float_of_int initial);
+    Telemetry.Registry.Gauge.set tel.tel_exported_opages
+      (float_of_int (Minidisk.Registry.active_opages registry))
+  end;
   {
     config;
     geometry;
@@ -133,12 +251,21 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
     levels;
     pending_check;
     initial_mdisks = initial;
+    tel;
     dead = false;
     decommissions = 0;
     regenerations = 0;
   }
 
 (* --- decommissioning and regeneration ---------------------------------- *)
+
+let refresh_export_gauges t =
+  if Telemetry.Registry.Gauge.is_active t.tel.tel_active_mdisks then begin
+    Telemetry.Registry.Gauge.set t.tel.tel_active_mdisks
+      (float_of_int (Minidisk.Registry.active_count t.registry));
+    Telemetry.Registry.Gauge.set t.tel.tel_exported_opages
+      (float_of_int (Minidisk.Registry.active_opages t.registry))
+  end
 
 (* The emptiest minidisk loses least data to re-replication; ties go to
    the oldest id for determinism. *)
@@ -188,7 +315,7 @@ let retire_worn_pages t ~budget =
         let index = page_index t.geometry ~block ~page in
         let level = t.levels.(index) in
         Ftl.Engine.relocate_page t.engine ~block ~page;
-        Limbo.transition t.limbo ~from_level:level ~to_level:(level + 1);
+        transition_with t.limbo t.tel ~from_level:level ~to_level:(level + 1);
         t.levels.(index) <- level + 1;
         retired := !retired + Tiredness.data_slots t.profile level
       end)
@@ -221,9 +348,16 @@ let finish_drain t (mdisk : Minidisk.t) =
   in
   discard_mdisk_lbas t mdisk;
   ignore (Minidisk.Registry.decommission t.registry mdisk.Minidisk.id);
+  (match Hashtbl.find_opt t.tel.drain_started mdisk.Minidisk.id with
+  | Some started ->
+      Hashtbl.remove t.tel.drain_started mdisk.Minidisk.id;
+      Telemetry.Registry.Histogram.observe t.tel.tel_grace_writes
+        (float_of_int (Ftl.Engine.host_writes t.engine - started))
+  | None -> ());
   Events.Queue.push t.events
     (Events.Mdisk_decommissioned
        { id = mdisk.Minidisk.id; lost_opages = live });
+  refresh_export_gauges t;
   announce_death_if_empty t
 
 (* [urgent] skips the grace period: the engine is out of space *now* and
@@ -245,8 +379,18 @@ let decommission_one ?(urgent = false) t =
       if t.config.scrub_on_decommission then
         retire_worn_pages t ~budget:t.config.mdisk_opages;
       t.decommissions <- t.decommissions + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_decommissions;
+      if urgent then
+        Telemetry.Registry.Counter.incr t.tel.tel_urgent_decommissions;
+      Telemetry.Trace.event ~level:Logs.Info "mdisk_decommission"
+        [
+          ("mdisk", string_of_int victim.Minidisk.id);
+          ("urgent", string_of_bool urgent);
+        ];
       if t.config.decommission_grace && not urgent then begin
         ignore (Minidisk.Registry.begin_drain t.registry victim.Minidisk.id);
+        Hashtbl.replace t.tel.drain_started victim.Minidisk.id
+          (Ftl.Engine.host_writes t.engine);
         Events.Queue.push t.events
           (Events.Mdisk_retiring
              { id = victim.Minidisk.id; opages = victim.Minidisk.opages })
@@ -258,6 +402,7 @@ let decommission_one ?(urgent = false) t =
           (Events.Mdisk_decommissioned
              { id = victim.Minidisk.id; lost_opages = live })
       end;
+      refresh_export_gauges t;
       announce_death_if_empty t;
       true
 
@@ -305,6 +450,12 @@ let check_capacity t =
       | None -> continue := false
       | Some mdisk ->
           t.regenerations <- t.regenerations + 1;
+          Telemetry.Registry.Counter.incr t.tel.tel_regenerations;
+          Telemetry.Trace.event ~level:Logs.Info "mdisk_regenerated"
+            [
+              ("mdisk", string_of_int mdisk.Minidisk.id);
+              ("level", string_of_int mdisk.Minidisk.birth_level);
+            ];
           Events.Queue.push t.events
             (Events.Mdisk_created
                {
@@ -313,7 +464,8 @@ let check_capacity t =
                  level = mdisk.Minidisk.birth_level;
                });
           continue := slack_for_one_more ()
-    done
+    done;
+    refresh_export_gauges t
   end
 
 let maintain t =
@@ -378,9 +530,21 @@ let read t ~mdisk ~lba =
   else
     match find_readable t mdisk with
     | None -> Error `Unknown_mdisk
-    | Some m ->
+    | Some m -> (
         let logical = Minidisk.Registry.engine_logical t.registry m ~lba in
-        (Ftl.Engine.read t.engine ~logical :> (int, read_error) result)
+        match Ftl.Engine.read t.engine ~logical with
+        | Error `Uncorrectable as e ->
+            (* Attribute the residual-UBER event to the failing page's
+               tiredness level (error path, so the lookup is free in
+               aggregate). *)
+            (match Ftl.Engine.locate t.engine ~logical with
+            | Some { Ftl.Location.block; page; _ } ->
+                Telemetry.Registry.Counter.incr
+                  t.tel.tel_uncorrectable.(t.levels.(page_index t.geometry
+                                                       ~block ~page))
+            | None -> ());
+            (e :> (int, read_error) result)
+        | result -> (result :> (int, read_error) result))
 
 let trim t ~mdisk ~lba =
   if not t.dead then
@@ -433,7 +597,7 @@ let force_page_level t ~block ~page ~level =
   if level <= current || level > Tiredness.dead_level t.profile then
     invalid_arg "Device.force_page_level: level must increase within range";
   Ftl.Engine.relocate_page t.engine ~block ~page;
-  Limbo.transition t.limbo ~from_level:current ~to_level:level;
+  transition_with t.limbo t.tel ~from_level:current ~to_level:level;
   t.levels.(index) <- level;
   t.pending_check := true;
   maintain t

@@ -33,12 +33,63 @@ type device_entry = {
   mutable killed : bool;
 }
 
+(* Telemetry handles bound at cluster creation (inert on the null
+   registry).  The degraded/lost gauges are refreshed after every event
+   sweep; [tel_degraded_chunk_rounds] integrates the degraded census
+   over event-processing rounds — the discrete-time analogue of
+   under-replicated chunk-seconds. *)
+type tel = {
+  tel_recovery_written : Telemetry.Registry.Counter.t;
+  tel_recovery_read : Telemetry.Registry.Counter.t;
+  tel_recovery_events : Telemetry.Registry.Counter.t;
+  tel_rebuilt_shares : Telemetry.Registry.Counter.t;
+  tel_lost_chunks : Telemetry.Registry.Counter.t;
+  tel_unrecoverable : Telemetry.Registry.Counter.t;
+  tel_degraded : Telemetry.Registry.Gauge.t;
+  tel_degraded_chunk_rounds : Telemetry.Registry.Counter.t;
+  tel_live_targets : Telemetry.Registry.Gauge.t;
+}
+
+let make_tel () =
+  let registry = Telemetry.Registry.default () in
+  let counter name help = Telemetry.Registry.counter registry ~help name in
+  {
+    tel_recovery_written =
+      counter "difs_recovery_write_opages_total"
+        "oPages written by failure recovery (re-replication volume)";
+    tel_recovery_read =
+      counter "difs_recovery_read_opages_total"
+        "oPages read to feed recovery (EC repair amplification)";
+    tel_recovery_events =
+      counter "difs_recovery_events_total" "Target failures handled";
+    tel_rebuilt_shares =
+      counter "difs_rebuilt_shares_total"
+        "Shares re-materialized on a fresh target";
+    tel_lost_chunks =
+      counter "difs_lost_chunks_total" "Chunks that fell below the read quorum";
+    tel_unrecoverable =
+      counter "difs_unrecoverable_opages_total"
+        "oPages recovery could not reconstruct";
+    tel_degraded =
+      Telemetry.Registry.gauge registry
+        ~help:"Chunks currently below full redundancy but readable"
+        "difs_degraded_chunks";
+    tel_degraded_chunk_rounds =
+      counter "difs_degraded_chunk_rounds_total"
+        "Degraded-chunk census summed over event-processing rounds \
+         (under-replication exposure)";
+    tel_live_targets =
+      Telemetry.Registry.gauge registry ~help:"Active placement targets"
+        "difs_live_targets";
+  }
+
 type t = {
   config : config;
   coder : Ecc.Reed_solomon.t option; (* Some for erasure coding *)
   devices : (int, device_entry) Hashtbl.t;
   targets : (Target.key, Target.t) Hashtbl.t;
   chunks : (int, Chunk.t) Hashtbl.t;
+  tel : tel;
   mutable next_device : int;
   mutable recovery_written : int;
   mutable recovery_read : int;
@@ -66,6 +117,7 @@ let create ?(config = default_config) () =
     devices = Hashtbl.create 16;
     targets = Hashtbl.create 64;
     chunks = Hashtbl.create 256;
+    tel = make_tel ();
     next_device = 0;
     recovery_written = 0;
     recovery_read = 0;
@@ -233,7 +285,12 @@ let choose_target t chunk =
    decoder.  Every successful read is metered as recovery-read traffic
    when [metered]. *)
 let recover_payload ?(metered = true) t chunk ~index ~offset =
-  let meter () = if metered then t.recovery_read <- t.recovery_read + 1 in
+  let meter () =
+    if metered then begin
+      t.recovery_read <- t.recovery_read + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_recovery_read
+    end
+  in
   match t.config.redundancy with
   | Replication _ ->
       let rec go = function
@@ -309,7 +366,9 @@ let rec rebuild_share t chunk ~index =
           (try
              for offset = 0 to per_share - 1 do
                match recover_payload t chunk ~index ~offset with
-               | None -> t.unrecoverable_opages <- t.unrecoverable_opages + 1
+               | None ->
+                   t.unrecoverable_opages <- t.unrecoverable_opages + 1;
+                   Telemetry.Registry.Counter.incr t.tel.tel_unrecoverable
                | Some payload -> (
                    match target_write t key ~lba:(base + offset) ~payload with
                    | Ok () -> incr written
@@ -319,12 +378,15 @@ let rec rebuild_share t chunk ~index =
              done
            with Exit -> ());
           t.recovery_written <- t.recovery_written + !written;
+          Telemetry.Registry.Counter.incr t.tel.tel_recovery_written
+            ~by:!written;
           if !failed then
             (* The destination died mid-copy; its own failure event will
                be picked up by the processing loop.  Try elsewhere. *)
             rebuild_share t chunk ~index
           else begin
             Chunk.add_share chunk { Chunk.index; target = key; base };
+            Telemetry.Registry.Counter.incr t.tel.tel_rebuilt_shares;
             true
           end)
 
@@ -342,8 +404,12 @@ let ensure_redundancy t chunk =
 
 let note_share_losses t chunk ~before =
   let quorum = read_quorum t in
-  if before >= quorum && List.length chunk.Chunk.shares < quorum then
-    t.lost <- t.lost + 1
+  if before >= quorum && List.length chunk.Chunk.shares < quorum then begin
+    t.lost <- t.lost + 1;
+    Telemetry.Registry.Counter.incr t.tel.tel_lost_chunks;
+    Telemetry.Trace.event ~level:Logs.Warning "chunk_lost"
+      [ ("chunk", string_of_int chunk.Chunk.id) ]
+  end
 
 let fail_target t key =
   match Hashtbl.find_opt t.targets key with
@@ -352,6 +418,7 @@ let fail_target t key =
   | Some target ->
       Target.fail target;
       t.recovery_events <- t.recovery_events + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_recovery_events;
       let affected = ref [] in
       Hashtbl.iter
         (fun _ chunk ->
@@ -376,6 +443,7 @@ let drain_target t key ~ack =
   | Some target ->
       Target.fail target;
       t.recovery_events <- t.recovery_events + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_recovery_events;
       Hashtbl.iter
         (fun _ chunk ->
           match Chunk.share_on chunk key with
@@ -412,6 +480,7 @@ let handle_truncation t entry capacity =
       let lost_ranges = Target.truncate target ~capacity in
       if lost_ranges <> [] then begin
         t.recovery_events <- t.recovery_events + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_recovery_events;
         Hashtbl.iter
           (fun _ chunk ->
             match Chunk.share_on chunk target.Target.key with
@@ -481,13 +550,34 @@ let is_device_killed t id =
 let process_events t =
   let progress = ref true in
   let rounds = ref 0 in
+  let any_progress = ref false in
   while !progress && !rounds < 1000 do
     incr rounds;
     progress := false;
     Hashtbl.iter
       (fun _ entry -> if process_device_events t entry then progress := true)
-      t.devices
-  done
+      t.devices;
+    if !progress then any_progress := true
+  done;
+  (* Refresh the redundancy census only when this sweep actually handled
+     events, so idle polls stay O(1) even with telemetry enabled. *)
+  if !any_progress && Telemetry.Registry.Gauge.is_active t.tel.tel_degraded
+  then begin
+    let degraded = ref 0 in
+    Hashtbl.iter
+      (fun _ chunk ->
+        let n = List.length chunk.Chunk.shares in
+        if n < total_shares t && n >= read_quorum t then incr degraded)
+      t.chunks;
+    Telemetry.Registry.Gauge.set t.tel.tel_degraded (float_of_int !degraded);
+    Telemetry.Registry.Counter.incr t.tel.tel_degraded_chunk_rounds
+      ~by:!degraded;
+    let live = ref 0 in
+    Hashtbl.iter
+      (fun _ target -> if Target.is_active target then incr live)
+      t.targets;
+    Telemetry.Registry.Gauge.set t.tel.tel_live_targets (float_of_int !live)
+  end
 
 (* --- client operations ------------------------------------------------------ *)
 

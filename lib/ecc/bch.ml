@@ -1,10 +1,37 @@
+(* Codec-level telemetry, bound once per code at creation time.  Labeled
+   by the code parameters so distinct code levels (different capabilities)
+   show up as separate series. *)
+type tel = {
+  tel_decodes : Telemetry.Registry.Counter.t;
+  tel_corrected : Telemetry.Registry.Counter.t;
+  tel_uncorrectable : Telemetry.Registry.Counter.t;
+}
+
 type t = {
   field : Galois.t;
   n : int;
   k : int;
   capability : int;
   generator : Gf_poly.t; (* over GF(2): coefficients 0/1 *)
+  tel : tel;
 }
+
+let make_tel ~m ~capability =
+  let reg = Telemetry.Registry.default () in
+  let labels = [ ("m", string_of_int m); ("t", string_of_int capability) ] in
+  {
+    tel_decodes =
+      Telemetry.Registry.counter reg ~labels
+        ~help:"BCH decode attempts (syndrome computations)" "bch_decodes_total";
+    tel_corrected =
+      Telemetry.Registry.counter reg ~labels
+        ~help:"Bit errors corrected by the BCH decoder (data and parity)"
+        "bch_corrected_bits_total";
+    tel_uncorrectable =
+      Telemetry.Registry.counter reg ~labels
+        ~help:"BCH decodes that detected an uncorrectable error pattern"
+        "bch_uncorrectable_total";
+  }
 
 let create ~m ~capability =
   if capability <= 0 then invalid_arg "Bch.create: capability must be > 0";
@@ -39,7 +66,7 @@ let create ~m ~capability =
   let parity = Gf_poly.degree generator in
   if parity >= n then
     invalid_arg "Bch.create: capability too large for this field (k <= 0)";
-  { field; n; k = n - parity; capability; generator }
+  { field; n; k = n - parity; capability; generator; tel = make_tel ~m ~capability }
 
 let m t = Galois.m t.field
 let n t = t.n
@@ -145,12 +172,16 @@ let berlekamp_massey t syndromes =
 type decode_result = Corrected of int list | Uncorrectable
 
 let decode t ~data ~parity =
+  Telemetry.Registry.Counter.incr t.tel.tel_decodes;
   let syndromes = syndromes t ~data ~parity in
   if Array.for_all (fun x -> x = 0) syndromes then Corrected []
   else begin
     let sigma = berlekamp_massey t syndromes in
     let errors = Gf_poly.degree sigma in
-    if errors > t.capability then Uncorrectable
+    if errors > t.capability then begin
+      Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
+      Uncorrectable
+    end
     else begin
       (* Chien search: position p is in error iff sigma(alpha^{-p}) = 0.
          Only positions within the (possibly shortened) received word are
@@ -169,8 +200,13 @@ let decode t ~data ~parity =
         end
       done;
       if !root_count <> errors || List.exists (fun p -> p >= used) !positions
-      then Uncorrectable
+      then begin
+        Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
+        Uncorrectable
+      end
       else begin
+        Telemetry.Registry.Counter.incr t.tel.tel_corrected
+          ~by:(List.length !positions);
         let data_positions = ref [] in
         List.iter
           (fun p ->

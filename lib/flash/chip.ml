@@ -10,10 +10,47 @@ type page = {
 
 type block_state = { mutable pec : int; pages : page array }
 
+(* Telemetry handles, bound to the process-default registry at chip
+   creation; inert (single-branch no-ops) unless a live registry was
+   installed first.  Latency histograms record the *modeled* time of
+   each operation under {!Latency.default} — the chip executes in zero
+   simulated time, but the distribution of modeled op costs is exactly
+   the "flash op latency" signal the experiments reason about. *)
+type tel = {
+  tel_programs : Telemetry.Registry.Counter.t;
+  tel_reads : Telemetry.Registry.Counter.t;
+  tel_erases : Telemetry.Registry.Counter.t;
+  tel_read_us : Telemetry.Registry.Histogram.t;
+  tel_program_us : Telemetry.Registry.Histogram.t;
+  tel_erase_us : Telemetry.Registry.Histogram.t;
+}
+
+let make_tel () =
+  let registry = Telemetry.Registry.default () in
+  let latency op lo hi =
+    Telemetry.Registry.histogram registry ~labels:[ ("op", op) ]
+      ~help:"Modeled flash operation latency" ~lo ~hi "flash_op_latency_us"
+  in
+  {
+    tel_programs =
+      Telemetry.Registry.counter registry ~help:"fPage programs"
+        "flash_programs_total";
+    tel_reads =
+      Telemetry.Registry.counter registry ~help:"fPage/slot reads"
+        "flash_reads_total";
+    tel_erases =
+      Telemetry.Registry.counter registry ~help:"Block erases"
+        "flash_erases_total";
+    tel_read_us = latency "read" 0. 500.;
+    tel_program_us = latency "program" 0. 2_000.;
+    tel_erase_us = latency "erase" 0. 10_000.;
+  }
+
 type t = {
   geometry : Geometry.t;
   model : Rber_model.t;
   blocks : block_state array;
+  tel : tel;
   mutable programs : int;
   mutable reads : int;
   mutable erases : int;
@@ -46,6 +83,7 @@ let create ~rng ~geometry ~model =
     geometry;
     model;
     blocks = Array.init geometry.Geometry.blocks make_block;
+    tel = make_tel ();
     programs = 0;
     reads = 0;
     erases = 0;
@@ -65,6 +103,22 @@ let get_page t block page =
     invalid_arg "Chip: page out of range";
   (b, b.pages.(page))
 
+(* Modeled sense + transfer + decode time of reading [data_kib] off one
+   fPage at its current error rate; only evaluated when the latency
+   histogram is live. *)
+let observe_read_latency t (b : block_state) (p : page) ~data_kib =
+  if Telemetry.Registry.Histogram.is_active t.tel.tel_read_us then begin
+    let rber =
+      Rber_model.rber ~reads:p.reads_since_erase t.model ~pec:b.pec
+        ~strength:p.strength
+    in
+    let raw_errors =
+      rber *. float_of_int (Geometry.fpage_data_bytes t.geometry * 8)
+    in
+    Telemetry.Registry.Histogram.observe t.tel.tel_read_us
+      (Latency.fpage_read_us Latency.default ~data_kib ~raw_errors ~retries:0)
+  end
+
 let program t ~block ~page slots =
   let _, p = get_page t block page in
   if Array.length slots <> t.geometry.Geometry.opages_per_fpage then
@@ -74,22 +128,34 @@ let program t ~block ~page slots =
   | Programmed _ ->
       invalid_arg "Chip.program: page already programmed (erase first)");
   p.state <- Programmed (Array.copy slots);
-  t.programs <- t.programs + 1
+  t.programs <- t.programs + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_programs;
+  if Telemetry.Registry.Histogram.is_active t.tel.tel_program_us then
+    Telemetry.Registry.Histogram.observe t.tel.tel_program_us
+      (Latency.fpage_program_us Latency.default
+         ~data_kib:
+           (float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.))
 
 let read t ~block ~page =
-  let _, p = get_page t block page in
+  let b, p = get_page t block page in
   t.reads <- t.reads + 1;
   p.reads_since_erase <- p.reads_since_erase + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_reads;
+  observe_read_latency t b p
+    ~data_kib:(float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.);
   match p.state with
   | Free -> Free
   | Programmed slots -> Programmed (Array.copy slots)
 
 let read_slot t ~block ~page ~slot =
-  let _, p = get_page t block page in
+  let b, p = get_page t block page in
   if slot < 0 || slot >= t.geometry.Geometry.opages_per_fpage then
     invalid_arg "Chip.read_slot: slot out of range";
   t.reads <- t.reads + 1;
   p.reads_since_erase <- p.reads_since_erase + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_reads;
+  observe_read_latency t b p
+    ~data_kib:(float_of_int t.geometry.Geometry.opage_bytes /. 1024.);
   match p.state with
   | Free -> invalid_arg "Chip.read_slot: page is erased"
   | Programmed slots -> slots.(slot)
@@ -102,7 +168,11 @@ let erase t ~block =
       p.state <- Free;
       p.reads_since_erase <- 0)
     b.pages;
-  t.erases <- t.erases + 1
+  t.erases <- t.erases + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_erases;
+  if Telemetry.Registry.Histogram.is_active t.tel.tel_erase_us then
+    Telemetry.Registry.Histogram.observe t.tel.tel_erase_us
+      (Latency.erase_us Latency.default)
 
 let pec t ~block = (get_block t block).pec
 

@@ -9,6 +9,47 @@ let default_config =
 
 type block_class = Free | Open | Closed | Retired
 
+(* Telemetry handles bound at engine creation; inert on the null
+   registry.  The write-amplification gauge is refreshed on every fPage
+   program so exporters always see the current ratio. *)
+type tel = {
+  tel_host_writes : Telemetry.Registry.Counter.t;
+  tel_gc_runs : Telemetry.Registry.Counter.t;
+  tel_wear_level_sweeps : Telemetry.Registry.Counter.t;
+  tel_relocated : Telemetry.Registry.Counter.t;
+  tel_padded : Telemetry.Registry.Counter.t;
+  tel_reclaims : Telemetry.Registry.Counter.t;
+  tel_unmapped : Telemetry.Registry.Counter.t;
+  tel_uncorrectable : Telemetry.Registry.Counter.t;
+  tel_waf : Telemetry.Registry.Gauge.t;
+}
+
+let make_tel () =
+  let registry = Telemetry.Registry.default () in
+  let counter name help = Telemetry.Registry.counter registry ~help name in
+  {
+    tel_host_writes = counter "ftl_host_writes_total" "oPages accepted from the host";
+    tel_gc_runs = counter "ftl_gc_runs_total" "Garbage-collection passes";
+    tel_wear_level_sweeps =
+      counter "ftl_wear_level_sweeps_total"
+        "GC passes that targeted the coldest block for wear leveling";
+    tel_relocated =
+      counter "ftl_relocated_opages_total"
+        "oPages rewritten internally (GC + explicit relocation)";
+    tel_padded =
+      counter "ftl_padded_slots_total" "Data slots wasted by forced flushes";
+    tel_reclaims =
+      counter "ftl_read_reclaims_total" "Pages scrubbed by read-reclaim";
+    tel_unmapped = counter "ftl_unmapped_reads_total" "Reads of unmapped LBAs";
+    tel_uncorrectable =
+      counter "ftl_uncorrectable_reads_total"
+        "Reads ECC could not correct (residual UBER)";
+    tel_waf =
+      Telemetry.Registry.gauge registry
+        ~help:"Physical oPage programs per host oPage write"
+        "ftl_write_amplification";
+  }
+
 type t = {
   chip : Flash.Chip.t;
   rng : Sim.Rng.t;
@@ -34,6 +75,7 @@ type t = {
   mutable padded : int;
   mutable reclaims : int;
   mutable in_gc : bool;
+  tel : tel;
 }
 
 type write_error = [ `No_space ]
@@ -72,6 +114,7 @@ let create ?(config = default_config) ~chip ~rng ~policy ~logical_capacity () =
     padded = 0;
     reclaims = 0;
     in_gc = false;
+    tel = make_tel ();
   }
 
 let chip t = t.chip
@@ -103,7 +146,8 @@ let relocate_slot t ~block ~page ~slot ~logical =
       match Flash.Chip.read_slot t.chip ~block ~page ~slot with
       | Some payload ->
           Write_buffer.put t.buffer ~logical ~payload;
-          t.relocated <- t.relocated + 1
+          t.relocated <- t.relocated + 1;
+          Telemetry.Registry.Counter.incr t.tel.tel_relocated
       | None ->
           (* The mapping never points at ECC-reserved slots. *)
           assert false));
@@ -187,14 +231,17 @@ let gc_once t =
       && t.gc_runs mod t.config.wear_level_period = t.config.wear_level_period - 1
     then
       match pick_wear_level_victim t with
-      | Some b -> Some b
-      | None -> Option.map fst (pick_gc_victim t)
-    else Option.map fst (pick_gc_victim t)
+      | Some b -> Some (b, `Wear_level)
+      | None -> Option.map (fun (b, _) -> (b, `Greedy)) (pick_gc_victim t)
+    else Option.map (fun (b, _) -> (b, `Greedy)) (pick_gc_victim t)
   in
   match victim with
   | None -> false
-  | Some block ->
+  | Some (block, kind) ->
       t.gc_runs <- t.gc_runs + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_gc_runs;
+      if kind = `Wear_level then
+        Telemetry.Registry.Counter.incr t.tel.tel_wear_level_sweeps;
       relocate_block_contents t block;
       erase_and_reclassify t block;
       true
@@ -273,6 +320,13 @@ let program_page t ~block ~page ~slots entries =
       Mapping.bind t.mapping ~logical { Location.block; page; slot = i })
     entries;
   t.padded <- t.padded + (slots - List.length entries);
+  Telemetry.Registry.Counter.incr t.tel.tel_padded
+    ~by:(slots - List.length entries);
+  if Telemetry.Registry.Gauge.is_active t.tel.tel_waf && t.host_writes > 0 then
+    Telemetry.Registry.Gauge.set t.tel.tel_waf
+      (float_of_int
+         (Flash.Chip.programs t.chip * (geometry t).Flash.Geometry.opages_per_fpage)
+      /. float_of_int t.host_writes);
   t.next_page <- page + 1
 
 (* Flush whole fPages while the buffer can fill them; with [force], flush
@@ -294,6 +348,7 @@ let write t ~logical ~payload =
   if logical < 0 || logical >= t.logical_capacity then
     invalid_arg "Engine.write: logical index out of range";
   t.host_writes <- t.host_writes + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_host_writes;
   Write_buffer.put t.buffer ~logical ~payload;
   drain t ~force:false
 
@@ -306,11 +361,16 @@ let read t ~logical =
   | Some payload -> Ok payload
   | None -> (
       match Mapping.find t.mapping logical with
-      | None -> Error `Unmapped
+      | None ->
+          Telemetry.Registry.Counter.incr t.tel.tel_unmapped;
+          Error `Unmapped
       | Some { Location.block; page; slot } ->
           let rber = Flash.Chip.rber t.chip ~block ~page in
           let fail = t.policy.Policy.read_fail_prob ~rber ~block ~page in
-          if Sim.Rng.chance t.rng fail then Error `Uncorrectable
+          if Sim.Rng.chance t.rng fail then begin
+            Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
+            Error `Uncorrectable
+          end
           else begin
             let result =
               match Flash.Chip.read_slot t.chip ~block ~page ~slot with
@@ -322,6 +382,7 @@ let read t ~logical =
                data somewhere younger before it becomes uncorrectable. *)
             if t.policy.Policy.should_reclaim ~rber ~block ~page then begin
               t.reclaims <- t.reclaims + 1;
+              Telemetry.Registry.Counter.incr t.tel.tel_reclaims;
               relocate_page t ~block ~page
             end;
             result

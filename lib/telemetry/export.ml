@@ -1,0 +1,348 @@
+open Registry
+
+(* --- shared helpers ------------------------------------------------------ *)
+
+let float_str x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+(* --- console table ------------------------------------------------------- *)
+
+let describe_value = function
+  | Counter v -> string_of_int v
+  | Gauge v -> float_str v
+  | Histogram s ->
+      if s.count = 0 then "count=0"
+      else
+        Printf.sprintf
+          "count=%d mean=%s p50=%s p90=%s p99=%s max=%s" s.count
+          (float_str s.mean) (float_str s.p50) (float_str s.p90)
+          (float_str s.p99) (float_str s.max)
+
+let metric_id sample =
+  match sample.labels with
+  | [] -> sample.name
+  | labels -> sample.name ^ "{" ^ Labels.to_string labels ^ "}"
+
+let pp_table ppf samples =
+  match samples with
+  | [] -> Format.fprintf ppf "  (no metrics registered)@."
+  | _ ->
+      let rows =
+        List.map (fun s -> (metric_id s, describe_value s.value)) samples
+      in
+      let width =
+        List.fold_left (fun w (id, _) -> Stdlib.max w (String.length id)) 0 rows
+      in
+      List.iter
+        (fun (id, value) ->
+          Format.fprintf ppf "  %-*s  %s@." width id value)
+        rows
+
+(* --- Prometheus text exposition ------------------------------------------ *)
+
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else float_str x
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let to_prometheus samples =
+  let buffer = Buffer.create 1024 in
+  let headed = Hashtbl.create 16 in
+  let header name help kind =
+    if not (Hashtbl.mem headed name) then begin
+      Hashtbl.add headed name ();
+      if help <> "" then
+        Buffer.add_string buffer (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buffer (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun s ->
+      match s.value with
+      | Counter v ->
+          header s.name s.help "counter";
+          Buffer.add_string buffer
+            (Printf.sprintf "%s%s %d\n" s.name (prom_labels s.labels) v)
+      | Gauge v ->
+          header s.name s.help "gauge";
+          Buffer.add_string buffer
+            (Printf.sprintf "%s%s %s\n" s.name (prom_labels s.labels)
+               (prom_float v))
+      | Histogram sum ->
+          header s.name s.help "summary";
+          List.iter
+            (fun (quantile, v) ->
+              Buffer.add_string buffer
+                (Printf.sprintf "%s%s %s\n" s.name
+                   (prom_labels (Labels.v (("quantile", quantile) :: s.labels)))
+                   (prom_float v)))
+            [ ("0.5", sum.p50); ("0.9", sum.p90); ("0.99", sum.p99) ];
+          Buffer.add_string buffer
+            (Printf.sprintf "%s_count%s %d\n" s.name (prom_labels s.labels)
+               sum.count);
+          Buffer.add_string buffer
+            (Printf.sprintf "%s_sum%s %s\n" s.name (prom_labels s.labels)
+               (prom_float (sum.mean *. float_of_int sum.count))))
+    samples;
+  Buffer.contents buffer
+
+(* --- JSONL ---------------------------------------------------------------- *)
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let json_float x =
+  if Float.is_nan x || Float.abs x = infinity then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let to_jsonl samples =
+  let line s =
+    let common =
+      Printf.sprintf "\"name\":\"%s\",\"labels\":%s" (json_escape s.name)
+        (json_labels s.labels)
+    in
+    match s.value with
+    | Counter v ->
+        Printf.sprintf "{%s,\"type\":\"counter\",\"value\":%d}" common v
+    | Gauge v ->
+        Printf.sprintf "{%s,\"type\":\"gauge\",\"value\":%s}" common
+          (json_float v)
+    | Histogram sum ->
+        Printf.sprintf
+          "{%s,\"type\":\"histogram\",\"count\":%d,\"mean\":%s,\"min\":%s,\
+           \"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+          common sum.count (json_float sum.mean) (json_float sum.min)
+          (json_float sum.max) (json_float sum.p50) (json_float sum.p90)
+          (json_float sum.p99)
+  in
+  String.concat "" (List.map (fun s -> line s ^ "\n") samples)
+
+(* A minimal JSON value parser, sufficient for the flat objects emitted
+   above (strings, numbers, null, one level of nested object for labels). *)
+module Json = struct
+  type value =
+    | String of string
+    | Number of float
+    | Null
+    | Object of (string * value) list
+
+  type state = { text : string; mutable pos : int }
+
+  let fail state msg =
+    failwith (Printf.sprintf "jsonl parse error at %d: %s" state.pos msg)
+
+  let peek state =
+    if state.pos >= String.length state.text then '\000'
+    else state.text.[state.pos]
+
+  let advance state = state.pos <- state.pos + 1
+
+  let skip_ws state =
+    while
+      match peek state with ' ' | '\t' | '\r' -> true | _ -> false
+    do
+      advance state
+    done
+
+  let expect state c =
+    if peek state <> c then fail state (Printf.sprintf "expected %c" c);
+    advance state
+
+  let parse_string state =
+    expect state '"';
+    let buffer = Buffer.create 16 in
+    let rec go () =
+      match peek state with
+      | '\000' -> fail state "unterminated string"
+      | '"' -> advance state
+      | '\\' ->
+          advance state;
+          (match peek state with
+          | '"' -> Buffer.add_char buffer '"'
+          | '\\' -> Buffer.add_char buffer '\\'
+          | 'n' -> Buffer.add_char buffer '\n'
+          | 't' -> Buffer.add_char buffer '\t'
+          | 'u' ->
+              if state.pos + 4 >= String.length state.text then
+                fail state "bad \\u escape";
+              let hex = String.sub state.text (state.pos + 1) 4 in
+              Buffer.add_char buffer (Char.chr (int_of_string ("0x" ^ hex)));
+              state.pos <- state.pos + 4
+          | c -> fail state (Printf.sprintf "bad escape \\%c" c));
+          advance state;
+          go ()
+      | c ->
+          Buffer.add_char buffer c;
+          advance state;
+          go ()
+    in
+    go ();
+    Buffer.contents buffer
+
+  let parse_number state =
+    let start = state.pos in
+    while
+      match peek state with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance state
+    done;
+    if state.pos = start then fail state "expected number";
+    float_of_string (String.sub state.text start (state.pos - start))
+
+  let rec parse_value state =
+    skip_ws state;
+    match peek state with
+    | '"' -> String (parse_string state)
+    | '{' -> parse_object state
+    | 'n' ->
+        if
+          state.pos + 4 <= String.length state.text
+          && String.sub state.text state.pos 4 = "null"
+        then begin
+          state.pos <- state.pos + 4;
+          Null
+        end
+        else fail state "expected null"
+    | _ -> Number (parse_number state)
+
+  and parse_object state =
+    expect state '{';
+    skip_ws state;
+    if peek state = '}' then begin
+      advance state;
+      Object []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws state;
+        let key = parse_string state in
+        skip_ws state;
+        expect state ':';
+        let value = parse_value state in
+        fields := (key, value) :: !fields;
+        skip_ws state;
+        match peek state with
+        | ',' ->
+            advance state;
+            go ()
+        | '}' -> advance state
+        | _ -> fail state "expected ',' or '}'"
+      in
+      go ();
+      Object (List.rev !fields)
+    end
+
+  let of_line line =
+    let state = { text = line; pos = 0 } in
+    let value = parse_object state in
+    skip_ws state;
+    if state.pos <> String.length line then fail state "trailing input";
+    value
+end
+
+let of_jsonl text =
+  let field fields name =
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "jsonl: missing field %S" name)
+  in
+  let get_string fields name =
+    match field fields name with
+    | Json.String s -> s
+    | _ -> failwith (Printf.sprintf "jsonl: field %S is not a string" name)
+  in
+  let get_float fields name =
+    match field fields name with
+    | Json.Number x -> x
+    | Json.Null -> nan
+    | _ -> failwith (Printf.sprintf "jsonl: field %S is not a number" name)
+  in
+  let get_int fields name = int_of_float (get_float fields name) in
+  let sample_of_line line =
+    match Json.of_line line with
+    | Json.Object fields ->
+        let labels =
+          match field fields "labels" with
+          | Json.Object pairs ->
+              Labels.v
+                (List.map
+                   (fun (k, v) ->
+                     match v with
+                     | Json.String s -> (k, s)
+                     | _ -> failwith "jsonl: label value is not a string")
+                   pairs)
+          | _ -> failwith "jsonl: labels is not an object"
+        in
+        let value =
+          match get_string fields "type" with
+          | "counter" -> Counter (get_int fields "value")
+          | "gauge" -> Gauge (get_float fields "value")
+          | "histogram" ->
+              Histogram
+                {
+                  count = get_int fields "count";
+                  mean = get_float fields "mean";
+                  min = get_float fields "min";
+                  max = get_float fields "max";
+                  p50 = get_float fields "p50";
+                  p90 = get_float fields "p90";
+                  p99 = get_float fields "p99";
+                }
+          | kind -> failwith (Printf.sprintf "jsonl: unknown type %S" kind)
+        in
+        { name = get_string fields "name"; labels; help = ""; value }
+    | _ -> failwith "jsonl: line is not an object"
+  in
+  String.split_on_char '\n' text
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.map sample_of_line
+
+let write_file ~path contents =
+  if path = "-" then begin
+    print_string contents;
+    flush stdout
+  end
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  end

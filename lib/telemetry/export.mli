@@ -1,0 +1,28 @@
+(** Snapshot exporters: pretty console table, Prometheus-style text
+    exposition, and a JSONL event log (one JSON object per metric per
+    line) with a parser for round-tripping. *)
+
+val pp_table : Format.formatter -> Registry.sample list -> unit
+(** Human-readable table: one row per metric; histograms summarized as
+    count/mean/p50/p90/p99/max. *)
+
+val to_prometheus : Registry.sample list -> string
+(** Prometheus text exposition format.  Counters and gauges map
+    directly; a histogram [h] becomes [h{quantile="0.5|0.9|0.99"}],
+    [h_count] and [h_sum] summary series.  [# HELP] / [# TYPE] headers
+    are emitted once per metric name. *)
+
+val to_jsonl : Registry.sample list -> string
+(** One line per sample:
+    [{"name":...,"labels":{...},"type":"counter","value":42}].
+    Histogram lines carry
+    ["count","mean","min","max","p50","p90","p99"] fields.  Non-finite
+    floats are encoded as null. *)
+
+val of_jsonl : string -> Registry.sample list
+(** Parse text produced by {!to_jsonl} back into samples (help strings
+    are not round-tripped; non-finite floats come back as [nan]).
+    @raise Failure on malformed input. *)
+
+val write_file : path:string -> string -> unit
+(** Write exporter output to [path], with ["-"] meaning stdout. *)

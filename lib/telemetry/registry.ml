@@ -1,0 +1,214 @@
+module Labels = struct
+  type t = (string * string) list
+
+  let bad_char c = c = '"' || c = '\n' || c = '='
+
+  let v pairs =
+    List.iter
+      (fun (k, value) ->
+        if k = "" then invalid_arg "Labels.v: empty key";
+        if String.exists bad_char k || String.exists bad_char value then
+          invalid_arg "Labels.v: keys and values must avoid '\"', '=', newline")
+      pairs;
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+    in
+    let rec check = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+          if a = b then invalid_arg "Labels.v: duplicate key";
+          check rest
+      | _ -> ()
+    in
+    check sorted;
+    sorted
+
+  let to_string t =
+    String.concat "," (List.map (fun (k, value) -> k ^ "=" ^ value) t)
+end
+
+module Counter = struct
+  type t = { mutable value : int; active : bool }
+
+  let dummy = { value = 0; active = false }
+
+  let incr ?(by = 1) t =
+    if by < 0 then invalid_arg "Counter.incr: negative increment";
+    if t.active then t.value <- t.value + by
+
+  let value t = t.value
+  let is_active t = t.active
+end
+
+module Gauge = struct
+  type t = { mutable value : float; active : bool }
+
+  let dummy = { value = 0.; active = false }
+  let set t x = if t.active then t.value <- x
+  let add t x = if t.active then t.value <- t.value +. x
+  let value t = t.value
+  let is_active t = t.active
+end
+
+module Histogram = struct
+  type t = {
+    buckets : Sim.Stats.Histogram.t;
+    online : Sim.Stats.Online.t;
+    active : bool;
+  }
+
+  let make ~buckets ~lo ~hi ~active =
+    {
+      buckets = Sim.Stats.Histogram.create ~buckets ~lo ~hi ();
+      online = Sim.Stats.Online.create ();
+      active;
+    }
+
+  let dummy = make ~buckets:1 ~lo:0. ~hi:1. ~active:false
+
+  let observe t x =
+    if t.active then begin
+      Sim.Stats.Histogram.add t.buckets x;
+      Sim.Stats.Online.add t.online x
+    end
+
+  let count t = Sim.Stats.Online.count t.online
+  let mean t = Sim.Stats.Online.mean t.online
+
+  let percentile t rank =
+    if count t = 0 then nan else Sim.Stats.Histogram.percentile t.buckets rank
+
+  let min t = if count t = 0 then nan else Sim.Stats.Online.min t.online
+  let max t = if count t = 0 then nan else Sim.Stats.Online.max t.online
+  let is_active t = t.active
+end
+
+type metric =
+  | Counter_m of Counter.t
+  | Gauge_m of Gauge.t
+  | Histogram_m of Histogram.t
+
+type entry = { labels : Labels.t; help : string; metric : metric }
+
+type t = {
+  live : bool;
+  table : (string, entry) Hashtbl.t; (* key = name ^ "{" ^ labels *)
+  mutable names : (string * string) list; (* (name, key) in any order *)
+}
+
+let create () = { live = true; table = Hashtbl.create 64; names = [] }
+let null = { live = false; table = Hashtbl.create 1; names = [] }
+let is_null t = not t.live
+
+let kind_name = function
+  | Counter_m _ -> "counter"
+  | Gauge_m _ -> "gauge"
+  | Histogram_m _ -> "histogram"
+
+(* Registration: same (name, labels) + same kind returns the existing
+   handle; a kind clash (even under different labels of one name) is a
+   programming error worth failing loudly on. *)
+let register t ~name ~labels ~help ~kind make_metric same_kind =
+  let labels = Labels.v labels in
+  let key = name ^ "{" ^ Labels.to_string labels in
+  match Hashtbl.find_opt t.table key with
+  | Some entry -> (
+      match same_kind entry.metric with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Telemetry: %s re-registered as a different kind"
+               name))
+  | None ->
+      List.iter
+        (fun (other_name, other_key) ->
+          if other_name = name then
+            let other = Hashtbl.find t.table other_key in
+            if kind_name other.metric <> kind then
+              invalid_arg
+                (Printf.sprintf "Telemetry: %s already registered as a %s"
+                   name
+                   (kind_name other.metric)))
+        t.names;
+      let metric = make_metric () in
+      Hashtbl.replace t.table key { labels; help; metric };
+      t.names <- (name, key) :: t.names;
+      match same_kind metric with Some m -> m | None -> assert false
+
+let counter t ?(help = "") ?(labels = []) name =
+  if not t.live then Counter.dummy
+  else
+    register t ~name ~labels ~help ~kind:"counter"
+      (fun () -> Counter_m { Counter.value = 0; active = true })
+      (function Counter_m c -> Some c | _ -> None)
+
+let gauge t ?(help = "") ?(labels = []) name =
+  if not t.live then Gauge.dummy
+  else
+    register t ~name ~labels ~help ~kind:"gauge"
+      (fun () -> Gauge_m { Gauge.value = 0.; active = true })
+      (function Gauge_m g -> Some g | _ -> None)
+
+let histogram t ?(help = "") ?(labels = []) ?(buckets = 128) ~lo ~hi name =
+  if not t.live then Histogram.dummy
+  else
+    register t ~name ~labels ~help ~kind:"histogram"
+      (fun () -> Histogram_m (Histogram.make ~buckets ~lo ~hi ~active:true))
+      (function Histogram_m h -> Some h | _ -> None)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of summary
+
+type sample = {
+  name : string;
+  labels : Labels.t;
+  help : string;
+  value : value;
+}
+
+let summarize (h : Histogram.t) =
+  {
+    count = Histogram.count h;
+    mean = Histogram.mean h;
+    min = Histogram.min h;
+    max = Histogram.max h;
+    p50 = Histogram.percentile h 0.5;
+    p90 = Histogram.percentile h 0.9;
+    p99 = Histogram.percentile h 0.99;
+  }
+
+let snapshot t =
+  List.map
+    (fun (name, key) ->
+      let entry = Hashtbl.find t.table key in
+      let value =
+        match entry.metric with
+        | Counter_m c -> Counter (Counter.value c)
+        | Gauge_m g -> Gauge (Gauge.value g)
+        | Histogram_m h -> Histogram (summarize h)
+      in
+      { name; labels = entry.labels; help = entry.help; value })
+    t.names
+  |> List.sort (fun a b ->
+         match String.compare a.name b.name with
+         | 0 ->
+             String.compare (Labels.to_string a.labels)
+               (Labels.to_string b.labels)
+         | c -> c)
+
+let default_registry = ref null
+let default () = !default_registry
+let set_default t = default_registry := t
+
+let with_default t f =
+  let saved = !default_registry in
+  default_registry := t;
+  Fun.protect ~finally:(fun () -> default_registry := saved) f

@@ -1,0 +1,139 @@
+(** Labeled metric registry: the measurement substrate of the stack.
+
+    Every layer (flash chip, ECC, FTL, Salamander core, diFS) registers
+    counters, gauges and histograms against a registry at component
+    creation time and updates them on its hot paths.  Two registries
+    exist: live ones created with {!create}, whose metrics record, and
+    the shared {!null} registry whose metrics are inert dummies — an
+    update to a null metric is a single predictable branch, so fully
+    instrumented code paths cost nothing measurable when telemetry is
+    off (see the [overhead] benchmark in [bench/main.ml]).
+
+    Metrics are identified by a [(name, labels)] pair.  Registering the
+    same pair twice returns the same handle (so independent components
+    may share an aggregate counter); registering the same name with a
+    different metric kind raises. *)
+
+(** Canonicalized label sets: key/value pairs, sorted by key. *)
+module Labels : sig
+  type t = (string * string) list
+
+  val v : (string * string) list -> t
+  (** Sort by key.  @raise Invalid_argument on duplicate keys or on keys
+      or values containing ['"'], ['\n'] or ['=']. *)
+
+  val to_string : t -> string
+  (** [k1=v1,k2=v2] — the canonical identity used for uniqueness. *)
+end
+
+(** Monotonic integer counter. *)
+module Counter : sig
+  type t
+
+  val incr : ?by:int -> t -> unit
+  (** No-op on an inactive (null-registry) counter.
+      @raise Invalid_argument if [by] is negative. *)
+
+  val value : t -> int
+
+  val is_active : t -> bool
+  (** [false] for null-registry metrics: call sites guarding expensive
+      instrumentation (e.g. sampling a binomial error count) should skip
+      it when inactive. *)
+end
+
+(** Instantaneous float value. *)
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+  val is_active : t -> bool
+end
+
+(** Bucketed distribution with percentile queries, backed by
+    {!Sim.Stats.Histogram} plus a {!Sim.Stats.Online} accumulator for
+    exact count/mean/min/max. *)
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val percentile : t -> float -> float
+  (** Bucket-midpoint approximation; [nan] when empty. *)
+
+  val min : t -> float
+  val max : t -> float
+  val is_active : t -> bool
+end
+
+type t
+(** A metric registry. *)
+
+val create : unit -> t
+
+val null : t
+(** The inert registry: all metrics obtained from it are inactive and
+    shared; [snapshot null] is always empty. *)
+
+val is_null : t -> bool
+
+(** {2 Registration} *)
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> Counter.t
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:int ->
+  lo:float ->
+  hi:float ->
+  string ->
+  Histogram.t
+(** Linear buckets over \[lo, hi); out-of-range observations clamp to the
+    edge buckets (see {!Sim.Stats.Histogram}).  Default 128 buckets. *)
+
+(** {2 Snapshots} *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of summary
+
+type sample = {
+  name : string;
+  labels : Labels.t;
+  help : string;
+  value : value;
+}
+
+val snapshot : t -> sample list
+(** Every registered metric, sorted by [(name, labels)] — deterministic
+    for a given set of registrations regardless of registration order. *)
+
+(** {2 The process-default registry}
+
+    Libraries deep in the stack fetch their metric handles from here at
+    component-creation time, so enabling telemetry is: install a live
+    registry, then build the components to be measured.  The default is
+    {!null}, making all instrumentation inert unless a CLI/bench/test
+    opts in. *)
+
+val default : unit -> t
+val set_default : t -> unit
+
+val with_default : t -> (unit -> 'a) -> 'a
+(** Run a thunk with the default registry swapped, restoring on exit. *)

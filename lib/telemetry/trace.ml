@@ -1,0 +1,59 @@
+let src = Logs.Src.create "salamander" ~doc:"Salamander telemetry"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let set_level level =
+  Logs.set_level level;
+  Logs.Src.set_level src level
+
+let level_of_verbosity = function
+  | n when n <= 0 -> None
+  | 1 -> Some Logs.Warning
+  | 2 -> Some Logs.Info
+  | _ -> Some Logs.Debug
+
+let clock = ref Sys.time
+let set_clock f = clock := f
+
+let span_histogram name =
+  (* 0..1 s in 256 buckets of ~4 ms: coarse, but spans wrap whole
+     experiment phases, not single flash ops. *)
+  Registry.histogram (Registry.default ()) ~labels:[ ("span", name) ]
+    ~help:"Duration of traced spans" ~buckets:256 ~lo:0. ~hi:1_000_000.
+    "span_duration_us"
+
+let with_span name f =
+  let registry = Registry.default () in
+  let inert = Registry.is_null registry in
+  if inert && Logs.Src.level src = None then f ()
+  else begin
+    let histogram = span_histogram name in
+    Log.debug (fun m -> m "span %s: enter" name);
+    let started = !clock () in
+    let finish () =
+      let us = (!clock () -. started) *. 1e6 in
+      Registry.Histogram.observe histogram us;
+      Log.debug (fun m -> m "span %s: exit (%.0f us)" name us)
+    in
+    match f () with
+    | result ->
+        finish ();
+        result
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let event ?(level = Logs.Info) name fields =
+  Registry.Counter.incr
+    (Registry.counter (Registry.default ())
+       ~labels:[ ("event", name) ]
+       ~help:"Traced events" "events_total");
+  Log.msg level (fun m ->
+      m "%s%s" name
+        (match fields with
+        | [] -> ""
+        | fields ->
+            " "
+            ^ String.concat " "
+                (List.map (fun (k, v) -> k ^ "=" ^ v) fields)))

@@ -1,0 +1,30 @@
+(** Lightweight span/event tracer on top of [Logs].
+
+    Spans time a scoped operation (a whole experiment, a recovery pass,
+    a device lifetime) and record the duration into the default
+    registry's [span_duration_us{span=...}] histogram; with the log
+    level at [Debug] they also emit enter/exit lines.  Events are
+    structured one-off log lines.  When the default registry is {!null}
+    and the log level is off, both are near-free. *)
+
+val src : Logs.src
+(** The ["salamander"] log source every span/event goes through; the
+    CLI's [--verbosity] flag sets its level. *)
+
+val set_level : Logs.level option -> unit
+(** Set the level of {!src} (and the global [Logs] level). *)
+
+val level_of_verbosity : int -> Logs.level option
+(** 0 = off, 1 = warnings, 2 = info, >= 3 = debug. *)
+
+val set_clock : (unit -> float) -> unit
+(** Override the span clock (seconds; default [Sys.time], i.e. CPU
+    time — ample for the simulator's coarse spans). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], records its duration, and logs
+    enter/exit at [Debug].  Exceptions propagate after the exit record. *)
+
+val event : ?level:Logs.level -> string -> (string * string) list -> unit
+(** [event name fields] logs one structured line (default level [Info])
+    and counts it in [events_total{event=name}]. *)

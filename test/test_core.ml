@@ -584,6 +584,55 @@ let test_device_grace_emergency_override () =
          | Salamander.Events.Mdisk_decommissioned _ -> true | _ -> false)
        (Salamander.Device.poll_events d))
 
+(* --- Events.Queue ------------------------------------------------------------ *)
+
+let event_testable =
+  Alcotest.testable Salamander.Events.pp (fun a b -> a = b)
+
+let test_events_queue_fifo_order () =
+  let q = Salamander.Events.Queue.create () in
+  let events =
+    [
+      Salamander.Events.Mdisk_retiring { id = 1; opages = 32 };
+      Salamander.Events.Mdisk_decommissioned { id = 1; lost_opages = 32 };
+      Salamander.Events.Mdisk_created { id = 2; opages = 16; level = 1 };
+      Salamander.Events.Device_failed;
+    ]
+  in
+  List.iter (Salamander.Events.Queue.push q) events;
+  checki "pending counts pushes" 4 (Salamander.Events.Queue.pending q);
+  Alcotest.(check (list event_testable))
+    "drain is oldest-first" events
+    (Salamander.Events.Queue.drain q)
+
+let test_events_queue_drain_empties () =
+  let q = Salamander.Events.Queue.create () in
+  Alcotest.(check (list event_testable))
+    "fresh queue drains empty" []
+    (Salamander.Events.Queue.drain q);
+  Salamander.Events.Queue.push q Salamander.Events.Device_failed;
+  ignore (Salamander.Events.Queue.drain q);
+  checki "drain leaves queue empty" 0 (Salamander.Events.Queue.pending q);
+  Alcotest.(check (list event_testable))
+    "second drain empty" []
+    (Salamander.Events.Queue.drain q);
+  (* The queue keeps working after a drain. *)
+  Salamander.Events.Queue.push q
+    (Salamander.Events.Mdisk_created { id = 7; opages = 8; level = 0 });
+  checki "push after drain" 1 (Salamander.Events.Queue.pending q)
+
+let test_events_queue_interleaved () =
+  let q = Salamander.Events.Queue.create () in
+  let ev i = Salamander.Events.Mdisk_retiring { id = i; opages = i } in
+  Salamander.Events.Queue.push q (ev 0);
+  Salamander.Events.Queue.push q (ev 1);
+  Alcotest.(check (list event_testable)) "first batch" [ ev 0; ev 1 ]
+    (Salamander.Events.Queue.drain q);
+  Salamander.Events.Queue.push q (ev 2);
+  Alcotest.(check (list event_testable))
+    "later pushes don't resurface drained events" [ ev 2 ]
+    (Salamander.Events.Queue.drain q)
+
 let suite =
   [
     ("tiredness level table", `Quick, test_tiredness_level_table);
@@ -619,5 +668,8 @@ let suite =
      test_device_grace_keeps_data_readable);
     ("device grace emergency override", `Slow,
      test_device_grace_emergency_override);
+    ("events queue fifo order", `Quick, test_events_queue_fifo_order);
+    ("events queue drain empties", `Quick, test_events_queue_drain_empties);
+    ("events queue interleaved", `Quick, test_events_queue_interleaved);
     QCheck_alcotest.to_alcotest prop_device_invariants;
   ]

@@ -265,6 +265,49 @@ let test_histogram_percentiles () =
       let empty = Sim.Stats.Histogram.create ~lo:0. ~hi:1. () in
       ignore (Sim.Stats.Histogram.percentile empty 0.5))
 
+let test_histogram_percentile_clamping () =
+  (* Out-of-range samples land in the edge buckets, so percentiles of a
+     histogram fed only out-of-range data report the edge midpoints. *)
+  let hist = Sim.Stats.Histogram.create ~buckets:10 ~lo:0. ~hi:10. () in
+  for _ = 1 to 50 do
+    Sim.Stats.Histogram.add hist (-100.)
+  done;
+  for _ = 1 to 50 do
+    Sim.Stats.Histogram.add hist 1e9
+  done;
+  checki "count includes clamped" 100 (Sim.Stats.Histogram.count hist);
+  checkf 1e-9 "low tail = first bucket midpoint" 0.5
+    (Sim.Stats.Histogram.percentile hist 0.25);
+  checkf 1e-9 "high tail = last bucket midpoint" 9.5
+    (Sim.Stats.Histogram.percentile hist 0.99);
+  (* Rank bounds are inclusive; just outside raises. *)
+  ignore (Sim.Stats.Histogram.percentile hist 0.);
+  ignore (Sim.Stats.Histogram.percentile hist 1.);
+  Alcotest.check_raises "rank above 1"
+    (Invalid_argument "Histogram.percentile: rank outside [0,1]") (fun () ->
+      ignore (Sim.Stats.Histogram.percentile hist 1.1));
+  Alcotest.check_raises "negative rank"
+    (Invalid_argument "Histogram.percentile: rank outside [0,1]") (fun () ->
+      ignore (Sim.Stats.Histogram.percentile hist (-0.1)))
+
+let test_histogram_singleton () =
+  let hist = Sim.Stats.Histogram.create ~buckets:100 ~lo:0. ~hi:100. () in
+  Sim.Stats.Histogram.add hist 42.;
+  checki "count" 1 (Sim.Stats.Histogram.count hist);
+  checkf 1e-9 "mean is the sample" 42. (Sim.Stats.Histogram.mean hist);
+  (* Every positive percentile of a single observation is that
+     observation's bucket midpoint; rank 0 degenerates to the first
+     bucket (its threshold is met before any count accumulates). *)
+  List.iter
+    (fun rank ->
+      checkf 1e-9
+        (Printf.sprintf "p%g" (rank *. 100.))
+        42.5
+        (Sim.Stats.Histogram.percentile hist rank))
+    [ 0.001; 0.5; 0.99; 1. ];
+  checkf 1e-9 "rank 0 is the first bucket" 0.5
+    (Sim.Stats.Histogram.percentile hist 0.)
+
 let test_series_binned () =
   let series = Sim.Stats.Series.create () in
   Sim.Stats.Series.add series ~time:0.1 10.;
@@ -275,6 +318,47 @@ let test_series_binned () =
     "binned averages"
     [ (0., 15.); (1., 30.) ]
     binned
+
+let test_series_binned_empty_bins () =
+  (* Bins with no samples are omitted, not reported as zero: a gap in the
+     series must not fabricate data points. *)
+  let series = Sim.Stats.Series.create () in
+  Sim.Stats.Series.add series ~time:0.5 10.;
+  Sim.Stats.Series.add series ~time:5.5 20.;
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "gap bins omitted"
+    [ (0., 10.); (5., 20.) ]
+    (Sim.Stats.Series.binned series ~bin:1.0);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "empty series binned" []
+    (Sim.Stats.Series.binned (Sim.Stats.Series.create ()) ~bin:1.0)
+
+let prop_online_merge_matches_combined =
+  (* merge a b must behave exactly as if every observation had been fed
+     to a single accumulator, for any split of any sample list. *)
+  QCheck.Test.make ~count:200 ~name:"online merge = combined accumulator"
+    QCheck.(pair (list (float_bound_exclusive 1000.)) small_int)
+    (fun (xs, split_seed) ->
+      let a = Sim.Stats.Online.create ()
+      and b = Sim.Stats.Online.create ()
+      and all = Sim.Stats.Online.create () in
+      List.iteri
+        (fun i x ->
+          Sim.Stats.Online.add all x;
+          Sim.Stats.Online.add (if (i + split_seed) mod 2 = 0 then a else b) x)
+        xs;
+      let merged = Sim.Stats.Online.merge a b in
+      let feq x y =
+        (Float.is_nan x && Float.is_nan y)
+        || Float.abs (x -. y) <= 1e-6 *. Float.max 1. (Float.abs y)
+      in
+      Sim.Stats.Online.count merged = Sim.Stats.Online.count all
+      && feq (Sim.Stats.Online.mean merged) (Sim.Stats.Online.mean all)
+      && feq (Sim.Stats.Online.variance merged)
+           (Sim.Stats.Online.variance all)
+      && feq (Sim.Stats.Online.total merged) (Sim.Stats.Online.total all)
+      && Sim.Stats.Online.min merged = Sim.Stats.Online.min all
+      && Sim.Stats.Online.max merged = Sim.Stats.Online.max all)
 
 (* --- Event queue and engine ------------------------------------------- *)
 
@@ -387,7 +471,12 @@ let suite =
     ("stats online known values", `Quick, test_online_known_values);
     ("stats online merge", `Quick, test_online_merge);
     ("stats histogram percentiles", `Quick, test_histogram_percentiles);
+    ("stats histogram percentile clamping", `Quick,
+     test_histogram_percentile_clamping);
+    ("stats histogram singleton", `Quick, test_histogram_singleton);
     ("stats series binned", `Quick, test_series_binned);
+    ("stats series binned empty bins", `Quick, test_series_binned_empty_bins);
+    QCheck_alcotest.to_alcotest prop_online_merge_matches_combined;
     ("event queue ordering", `Quick, test_event_queue_ordering);
     ("event queue fifo ties", `Quick, test_event_queue_fifo_ties);
     ("event queue random order", `Quick, test_event_queue_random_order);

@@ -1,0 +1,352 @@
+(* Tests for the telemetry subsystem: metric registry semantics (label
+   canonicalization, handle sharing, kind clashes), snapshot determinism,
+   the three exporters (table / Prometheus / JSONL with round-trip), the
+   zero-cost null registry, and the span/event tracer. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf epsilon = Alcotest.check (Alcotest.float epsilon)
+let checks = Alcotest.check Alcotest.string
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+(* --- Registry --------------------------------------------------------------- *)
+
+let test_counter_gauge_basics () =
+  let reg = Telemetry.Registry.create () in
+  let c = Telemetry.Registry.counter reg "requests_total" in
+  Telemetry.Registry.Counter.incr c;
+  Telemetry.Registry.Counter.incr c ~by:41;
+  checki "counter accumulates" 42 (Telemetry.Registry.Counter.value c);
+  checkb "negative increment raises" true
+    (raises_invalid (fun () -> Telemetry.Registry.Counter.incr c ~by:(-1)));
+  let g = Telemetry.Registry.gauge reg "depth" in
+  Telemetry.Registry.Gauge.set g 7.;
+  Telemetry.Registry.Gauge.add g 0.5;
+  checkf 1e-9 "gauge set+add" 7.5 (Telemetry.Registry.Gauge.value g)
+
+let test_label_canonicalization () =
+  let reg = Telemetry.Registry.create () in
+  (* Label order is irrelevant to metric identity: both registrations
+     must return the same underlying counter. *)
+  let a =
+    Telemetry.Registry.counter reg "ops_total"
+      ~labels:[ ("op", "read"); ("chip", "0") ]
+  in
+  let b =
+    Telemetry.Registry.counter reg "ops_total"
+      ~labels:[ ("chip", "0"); ("op", "read") ]
+  in
+  Telemetry.Registry.Counter.incr a ~by:3;
+  checki "same handle regardless of label order" 3
+    (Telemetry.Registry.Counter.value b);
+  (* Different label values are distinct series. *)
+  let other =
+    Telemetry.Registry.counter reg "ops_total"
+      ~labels:[ ("chip", "0"); ("op", "write") ]
+  in
+  checki "distinct series start at zero" 0
+    (Telemetry.Registry.Counter.value other);
+  checkb "duplicate label keys raise" true
+    (raises_invalid (fun () ->
+         Telemetry.Registry.counter reg "dup"
+           ~labels:[ ("k", "1"); ("k", "2") ]));
+  checkb "label values must avoid '='" true
+    (raises_invalid (fun () ->
+         Telemetry.Registry.counter reg "bad" ~labels:[ ("k", "a=b") ]))
+
+let test_kind_clash_raises () =
+  let reg = Telemetry.Registry.create () in
+  ignore (Telemetry.Registry.counter reg "x_total");
+  checkb "same name as gauge raises" true
+    (raises_invalid (fun () -> Telemetry.Registry.gauge reg "x_total"));
+  (* ... even under different labels of the same name. *)
+  checkb "kind clash across labels raises" true
+    (raises_invalid (fun () ->
+         Telemetry.Registry.histogram reg "x_total" ~labels:[ ("l", "1") ]
+           ~lo:0. ~hi:1.));
+  (* Same name + labels + kind is idempotent, not an error. *)
+  let again = Telemetry.Registry.counter reg "x_total" in
+  Telemetry.Registry.Counter.incr again;
+  checki "re-registration shares the handle" 1
+    (Telemetry.Registry.Counter.value again)
+
+let populate reg order =
+  List.iter
+    (fun i ->
+      match i with
+      | 0 ->
+          Telemetry.Registry.Counter.incr ~by:5
+            (Telemetry.Registry.counter reg "alpha_total" ~help:"a")
+      | 1 ->
+          Telemetry.Registry.Gauge.set
+            (Telemetry.Registry.gauge reg "beta" ~help:"b")
+            2.5
+      | _ ->
+          let h =
+            Telemetry.Registry.histogram reg "gamma_us" ~help:"g" ~lo:0.
+              ~hi:100. ~buckets:100
+              ~labels:[ ("op", "read") ]
+          in
+          List.iter
+            (Telemetry.Registry.Histogram.observe h)
+            [ 10.; 20.; 30.; 40. ])
+    order
+
+let test_snapshot_determinism () =
+  (* Snapshots are sorted by (name, labels): registration order must not
+     leak into the output. *)
+  let reg1 = Telemetry.Registry.create ()
+  and reg2 = Telemetry.Registry.create () in
+  populate reg1 [ 0; 1; 2 ];
+  populate reg2 [ 2; 0; 1 ];
+  let names reg =
+    List.map
+      (fun s ->
+        (s.Telemetry.Registry.name,
+         Telemetry.Registry.Labels.to_string s.Telemetry.Registry.labels))
+      (Telemetry.Registry.snapshot reg)
+  in
+  Alcotest.(check (list (pair string string)))
+    "identical sample order" (names reg1) (names reg2);
+  Alcotest.(check (list (pair string string)))
+    "sorted by name"
+    [ ("alpha_total", ""); ("beta", ""); ("gamma_us", "op=read") ]
+    (names reg1)
+
+let test_null_registry_inert () =
+  let c = Telemetry.Registry.counter Telemetry.Registry.null "n_total" in
+  let g = Telemetry.Registry.gauge Telemetry.Registry.null "n" in
+  let h =
+    Telemetry.Registry.histogram Telemetry.Registry.null ~lo:0. ~hi:1. "n_us"
+  in
+  checkb "counter inactive" false (Telemetry.Registry.Counter.is_active c);
+  checkb "gauge inactive" false (Telemetry.Registry.Gauge.is_active g);
+  checkb "histogram inactive" false (Telemetry.Registry.Histogram.is_active h);
+  Telemetry.Registry.Counter.incr c ~by:1000;
+  Telemetry.Registry.Gauge.set g 9.;
+  Telemetry.Registry.Histogram.observe h 0.5;
+  checki "counter stays zero" 0 (Telemetry.Registry.Counter.value c);
+  checkf 1e-9 "gauge stays zero" 0. (Telemetry.Registry.Gauge.value g);
+  checki "histogram stays empty" 0 (Telemetry.Registry.Histogram.count h);
+  checki "null snapshot is empty" 0
+    (List.length (Telemetry.Registry.snapshot Telemetry.Registry.null))
+
+let test_with_default_restores () =
+  let before = Telemetry.Registry.default () in
+  let reg = Telemetry.Registry.create () in
+  let inside =
+    Telemetry.Registry.with_default reg (fun () ->
+        Telemetry.Registry.default () == reg)
+  in
+  checkb "default swapped inside" true inside;
+  checkb "default restored after" true
+    (Telemetry.Registry.default () == before);
+  (* ... also on exceptions. *)
+  (try
+     Telemetry.Registry.with_default reg (fun () -> failwith "boom")
+   with Failure _ -> ());
+  checkb "restored after raise" true (Telemetry.Registry.default () == before)
+
+(* --- Exporters --------------------------------------------------------------- *)
+
+let sample_registry () =
+  let reg = Telemetry.Registry.create () in
+  populate reg [ 0; 1; 2 ];
+  reg
+
+let test_prometheus_format () =
+  let text =
+    Telemetry.Export.to_prometheus
+      (Telemetry.Registry.snapshot (sample_registry ()))
+  in
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line -> checkb line true (contains line))
+    [
+      "# HELP alpha_total a";
+      "# TYPE alpha_total counter";
+      "alpha_total 5";
+      "# TYPE beta gauge";
+      "beta 2.5";
+      "# TYPE gamma_us summary";
+      "gamma_us{op=\"read\",quantile=\"0.5\"}";
+      "gamma_us_count{op=\"read\"} 4";
+      "gamma_us_sum{op=\"read\"} 100";
+    ]
+
+let test_jsonl_roundtrip () =
+  let samples = Telemetry.Registry.snapshot (sample_registry ()) in
+  let parsed = Telemetry.Export.of_jsonl (Telemetry.Export.to_jsonl samples) in
+  checki "same sample count" (List.length samples) (List.length parsed);
+  List.iter2
+    (fun (a : Telemetry.Registry.sample) (b : Telemetry.Registry.sample) ->
+      checks "name" a.name b.name;
+      checks "labels"
+        (Telemetry.Registry.Labels.to_string a.labels)
+        (Telemetry.Registry.Labels.to_string b.labels);
+      match (a.value, b.value) with
+      | Counter x, Counter y -> checki "counter value" x y
+      | Gauge x, Gauge y -> checkf 1e-12 "gauge value" x y
+      | Histogram x, Histogram y ->
+          checki "hist count" x.count y.count;
+          checkf 1e-9 "hist mean" x.mean y.mean;
+          checkf 1e-9 "hist min" x.min y.min;
+          checkf 1e-9 "hist max" x.max y.max;
+          checkf 1e-9 "hist p50" x.p50 y.p50;
+          checkf 1e-9 "hist p90" x.p90 y.p90;
+          checkf 1e-9 "hist p99" x.p99 y.p99
+      | _ -> Alcotest.fail "value kind changed across round-trip")
+    samples parsed
+
+let test_jsonl_nonfinite () =
+  (* An empty histogram has nan summary fields; they must survive export
+     (as null) and come back as nan rather than crashing the parser. *)
+  let reg = Telemetry.Registry.create () in
+  ignore (Telemetry.Registry.histogram reg ~lo:0. ~hi:1. "empty_us");
+  let parsed =
+    Telemetry.Export.of_jsonl
+      (Telemetry.Export.to_jsonl (Telemetry.Registry.snapshot reg))
+  in
+  match parsed with
+  | [ { Telemetry.Registry.value = Histogram s; _ } ] ->
+      checki "count zero" 0 s.count;
+      checkb "mean is nan" true (Float.is_nan s.mean)
+  | _ -> Alcotest.fail "expected one histogram sample"
+
+let test_table_export () =
+  let out =
+    Format.asprintf "%a" Telemetry.Export.pp_table
+      (Telemetry.Registry.snapshot (sample_registry ()))
+  in
+  checkb "mentions alpha_total" true
+    (String.length out > 0
+    &&
+    let needle = "alpha_total" in
+    let n = String.length needle and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = needle || go (i + 1)) in
+    go 0)
+
+(* --- Trace ------------------------------------------------------------------- *)
+
+let test_trace_span_records_duration () =
+  let reg = Telemetry.Registry.create () in
+  let result =
+    Telemetry.Registry.with_default reg (fun () ->
+        Telemetry.Trace.with_span "unit_test" (fun () -> 6 * 7))
+  in
+  checki "span returns thunk result" 42 result;
+  let samples = Telemetry.Registry.snapshot reg in
+  let span =
+    List.find_opt
+      (fun s ->
+        s.Telemetry.Registry.name = "span_duration_us"
+        && s.Telemetry.Registry.labels = [ ("span", "unit_test") ])
+      samples
+  in
+  match span with
+  | Some { Telemetry.Registry.value = Histogram s; _ } ->
+      checki "one observation" 1 s.count
+  | _ -> Alcotest.fail "span histogram missing"
+
+let test_trace_event_counts () =
+  let reg = Telemetry.Registry.create () in
+  Telemetry.Registry.with_default reg (fun () ->
+      Telemetry.Trace.event "chunk_lost" [ ("chunk", "3") ];
+      Telemetry.Trace.event "chunk_lost" [ ("chunk", "4") ]);
+  let samples = Telemetry.Registry.snapshot reg in
+  match
+    List.find_opt
+      (fun s ->
+        s.Telemetry.Registry.name = "events_total"
+        && s.Telemetry.Registry.labels = [ ("event", "chunk_lost") ])
+      samples
+  with
+  | Some { Telemetry.Registry.value = Counter n; _ } ->
+      checki "events counted" 2 n
+  | _ -> Alcotest.fail "event counter missing"
+
+let test_trace_span_propagates_exceptions () =
+  let reg = Telemetry.Registry.create () in
+  let raised =
+    Telemetry.Registry.with_default reg (fun () ->
+        match Telemetry.Trace.with_span "boom" (fun () -> failwith "boom") with
+        | _ -> false
+        | exception Failure _ -> true)
+  in
+  checkb "exception propagates" true raised;
+  (* The duration is still recorded on the failing path. *)
+  match
+    List.find_opt
+      (fun s -> s.Telemetry.Registry.name = "span_duration_us")
+      (Telemetry.Registry.snapshot reg)
+  with
+  | Some { Telemetry.Registry.value = Histogram s; _ } ->
+      checki "failed span recorded" 1 s.count
+  | _ -> Alcotest.fail "span histogram missing"
+
+let test_level_of_verbosity () =
+  let check_level name expected actual =
+    checkb name true (expected = actual)
+  in
+  check_level "0 is off" None (Telemetry.Trace.level_of_verbosity 0);
+  check_level "1 is warning" (Some Logs.Warning)
+    (Telemetry.Trace.level_of_verbosity 1);
+  check_level "2 is info" (Some Logs.Info)
+    (Telemetry.Trace.level_of_verbosity 2);
+  check_level "3+ is debug" (Some Logs.Debug)
+    (Telemetry.Trace.level_of_verbosity 7)
+
+(* --- qcheck: snapshot determinism under random registration orders ---------- *)
+
+let prop_snapshot_order_independent =
+  QCheck.Test.make ~count:100
+    ~name:"snapshot independent of registration order"
+    QCheck.(list (int_range 0 9))
+    (fun ids ->
+      let register reg order =
+        List.iter
+          (fun i ->
+            Telemetry.Registry.Counter.incr
+              (Telemetry.Registry.counter reg
+                 (Printf.sprintf "m%d_total" i)
+                 ~labels:[ ("i", string_of_int i) ]))
+          order
+      in
+      let reg1 = Telemetry.Registry.create ()
+      and reg2 = Telemetry.Registry.create () in
+      register reg1 ids;
+      register reg2 (List.rev ids);
+      let key s =
+        (s.Telemetry.Registry.name,
+         Telemetry.Registry.Labels.to_string s.Telemetry.Registry.labels)
+      in
+      List.map key (Telemetry.Registry.snapshot reg1)
+      = List.map key (Telemetry.Registry.snapshot reg2))
+
+let suite =
+  [
+    ("counter and gauge basics", `Quick, test_counter_gauge_basics);
+    ("label canonicalization", `Quick, test_label_canonicalization);
+    ("kind clash raises", `Quick, test_kind_clash_raises);
+    ("snapshot determinism", `Quick, test_snapshot_determinism);
+    ("null registry inert", `Quick, test_null_registry_inert);
+    ("with_default restores", `Quick, test_with_default_restores);
+    ("prometheus format", `Quick, test_prometheus_format);
+    ("jsonl roundtrip", `Quick, test_jsonl_roundtrip);
+    ("jsonl non-finite", `Quick, test_jsonl_nonfinite);
+    ("table export", `Quick, test_table_export);
+    ("trace span records duration", `Quick, test_trace_span_records_duration);
+    ("trace event counts", `Quick, test_trace_event_counts);
+    ("trace span propagates exceptions", `Quick,
+     test_trace_span_propagates_exceptions);
+    ("level_of_verbosity", `Quick, test_level_of_verbosity);
+    QCheck_alcotest.to_alcotest prop_snapshot_order_independent;
+  ]
