@@ -15,7 +15,7 @@ open Toolkit
 
 let bch_subjects () =
   (* FIG2's substrate: the live codec and the analytic tail. *)
-  let code = Ecc.Bch.create ~m:10 ~capability:8 in
+  let code = Ecc.Bch.create ~m:10 ~capability:8 () in
   let rng = Sim.Rng.create 1 in
   let data = Ecc.Bitarray.create 400 in
   Ecc.Bitarray.randomize rng data;
@@ -126,7 +126,7 @@ let disturb_subjects () =
   in
   let chip =
     Flash.Chip.create ~rng:(Sim.Rng.create 23)
-      ~geometry:Experiments.Defaults.geometry ~model
+      ~geometry:Experiments.Defaults.geometry ~model ()
   in
   Flash.Chip.program chip ~block:0 ~page:0 [| Some 1; Some 2; Some 3; Some 4 |];
   [
@@ -177,7 +177,6 @@ let telemetry_subjects () =
     Telemetry.Registry.histogram live_reg ~lo:0. ~hi:100. "bench_live_us"
   in
   let make_device registry =
-    Telemetry.Registry.with_default registry @@ fun () ->
     let gentle =
       Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
     in
@@ -186,7 +185,7 @@ let telemetry_subjects () =
         ~config:
           (Experiments.Defaults.salamander_config
              ~mode:Salamander.Device.Regen_s)
-        ~geometry:Experiments.Defaults.geometry ~model:gentle
+        ~registry ~geometry:Experiments.Defaults.geometry ~model:gentle
         ~rng:(Sim.Rng.create 3) ()
     in
     let mdisk =
@@ -227,11 +226,33 @@ let telemetry_subjects () =
                 ~payload:1)));
   ]
 
+let parallel_subjects () =
+  (* The tentpole's speedup claim: the default 24-device fleet aged on 1,
+     2 and 4 domains.  Identical seeds give byte-identical fleet results
+     at every job count; only the wall-clock should move. *)
+  let days = 40 in
+  let subject name pool =
+    let ctx = Experiments.Ctx.make ?pool () in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore (Experiments.Fleet.run ~days ~seed:3 ~ctx `Regens)))
+  in
+  let pool2 = Parallel.Pool.create ~domains:2 in
+  let pool4 = Parallel.Pool.create ~domains:4 in
+  at_exit (fun () ->
+      Parallel.Pool.shutdown pool2;
+      Parallel.Pool.shutdown pool4);
+  [
+    subject "parallel/fleet_jobs1" None;
+    subject "parallel/fleet_jobs2" (Some pool2);
+    subject "parallel/fleet_jobs4" (Some pool4);
+  ]
+
 let run_micro () =
   let tests =
     bch_subjects () @ device_subjects () @ cluster_subjects ()
     @ service_subjects () @ disturb_subjects () @ fleet_subjects ()
-    @ carbon_subjects () @ telemetry_subjects ()
+    @ carbon_subjects () @ telemetry_subjects () @ parallel_subjects ()
   in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in
@@ -271,8 +292,9 @@ let run_micro () =
    built — cross-experiment aggregation would hide per-run regressions. *)
 let run_experiment fmt (id, runner) =
   let reg = Telemetry.Registry.create () in
-  Telemetry.Registry.with_default reg (fun () ->
-      Telemetry.Trace.with_span ("experiment:" ^ id) (fun () -> runner fmt));
+  let ctx = Experiments.Ctx.make ~registry:reg () in
+  Telemetry.Trace.with_span ~registry:reg ("experiment:" ^ id) (fun () ->
+      runner ctx fmt);
   match Telemetry.Registry.snapshot reg with
   | [] -> ()
   | samples ->

@@ -53,17 +53,17 @@ let render_snapshot format samples =
   | Prometheus -> Telemetry.Export.to_prometheus samples
   | Jsonl -> Telemetry.Export.to_jsonl samples
 
-(* Install the live registry *before* running [f]: components bind their
-   metric handles at creation time, so the registry must be the process
-   default when devices/clusters are constructed inside [f]. *)
+(* Build the registry [f]'s components bind their metric handles against:
+   a live one when a snapshot was requested, {!Telemetry.Registry.null}
+   (collection compiled away) otherwise. *)
 let with_telemetry opts f =
   Telemetry.Trace.set_level (Telemetry.Trace.level_of_verbosity opts.verbosity);
   if opts.verbosity > 0 then Logs.set_reporter (Logs.format_reporter ());
   match opts.metrics with
-  | None -> f ()
+  | None -> f Telemetry.Registry.null
   | Some path ->
       let reg = Telemetry.Registry.create () in
-      let result = Telemetry.Registry.with_default reg f in
+      let result = f reg in
       (try
          Telemetry.Export.write_file ~path
            (render_snapshot opts.metrics_format
@@ -72,6 +72,34 @@ let with_telemetry opts f =
          Printf.eprintf "salamander: cannot write metrics: %s\n" msg;
          exit 1);
       result
+
+(* --- parallelism ------------------------------------------------------------ *)
+
+let jobs_term =
+  let doc =
+    "Worker domains for the parallel sections (fleet aging, experiment \
+     fan-out).  1 runs everything sequentially; output is byte-identical \
+     at any value.  Values above the hardware's recommended domain count \
+     are clamped."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_domains ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Telemetry + execution context: spin up a scoped pool when parallel
+   and hand [f] a ready-to-thread [Ctx.t].  An explicit [--jobs n] is
+   honored even beyond the recommended domain count (the default already
+   respects it): oversubscription only costs scheduling, and running the
+   real multi-domain path everywhere is what the determinism guarantee
+   is tested against. *)
+let with_context opts ~jobs f =
+  with_telemetry opts @@ fun registry ->
+  let jobs = Stdlib.max 1 jobs in
+  if jobs = 1 then f (Experiments.Ctx.make ~registry ())
+  else
+    Parallel.Pool.with_pool ~domains:jobs (fun pool ->
+        f (Experiments.Ctx.make ~registry ~pool ()))
 
 (* --- experiments ----------------------------------------------------------- *)
 
@@ -85,17 +113,19 @@ let experiments_cmd =
     in
     Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
   in
-  let run tel only =
+  let run tel jobs only =
     match only with
     | None ->
-        with_telemetry tel (fun () -> Experiments.All.run fmt);
+        with_context tel ~jobs (fun ctx -> Experiments.All.run ~ctx fmt);
         `Ok ()
     | Some id -> (
         match List.assoc_opt id Experiments.All.experiments with
         | Some runner ->
-            with_telemetry tel (fun () ->
-                Telemetry.Trace.with_span ("experiment:" ^ id) (fun () ->
-                    runner fmt));
+            with_context tel ~jobs (fun ctx ->
+                Telemetry.Trace.with_span
+                  ~registry:ctx.Experiments.Ctx.registry
+                  ("experiment:" ^ id)
+                  (fun () -> runner ctx fmt));
             `Ok ()
         | None ->
             `Error
@@ -106,7 +136,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (DESIGN.md index)")
-    Term.(ret (const run $ tel_opts_term $ only))
+    Term.(ret (const run $ tel_opts_term $ jobs_term $ only))
 
 (* --- age a single device ----------------------------------------------------- *)
 
@@ -132,9 +162,10 @@ let age_cmd =
       & info [ "utilization" ] ~docv:"FRACTION"
           ~doc:"Fraction of exported capacity kept live.")
   in
-  let run tel kind seed utilization =
-    with_telemetry tel @@ fun () ->
-    let device = Experiments.Defaults.make_device kind ~seed in
+  let run tel jobs kind seed utilization =
+    with_context tel ~jobs @@ fun ctx ->
+    let registry = ctx.Experiments.Ctx.registry in
+    let device = Experiments.Defaults.make_device ~registry kind ~seed in
     let pattern =
       Workload.Pattern.uniform
         ~window:
@@ -145,7 +176,7 @@ let age_cmd =
         ~read_fraction:0.05
     in
     let outcome =
-      Telemetry.Trace.with_span "age" (fun () ->
+      Telemetry.Trace.with_span ~registry "age" (fun () ->
           Workload.Aging.run ~max_writes:50_000_000 ~utilization
             ~rng:(Sim.Rng.create (seed + 1))
             ~pattern ~device ())
@@ -173,7 +204,7 @@ let age_cmd =
   in
   Cmd.v
     (Cmd.info "age" ~doc:"Age one device to death and report its endurance")
-    Term.(const run $ tel_opts_term $ kind $ seed $ utilization)
+    Term.(const run $ tel_opts_term $ jobs_term $ kind $ seed $ utilization)
 
 (* --- fleet ------------------------------------------------------------------ *)
 
@@ -187,13 +218,14 @@ let fleet_cmd =
       & opt int Experiments.Defaults.fleet_devices
       & info [ "devices" ] ~docv:"N" ~doc:"Fleet size.")
   in
-  let run tel days devices =
-    with_telemetry tel (fun () -> Experiments.Fig3ab.run ~days ~devices fmt)
+  let run tel jobs days devices =
+    with_context tel ~jobs (fun ctx ->
+        Experiments.Fig3ab.run ~days ~devices ~ctx fmt)
   in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Fleet aging: alive devices and capacity over time (Figs. 3a/3b)")
-    Term.(const run $ tel_opts_term $ days $ devices)
+    Term.(const run $ tel_opts_term $ jobs_term $ days $ devices)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -220,10 +252,10 @@ let stats_cmd =
     let tel =
       { tel with metrics = Some (Option.value tel.metrics ~default:"-") }
     in
-    with_telemetry tel @@ fun () ->
-    Telemetry.Trace.with_span "stats" @@ fun () ->
+    with_telemetry tel @@ fun registry ->
+    Telemetry.Trace.with_span ~registry "stats" @@ fun () ->
     let utilization = 0.85 in
-    let device = Experiments.Defaults.make_device kind ~seed in
+    let device = Experiments.Defaults.make_device ~registry kind ~seed in
     let pattern =
       Workload.Pattern.uniform
         ~window:

@@ -31,6 +31,7 @@ let shrink_config = { default_config with mode = Shrink_s }
    only to sample observational quantities (raw bit-error counts), so
    enabling telemetry never perturbs the simulation's own RNG streams. *)
 type tel = {
+  tel_registry : Telemetry.Registry.t;
   tel_decommissions : Telemetry.Registry.Counter.t;
   tel_urgent_decommissions : Telemetry.Registry.Counter.t;
   tel_regenerations : Telemetry.Registry.Counter.t;
@@ -48,8 +49,7 @@ type tel = {
 
 let level_label level = [ ("level", Printf.sprintf "L%d" level) ]
 
-let make_tel profile mode =
-  let registry = Telemetry.Registry.default () in
+let make_tel registry profile mode =
   let dead = Tiredness.dead_level profile in
   let mode_label =
     [ ("mode", match mode with Shrink_s -> "shrinks" | Regen_s -> "regens") ]
@@ -60,6 +60,7 @@ let make_tel profile mode =
           name)
   in
   {
+    tel_registry = registry;
     tel_decommissions =
       Telemetry.Registry.counter registry ~labels:mode_label
         ~help:"Minidisks decommissioned (ShrinkS)"
@@ -143,7 +144,10 @@ type read_error = [ `Dead | `Unknown_mdisk | `Unmapped | `Uncorrectable ]
 let page_index geometry ~block ~page =
   (block * geometry.Flash.Geometry.pages_per_block) + page
 
-let create ?(config = default_config) ~geometry ~model ~rng () =
+let create ?(config = default_config) ?registry ~geometry ~model ~rng () =
+  let tel_registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   if config.mdisk_opages <= 0 then invalid_arg "Device.create: mdisk_opages";
   if config.decommission_headroom < 1. then
     invalid_arg "Device.create: decommission_headroom must be >= 1";
@@ -151,7 +155,10 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
     invalid_arg "Device.create: regen_headroom must exceed decommission_headroom";
   let max_level = match config.mode with Shrink_s -> 0 | Regen_s -> config.max_level in
   let profile = Tiredness.profile ~max_level geometry in
-  let chip = Flash.Chip.create ~rng:(Sim.Rng.split rng) ~geometry ~model in
+  let chip =
+    Flash.Chip.create ~registry:tel_registry ~rng:(Sim.Rng.split rng) ~geometry
+      ~model ()
+  in
   let levels = Array.make (Flash.Geometry.fpages geometry) 0 in
   let limbo = Limbo.create profile in
   let total_opages = Flash.Geometry.total_opages geometry in
@@ -161,7 +168,7 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
     Minidisk.Registry.create ~opages_per_mdisk:config.mdisk_opages ~slots
   in
   let pending_check = ref false in
-  let tel = make_tel profile config.mode in
+  let tel = make_tel tel_registry profile config.mode in
   let policy =
     {
       Ftl.Policy.data_slots =
@@ -201,8 +208,8 @@ let create ?(config = default_config) ~geometry ~model ~rng () =
     }
   in
   let engine =
-    Ftl.Engine.create ~chip ~rng:(Sim.Rng.split rng) ~policy
-      ~logical_capacity:(slots * config.mdisk_opages) ()
+    Ftl.Engine.create ~registry:tel_registry ~chip ~rng:(Sim.Rng.split rng)
+      ~policy ~logical_capacity:(slots * config.mdisk_opages) ()
   in
   (* Tiredness transitions happen at erase time, when the block's pages
      are about to be reused at their new wear level (§3.1). *)
@@ -382,7 +389,8 @@ let decommission_one ?(urgent = false) t =
       Telemetry.Registry.Counter.incr t.tel.tel_decommissions;
       if urgent then
         Telemetry.Registry.Counter.incr t.tel.tel_urgent_decommissions;
-      Telemetry.Trace.event ~level:Logs.Info "mdisk_decommission"
+      Telemetry.Trace.event ~registry:t.tel.tel_registry ~level:Logs.Info
+        "mdisk_decommission"
         [
           ("mdisk", string_of_int victim.Minidisk.id);
           ("urgent", string_of_bool urgent);
@@ -451,7 +459,8 @@ let check_capacity t =
       | Some mdisk ->
           t.regenerations <- t.regenerations + 1;
           Telemetry.Registry.Counter.incr t.tel.tel_regenerations;
-          Telemetry.Trace.event ~level:Logs.Info "mdisk_regenerated"
+          Telemetry.Trace.event ~registry:t.tel.tel_registry ~level:Logs.Info
+            "mdisk_regenerated"
             [
               ("mdisk", string_of_int mdisk.Minidisk.id);
               ("level", string_of_int mdisk.Minidisk.birth_level);

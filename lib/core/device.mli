@@ -53,12 +53,16 @@ type t
 
 val create :
   ?config:config ->
+  ?registry:Telemetry.Registry.t ->
   geometry:Flash.Geometry.t ->
   model:Flash.Rber_model.t ->
   rng:Sim.Rng.t ->
   unit ->
   t
-(** @raise Invalid_argument if a minidisk does not fit the geometry or the
+(** Telemetry (device, chip and engine metrics plus trace events) binds
+    against [registry]; omitting it falls back to the deprecated process
+    default, which is null unless explicitly enabled.
+    @raise Invalid_argument if a minidisk does not fit the geometry or the
     headroom parameters are not [>= 1] with
     [regen_headroom > decommission_headroom]. *)
 

@@ -39,6 +39,7 @@ type device_entry = {
    over event-processing rounds — the discrete-time analogue of
    under-replicated chunk-seconds. *)
 type tel = {
+  tel_registry : Telemetry.Registry.t;
   tel_recovery_written : Telemetry.Registry.Counter.t;
   tel_recovery_read : Telemetry.Registry.Counter.t;
   tel_recovery_events : Telemetry.Registry.Counter.t;
@@ -50,10 +51,10 @@ type tel = {
   tel_live_targets : Telemetry.Registry.Gauge.t;
 }
 
-let make_tel () =
-  let registry = Telemetry.Registry.default () in
+let make_tel registry =
   let counter name help = Telemetry.Registry.counter registry ~help name in
   {
+    tel_registry = registry;
     tel_recovery_written =
       counter "difs_recovery_write_opages_total"
         "oPages written by failure recovery (re-replication volume)";
@@ -98,7 +99,10 @@ type t = {
   mutable unrecoverable_opages : int;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   if config.chunk_opages <= 0 then invalid_arg "Cluster.create: chunk_opages";
   let coder =
     match config.redundancy with
@@ -117,7 +121,7 @@ let create ?(config = default_config) () =
     devices = Hashtbl.create 16;
     targets = Hashtbl.create 64;
     chunks = Hashtbl.create 256;
-    tel = make_tel ();
+    tel = make_tel registry;
     next_device = 0;
     recovery_written = 0;
     recovery_read = 0;
@@ -407,7 +411,8 @@ let note_share_losses t chunk ~before =
   if before >= quorum && List.length chunk.Chunk.shares < quorum then begin
     t.lost <- t.lost + 1;
     Telemetry.Registry.Counter.incr t.tel.tel_lost_chunks;
-    Telemetry.Trace.event ~level:Logs.Warning "chunk_lost"
+    Telemetry.Trace.event ~registry:t.tel.tel_registry ~level:Logs.Warning
+      "chunk_lost"
       [ ("chunk", string_of_int chunk.Chunk.id) ]
   end
 

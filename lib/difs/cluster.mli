@@ -48,7 +48,10 @@ val default_ec_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?registry:Telemetry.Registry.t -> unit -> t
+(** Telemetry binds against [registry] (default: the deprecated process
+    default). *)
+
 val config : t -> config
 
 val total_shares : t -> int

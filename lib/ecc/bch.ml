@@ -16,8 +16,7 @@ type t = {
   tel : tel;
 }
 
-let make_tel ~m ~capability =
-  let reg = Telemetry.Registry.default () in
+let make_tel reg ~m ~capability =
   let labels = [ ("m", string_of_int m); ("t", string_of_int capability) ] in
   {
     tel_decodes =
@@ -33,7 +32,10 @@ let make_tel ~m ~capability =
         "bch_uncorrectable_total";
   }
 
-let create ~m ~capability =
+let create ?registry ~m ~capability () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   if capability <= 0 then invalid_arg "Bch.create: capability must be > 0";
   let field = Galois.create m in
   let n = Galois.order field in
@@ -66,7 +68,8 @@ let create ~m ~capability =
   let parity = Gf_poly.degree generator in
   if parity >= n then
     invalid_arg "Bch.create: capability too large for this field (k <= 0)";
-  { field; n; k = n - parity; capability; generator; tel = make_tel ~m ~capability }
+  { field; n; k = n - parity; capability; generator;
+    tel = make_tel registry ~m ~capability }
 
 let m t = Galois.m t.field
 let n t = t.n

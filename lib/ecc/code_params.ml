@@ -29,7 +29,8 @@ let for_sector ~data_bytes ~spare_bytes =
       float_of_int data_bytes /. float_of_int (data_bytes + spare_bytes);
   }
 
-let codec t = Bch.create ~m:t.m ~capability:t.capability
+let codec ?registry t =
+  Bch.create ?registry ~m:t.m ~capability:t.capability ()
 
 let pp fmt t =
   Format.fprintf fmt

@@ -21,7 +21,7 @@ val for_sector : data_bytes:int -> spare_bytes:int -> t
 (** @raise Invalid_argument if either size is non-positive or the spare
     cannot buy even a single correctable error. *)
 
-val codec : t -> Bch.t
+val codec : ?registry:Telemetry.Registry.t -> t -> Bch.t
 (** Instantiate the live {!Bch} codec matching these parameters (capability
     clamped so the generator fits; only feasible up to m = 15, i.e. data
     chunks below 4 KiB). *)

@@ -1,6 +1,6 @@
-let age_device ?(seed = 515) config =
+let age_device ?(seed = 515) ?registry config =
   let device =
-    Salamander.Device.create ~config ~geometry:Defaults.geometry
+    Salamander.Device.create ~config ?registry ~geometry:Defaults.geometry
       ~model:Defaults.model ~rng:(Sim.Rng.create seed) ()
   in
   let packed = Salamander.Device.pack device in
@@ -18,21 +18,25 @@ let age_device ?(seed = 515) config =
   in
   (device, outcome)
 
-let average_writes ?(seeds = [ 515; 616; 717 ]) config =
-  List.fold_left
-    (fun acc seed ->
-      let _, outcome = age_device ~seed config in
-      acc + outcome.Workload.Aging.host_writes)
-    0 seeds
-  / List.length seeds
+let average_writes ?(seeds = [ 515; 616; 717 ]) ?(ctx = Ctx.default) config =
+  let outcomes =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun seed ->
+        let sub = Ctx.sub_registry ctx in
+        let _, outcome = age_device ~seed ~registry:sub config in
+        (outcome.Workload.Aging.host_writes, sub))
+      seeds
+  in
+  List.iter (fun (_, sub) -> Ctx.absorb ctx sub) outcomes;
+  List.fold_left (fun acc (w, _) -> acc + w) 0 outcomes / List.length seeds
 
 (* --- AB-MSIZE ------------------------------------------------------------- *)
 
-let msize fmt =
+let msize ?(ctx = Ctx.default) fmt =
   Report.section fmt "AB-MSIZE: minidisk size vs lifetime and granularity";
   let sizes = [ 16; 32; 64; 128; 256 ] in
-  let rows =
-    List.map
+  let aged =
+    Parallel.Pool.map_opt ctx.Ctx.pool
       (fun mdisk_opages ->
         let config =
           {
@@ -40,14 +44,22 @@ let msize fmt =
             Salamander.Device.mdisk_opages;
           }
         in
-        let device, outcome = age_device config in
+        let sub = Ctx.sub_registry ctx in
+        let device, outcome = age_device ~registry:sub config in
+        ((mdisk_opages, device, outcome), sub))
+      sizes
+  in
+  List.iter (fun (_, sub) -> Ctx.absorb ctx sub) aged;
+  let rows =
+    List.map
+      (fun ((mdisk_opages, device, outcome), _) ->
         [
           Printf.sprintf "%d KiB" (mdisk_opages * 4);
           string_of_int outcome.Workload.Aging.host_writes;
           string_of_int (Salamander.Device.decommissions device);
           string_of_int (Salamander.Device.regenerations device);
         ])
-      sizes
+      aged
   in
   Report.table fmt
     ~header:[ "mSize"; "host writes"; "decommissions"; "regenerations" ]
@@ -62,7 +74,7 @@ let msize fmt =
 
 (* --- AB-LEVEL -------------------------------------------------------------- *)
 
-let max_level fmt =
+let max_level ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "AB-LEVEL: RegenS depth (max usable tiredness level) vs lifetime";
   let baseline = ref 0 in
@@ -77,7 +89,7 @@ let max_level fmt =
               Salamander.Device.max_level = level;
             }
         in
-        let writes = average_writes config in
+        let writes = average_writes ~ctx config in
         if level = 0 then baseline := writes;
         [
           (if level = 0 then "L0 (ShrinkS)" else Printf.sprintf "L%d" level);
@@ -95,7 +107,7 @@ let max_level fmt =
 
 (* --- AB-SCRUB -------------------------------------------------------------- *)
 
-let scrub fmt =
+let scrub ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "AB-SCRUB: proactive retirement of worn pages on decommissioning";
   let rows =
@@ -107,7 +119,7 @@ let scrub fmt =
             Salamander.Device.scrub_on_decommission;
           }
         in
-        let device, outcome = age_device config in
+        let device, outcome = age_device ~registry:ctx.Ctx.registry config in
         [
           (if scrub_on_decommission then "on (paper §3.3)" else "off");
           string_of_int outcome.Workload.Aging.host_writes;
@@ -132,21 +144,22 @@ let scrub fmt =
 
 (* --- AB-PLACE -------------------------------------------------------------- *)
 
-let placement fmt =
+let placement ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "AB-PLACE: replica placement vs correlated minidisk failures";
   let run_policy placement =
+    let registry = ctx.Ctx.registry in
     let cluster =
       Difs.Cluster.create
         ~config:{ Difs.Cluster.default_config with Difs.Cluster.placement }
-        ()
+        ~registry ()
     in
     let devices =
       List.init 4 (fun i ->
           let d =
             Salamander.Device.create
               ~config:(Defaults.salamander_config ~mode:Salamander.Device.Regen_s)
-              ~geometry:Defaults.geometry ~model:Defaults.model
+              ~registry ~geometry:Defaults.geometry ~model:Defaults.model
               ~rng:(Sim.Rng.create (800 + i)) ()
           in
           ignore
@@ -240,7 +253,7 @@ let make_pattern shape ~window =
   | "sequential" -> Workload.Pattern.sequential ~window
   | _ -> invalid_arg "unknown pattern shape"
 
-let pattern fmt =
+let pattern ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "AB-PATTERN: endurance under different access patterns (wear leveling)";
   let kinds : [ `Baseline | `Regens ] list = [ `Baseline; `Regens ] in
@@ -251,7 +264,7 @@ let pattern fmt =
         :: List.map
              (fun kind ->
                let device =
-                 Defaults.make_device
+                 Defaults.make_device ~registry:ctx.Ctx.registry
                    (kind :> [ `Baseline | `Cvss | `Shrinks | `Regens ])
                    ~seed:902
                in
@@ -360,11 +373,11 @@ let queueing fmt =
      sequential 4/(4-L) = 0.75x, because random extents cannot amortize \
      a sense across neighbouring extents the way a sequential scan does"
 
-let run fmt =
-  msize fmt;
-  max_level fmt;
-  scrub fmt;
-  placement fmt;
-  pattern fmt;
+let run ?(ctx = Ctx.default) fmt =
+  msize ~ctx fmt;
+  max_level ~ctx fmt;
+  scrub ~ctx fmt;
+  placement ~ctx fmt;
+  pattern ~ctx fmt;
   queueing fmt;
   ecc_placement fmt

@@ -16,13 +16,15 @@
     - AB-ECC-PLACE: §4.2's mitigation of the 4/(4-L) penalty by storing
       the extra ECC in dedicated pages (analytic comparison). *)
 
-val msize : Format.formatter -> unit
-val max_level : Format.formatter -> unit
-val scrub : Format.formatter -> unit
-val placement : Format.formatter -> unit
-val pattern : Format.formatter -> unit
+val msize : ?ctx:Ctx.t -> Format.formatter -> unit
+val max_level : ?ctx:Ctx.t -> Format.formatter -> unit
+val scrub : ?ctx:Ctx.t -> Format.formatter -> unit
+val placement : ?ctx:Ctx.t -> Format.formatter -> unit
+val pattern : ?ctx:Ctx.t -> Format.formatter -> unit
 val queueing : Format.formatter -> unit
 val ecc_placement : Format.formatter -> unit
 
-val run : Format.formatter -> unit
-(** All of the above. *)
+val run : ?ctx:Ctx.t -> Format.formatter -> unit
+(** All of the above.  [ctx] supplies the telemetry registry the aged
+    devices bind against; MSIZE and LEVEL additionally fan their
+    independent agings across [ctx]'s pool. *)

@@ -1,26 +1,44 @@
-let fig4_with_measured fmt =
+let fig4_with_measured ctx fmt =
   (* TAB-LIFE feeds its measured lifetime factors into the carbon model so
      Fig. 4 appears both with the paper's parameters and with ours. *)
-  let rows = Lifetime_table.run fmt in
+  let rows = Lifetime_table.run ~ctx fmt in
   Fig4.run ~measured_lifetime:(Lifetime_table.lifetime_factors rows) fmt
 
 let experiments =
   [
-    ("terms", Terms.run);
-    ("fig2", Fig2.run);
-    ("fig3ab", Fig3ab.run ?days:None ?devices:None);
-    ("fig3cd", Fig3perf.run);
+    ("terms", fun _ctx fmt -> Terms.run fmt);
+    ("fig2", fun _ctx fmt -> Fig2.run fmt);
+    ("fig3ab", fun ctx fmt -> Fig3ab.run ~ctx fmt);
+    ("fig3cd", fun ctx fmt -> Fig3perf.run ~ctx fmt);
     ("lifetime+fig4", fig4_with_measured);
-    ("tco", Tco_table.run);
-    ("recovery", Recovery_table.run);
-    ("uber", Uber_table.run);
-    ("ablations", Ablations.run);
+    ("tco", fun _ctx fmt -> Tco_table.run fmt);
+    ("recovery", fun ctx fmt -> Recovery_table.run ~ctx fmt);
+    ("uber", fun ctx fmt -> Uber_table.run ~ctx fmt);
+    ("ablations", fun ctx fmt -> Ablations.run ~ctx fmt);
   ]
 
-let run fmt =
+let run ?(ctx = Ctx.default) fmt =
+  (* One level of parallelism: whole experiments fan out across the pool,
+     so each runner receives a pool-less context (a task must never submit
+     into the pool it runs on).  Every experiment renders into its own
+     buffer and collects metrics in its own scratch registry; printing and
+     merging then happen in list order, making the output byte-identical
+     at any domain count. *)
+  let rendered =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun (id, runner) ->
+        let sub = Ctx.sub_registry ctx in
+        let buf = Buffer.create 4096 in
+        let bfmt = Format.formatter_of_buffer buf in
+        Format.fprintf bfmt "@.### experiment %s@." id;
+        runner { Ctx.registry = sub; pool = None } bfmt;
+        Format.pp_print_flush bfmt ();
+        (Buffer.contents buf, sub))
+      experiments
+  in
   List.iter
-    (fun (id, runner) ->
-      Format.fprintf fmt "@.### experiment %s@." id;
-      runner fmt)
-    experiments;
+    (fun (text, sub) ->
+      Format.pp_print_string fmt text;
+      Ctx.absorb ctx sub)
+    rendered;
   Format.fprintf fmt "@."

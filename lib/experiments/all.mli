@@ -1,7 +1,13 @@
 (** Run every experiment in DESIGN.md's per-experiment index, in order. *)
 
-val run : Format.formatter -> unit
+val run : ?ctx:Ctx.t -> Format.formatter -> unit
+(** With a pool in [ctx], experiments run concurrently — each rendering
+    into a private buffer and metering into a private registry — and are
+    emitted in index order, so the report (and any merged telemetry) is
+    byte-identical to a sequential run. *)
 
-val experiments : (string * (Format.formatter -> unit)) list
+val experiments : (string * (Ctx.t -> Format.formatter -> unit)) list
 (** (id, runner) pairs for CLI dispatch: fig2, fig3a (with fig3b),
-    fig3c (with fig3d), fig4, lifetime, tco, recovery, terms. *)
+    fig3c (with fig3d), fig4, lifetime, tco, recovery, terms.  Each
+    runner binds telemetry to its context's registry and may fan out
+    across its context's pool. *)

@@ -1,0 +1,11 @@
+type t = { registry : Telemetry.Registry.t; pool : Parallel.Pool.t option }
+
+let default = { registry = Telemetry.Registry.null; pool = None }
+let make ?(registry = Telemetry.Registry.null) ?pool () = { registry; pool }
+let sequential ctx = { ctx with pool = None }
+
+let sub_registry ctx =
+  if Telemetry.Registry.is_null ctx.registry then Telemetry.Registry.null
+  else Telemetry.Registry.create ()
+
+let absorb ctx sub = Telemetry.Registry.merge ~into:ctx.registry sub

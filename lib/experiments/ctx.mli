@@ -1,0 +1,38 @@
+(** Execution context threaded through experiment runners.
+
+    Replaces the deprecated process-global telemetry registry: a runner
+    receives the registry its components should bind metrics against and,
+    optionally, a domain pool to fan independent simulations across.  The
+    default context is fully inert — a null registry and no pool — so
+    callers that don't care pay nothing. *)
+
+type t = {
+  registry : Telemetry.Registry.t;
+      (** Where components created by the runner bind their metrics.
+          {!Telemetry.Registry.null} keeps telemetry off. *)
+  pool : Parallel.Pool.t option;
+      (** Run independent units of work (fleet devices, whole experiments)
+          on this pool; [None] means run sequentially on the caller's
+          domain.  Output is byte-identical either way. *)
+}
+
+val default : t
+(** Null registry, no pool. *)
+
+val make : ?registry:Telemetry.Registry.t -> ?pool:Parallel.Pool.t -> unit -> t
+
+val sequential : t -> t
+(** Same context with the pool stripped.  Dispatchers hand this to the
+    tasks they submit: a task running {e on} the pool must never submit
+    into it (see {!Parallel.Pool}). *)
+
+val sub_registry : t -> Telemetry.Registry.t
+(** A scratch registry for one parallel task: null when the context's
+    registry is null (so inactive telemetry stays free), otherwise a
+    fresh live registry the task's components bind against.  Merge it
+    back with {!absorb} {e in submission order} to keep metric output
+    independent of execution interleaving. *)
+
+val absorb : t -> Telemetry.Registry.t -> unit
+(** [absorb ctx sub] merges a task's scratch registry into the context
+    registry ({!Telemetry.Registry.merge}); no-op when either is null. *)

@@ -19,29 +19,31 @@ let salamander_config ~mode =
 let fleet_devices = 24
 let fleet_seed = 1789
 
-let make_device kind ~seed =
-  let rng = Sim.Rng.create seed in
+let make_device_rng ?registry kind ~rng =
   match kind with
   | `Baseline ->
-      let d = Ftl.Baseline_ssd.create ~geometry ~model ~rng () in
+      let d = Ftl.Baseline_ssd.create ?registry ~geometry ~model ~rng () in
       Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d)
   | `Cvss ->
-      let d = Ftl.Cvss.create ~geometry ~model ~rng () in
+      let d = Ftl.Cvss.create ?registry ~geometry ~model ~rng () in
       Ftl.Device_intf.Packed ((module Ftl.Cvss), d)
   | `Shrinks ->
       let d =
         Salamander.Device.create
           ~config:(salamander_config ~mode:Salamander.Device.Shrink_s)
-          ~geometry ~model ~rng ()
+          ?registry ~geometry ~model ~rng ()
       in
       Salamander.Device.pack d
   | `Regens ->
       let d =
         Salamander.Device.create
           ~config:(salamander_config ~mode:Salamander.Device.Regen_s)
-          ~geometry ~model ~rng ()
+          ?registry ~geometry ~model ~rng ()
       in
       Salamander.Device.pack d
+
+let make_device ?registry kind ~seed =
+  make_device_rng ?registry kind ~rng:(Sim.Rng.create seed)
 
 let kind_label = function
   | `Baseline -> "baseline"

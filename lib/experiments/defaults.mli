@@ -30,9 +30,21 @@ val fleet_devices : int
 val fleet_seed : int
 
 val make_device :
+  ?registry:Telemetry.Registry.t ->
   [ `Baseline | `Cvss | `Shrinks | `Regens ] ->
   seed:int ->
   Ftl.Device_intf.packed
-(** A fresh device of each competing design on the shared scale. *)
+(** A fresh device of each competing design on the shared scale, its
+    telemetry bound to [registry] (default: the deprecated process
+    default). *)
+
+val make_device_rng :
+  ?registry:Telemetry.Registry.t ->
+  [ `Baseline | `Cvss | `Shrinks | `Regens ] ->
+  rng:Sim.Rng.t ->
+  Ftl.Device_intf.packed
+(** Same, but drawing from a caller-owned stream instead of a fresh seed —
+    the building block for deterministic parallel fleets, where each
+    device's stream is split off a root RNG in submission order. *)
 
 val kind_label : [ `Baseline | `Cvss | `Shrinks | `Regens ] -> string

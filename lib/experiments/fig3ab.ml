@@ -1,7 +1,10 @@
 let kinds : Fleet.kind list = [ `Baseline; `Cvss; `Shrinks; `Regens ]
 
-let run ?(days = 150) ?(devices = Defaults.fleet_devices) fmt =
-  let results = List.map (fun kind -> Fleet.run ~days ~devices kind) kinds in
+let run ?(days = 150) ?(devices = Defaults.fleet_devices) ?(ctx = Ctx.default)
+    fmt =
+  let results =
+    List.map (fun kind -> Fleet.run ~days ~devices ~ctx kind) kinds
+  in
   let sample_days =
     (* every 5th day keeps the table readable *)
     List.init ((days / 5) + 1) (fun i -> i * 5)

@@ -7,4 +7,6 @@
     together; Salamander flattens both slopes because devices shrink
     gradually instead of failing, and RegenS flattens them further. *)
 
-val run : ?days:int -> ?devices:int -> Format.formatter -> unit
+val run : ?days:int -> ?devices:int -> ?ctx:Ctx.t -> Format.formatter -> unit
+(** [ctx] supplies the telemetry registry and, when it carries a pool,
+    ages each fleet's devices across domains (output unchanged). *)

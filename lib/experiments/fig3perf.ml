@@ -98,7 +98,7 @@ let extent_cost_parallel device mdisk ~lba ~len =
   in
   slowest +. extra_transfers
 
-let prepare ~l1_fraction ~seed =
+let prepare ~registry ~l1_fraction ~seed =
   let geometry = Defaults.geometry in
   let gentle =
     Flash.Rber_model.calibrate ~target_rber:6e-3 ~target_pec:1_000_000 ()
@@ -112,7 +112,7 @@ let prepare ~l1_fraction ~seed =
              preparing a precise L1 population *)
           Salamander.Device.scrub_on_decommission = false;
         }
-      ~geometry ~model:gentle ~rng:(Sim.Rng.create seed) ()
+      ~registry ~geometry ~model:gentle ~rng:(Sim.Rng.create seed) ()
   in
   (* Force the target fraction of fPages to L1 before any data lands. *)
   let rng = Sim.Rng.create (seed + 1) in
@@ -146,8 +146,8 @@ let prepare ~l1_fraction ~seed =
   Salamander.Device.flush device;
   (device, fill)
 
-let measure_point ~l1_fraction ~seed =
-  let device, fill = prepare ~l1_fraction ~seed in
+let measure_point ~registry ~l1_fraction ~seed =
+  let device, fill = prepare ~registry ~l1_fraction ~seed in
   let mdisks = Salamander.Device.active_mdisks device in
   let extents_per_mdisk = fill / 4 in
   (* Sequential scan: each physical fPage is sensed once (drives read
@@ -202,13 +202,22 @@ let measure_point ~l1_fraction ~seed =
     random4k_us = !r4_time /. float_of_int r4_count;
   }
 
-let measure ?(fractions = [ 0.; 0.25; 0.5; 0.75; 1. ]) ?(seed = 11) () =
-  List.map (fun l1_fraction -> measure_point ~l1_fraction ~seed) fractions
+let measure ?(fractions = [ 0.; 0.25; 0.5; 0.75; 1. ]) ?(seed = 11)
+    ?(ctx = Ctx.default) () =
+  let points =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun l1_fraction ->
+        let sub = Ctx.sub_registry ctx in
+        (measure_point ~registry:sub ~l1_fraction ~seed, sub))
+      fractions
+  in
+  List.iter (fun (_, sub) -> Ctx.absorb ctx sub) points;
+  List.map fst points
 
-let run fmt =
+let run ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "FIG3C/FIG3D: RegenS performance vs L1 population (paper Figs. 3c, 3d)";
-  let points = measure () in
+  let points = measure ~ctx () in
   let base = List.hd points in
   Report.table fmt
     ~header:

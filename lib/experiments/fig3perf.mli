@@ -25,6 +25,9 @@ type point = {
   random4k_us : float;
 }
 
-val measure : ?fractions:float list -> ?seed:int -> unit -> point list
+val measure :
+  ?fractions:float list -> ?seed:int -> ?ctx:Ctx.t -> unit -> point list
+(** With a pool in [ctx], each L1 fraction's device is prepared and
+    measured in parallel; results are identical. *)
 
-val run : Format.formatter -> unit
+val run : ?ctx:Ctx.t -> Format.formatter -> unit

@@ -11,91 +11,114 @@ type result = {
   afr_deaths : int;
 }
 
-type member = {
-  device : Ftl.Device_intf.packed;
-  pattern : Workload.Pattern.t;
-  rng : Sim.Rng.t;
-  mutable afr_dead : bool;
-  mutable wear_dead : bool;
+(* Each device's life is simulated independently: its creation stream,
+   workload stream and failure-injection stream are all split off the
+   root RNG in submission order before any task runs, so the outcome is
+   a pure function of (seed, device index) — identical whether the tasks
+   run sequentially or on a pool, in any interleaving. *)
+type device_streams = {
+  dev_rng : Sim.Rng.t;
+  wl_rng : Sim.Rng.t;
+  afr_rng : Sim.Rng.t;
+  sub : Telemetry.Registry.t;
 }
 
-let member_alive m =
-  (not m.afr_dead) && (not m.wear_dead) && Ftl.Device_intf.alive m.device
+type device_outcome = {
+  per_day : (bool * int) array; (* (alive, capacity) for day 0 .. days *)
+  host_writes : int;
+  wear_dead : bool;
+  afr_dead : bool;
+  out_sub : Telemetry.Registry.t;
+}
 
-let member_capacity m =
-  if member_alive m then Ftl.Device_intf.logical_capacity m.device else 0
+let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
+  let device =
+    Defaults.make_device_rng ~registry:streams.sub kind ~rng:streams.dev_rng
+  in
+  let pattern =
+    Workload.Pattern.uniform
+      ~window:
+        (Stdlib.max 1
+           (int_of_float
+              (0.85 *. float_of_int (Ftl.Device_intf.logical_capacity device))))
+      ~read_fraction:0.
+  in
+  let afr_dead = ref false and wear_dead = ref false in
+  let host_writes = ref 0 in
+  let alive () =
+    (not !afr_dead) && (not !wear_dead) && Ftl.Device_intf.alive device
+  in
+  let capacity () =
+    if alive () then Ftl.Device_intf.logical_capacity device else 0
+  in
+  let per_day = Array.make (days + 1) (false, 0) in
+  per_day.(0) <- (alive (), capacity ());
+  for day = 1 to days do
+    if alive () then begin
+      (* Random, non-wear failure (controller, DRAM, firmware): the
+         ~1%-AFR class of failures the field studies report. *)
+      if Sim.Rng.chance streams.afr_rng afr_per_day then afr_dead := true
+      else begin
+        let quota = int_of_float (dwpd *. float_of_int (capacity ())) in
+        let outcome =
+          Workload.Aging.run_until ~rng:streams.wl_rng ~pattern ~device
+            ~stop:(fun writes -> writes >= quota)
+            ()
+        in
+        host_writes := !host_writes + outcome.Workload.Aging.host_writes;
+        if outcome.Workload.Aging.died then wear_dead := true
+      end
+    end;
+    per_day.(day) <- (alive (), capacity ())
+  done;
+  {
+    per_day;
+    host_writes = !host_writes;
+    wear_dead = !wear_dead;
+    afr_dead = !afr_dead;
+    out_sub = streams.sub;
+  }
 
 let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
-    ?(afr_per_day = 0.0011) ?(seed = Defaults.fleet_seed) kind =
-  let fleet =
-    Array.init devices (fun i ->
-        let device = Defaults.make_device kind ~seed:(seed + (31 * i)) in
-        {
-          device;
-          pattern =
-            Workload.Pattern.uniform
-              ~window:
-                (Stdlib.max 1
-                   (int_of_float
-                      (0.85
-                      *. float_of_int
-                           (Ftl.Device_intf.logical_capacity device))))
-              ~read_fraction:0.;
-          rng = Sim.Rng.create (seed + (977 * i));
-          afr_dead = false;
-          wear_dead = false;
-        })
+    ?(afr_per_day = 0.0011) ?(seed = Defaults.fleet_seed) ?(ctx = Ctx.default)
+    kind =
+  let root = Sim.Rng.create seed in
+  let streams =
+    List.init devices (fun _ ->
+        (* split order matters: three streams per device, device-major *)
+        let dev_rng = Sim.Rng.split root in
+        let wl_rng = Sim.Rng.split root in
+        let afr_rng = Sim.Rng.split root in
+        { dev_rng; wl_rng; afr_rng; sub = Ctx.sub_registry ctx })
   in
-  let failure_rng = Sim.Rng.create (seed + 5) in
-  let total_host_writes = ref 0 in
-  let snapshots = ref [] in
-  let snapshot day =
-    let alive = ref 0 and capacity = ref 0 in
-    Array.iter
-      (fun m ->
-        if member_alive m then begin
-          incr alive;
-          capacity := !capacity + member_capacity m
-        end)
-      fleet;
-    snapshots := { day; alive = !alive; capacity_opages = !capacity } :: !snapshots
+  let outcomes =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (simulate_device ~kind ~days ~dwpd ~afr_per_day)
+      streams
   in
-  snapshot 0;
-  for day = 1 to days do
-    Array.iter
-      (fun m ->
-        if member_alive m then begin
-          (* Random, non-wear failure (controller, DRAM, firmware): the
-             ~1%-AFR class of failures the field studies report. *)
-          if Sim.Rng.chance failure_rng afr_per_day then m.afr_dead <- true
-          else begin
-            let quota =
-              int_of_float (dwpd *. float_of_int (member_capacity m))
-            in
-            let outcome =
-              Workload.Aging.run_until ~rng:m.rng ~pattern:m.pattern
-                ~device:m.device
-                ~stop:(fun writes -> writes >= quota)
-                ()
-            in
-            total_host_writes := !total_host_writes + outcome.Workload.Aging.host_writes;
-            if outcome.Workload.Aging.died then m.wear_dead <- true
-          end
-        end)
-      fleet;
-    snapshot day
-  done;
-  let wear_deaths =
-    Array.fold_left (fun acc m -> if m.wear_dead then acc + 1 else acc) 0 fleet
+  (* Reduce in submission order: sums are order-insensitive, the registry
+     merge is not (gauges keep the last write), so both stay deterministic
+     at any job count. *)
+  List.iter (fun o -> Ctx.absorb ctx o.out_sub) outcomes;
+  let snapshots =
+    List.init (days + 1) (fun day ->
+        let alive = ref 0 and capacity = ref 0 in
+        List.iter
+          (fun o ->
+            let a, c = o.per_day.(day) in
+            if a then begin
+              incr alive;
+              capacity := !capacity + c
+            end)
+          outcomes;
+        { day; alive = !alive; capacity_opages = !capacity })
   in
-  let afr_deaths =
-    Array.fold_left (fun acc m -> if m.afr_dead then acc + 1 else acc) 0 fleet
-  in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
   {
     kind;
     devices;
-    snapshots = List.rev !snapshots;
-    total_host_writes = !total_host_writes;
-    wear_deaths;
-    afr_deaths;
+    snapshots;
+    total_host_writes = sum (fun o -> o.host_writes);
+    wear_deaths = sum (fun o -> if o.wear_dead then 1 else 0);
+    afr_deaths = sum (fun o -> if o.afr_dead then 1 else 0);
   }

@@ -32,8 +32,15 @@ val run :
   ?dwpd:float ->
   ?afr_per_day:float ->
   ?seed:int ->
+  ?ctx:Ctx.t ->
   kind ->
   result
 (** Defaults: {!Defaults.fleet_devices} devices, 150 days, 1 DWPD,
     AFR 0.0011/day (1%/year compressed by the same ~40x factor as the
-    wear scale), seed {!Defaults.fleet_seed}. *)
+    wear scale), seed {!Defaults.fleet_seed}.
+
+    Each device runs as an independent simulation whose RNG streams are
+    split off the root seed in submission order, so for a fixed [seed]
+    the result — and any telemetry merged into [ctx]'s registry — is
+    identical whether [ctx] carries a pool or not, at any domain count.
+    With [ctx.pool] set, devices age in parallel. *)

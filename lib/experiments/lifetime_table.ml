@@ -8,8 +8,8 @@ type row = {
 let kinds : [ `Baseline | `Cvss | `Shrinks | `Regens ] list =
   [ `Baseline; `Cvss; `Shrinks; `Regens ]
 
-let age_one kind ~seed =
-  let device = Defaults.make_device kind ~seed in
+let age_one ~registry kind ~seed =
+  let device = Defaults.make_device ~registry kind ~seed in
   let pattern =
     Workload.Pattern.uniform
       ~window:
@@ -25,16 +25,32 @@ let age_one kind ~seed =
   (outcome.Workload.Aging.host_writes,
    Ftl.Device_intf.write_amplification device)
 
-let measure ?(seeds = [ 101; 202; 303 ]) () =
+let measure ?(seeds = [ 101; 202; 303 ]) ?(ctx = Ctx.default) () =
+  (* Every (kind, seed) aging is self-contained, so the pool can run the
+     whole cross product at once; the fold below reduces in list order
+     either way. *)
+  let tasks =
+    List.concat_map
+      (fun kind -> List.map (fun seed -> (kind, seed)) seeds)
+      kinds
+  in
+  let aged =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun (kind, seed) ->
+        let sub = Ctx.sub_registry ctx in
+        let w, a = age_one ~registry:sub kind ~seed in
+        (kind, w, a, sub))
+      tasks
+  in
+  List.iter (fun (_, _, _, sub) -> Ctx.absorb ctx sub) aged;
   let totals =
     List.map
       (fun kind ->
         let writes, wafs =
           List.fold_left
-            (fun (acc_w, acc_a) seed ->
-              let w, a = age_one kind ~seed in
-              (acc_w + w, acc_a +. a))
-            (0, 0.) seeds
+            (fun (acc_w, acc_a) (k, w, a, _) ->
+              if k = kind then (acc_w + w, acc_a +. a) else (acc_w, acc_a))
+            (0, 0.) aged
         in
         (kind, writes / List.length seeds,
          wafs /. float_of_int (List.length seeds)))
@@ -63,10 +79,10 @@ let lifetime_factors rows =
   in
   (factor `Shrinks, factor `Regens)
 
-let run fmt =
+let run ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "TAB-LIFE: write endurance until device death (paper: up to 1.5x)";
-  let rows = measure () in
+  let rows = measure ~ctx () in
   Report.table fmt
     ~header:[ "device"; "host oPage writes"; "vs baseline"; "WAF" ]
     ~rows:

@@ -13,10 +13,11 @@ type row = {
   write_amplification : float;
 }
 
-val measure : ?seeds:int list -> unit -> row list
-(** Averages over several seeds (default 3). *)
+val measure : ?seeds:int list -> ?ctx:Ctx.t -> unit -> row list
+(** Averages over several seeds (default 3).  With a pool in [ctx], the
+    kind x seed agings run in parallel; results are identical. *)
 
 val lifetime_factors : row list -> float * float
 (** (ShrinkS, RegenS) factors, for feeding FIG4. *)
 
-val run : Format.formatter -> row list
+val run : ?ctx:Ctx.t -> Format.formatter -> row list

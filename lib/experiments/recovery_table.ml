@@ -10,30 +10,30 @@ type row = {
 let kinds : [ `Baseline | `Cvss | `Shrinks | `Regens ] list =
   [ `Baseline; `Cvss; `Shrinks; `Regens ]
 
-let backend kind ~seed =
+let backend ~registry kind ~seed =
   match kind with
   | `Shrinks ->
       Difs.Cluster.Salamander
         (Salamander.Device.create
            ~config:(Defaults.salamander_config ~mode:Salamander.Device.Shrink_s)
-           ~geometry:Defaults.geometry ~model:Defaults.model
+           ~registry ~geometry:Defaults.geometry ~model:Defaults.model
            ~rng:(Sim.Rng.create seed) ())
   | `Regens ->
       Difs.Cluster.Salamander
         (Salamander.Device.create
            ~config:(Defaults.salamander_config ~mode:Salamander.Device.Regen_s)
-           ~geometry:Defaults.geometry ~model:Defaults.model
+           ~registry ~geometry:Defaults.geometry ~model:Defaults.model
            ~rng:(Sim.Rng.create seed) ())
   | (`Baseline | `Cvss) as k ->
-      Difs.Cluster.Monolithic (Defaults.make_device k ~seed)
+      Difs.Cluster.Monolithic (Defaults.make_device ~registry k ~seed)
 
-let measure_kind kind ~devices ~seed =
-  let cluster = Difs.Cluster.create () in
+let measure_kind ~registry kind ~devices ~seed =
+  let cluster = Difs.Cluster.create ~registry () in
   List.iter
     (fun i ->
       ignore
         (Difs.Cluster.add_device cluster ~node:i
-           (backend kind ~seed:(seed + (61 * i)))))
+           (backend ~registry kind ~seed:(seed + (61 * i)))))
     (List.init devices Fun.id);
   (* Populate to ~40% of raw cluster capacity, then rewrite until the
      cluster can no longer maintain the working set (most devices dead or
@@ -71,22 +71,34 @@ let measure_kind kind ~devices ~seed =
       /. float_of_int (Stdlib.max 1 !host_writes);
   }
 
-let measure ?(devices = 6) ?(seed = 4242) () =
-  List.map (fun kind -> measure_kind kind ~devices ~seed) kinds
+let measure ?(devices = 6) ?(seed = 4242) ?(ctx = Ctx.default) () =
+  (* One cluster per kind, each fully self-contained: the pool runs the
+     four cluster lifetimes concurrently. *)
+  let rows =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun kind ->
+        let sub = Ctx.sub_registry ctx in
+        (measure_kind ~registry:sub kind ~devices ~seed, sub))
+      kinds
+  in
+  List.iter (fun (_, sub) -> Ctx.absorb ctx sub) rows;
+  List.map fst rows
 
 (* Same aging protocol, but comparing redundancy schemes on identical
    RegenS fleets: replication recovers a lost share with one read; (4,2)
    erasure coding needs four — the §4.3 recovery-traffic question under
    the redundancy datacenters actually deploy. *)
-let measure_redundancy ?(devices = 8) ?(seed = 5353) () =
-  List.map
-    (fun (label, cluster_config) ->
-      let cluster = Difs.Cluster.create ~config:cluster_config () in
+let measure_redundancy ?(devices = 8) ?(seed = 5353) ?(ctx = Ctx.default) () =
+  let schemes =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun (label, cluster_config) ->
+      let sub = Ctx.sub_registry ctx in
+      let cluster = Difs.Cluster.create ~config:cluster_config ~registry:sub () in
       List.iter
         (fun i ->
           ignore
             (Difs.Cluster.add_device cluster ~node:i
-               (backend `Regens ~seed:(seed + (61 * i)))))
+               (backend ~registry:sub `Regens ~seed:(seed + (61 * i)))))
         (List.init devices Fun.id);
       let physical_per_chunk =
         Difs.Cluster.share_opages cluster * Difs.Cluster.total_shares cluster
@@ -109,16 +121,19 @@ let measure_redundancy ?(devices = 8) ?(seed = 5353) () =
         | Error _ -> incr consecutive_failures
       done;
       Difs.Cluster.repair cluster;
-      (label, cluster, !host_writes))
+      ((label, cluster, !host_writes), sub))
     [
       ("replication x3", Difs.Cluster.default_config);
       ("erasure (4,2)", Difs.Cluster.default_ec_config);
     ]
+  in
+  List.iter (fun (_, sub) -> Ctx.absorb ctx sub) schemes;
+  List.map fst schemes
 
-let run fmt =
+let run ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "TAB-RECOV: diFS recovery traffic over device lifetime (paper §4.3)";
-  let rows = measure () in
+  let rows = measure ~ctx () in
   Report.table fmt
     ~header:
       [ "cluster"; "host oPage writes"; "recovery oPages"; "recovery events";
@@ -143,7 +158,7 @@ let run fmt =
      write.";
   Report.section fmt
     "TAB-RECOV (redundancy): replication vs erasure coding on RegenS fleets";
-  let schemes = measure_redundancy () in
+  let schemes = measure_redundancy ~ctx () in
   Report.table fmt
     ~header:
       [ "redundancy"; "storage overhead"; "host oPage writes";

@@ -18,12 +18,18 @@ type row = {
   recovery_per_host_write : float;
 }
 
-val measure : ?devices:int -> ?seed:int -> unit -> row list
+val measure : ?devices:int -> ?seed:int -> ?ctx:Ctx.t -> unit -> row list
+(** With a pool in [ctx], the four clusters age in parallel; results are
+    identical. *)
 
 val measure_redundancy :
-  ?devices:int -> ?seed:int -> unit -> (string * Difs.Cluster.t * int) list
+  ?devices:int ->
+  ?seed:int ->
+  ?ctx:Ctx.t ->
+  unit ->
+  (string * Difs.Cluster.t * int) list
 (** Replication vs (4,2) erasure coding on identical RegenS fleets:
     (label, aged cluster, host writes).  Erasure halves storage overhead
     but pays k-fold read amplification on every minidisk recovery. *)
 
-val run : Format.formatter -> unit
+val run : ?ctx:Ctx.t -> Format.formatter -> unit

@@ -21,16 +21,19 @@ let disturb_model =
       (Salamander.Tiredness.info profile 0).Salamander.Tiredness.tolerable_rber
     ~target_pec:Defaults.target_pec ~read_disturb_per_read:1e-8 ()
 
-let make_device kind ~seed =
+let make_device ~registry kind ~seed =
   let rng = Sim.Rng.create seed in
   let geometry = Defaults.geometry in
   match kind with
   | `Baseline ->
-      let d = Ftl.Baseline_ssd.create ~geometry ~model:disturb_model ~rng () in
+      let d =
+        Ftl.Baseline_ssd.create ~registry ~geometry ~model:disturb_model ~rng
+          ()
+      in
       (Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d),
        fun () -> Ftl.Engine.read_reclaims (Ftl.Baseline_ssd.engine d))
   | `Cvss ->
-      let d = Ftl.Cvss.create ~geometry ~model:disturb_model ~rng () in
+      let d = Ftl.Cvss.create ~registry ~geometry ~model:disturb_model ~rng () in
       (Ftl.Device_intf.Packed ((module Ftl.Cvss), d),
        fun () -> Ftl.Engine.read_reclaims (Ftl.Cvss.engine d))
   | (`Shrinks | `Regens) as k ->
@@ -41,13 +44,13 @@ let make_device kind ~seed =
       in
       let d =
         Salamander.Device.create ~config:(Defaults.salamander_config ~mode)
-          ~geometry ~model:disturb_model ~rng ()
+          ~registry ~geometry ~model:disturb_model ~rng ()
       in
       (Salamander.Device.pack d,
        fun () -> Ftl.Engine.read_reclaims (Salamander.Device.engine d))
 
-let measure_kind kind ~seed =
-  let device, reclaims = make_device kind ~seed in
+let measure_kind ~registry kind ~seed =
+  let device, reclaims = make_device ~registry kind ~seed in
   let pattern =
     Workload.Pattern.uniform
       ~window:
@@ -72,13 +75,21 @@ let measure_kind kind ~seed =
     reclaims = reclaims ();
   }
 
-let measure ?(seed = 9090) () =
-  List.map (fun kind -> measure_kind kind ~seed) kinds
+let measure ?(seed = 9090) ?(ctx = Ctx.default) () =
+  let rows =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun kind ->
+        let sub = Ctx.sub_registry ctx in
+        (measure_kind ~registry:sub kind ~seed, sub))
+      kinds
+  in
+  List.iter (fun (_, sub) -> Ctx.absorb ctx sub) rows;
+  List.map fst rows
 
-let run fmt =
+let run ?(ctx = Ctx.default) fmt =
   Report.section fmt
     "TAB-UBER: residual read reliability over the whole device life (§1, §2)";
-  let rows = measure () in
+  let rows = measure ~ctx () in
   Report.table fmt
     ~header:
       [ "device"; "host writes"; "reads"; "read errors"; "errors/Mread";

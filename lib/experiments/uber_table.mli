@@ -20,6 +20,8 @@ type row = {
   reclaims : int;  (** read-reclaim relocations performed *)
 }
 
-val measure : ?seed:int -> unit -> row list
+val measure : ?seed:int -> ?ctx:Ctx.t -> unit -> row list
+(** With a pool in [ctx], the four designs age in parallel; results are
+    identical. *)
 
-val run : Format.formatter -> unit
+val run : ?ctx:Ctx.t -> Format.formatter -> unit

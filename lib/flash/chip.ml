@@ -10,12 +10,13 @@ type page = {
 
 type block_state = { mutable pec : int; pages : page array }
 
-(* Telemetry handles, bound to the process-default registry at chip
-   creation; inert (single-branch no-ops) unless a live registry was
-   installed first.  Latency histograms record the *modeled* time of
-   each operation under {!Latency.default} — the chip executes in zero
-   simulated time, but the distribution of modeled op costs is exactly
-   the "flash op latency" signal the experiments reason about. *)
+(* Telemetry handles, bound to the registry passed to [create] (the
+   deprecated process default when omitted); inert (single-branch
+   no-ops) against the null registry.  Latency histograms record the
+   *modeled* time of each operation under {!Latency.default} — the chip
+   executes in zero simulated time, but the distribution of modeled op
+   costs is exactly the "flash op latency" signal the experiments
+   reason about. *)
 type tel = {
   tel_programs : Telemetry.Registry.Counter.t;
   tel_reads : Telemetry.Registry.Counter.t;
@@ -25,8 +26,7 @@ type tel = {
   tel_erase_us : Telemetry.Registry.Histogram.t;
 }
 
-let make_tel () =
-  let registry = Telemetry.Registry.default () in
+let make_tel registry =
   let latency op lo hi =
     Telemetry.Registry.histogram registry ~labels:[ ("op", op) ]
       ~help:"Modeled flash operation latency" ~lo ~hi "flash_op_latency_us"
@@ -56,7 +56,10 @@ type t = {
   mutable erases : int;
 }
 
-let create ~rng ~geometry ~model =
+let create ?registry ~rng ~geometry ~model () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   (* Endurance variance has a block-level component (process corner,
      position on the die) and a page-level one (layer-to-layer variation
      within the block, [42]); split the model's lognormal sigma evenly so
@@ -83,7 +86,7 @@ let create ~rng ~geometry ~model =
     geometry;
     model;
     blocks = Array.init geometry.Geometry.blocks make_block;
-    tel = make_tel ();
+    tel = make_tel registry;
     programs = 0;
     reads = 0;
     erases = 0;

@@ -23,8 +23,16 @@ type page_state =
       (** one entry per oPage slot; [None] marks slots the owner reserved
           for extra ECC rather than data *)
 
-val create : rng:Sim.Rng.t -> geometry:Geometry.t -> model:Rber_model.t -> t
-(** Per-page strengths are drawn from [rng] at creation. *)
+val create :
+  ?registry:Telemetry.Registry.t ->
+  rng:Sim.Rng.t ->
+  geometry:Geometry.t ->
+  model:Rber_model.t ->
+  unit ->
+  t
+(** Per-page strengths are drawn from [rng] at creation; telemetry
+    handles bind against [registry] (default: the deprecated process
+    default, i.e. inert unless a legacy caller installed one). *)
 
 val geometry : t -> Geometry.t
 val model : t -> Rber_model.t

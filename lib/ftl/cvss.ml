@@ -15,11 +15,13 @@ type t = {
   mutable dead : bool;
 }
 
-let create ?(config = default_config) ?ecc ~geometry ~model ~rng () =
+let create ?(config = default_config) ?ecc ?registry ~geometry ~model ~rng () =
   let ecc =
     match ecc with Some e -> e | None -> Ecc_profile.of_geometry geometry
   in
-  let chip = Flash.Chip.create ~rng:(Sim.Rng.split rng) ~geometry ~model in
+  let chip =
+    Flash.Chip.create ?registry ~rng:(Sim.Rng.split rng) ~geometry ~model ()
+  in
   let block_bad = Array.make geometry.Flash.Geometry.blocks false in
   let opages = geometry.Flash.Geometry.opages_per_fpage in
   let policy =
@@ -42,7 +44,7 @@ let create ?(config = default_config) ?ecc ~geometry ~model ~rng () =
       *. (1. -. config.over_provisioning))
   in
   let engine =
-    Engine.create ~chip ~rng:(Sim.Rng.split rng) ~policy
+    Engine.create ?registry ~chip ~rng:(Sim.Rng.split rng) ~policy
       ~logical_capacity:initial_capacity ()
   in
   let t =

@@ -28,11 +28,14 @@ val default_config : config
 val create :
   ?config:config ->
   ?ecc:Ecc_profile.t ->
+  ?registry:Telemetry.Registry.t ->
   geometry:Flash.Geometry.t ->
   model:Flash.Rber_model.t ->
   rng:Sim.Rng.t ->
   unit ->
   t
+(** Telemetry binds against [registry] (default: the deprecated process
+    default). *)
 
 val ecc : t -> Ecc_profile.t
 val engine : t -> Engine.t

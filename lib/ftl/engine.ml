@@ -24,8 +24,7 @@ type tel = {
   tel_waf : Telemetry.Registry.Gauge.t;
 }
 
-let make_tel () =
-  let registry = Telemetry.Registry.default () in
+let make_tel registry =
   let counter name help = Telemetry.Registry.counter registry ~help name in
   {
     tel_host_writes = counter "ftl_host_writes_total" "oPages accepted from the host";
@@ -83,7 +82,11 @@ type read_error = [ `Unmapped | `Uncorrectable ]
 
 let geometry t = Flash.Chip.geometry t.chip
 
-let create ?(config = default_config) ~chip ~rng ~policy ~logical_capacity () =
+let create ?(config = default_config) ?registry ~chip ~rng ~policy
+    ~logical_capacity () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   if config.gc_reserve_blocks < 2 then
     invalid_arg "Engine.create: gc_reserve_blocks must be >= 2";
   let geometry = Flash.Chip.geometry chip in
@@ -114,7 +117,7 @@ let create ?(config = default_config) ~chip ~rng ~policy ~logical_capacity () =
     padded = 0;
     reclaims = 0;
     in_gc = false;
-    tel = make_tel ();
+    tel = make_tel registry;
   }
 
 let chip t = t.chip

@@ -27,12 +27,15 @@ val default_config : config
 
 val create :
   ?config:config ->
+  ?registry:Telemetry.Registry.t ->
   chip:Flash.Chip.t ->
   rng:Sim.Rng.t ->
   policy:Policy.t ->
   logical_capacity:int ->
   unit ->
   t
+(** Telemetry binds against [registry] (default: the deprecated process
+    default). *)
 
 val chip : t -> Flash.Chip.t
 val policy : t -> Policy.t

@@ -1,0 +1,106 @@
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t; (* signalled on new task and on shutdown *)
+  queue : (unit -> unit) Queue.t; (* guarded by [mutex] *)
+  mutable closed : bool; (* guarded by [mutex] *)
+  mutable workers : unit Domain.t array;
+}
+
+let default_domains () =
+  Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.wake t.mutex
+  done;
+  if Queue.is_empty t.queue then (* closed *)
+    Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = Array.length t.workers
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: submit after shutdown"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.wake;
+  Mutex.unlock t.mutex
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | xs ->
+      let inputs = Array.of_list xs in
+      let n = Array.length inputs in
+      (* Slots are each written by exactly one worker before it takes the
+         completion mutex, and read by the caller after the last release:
+         the mutex orders every write before every read. *)
+      let results = Array.make n None in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      let remaining = ref n in
+      Array.iteri
+        (fun i x ->
+          submit t (fun () ->
+              let r =
+                match f x with
+                | y -> Ok y
+                | exception e -> Error e
+              in
+              results.(i) <- Some r;
+              Mutex.lock done_mutex;
+              decr remaining;
+              if !remaining = 0 then Condition.signal done_cond;
+              Mutex.unlock done_mutex))
+        inputs;
+      Mutex.lock done_mutex;
+      while !remaining > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok y) -> y
+             | Some (Error e) -> raise e
+             | None -> assert false)
+           results)
+
+let map_opt pool f xs =
+  match pool with None -> List.map f xs | Some t -> map t f xs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let fresh = not t.closed in
+  t.closed <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  if fresh then Array.iter Domain.join t.workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

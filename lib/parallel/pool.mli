@@ -1,0 +1,51 @@
+(** Fixed-size domain pool: the execution substrate for device-parallel
+    fleet aging and experiment-suite fan-out.
+
+    The pool owns [domains] worker domains (OCaml 5 shared-memory
+    parallelism; no dependencies beyond [Domain]/[Mutex]/[Condition])
+    pulling tasks off one queue.  {!map} returns results in submission
+    order regardless of completion order, which is what lets callers
+    keep the byte-identical-output determinism guarantee: as long as
+    each task is self-contained (its own RNG stream, its own metric
+    registry), the reduce step observes the same sequence at any
+    domain count.
+
+    Tasks must not submit work back into the pool they run on: workers
+    block only between tasks, so a task that waits on a nested {!map}
+    against its own pool can deadlock once all workers are busy.  The
+    experiment layer therefore parallelizes at exactly one level per
+    entry point (devices within a fleet, or experiments within the
+    suite, never both on one pool). *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains] worker domains (at least 1).
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Number of worker domains. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1] (the caller's domain keeps
+    one core), at least 1: the cap the CLI's [--jobs] flag defaults to. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] evaluates [f x] for every element on the pool's workers
+    and returns the results in the order of [xs].  If any application
+    raised, the first raising element's exception (in submission order)
+    is re-raised in the caller after all tasks have settled.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_opt (Some t)] is [map t]; [map_opt None] is sequential
+    [List.map] — the single code path callers use so that [--jobs 1]
+    and [--jobs n] run identical per-element computations. *)
+
+val shutdown : t -> unit
+(** Drain nothing, accept nothing: wake every worker and join them.
+    Idempotent.  Outstanding {!map} calls must have returned. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** Scoped create/shutdown: the pool is torn down when the callback
+    returns or raises. *)

@@ -99,6 +99,18 @@ module Histogram = struct
     scan 0 0
 
   let mean t = if t.total_count = 0 then nan else t.sum /. float_of_int t.total_count
+
+  let merge a b =
+    if a.lo <> b.lo || a.hi <> b.hi
+       || Array.length a.counts <> Array.length b.counts
+    then invalid_arg "Histogram.merge: incompatible bucket layouts";
+    {
+      lo = a.lo;
+      hi = a.hi;
+      counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+      total_count = a.total_count + b.total_count;
+      sum = a.sum +. b.sum;
+    }
 end
 
 module Series = struct

@@ -38,6 +38,11 @@ module Histogram : sig
       or a rank outside \[0, 1\]. *)
 
   val mean : t -> float
+
+  val merge : t -> t -> t
+  (** Combine two histograms bucket-by-bucket, as if all samples went to
+      one.  Both must share lo/hi and bucket count.
+      @raise Invalid_argument on mismatched layouts. *)
 end
 
 (** Time series accumulation: samples tagged with a simulation timestamp,

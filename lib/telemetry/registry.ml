@@ -26,60 +26,112 @@ module Labels = struct
     String.concat "," (List.map (fun (k, value) -> k ^ "=" ^ value) t)
 end
 
-module Counter = struct
-  type t = { mutable value : int; active : bool }
+(* Live metrics are shared across domains (a fleet's devices update their
+   handles from pool workers), so every mutable cell is an [Atomic] or
+   sits behind a per-metric mutex.  Inactive (null-registry) metrics stay
+   single shared dummies: the [active] check short-circuits before any
+   synchronization, preserving the branch-only cost of disabled
+   telemetry. *)
 
-  let dummy = { value = 0; active = false }
+module Counter = struct
+  type t = { value : int Atomic.t; active : bool }
+
+  let dummy = { value = Atomic.make 0; active = false }
 
   let incr ?(by = 1) t =
     if by < 0 then invalid_arg "Counter.incr: negative increment";
-    if t.active then t.value <- t.value + by
+    if t.active then ignore (Atomic.fetch_and_add t.value by)
 
-  let value t = t.value
+  let value t = Atomic.get t.value
   let is_active t = t.active
 end
 
 module Gauge = struct
-  type t = { mutable value : float; active : bool }
+  type t = { value : float Atomic.t; active : bool }
 
-  let dummy = { value = 0.; active = false }
-  let set t x = if t.active then t.value <- x
-  let add t x = if t.active then t.value <- t.value +. x
-  let value t = t.value
+  let dummy = { value = Atomic.make 0.; active = false }
+  let set t x = if t.active then Atomic.set t.value x
+
+  let add t x =
+    if t.active then begin
+      let rec retry () =
+        let current = Atomic.get t.value in
+        if not (Atomic.compare_and_set t.value current (current +. x)) then
+          retry ()
+      in
+      retry ()
+    end
+
+  let value t = Atomic.get t.value
   let is_active t = t.active
 end
 
 module Histogram = struct
+  (* One mutex per histogram (sharded by metric, not a global lock):
+     concurrent observers of *different* histograms never contend. *)
   type t = {
-    buckets : Sim.Stats.Histogram.t;
-    online : Sim.Stats.Online.t;
+    mutex : Mutex.t;
+    mutable buckets : Sim.Stats.Histogram.t;
+    mutable online : Sim.Stats.Online.t;
+    nbuckets : int;
+    lo : float;
+    hi : float;
     active : bool;
   }
 
   let make ~buckets ~lo ~hi ~active =
     {
+      mutex = Mutex.create ();
       buckets = Sim.Stats.Histogram.create ~buckets ~lo ~hi ();
       online = Sim.Stats.Online.create ();
+      nbuckets = buckets;
+      lo;
+      hi;
       active;
     }
 
   let dummy = make ~buckets:1 ~lo:0. ~hi:1. ~active:false
 
-  let observe t x =
-    if t.active then begin
-      Sim.Stats.Histogram.add t.buckets x;
-      Sim.Stats.Online.add t.online x
-    end
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-  let count t = Sim.Stats.Online.count t.online
-  let mean t = Sim.Stats.Online.mean t.online
+  let observe t x =
+    if t.active then
+      locked t (fun () ->
+          Sim.Stats.Histogram.add t.buckets x;
+          Sim.Stats.Online.add t.online x)
+
+  let count t = locked t (fun () -> Sim.Stats.Online.count t.online)
+  let mean t = locked t (fun () -> Sim.Stats.Online.mean t.online)
 
   let percentile t rank =
-    if count t = 0 then nan else Sim.Stats.Histogram.percentile t.buckets rank
+    locked t (fun () ->
+        if Sim.Stats.Online.count t.online = 0 then nan
+        else Sim.Stats.Histogram.percentile t.buckets rank)
 
-  let min t = if count t = 0 then nan else Sim.Stats.Online.min t.online
-  let max t = if count t = 0 then nan else Sim.Stats.Online.max t.online
+  let min t =
+    locked t (fun () ->
+        if Sim.Stats.Online.count t.online = 0 then nan
+        else Sim.Stats.Online.min t.online)
+
+  let max t =
+    locked t (fun () ->
+        if Sim.Stats.Online.count t.online = 0 then nan
+        else Sim.Stats.Online.max t.online)
+
   let is_active t = t.active
+
+  (* Fold [src] into [dst].  Only called with both histograms quiescent
+     or via [Registry.merge] (single caller thread); the locks still
+     guard against concurrent observers. *)
+  let merge_into ~dst src =
+    let src_buckets, src_online =
+      locked src (fun () -> (src.buckets, src.online))
+    in
+    locked dst (fun () ->
+        dst.buckets <- Sim.Stats.Histogram.merge dst.buckets src_buckets;
+        dst.online <- Sim.Stats.Online.merge dst.online src_online)
 end
 
 type metric =
@@ -91,12 +143,17 @@ type entry = { labels : Labels.t; help : string; metric : metric }
 
 type t = {
   live : bool;
+  mutex : Mutex.t; (* guards [table] and [names] *)
   table : (string, entry) Hashtbl.t; (* key = name ^ "{" ^ labels *)
   mutable names : (string * string) list; (* (name, key) in any order *)
 }
 
-let create () = { live = true; table = Hashtbl.create 64; names = [] }
-let null = { live = false; table = Hashtbl.create 1; names = [] }
+let create () =
+  { live = true; mutex = Mutex.create (); table = Hashtbl.create 64; names = [] }
+
+let null =
+  { live = false; mutex = Mutex.create (); table = Hashtbl.create 1; names = [] }
+
 let is_null t = not t.live
 
 let kind_name = function
@@ -104,12 +161,18 @@ let kind_name = function
   | Gauge_m _ -> "gauge"
   | Histogram_m _ -> "histogram"
 
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
 (* Registration: same (name, labels) + same kind returns the existing
    handle; a kind clash (even under different labels of one name) is a
-   programming error worth failing loudly on. *)
+   programming error worth failing loudly on.  Serialized under the
+   registry mutex so components may be constructed from pool workers. *)
 let register t ~name ~labels ~help ~kind make_metric same_kind =
   let labels = Labels.v labels in
   let key = name ^ "{" ^ Labels.to_string labels in
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.table key with
   | Some entry -> (
       match same_kind entry.metric with
@@ -138,14 +201,14 @@ let counter t ?(help = "") ?(labels = []) name =
   if not t.live then Counter.dummy
   else
     register t ~name ~labels ~help ~kind:"counter"
-      (fun () -> Counter_m { Counter.value = 0; active = true })
+      (fun () -> Counter_m { Counter.value = Atomic.make 0; active = true })
       (function Counter_m c -> Some c | _ -> None)
 
 let gauge t ?(help = "") ?(labels = []) name =
   if not t.live then Gauge.dummy
   else
     register t ~name ~labels ~help ~kind:"gauge"
-      (fun () -> Gauge_m { Gauge.value = 0.; active = true })
+      (fun () -> Gauge_m { Gauge.value = Atomic.make 0.; active = true })
       (function Gauge_m g -> Some g | _ -> None)
 
 let histogram t ?(help = "") ?(labels = []) ?(buckets = 128) ~lo ~hi name =
@@ -185,10 +248,11 @@ let summarize (h : Histogram.t) =
     p99 = Histogram.percentile h 0.99;
   }
 
+let entries t = locked t (fun () -> List.map (fun (name, key) -> (name, Hashtbl.find t.table key)) t.names)
+
 let snapshot t =
   List.map
-    (fun (name, key) ->
-      let entry = Hashtbl.find t.table key in
+    (fun (name, (entry : entry)) ->
       let value =
         match entry.metric with
         | Counter_m c -> Counter (Counter.value c)
@@ -196,7 +260,7 @@ let snapshot t =
         | Histogram_m h -> Histogram (summarize h)
       in
       { name; labels = entry.labels; help = entry.help; value })
-    t.names
+    (entries t)
   |> List.sort (fun a b ->
          match String.compare a.name b.name with
          | 0 ->
@@ -204,11 +268,52 @@ let snapshot t =
                (Labels.to_string b.labels)
          | c -> c)
 
-let default_registry = ref null
-let default () = !default_registry
-let set_default t = default_registry := t
+(* Reduce [src] into [into]: counters add, histograms combine via
+   Sim.Stats merges, gauges adopt the source value (the merge caller
+   orders sources, so last-merged wins deterministically).  Metrics
+   absent from [into] are registered with the source's help text and
+   bucket layout.  The per-domain registries a parallel fleet or
+   experiment suite accumulates reduce to exactly the snapshot a
+   sequential run against one registry would produce. *)
+let merge ~into src =
+  if is_null into || is_null src then ()
+  else begin
+    let sorted =
+      List.sort
+        (fun (a, (ea : entry)) (b, eb) ->
+          match String.compare a b with
+          | 0 ->
+              String.compare (Labels.to_string ea.labels)
+                (Labels.to_string eb.labels)
+          | c -> c)
+        (entries src)
+    in
+    List.iter
+      (fun (name, (entry : entry)) ->
+        let labels = entry.labels and help = entry.help in
+        match entry.metric with
+        | Counter_m c ->
+            Counter.incr
+              (counter into ~help ~labels name)
+              ~by:(Counter.value c)
+        | Gauge_m g -> Gauge.set (gauge into ~help ~labels name) (Gauge.value g)
+        | Histogram_m h ->
+            let dst =
+              histogram into ~help ~labels ~buckets:h.Histogram.nbuckets
+                ~lo:h.Histogram.lo ~hi:h.Histogram.hi name
+            in
+            Histogram.merge_into ~dst h)
+      sorted
+  end
+
+(* Deprecated process-default shim: reads are kept for one release so
+   out-of-tree callers migrating to the explicit ~registry arguments
+   keep working; nothing inside this repository uses it anymore. *)
+let default_registry = Atomic.make null
+let default () = Atomic.get default_registry
+let set_default t = Atomic.set default_registry t
 
 let with_default t f =
-  let saved = !default_registry in
-  default_registry := t;
-  Fun.protect ~finally:(fun () -> default_registry := saved) f
+  let saved = Atomic.get default_registry in
+  Atomic.set default_registry t;
+  Fun.protect ~finally:(fun () -> Atomic.set default_registry saved) f

@@ -2,12 +2,20 @@
 
     Every layer (flash chip, ECC, FTL, Salamander core, diFS) registers
     counters, gauges and histograms against a registry at component
-    creation time and updates them on its hot paths.  Two registries
-    exist: live ones created with {!create}, whose metrics record, and
-    the shared {!null} registry whose metrics are inert dummies — an
-    update to a null metric is a single predictable branch, so fully
-    instrumented code paths cost nothing measurable when telemetry is
-    off (see the [overhead] benchmark in [bench/main.ml]).
+    creation time — the registry is threaded explicitly through every
+    component constructor's [?registry] argument — and updates them on
+    its hot paths.  Two registries exist: live ones created with
+    {!create}, whose metrics record, and the shared {!null} registry
+    whose metrics are inert dummies — an update to a null metric is a
+    single predictable branch, so fully instrumented code paths cost
+    nothing measurable when telemetry is off (see the [overhead]
+    benchmark in [bench/main.ml]).
+
+    Live registries are domain-safe: counters and gauges are atomics,
+    histograms take a per-metric mutex, and registration itself is
+    serialized, so components built and driven on [Parallel.Pool]
+    workers may share one registry — or keep per-domain registries and
+    reduce them with {!merge}.
 
     Metrics are identified by a [(name, labels)] pair.  Registering the
     same pair twice returns the same handle (so independent components
@@ -124,16 +132,33 @@ val snapshot : t -> sample list
 (** Every registered metric, sorted by [(name, labels)] — deterministic
     for a given set of registrations regardless of registration order. *)
 
-(** {2 The process-default registry}
+val merge : into:t -> t -> unit
+(** [merge ~into src] reduces [src]'s metrics into [into]: counters add,
+    histograms combine bucket-by-bucket (via [Sim.Stats] merges, exact
+    for count/mean/min/max), and gauges adopt the source value — callers
+    merge per-domain registries in submission order, so the result is
+    deterministic and equal to what a sequential run against a single
+    registry would have produced.  Metrics missing from [into] are
+    registered on the fly.  A no-op when either side is {!null}.
+    @raise Invalid_argument on a metric-kind or bucket-layout clash. *)
 
-    Libraries deep in the stack fetch their metric handles from here at
-    component-creation time, so enabling telemetry is: install a live
-    registry, then build the components to be measured.  The default is
-    {!null}, making all instrumentation inert unless a CLI/bench/test
-    opts in. *)
+(** {2 The process-default registry (deprecated)}
+
+    The old implicit wiring: install a process-global registry, then
+    build components.  Superseded by the explicit [?registry] argument
+    on every component constructor; these shims remain for one release
+    so out-of-tree callers can migrate.  Constructors still fall back to
+    [default ()] when no registry is passed, which is {!null} unless a
+    caller used {!set_default}. *)
 
 val default : unit -> t
+(** @deprecated Pass registries explicitly via [?registry]. *)
+
 val set_default : t -> unit
+  [@@ocaml.deprecated
+    "Pass the registry explicitly to component constructors (?registry); \
+     this global will be removed in the next release."]
 
 val with_default : t -> (unit -> 'a) -> 'a
-(** Run a thunk with the default registry swapped, restoring on exit. *)
+(** Run a thunk with the default registry swapped, restoring on exit.
+    @deprecated Pass registries explicitly via [?registry]. *)

@@ -15,19 +15,18 @@ let level_of_verbosity = function
 let clock = ref Sys.time
 let set_clock f = clock := f
 
-let span_histogram name =
+let span_histogram registry name =
   (* 0..1 s in 256 buckets of ~4 ms: coarse, but spans wrap whole
      experiment phases, not single flash ops. *)
-  Registry.histogram (Registry.default ()) ~labels:[ ("span", name) ]
+  Registry.histogram registry ~labels:[ ("span", name) ]
     ~help:"Duration of traced spans" ~buckets:256 ~lo:0. ~hi:1_000_000.
     "span_duration_us"
 
-let with_span name f =
-  let registry = Registry.default () in
+let with_span ?(registry = Registry.null) name f =
   let inert = Registry.is_null registry in
   if inert && Logs.Src.level src = None then f ()
   else begin
-    let histogram = span_histogram name in
+    let histogram = span_histogram registry name in
     Log.debug (fun m -> m "span %s: enter" name);
     let started = !clock () in
     let finish () =
@@ -44,9 +43,9 @@ let with_span name f =
         raise e
   end
 
-let event ?(level = Logs.Info) name fields =
+let event ?(registry = Registry.null) ?(level = Logs.Info) name fields =
   Registry.Counter.incr
-    (Registry.counter (Registry.default ())
+    (Registry.counter registry
        ~labels:[ ("event", name) ]
        ~help:"Traced events" "events_total");
   Log.msg level (fun m ->

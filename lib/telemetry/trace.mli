@@ -1,11 +1,13 @@
 (** Lightweight span/event tracer on top of [Logs].
 
     Spans time a scoped operation (a whole experiment, a recovery pass,
-    a device lifetime) and record the duration into the default
-    registry's [span_duration_us{span=...}] histogram; with the log
-    level at [Debug] they also emit enter/exit lines.  Events are
-    structured one-off log lines.  When the default registry is {!null}
-    and the log level is off, both are near-free. *)
+    a device lifetime) and record the duration into the given registry's
+    [span_duration_us{span=...}] histogram; with the log level at
+    [Debug] they also emit enter/exit lines.  Events are structured
+    one-off log lines.  The registry is passed explicitly ([?registry],
+    default {!Registry.null}); when it is null and the log level is off,
+    both are near-free.  The only process-global state here is the log
+    level behind {!set_level}. *)
 
 val src : Logs.src
 (** The ["salamander"] log source every span/event goes through; the
@@ -21,10 +23,16 @@ val set_clock : (unit -> float) -> unit
 (** Override the span clock (seconds; default [Sys.time], i.e. CPU
     time — ample for the simulator's coarse spans). *)
 
-val with_span : string -> (unit -> 'a) -> 'a
-(** [with_span name f] runs [f], records its duration, and logs
-    enter/exit at [Debug].  Exceptions propagate after the exit record. *)
+val with_span : ?registry:Registry.t -> string -> (unit -> 'a) -> 'a
+(** [with_span ~registry name f] runs [f], records its duration into
+    [registry] (default {!Registry.null}: log-only), and logs enter/exit
+    at [Debug].  Exceptions propagate after the exit record. *)
 
-val event : ?level:Logs.level -> string -> (string * string) list -> unit
+val event :
+  ?registry:Registry.t ->
+  ?level:Logs.level ->
+  string ->
+  (string * string) list ->
+  unit
 (** [event name fields] logs one structured line (default level [Info])
-    and counts it in [events_total{event=name}]. *)
+    and counts it in [registry]'s [events_total{event=name}]. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "salamander"
     [
       ("sim", Test_sim.suite);
+      ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("ecc", Test_ecc.suite);
       ("flash", Test_flash.suite);

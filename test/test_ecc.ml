@@ -159,7 +159,7 @@ let inject_errors rng word count =
   List.init count (fun _ -> pick ())
 
 let bch_roundtrip ~m ~capability ~data_bits ~errors ~seed () =
-  let code = Ecc.Bch.create ~m ~capability in
+  let code = Ecc.Bch.create ~m ~capability () in
   let rng = Sim.Rng.create seed in
   let data = Ecc.Bitarray.create data_bits in
   Ecc.Bitarray.randomize rng data;
@@ -205,7 +205,7 @@ let test_bch_detects_overload () =
      *different* valid codeword.  Either way the data differs from a
      clean decode only in detectable ways; we assert no false claim of
      success with restored data equality. *)
-  let code = Ecc.Bch.create ~m:8 ~capability:4 in
+  let code = Ecc.Bch.create ~m:8 ~capability:4 () in
   let rng = Sim.Rng.create 99 in
   let trials = 100 in
   let silent_failures = ref 0 in
@@ -226,7 +226,7 @@ let test_bch_detects_overload () =
   checki "never silently restores beyond capability" 0 !silent_failures
 
 let test_bch_k_matches_generator () =
-  let code = Ecc.Bch.create ~m:8 ~capability:8 in
+  let code = Ecc.Bch.create ~m:8 ~capability:8 () in
   checki "n" 255 (Ecc.Bch.n code);
   checki "n = k + parity" (Ecc.Bch.n code)
     (Ecc.Bch.k code + Ecc.Bch.parity_bits code);
@@ -234,7 +234,7 @@ let test_bch_k_matches_generator () =
   checkb "parity <= m*t" true (Ecc.Bch.parity_bits code <= 8 * 8)
 
 let test_bch_shortened_zero_data () =
-  let code = Ecc.Bch.create ~m:6 ~capability:3 in
+  let code = Ecc.Bch.create ~m:6 ~capability:3 () in
   let data = Ecc.Bitarray.create 0 in
   let parity = Ecc.Bch.encode code data in
   checki "zero data gives zero parity" 0 (Ecc.Bitarray.popcount parity)
@@ -245,7 +245,7 @@ let prop_bch_roundtrip =
   QCheck.Test.make ~count:150 ~name:"bch corrects <= t random errors"
     QCheck.(triple (int_range 0 5) (int_range 1 120) small_int)
     (fun (errors, data_bits, seed) ->
-      let code = Ecc.Bch.create ~m:8 ~capability:5 in
+      let code = Ecc.Bch.create ~m:8 ~capability:5 () in
       let data_bits = Stdlib.min data_bits (Ecc.Bch.k code) in
       let rng = Sim.Rng.create seed in
       let data = Ecc.Bitarray.create data_bits in

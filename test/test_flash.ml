@@ -89,6 +89,7 @@ let make_chip ?(seed = 1) () =
     Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:100 ()
   in
   Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry:small_geometry ~model
+    ()
 
 let test_chip_program_read_roundtrip () =
   let chip = make_chip () in
@@ -168,7 +169,7 @@ let disturb_model =
 let test_read_disturb_accumulates () =
   let chip =
     Flash.Chip.create ~rng:(Sim.Rng.create 2) ~geometry:small_geometry
-      ~model:disturb_model
+      ~model:disturb_model ()
   in
   Flash.Chip.program chip ~block:0 ~page:0 [| Some 1; Some 2; Some 3; Some 4 |];
   let before = Flash.Chip.rber chip ~block:0 ~page:0 in
@@ -185,7 +186,7 @@ let test_read_disturb_accumulates () =
 let test_read_disturb_cleared_by_erase () =
   let chip =
     Flash.Chip.create ~rng:(Sim.Rng.create 3) ~geometry:small_geometry
-      ~model:disturb_model
+      ~model:disturb_model ()
   in
   Flash.Chip.program chip ~block:1 ~page:0 [| Some 1; None; None; None |];
   for _ = 1 to 500 do
@@ -202,7 +203,7 @@ let test_read_disturb_cleared_by_erase () =
 let test_read_disturb_off_by_default () =
   let model = Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:100 () in
   let chip =
-    Flash.Chip.create ~rng:(Sim.Rng.create 4) ~geometry:small_geometry ~model
+    Flash.Chip.create ~rng:(Sim.Rng.create 4) ~geometry:small_geometry ~model ()
   in
   Flash.Chip.program chip ~block:0 ~page:0 [| Some 1; None; None; None |];
   let before = Flash.Chip.rber chip ~block:0 ~page:0 in

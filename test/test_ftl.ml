@@ -139,7 +139,7 @@ let test_buffer_drop_then_rewrite () =
 
 let make_engine ?(seed = 1) ?(logical = 256) ?(model = gentle_model) () =
   let chip =
-    Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model
+    Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model ()
   in
   let policy = Ftl.Policy.always_fresh ~opages_per_fpage:4 in
   Ftl.Engine.create ~chip ~rng:(Sim.Rng.create (seed + 1)) ~policy
@@ -296,7 +296,7 @@ let test_engine_read_reclaim () =
       ~read_disturb_per_read:1e-5 ()
   in
   let chip =
-    Flash.Chip.create ~rng:(Sim.Rng.create 31) ~geometry ~model:disturb_model
+    Flash.Chip.create ~rng:(Sim.Rng.create 31) ~geometry ~model:disturb_model ()
   in
   let policy =
     {

@@ -1,0 +1,130 @@
+(* Tests for lib/parallel and the determinism guarantee built on it:
+   submission-order results, exception propagation, teardown semantics,
+   cross-domain atomics, and the regression that pooled execution of the
+   experiment layer is bit-identical to sequential. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- pool semantics --------------------------------------------------------- *)
+
+let test_map_submission_order () =
+  Parallel.Pool.with_pool ~domains:4 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.map (fun x -> x * x) xs)
+    (Parallel.Pool.map pool (fun x -> x * x) xs)
+
+let test_map_empty_and_opt () =
+  Parallel.Pool.with_pool ~domains:2 @@ fun pool ->
+  Alcotest.(check (list int)) "empty list" [] (Parallel.Pool.map pool Fun.id []);
+  Alcotest.(check (list int))
+    "map_opt None is List.map" [ 2; 3; 4 ]
+    (Parallel.Pool.map_opt None (fun x -> x + 1) [ 1; 2; 3 ]);
+  Alcotest.(check (list int))
+    "map_opt Some is map" [ 2; 3; 4 ]
+    (Parallel.Pool.map_opt (Some pool) (fun x -> x + 1) [ 1; 2; 3 ])
+
+let test_exception_propagates () =
+  Parallel.Pool.with_pool ~domains:2 @@ fun pool ->
+  let raised =
+    match
+      Parallel.Pool.map pool
+        (fun x -> if x mod 3 = 0 then failwith (string_of_int x) else x)
+        [ 1; 2; 3; 4; 6 ]
+    with
+    | _ -> None
+    | exception Failure m -> Some m
+  in
+  (* 3 and 6 both raise; submission order picks 3. *)
+  checkb "first raising element wins" true (raised = Some "3");
+  checki "pool survives a raising map" 6
+    (List.fold_left ( + ) 0 (Parallel.Pool.map pool Fun.id [ 1; 2; 3 ]))
+
+let test_atomic_cross_domain () =
+  let total = Atomic.make 0 in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Parallel.Pool.map pool
+           (fun x -> Atomic.fetch_and_add total x)
+           (List.init 1000 Fun.id)));
+  checki "atomic sum across domains" (999 * 1000 / 2) (Atomic.get total)
+
+let test_shutdown_semantics () =
+  let pool = Parallel.Pool.create ~domains:2 in
+  checki "domains" 2 (Parallel.Pool.domains pool);
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool;
+  checkb "map after shutdown rejected" true
+    (match Parallel.Pool.map pool Fun.id [ 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "create rejects zero domains" true
+    (match Parallel.Pool.create ~domains:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "default_domains at least 1" true (Parallel.Pool.default_domains () >= 1)
+
+let test_shared_registry_from_workers () =
+  (* Live registries are domain-safe: workers updating one shared counter
+     concurrently lose no increments. *)
+  let reg = Telemetry.Registry.create () in
+  let c = Telemetry.Registry.counter reg "pool_hits_total" in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Parallel.Pool.map pool
+           (fun _ ->
+             for _ = 1 to 1000 do
+               Telemetry.Registry.Counter.incr c
+             done)
+           (List.init 8 Fun.id)));
+  checki "no lost increments" 8000 (Telemetry.Registry.Counter.value c)
+
+(* --- determinism regressions ------------------------------------------------ *)
+
+(* Fleet.run must produce identical result records *and* identical merged
+   telemetry at any job count: per-device RNG streams are split off the
+   root in submission order and sub-registries merge in that same order. *)
+let fleet_at pool =
+  let registry = Telemetry.Registry.create () in
+  let ctx = Experiments.Ctx.make ~registry ?pool () in
+  let result =
+    Experiments.Fleet.run ~devices:6 ~days:25 ~seed:42 ~ctx `Regens
+  in
+  (result, Telemetry.Registry.snapshot registry)
+
+let test_fleet_jobs_deterministic () =
+  let seq_result, seq_snapshot = fleet_at None in
+  let par_result, par_snapshot =
+    Parallel.Pool.with_pool ~domains:4 (fun pool -> fleet_at (Some pool))
+  in
+  checkb "result records identical at jobs=1 and jobs=4" true
+    (seq_result = par_result);
+  (* [compare], not [=]: empty-histogram summaries hold [nan]. *)
+  checkb "merged telemetry identical" true
+    (compare seq_snapshot par_snapshot = 0)
+
+let test_experiment_measure_deterministic () =
+  let rows_at pool =
+    let ctx = Experiments.Ctx.make ?pool () in
+    Experiments.Lifetime_table.measure ~seeds:[ 7 ] ~ctx ()
+  in
+  let seq = rows_at None in
+  let par =
+    Parallel.Pool.with_pool ~domains:4 (fun pool -> rows_at (Some pool))
+  in
+  checkb "lifetime rows identical at jobs=1 and jobs=4" true (seq = par)
+
+let suite =
+  [
+    ("map keeps submission order", `Quick, test_map_submission_order);
+    ("map empty and map_opt", `Quick, test_map_empty_and_opt);
+    ("exceptions propagate in order", `Quick, test_exception_propagates);
+    ("atomics cross domains", `Quick, test_atomic_cross_domain);
+    ("shutdown semantics", `Quick, test_shutdown_semantics);
+    ("shared registry from workers", `Quick, test_shared_registry_from_workers);
+    ("fleet deterministic across jobs", `Slow, test_fleet_jobs_deterministic);
+    ("lifetime table deterministic across jobs", `Slow,
+     test_experiment_measure_deterministic);
+  ]

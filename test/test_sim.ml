@@ -81,6 +81,46 @@ let test_rng_shuffle_permutation () =
   Alcotest.(check (array int)) "shuffle is a permutation"
     (Array.init 50 Fun.id) sorted
 
+(* --- qcheck: Rng stream laws the parallel layer depends on ------------- *)
+(* Fleet determinism rests on exactly these: [create seed] and the
+   sequence of [split]s are pure functions of the seed, [copy] replays,
+   and sibling streams never collide on a 64-draw prefix. *)
+
+let rng_seed_arb = QCheck.int_range 0 1_000_000
+
+let draws n rng = List.init n (fun _ -> Sim.Rng.bits64 rng)
+
+let prop_rng_seed_deterministic =
+  QCheck.Test.make ~count:100 ~name:"rng: same seed, same stream and splits"
+    rng_seed_arb (fun seed ->
+      let a = Sim.Rng.create seed and b = Sim.Rng.create seed in
+      draws 32 a = draws 32 b
+      && draws 32 (Sim.Rng.split a) = draws 32 (Sim.Rng.split b)
+      && draws 32 a = draws 32 b)
+
+let prop_rng_copy_identical =
+  QCheck.Test.make ~count:100 ~name:"rng: copy replays the source sequence"
+    QCheck.(pair rng_seed_arb (int_range 0 64))
+    (fun (seed, burn) ->
+      let a = Sim.Rng.create seed in
+      for _ = 1 to burn do
+        ignore (Sim.Rng.bits64 a)
+      done;
+      let b = Sim.Rng.copy a in
+      draws 32 a = draws 32 b)
+
+let prop_rng_split_independent =
+  QCheck.Test.make ~count:100
+    ~name:"rng: split children diverge from parent and each other"
+    rng_seed_arb (fun seed ->
+      let parent = Sim.Rng.create seed in
+      let c1 = Sim.Rng.split parent in
+      let c2 = Sim.Rng.split parent in
+      let d1 = draws 64 c1 and d2 = draws 64 c2 and dp = draws 64 parent in
+      (* Independent 64-bit streams share a whole 64-draw prefix with
+         probability ~2^-4096; equality means correlation. *)
+      d1 <> d2 && d1 <> dp && d2 <> dp)
+
 (* --- Distributions ---------------------------------------------------- *)
 
 let sample_mean n f =
@@ -452,6 +492,9 @@ let suite =
     ("rng int uniformity", `Slow, test_rng_int_uniformity);
     ("rng chance extremes", `Quick, test_rng_chance_extremes);
     ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    QCheck_alcotest.to_alcotest prop_rng_seed_deterministic;
+    QCheck_alcotest.to_alcotest prop_rng_copy_identical;
+    QCheck_alcotest.to_alcotest prop_rng_split_independent;
     ("dist exponential mean", `Slow, test_dist_exponential_mean);
     ("dist normal moments", `Slow, test_dist_normal_moments);
     ("dist lognormal positive", `Quick, test_dist_lognormal_positive);

@@ -238,10 +238,7 @@ let test_table_export () =
 
 let test_trace_span_records_duration () =
   let reg = Telemetry.Registry.create () in
-  let result =
-    Telemetry.Registry.with_default reg (fun () ->
-        Telemetry.Trace.with_span "unit_test" (fun () -> 6 * 7))
-  in
+  let result = Telemetry.Trace.with_span ~registry:reg "unit_test" (fun () -> 6 * 7) in
   checki "span returns thunk result" 42 result;
   let samples = Telemetry.Registry.snapshot reg in
   let span =
@@ -258,9 +255,8 @@ let test_trace_span_records_duration () =
 
 let test_trace_event_counts () =
   let reg = Telemetry.Registry.create () in
-  Telemetry.Registry.with_default reg (fun () ->
-      Telemetry.Trace.event "chunk_lost" [ ("chunk", "3") ];
-      Telemetry.Trace.event "chunk_lost" [ ("chunk", "4") ]);
+  Telemetry.Trace.event ~registry:reg "chunk_lost" [ ("chunk", "3") ];
+  Telemetry.Trace.event ~registry:reg "chunk_lost" [ ("chunk", "4") ];
   let samples = Telemetry.Registry.snapshot reg in
   match
     List.find_opt
@@ -276,10 +272,11 @@ let test_trace_event_counts () =
 let test_trace_span_propagates_exceptions () =
   let reg = Telemetry.Registry.create () in
   let raised =
-    Telemetry.Registry.with_default reg (fun () ->
-        match Telemetry.Trace.with_span "boom" (fun () -> failwith "boom") with
-        | _ -> false
-        | exception Failure _ -> true)
+    match
+      Telemetry.Trace.with_span ~registry:reg "boom" (fun () -> failwith "boom")
+    with
+    | _ -> false
+    | exception Failure _ -> true
   in
   checkb "exception propagates" true raised;
   (* The duration is still recorded on the failing path. *)
@@ -303,6 +300,58 @@ let test_level_of_verbosity () =
     (Telemetry.Trace.level_of_verbosity 2);
   check_level "3+ is debug" (Some Logs.Debug)
     (Telemetry.Trace.level_of_verbosity 7)
+
+(* --- merge ------------------------------------------------------------------ *)
+
+let test_merge_reduces () =
+  let into = Telemetry.Registry.create () in
+  let src = Telemetry.Registry.create () in
+  Telemetry.Registry.Counter.incr
+    (Telemetry.Registry.counter into "writes_total")
+    ~by:10;
+  Telemetry.Registry.Counter.incr
+    (Telemetry.Registry.counter src "writes_total")
+    ~by:32;
+  Telemetry.Registry.Gauge.set (Telemetry.Registry.gauge into "depth") 1.;
+  Telemetry.Registry.Gauge.set (Telemetry.Registry.gauge src "depth") 4.;
+  let h_into = Telemetry.Registry.histogram into ~lo:0. ~hi:10. "lat_us" in
+  let h_src = Telemetry.Registry.histogram src ~lo:0. ~hi:10. "lat_us" in
+  List.iter (Telemetry.Registry.Histogram.observe h_into) [ 1.; 2. ];
+  List.iter (Telemetry.Registry.Histogram.observe h_src) [ 3.; 9. ];
+  Telemetry.Registry.Counter.incr
+    (Telemetry.Registry.counter src "events_total")
+    ~by:5;
+  Telemetry.Registry.merge ~into src;
+  checki "counters add" 42
+    (Telemetry.Registry.Counter.value
+       (Telemetry.Registry.counter into "writes_total"));
+  checkf 1e-9 "gauge adopts source" 4.
+    (Telemetry.Registry.Gauge.value (Telemetry.Registry.gauge into "depth"));
+  checki "histogram count" 4 (Telemetry.Registry.Histogram.count h_into);
+  checkf 1e-9 "histogram mean exact" 3.75
+    (Telemetry.Registry.Histogram.mean h_into);
+  checkf 1e-9 "histogram max" 9. (Telemetry.Registry.Histogram.max h_into);
+  checki "metric missing from target registered on the fly" 5
+    (Telemetry.Registry.Counter.value
+       (Telemetry.Registry.counter into "events_total"))
+
+let test_merge_null_noop () =
+  let reg = Telemetry.Registry.create () in
+  let c = Telemetry.Registry.counter reg "x_total" in
+  Telemetry.Registry.Counter.incr c;
+  Telemetry.Registry.merge ~into:reg Telemetry.Registry.null;
+  Telemetry.Registry.merge ~into:Telemetry.Registry.null reg;
+  checki "live side unchanged" 1 (Telemetry.Registry.Counter.value c);
+  checkb "null snapshot still empty" true
+    (Telemetry.Registry.snapshot Telemetry.Registry.null = [])
+
+let test_merge_kind_clash_raises () =
+  let into = Telemetry.Registry.create () in
+  let src = Telemetry.Registry.create () in
+  ignore (Telemetry.Registry.counter into "m_total");
+  ignore (Telemetry.Registry.gauge src "m_total");
+  checkb "kind clash raises" true
+    (raises_invalid (fun () -> Telemetry.Registry.merge ~into src))
 
 (* --- qcheck: snapshot determinism under random registration orders ---------- *)
 
@@ -348,5 +397,8 @@ let suite =
     ("trace span propagates exceptions", `Quick,
      test_trace_span_propagates_exceptions);
     ("level_of_verbosity", `Quick, test_level_of_verbosity);
+    ("registry merge reduces", `Quick, test_merge_reduces);
+    ("registry merge null no-op", `Quick, test_merge_null_noop);
+    ("registry merge kind clash", `Quick, test_merge_kind_clash_raises);
     QCheck_alcotest.to_alcotest prop_snapshot_order_independent;
   ]
