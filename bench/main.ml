@@ -158,6 +158,83 @@ let carbon_subjects () =
              Sustain.Tco.paper_scenarios));
   ]
 
+let chaos_subjects () =
+  (* CHAOS's substrate: the read-retry ladder against a clean-read
+     baseline, one scrubber verify slice, and the injector's per-fault
+     cost on the chip. *)
+  let geometry = Experiments.Defaults.geometry in
+  let gentle =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+  in
+  let make_engine ~fail_prob =
+    let chip =
+      Flash.Chip.create ~rng:(Sim.Rng.create 29) ~geometry ~model:gentle ()
+    in
+    let policy =
+      {
+        (Ftl.Policy.always_fresh
+           ~opages_per_fpage:geometry.Flash.Geometry.opages_per_fpage)
+        with
+        Ftl.Policy.read_fail_prob = (fun ~rber:_ ~block:_ ~page:_ -> fail_prob);
+      }
+    in
+    let engine =
+      Ftl.Engine.create ~chip ~rng:(Sim.Rng.create 31) ~policy
+        ~logical_capacity:256 ()
+    in
+    for lba = 0 to 63 do
+      ignore (Ftl.Engine.write engine ~logical:lba ~payload:lba)
+    done;
+    ignore (Ftl.Engine.flush engine);
+    engine
+  in
+  let clean = make_engine ~fail_prob:0. in
+  (* Every read fails its first decode with p = 0.5, so the ladder runs
+     one retry on average — the steady-state overhead the config buys. *)
+  let flaky = make_engine ~fail_prob:0.5 in
+  let scrub_cluster = Difs.Cluster.create () in
+  List.iter
+    (fun i ->
+      let d =
+        Salamander.Device.create
+          ~config:
+            (Experiments.Defaults.salamander_config
+               ~mode:Salamander.Device.Regen_s)
+          ~geometry ~model:gentle
+          ~rng:(Sim.Rng.create (200 + i))
+          ()
+      in
+      ignore
+        (Difs.Cluster.add_device scrub_cluster ~node:i
+           (Difs.Cluster.Salamander d)))
+    [ 0; 1; 2; 3 ];
+  for id = 0 to 15 do
+    ignore (Difs.Cluster.write_chunk scrub_cluster id)
+  done;
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 37) ~geometry ~model:gentle ()
+  in
+  let c_clean = ref 0 and c_flaky = ref 0 and blk = ref 0 in
+  [
+    Test.make ~name:"chaos/read_clean"
+      (Staged.stage (fun () ->
+           c_clean := (!c_clean + 1) land 63;
+           ignore (Ftl.Engine.read clean ~logical:!c_clean)));
+    Test.make ~name:"chaos/retry_ladder"
+      (Staged.stage (fun () ->
+           c_flaky := (!c_flaky + 1) land 63;
+           ignore (Ftl.Engine.read flaky ~logical:!c_flaky)));
+    Test.make ~name:"chaos/scrub_slice"
+      (Staged.stage (fun () ->
+           ignore (Difs.Cluster.scrub ~limit:1 scrub_cluster)));
+    Test.make ~name:"chaos/inject_transient"
+      (Staged.stage (fun () ->
+           blk := (!blk + 1) land 31;
+           Flash.Chip.inject chip ~block:!blk ~page:0
+             (Flash.Chip.Transient_rber 1e-3);
+           ignore (Flash.Chip.take_transient chip ~block:!blk ~page:0)));
+  ]
+
 let telemetry_subjects () =
   (* The zero-cost claim behind lib/telemetry: an update to a null-registry
      metric is a single branch on an immutable bool, so the instrumented
@@ -252,7 +329,8 @@ let run_micro () =
   let tests =
     bch_subjects () @ device_subjects () @ cluster_subjects ()
     @ service_subjects () @ disturb_subjects () @ fleet_subjects ()
-    @ carbon_subjects () @ telemetry_subjects () @ parallel_subjects ()
+    @ carbon_subjects () @ chaos_subjects () @ telemetry_subjects ()
+    @ parallel_subjects ()
   in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in

@@ -277,6 +277,45 @@ let stats_cmd =
           (counters, gauges, latency histograms)")
     Term.(const run $ tel_opts_term $ kind $ seed $ writes)
 
+(* --- chaos ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let plan =
+    Arg.(
+      value & opt string "default"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: a preset (none, default, media, crashy, killer) or a \
+             comma-separated spec list, e.g. \
+             $(b,transient=0.05@0.1,sticky=0.01,silent=0.02,corr@400:3,kill@600:1,crash@800).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 1000
+      & info [ "steps" ] ~docv:"N" ~doc:"Workload steps per cell.")
+  in
+  let run tel jobs plan seed steps =
+    match Faults.Plan.parse plan with
+    | Error msg -> `Error (false, msg)
+    | Ok plan ->
+        let ok =
+          with_context tel ~jobs (fun ctx ->
+              Telemetry.Trace.with_span
+                ~registry:ctx.Experiments.Ctx.registry "chaos" (fun () ->
+                  Experiments.Chaos.run ~ctx ~plan ~seed ~steps fmt))
+        in
+        if ok then `Ok () else `Error (false, "chaos verdict: FAIL")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a deterministic fault-injection campaign and check the \
+          tolerance invariants (byte-identical at any --jobs)")
+    Term.(ret (const run $ tel_opts_term $ jobs_term $ plan $ seed $ steps))
+
 (* --- levels ------------------------------------------------------------------ *)
 
 let levels_cmd =
@@ -380,5 +419,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ experiments_cmd; age_cmd; fleet_cmd; stats_cmd; levels_cmd;
-            carbon_cmd; tco_cmd ]))
+          [ experiments_cmd; age_cmd; fleet_cmd; stats_cmd; chaos_cmd;
+            levels_cmd; carbon_cmd; tco_cmd ]))

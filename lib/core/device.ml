@@ -146,7 +146,7 @@ let page_index geometry ~block ~page =
 
 let create ?(config = default_config) ?registry ~geometry ~model ~rng () =
   let tel_registry =
-    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+    match registry with Some r -> r | None -> Telemetry.Registry.null
   in
   if config.mdisk_opages <= 0 then invalid_arg "Device.create: mdisk_opages";
   if config.decommission_headroom < 1. then

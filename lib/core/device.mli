@@ -60,8 +60,8 @@ val create :
   unit ->
   t
 (** Telemetry (device, chip and engine metrics plus trace events) binds
-    against [registry]; omitting it falls back to the deprecated process
-    default, which is null unless explicitly enabled.
+    against [registry]; omitting it falls back to
+    {!Telemetry.Registry.null}, i.e. inert.
     @raise Invalid_argument if a minidisk does not fit the geometry or the
     headroom parameters are not [>= 1] with
     [regen_headroom > decommission_headroom]. *)

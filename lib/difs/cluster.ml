@@ -49,6 +49,11 @@ type tel = {
   tel_degraded : Telemetry.Registry.Gauge.t;
   tel_degraded_chunk_rounds : Telemetry.Registry.Counter.t;
   tel_live_targets : Telemetry.Registry.Gauge.t;
+  tel_kill_ignored : Telemetry.Registry.Counter.t;
+  tel_rebuild_aborts : Telemetry.Registry.Counter.t;
+  tel_scrub_sweeps : Telemetry.Registry.Counter.t;
+  tel_scrub_mismatches : Telemetry.Registry.Counter.t;
+  tel_scrub_repairs : Telemetry.Registry.Counter.t;
 }
 
 let make_tel registry =
@@ -82,6 +87,20 @@ let make_tel registry =
     tel_live_targets =
       Telemetry.Registry.gauge registry ~help:"Active placement targets"
         "difs_live_targets";
+    tel_kill_ignored =
+      counter "difs_kill_ignored_total"
+        "kill_device calls ignored (double-kill, unknown device, or \
+         kill during recovery)";
+    tel_rebuild_aborts =
+      counter "difs_rebuild_aborts_total"
+        "Share rebuilds abandoned because the destination died mid-copy";
+    tel_scrub_sweeps = counter "difs_scrub_sweeps_total" "Scrub sweeps run";
+    tel_scrub_mismatches =
+      counter "difs_scrub_mismatches_total"
+        "oPages whose content failed scrub verification";
+    tel_scrub_repairs =
+      counter "difs_scrub_repairs_total"
+        "Scrub repairs (in-place rewrites + share rebuilds)";
   }
 
 type t = {
@@ -97,11 +116,23 @@ type t = {
   mutable recovery_events : int;
   mutable lost : int;
   mutable unrecoverable_opages : int;
+  mutable rebuilt : int;
+  mutable rebuild_aborts : int;
+  mutable kill_ignored : int;
+  mutable in_recovery : bool;
+  mutable scrub_sweeps : int;
+  mutable scrub_mismatches : int;
+  mutable scrub_repairs : int;
+  mutable scrub_cursor : int;
+  scrub_backoff : (int, int * int) Hashtbl.t;
+      (* chunk id -> (consecutive repair failures, first sweep eligible
+         again): exponential backoff so a chunk that cannot be repaired
+         (no capacity, too few survivors) does not eat every sweep. *)
 }
 
 let create ?(config = default_config) ?registry () =
   let registry =
-    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+    match registry with Some r -> r | None -> Telemetry.Registry.null
   in
   if config.chunk_opages <= 0 then invalid_arg "Cluster.create: chunk_opages";
   let coder =
@@ -128,9 +159,29 @@ let create ?(config = default_config) ?registry () =
     recovery_events = 0;
     lost = 0;
     unrecoverable_opages = 0;
+    rebuilt = 0;
+    rebuild_aborts = 0;
+    kill_ignored = 0;
+    in_recovery = false;
+    scrub_sweeps = 0;
+    scrub_mismatches = 0;
+    scrub_repairs = 0;
+    scrub_cursor = -1;
+    scrub_backoff = Hashtbl.create 16;
   }
 
 let config t = t.config
+
+(* Recovery spans (failure handling, drains, truncations, repair, scrub)
+   mark the cluster busy so [kill_device] cannot fire while share
+   bookkeeping is mid-flight — see the kill-ignored semantics in the
+   interface. *)
+let with_recovery t f =
+  if t.in_recovery then f ()
+  else begin
+    t.in_recovery <- true;
+    Fun.protect ~finally:(fun () -> t.in_recovery <- false) f
+  end
 
 let total_shares t =
   match t.config.redundancy with
@@ -384,27 +435,32 @@ let rec rebuild_share t chunk ~index =
           t.recovery_written <- t.recovery_written + !written;
           Telemetry.Registry.Counter.incr t.tel.tel_recovery_written
             ~by:!written;
-          if !failed then
+          if !failed then begin
             (* The destination died mid-copy; its own failure event will
                be picked up by the processing loop.  Try elsewhere. *)
+            t.rebuild_aborts <- t.rebuild_aborts + 1;
+            Telemetry.Registry.Counter.incr t.tel.tel_rebuild_aborts;
             rebuild_share t chunk ~index
+          end
           else begin
             Chunk.add_share chunk { Chunk.index; target = key; base };
+            t.rebuilt <- t.rebuilt + 1;
             Telemetry.Registry.Counter.incr t.tel.tel_rebuilt_shares;
             true
           end)
 
 (* Bring one chunk back toward its full share count. *)
 let ensure_redundancy t chunk =
-  let rec go () =
-    match Chunk.missing_indices chunk ~total:(total_shares t) with
-    | [] -> true
-    | index :: _ ->
-        if List.length chunk.Chunk.shares < read_quorum t then false
-        else if rebuild_share t chunk ~index then go ()
-        else false
-  in
-  go ()
+  with_recovery t (fun () ->
+      let rec go () =
+        match Chunk.missing_indices chunk ~total:(total_shares t) with
+        | [] -> true
+        | index :: _ ->
+            if List.length chunk.Chunk.shares < read_quorum t then false
+            else if rebuild_share t chunk ~index then go ()
+            else false
+      in
+      go ())
 
 let note_share_losses t chunk ~before =
   let quorum = read_quorum t in
@@ -421,6 +477,7 @@ let fail_target t key =
   | None -> ()
   | Some target when not (Target.is_active target) -> ()
   | Some target ->
+      with_recovery t @@ fun () ->
       Target.fail target;
       t.recovery_events <- t.recovery_events + 1;
       Telemetry.Registry.Counter.incr t.tel.tel_recovery_events;
@@ -446,6 +503,7 @@ let drain_target t key ~ack =
   | None -> ()
   | Some target when not (Target.is_active target) -> ()
   | Some target ->
+      with_recovery t @@ fun () ->
       Target.fail target;
       t.recovery_events <- t.recovery_events + 1;
       Telemetry.Registry.Counter.incr t.tel.tel_recovery_events;
@@ -482,6 +540,7 @@ let handle_truncation t entry capacity =
   with
   | None -> ()
   | Some target ->
+      with_recovery t @@ fun () ->
       let lost_ranges = Target.truncate target ~capacity in
       if lost_ranges <> [] then begin
         t.recovery_events <- t.recovery_events + 1;
@@ -538,11 +597,20 @@ let process_device_events t entry =
          end);
   !progress
 
+(* A kill only proceeds against a known, live device while no recovery
+   span is active; everything else is counted and ignored rather than
+   left to silently diverge (double-kills used to re-fail targets,
+   kills under recovery could interleave with share bookkeeping). *)
 let kill_device t id =
+  let ignored () =
+    t.kill_ignored <- t.kill_ignored + 1;
+    Telemetry.Registry.Counter.incr t.tel.tel_kill_ignored
+  in
   match Hashtbl.find_opt t.devices id with
-  | None -> ()
+  | None -> ignored ()
   | Some entry ->
-      if not entry.killed then begin
+      if entry.killed || t.in_recovery then ignored ()
+      else begin
         entry.killed <- true;
         fail_device_targets t id
       end
@@ -715,9 +783,282 @@ let delete_chunk t id =
       Hashtbl.remove t.chunks id
 
 let repair t =
+  with_recovery t @@ fun () ->
   process_events t;
   Hashtbl.iter (fun _ chunk -> ignore (ensure_redundancy t chunk)) t.chunks;
   process_events t
+
+(* --- background scrubber --------------------------------------------------- *)
+
+type scrub_report = {
+  chunks_scanned : int;
+  opages_verified : int;
+  mismatches : int;
+  unreadable_shares : int;
+  repairs : int;
+  repair_failures : int;
+  skipped_backoff : int;
+}
+
+let empty_scrub_report =
+  {
+    chunks_scanned = 0;
+    opages_verified = 0;
+    mismatches = 0;
+    unreadable_shares = 0;
+    repairs = 0;
+    repair_failures = 0;
+    skipped_backoff = 0;
+  }
+
+let pp_scrub_report fmt r =
+  Format.fprintf fmt
+    "scanned %d chunk%s (%d oPages): %d mismatch%s, %d unreadable share%s, %d \
+     repair%s, %d failure%s, %d backed off"
+    r.chunks_scanned
+    (if r.chunks_scanned = 1 then "" else "s")
+    r.opages_verified r.mismatches
+    (if r.mismatches = 1 then "" else "es")
+    r.unreadable_shares
+    (if r.unreadable_shares = 1 then "" else "s")
+    r.repairs
+    (if r.repairs = 1 then "" else "s")
+    r.repair_failures
+    (if r.repair_failures = 1 then "" else "s")
+    r.skipped_backoff
+
+(* One backoff step never exceeds this many sweeps. *)
+let scrub_backoff_cap = 64
+
+(* Verify one chunk share-by-share in index order.  Content mismatches on
+   a live target are repaired in place (the payload is recomputable from
+   the chunk's identity); a share that stops answering — or dies under
+   the repair write — is dropped and rebuilt from survivors like any
+   failed share.  Returns the per-chunk report slice and whether every
+   needed repair landed. *)
+let scrub_chunk t chunk =
+  let verified = ref 0
+  and mismatches = ref 0
+  and unreadable = ref 0
+  and repairs = ref 0
+  and failures = ref 0 in
+  let dead = ref [] in
+  let shares =
+    List.sort
+      (fun a b -> compare a.Chunk.index b.Chunk.index)
+      chunk.Chunk.shares
+  in
+  List.iter
+    (fun (share : Chunk.share) ->
+      let share_ok = ref true in
+      (try
+         for offset = 0 to share_opages t - 1 do
+           let expected =
+             expected_payload t chunk ~index:share.Chunk.index ~offset
+           in
+           match
+             target_read t share.Chunk.target ~lba:(share.Chunk.base + offset)
+           with
+           | Ok payload ->
+               incr verified;
+               if payload <> expected then begin
+                 incr mismatches;
+                 t.scrub_mismatches <- t.scrub_mismatches + 1;
+                 Telemetry.Registry.Counter.incr t.tel.tel_scrub_mismatches;
+                 match
+                   target_write t share.Chunk.target
+                     ~lba:(share.Chunk.base + offset)
+                     ~payload:expected
+                 with
+                 | Ok () ->
+                     incr repairs;
+                     t.scrub_repairs <- t.scrub_repairs + 1;
+                     Telemetry.Registry.Counter.incr t.tel.tel_scrub_repairs
+                 | Error `Target_failed ->
+                     share_ok := false;
+                     raise Exit
+               end
+           | Error `Unreadable ->
+               share_ok := false;
+               raise Exit
+         done
+       with Exit -> ());
+      if not !share_ok then begin
+        incr unreadable;
+        dead := share :: !dead
+      end)
+    shares;
+  List.iter
+    (fun (share : Chunk.share) ->
+      (* Unlike the target-failure paths, the share's target is still
+         alive here — hand its range back (trimming the stale mapping,
+         as delete_chunk does) or the allocation leaks. *)
+      (match Hashtbl.find_opt t.targets share.Chunk.target with
+      | Some target when Target.is_active target ->
+          for offset = 0 to share_opages t - 1 do
+            target_trim t share.Chunk.target ~lba:(share.Chunk.base + offset)
+          done;
+          Target.release target share.Chunk.base
+      | _ -> ());
+      let before = List.length chunk.Chunk.shares in
+      Chunk.drop_share chunk share.Chunk.target;
+      note_share_losses t chunk ~before;
+      if rebuild_share t chunk ~index:share.Chunk.index then begin
+        incr repairs;
+        t.scrub_repairs <- t.scrub_repairs + 1;
+        Telemetry.Registry.Counter.incr t.tel.tel_scrub_repairs
+      end
+      else incr failures)
+    (List.rev !dead);
+  ( {
+      chunks_scanned = 1;
+      opages_verified = !verified;
+      mismatches = !mismatches;
+      unreadable_shares = !unreadable;
+      repairs = !repairs;
+      repair_failures = !failures;
+      skipped_backoff = 0;
+    },
+    !failures = 0 )
+
+let add_scrub_report a b =
+  {
+    chunks_scanned = a.chunks_scanned + b.chunks_scanned;
+    opages_verified = a.opages_verified + b.opages_verified;
+    mismatches = a.mismatches + b.mismatches;
+    unreadable_shares = a.unreadable_shares + b.unreadable_shares;
+    repairs = a.repairs + b.repairs;
+    repair_failures = a.repair_failures + b.repair_failures;
+    skipped_backoff = a.skipped_backoff + b.skipped_backoff;
+  }
+
+let scrub ?limit t =
+  with_recovery t @@ fun () ->
+  (* Settle pending failure events first so the sweep verifies the
+     post-recovery state, not a target mid-death. *)
+  process_events t;
+  t.scrub_sweeps <- t.scrub_sweeps + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_scrub_sweeps;
+  let sweep = t.scrub_sweeps in
+  let ids =
+    List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.chunks [])
+  in
+  (* Resume after the cursor so a [limit]ed scrubber still covers every
+     chunk across consecutive sweeps (deterministic round-robin). *)
+  let ordered =
+    match List.partition (fun id -> id > t.scrub_cursor) ids with
+    | after, before -> after @ before
+  in
+  let scan =
+    match limit with
+    | None -> ordered
+    | Some n ->
+        if n < 0 then invalid_arg "Cluster.scrub: negative limit";
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | id :: ids -> id :: take (n - 1) ids
+        in
+        take n ordered
+  in
+  (match (limit, List.rev scan) with
+  | None, _ | _, [] -> t.scrub_cursor <- -1
+  | Some _, last :: _ -> t.scrub_cursor <- last);
+  let report = ref empty_scrub_report in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.chunks id with
+      | None -> ()
+      | Some chunk ->
+          let eligible =
+            match Hashtbl.find_opt t.scrub_backoff id with
+            | None -> true
+            | Some (_, next) -> sweep >= next
+          in
+          if not eligible then
+            report :=
+              add_scrub_report !report
+                { empty_scrub_report with skipped_backoff = 1 }
+          else begin
+            let slice, ok = scrub_chunk t chunk in
+            report := add_scrub_report !report slice;
+            if ok then Hashtbl.remove t.scrub_backoff id
+            else begin
+              let fails =
+                match Hashtbl.find_opt t.scrub_backoff id with
+                | None -> 1
+                | Some (f, _) -> f + 1
+              in
+              let delay =
+                Stdlib.min scrub_backoff_cap (1 lsl Stdlib.min fails 6)
+              in
+              Hashtbl.replace t.scrub_backoff id (fails, sweep + delay)
+            end
+          end)
+    scan;
+  process_events t;
+  !report
+
+(* --- placement audit ------------------------------------------------------- *)
+
+(* Structural invariants the fault-tolerance machinery must preserve no
+   matter what the fault schedule does; [Faults.Verdict] folds these
+   into its cluster check.  Returns human-readable violations, sorted
+   for deterministic output. *)
+let audit t =
+  let violations = ref [] in
+  let add fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  let placed = Hashtbl.create 64 in
+  let seen_slot = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id (chunk : Chunk.t) ->
+      let indices = ref [] in
+      List.iter
+        (fun (share : Chunk.share) ->
+          indices := share.Chunk.index :: !indices;
+          (match Hashtbl.find_opt t.targets share.Chunk.target with
+          | None ->
+              add "chunk %d share %d placed on unknown target %a" id
+                share.Chunk.index Target.pp_key share.Chunk.target
+          | Some target ->
+              if not (Target.is_active target) then
+                add "chunk %d share %d placed on failed target %a" id
+                  share.Chunk.index Target.pp_key share.Chunk.target
+              else
+                Hashtbl.replace placed share.Chunk.target
+                  (1
+                  +
+                  match Hashtbl.find_opt placed share.Chunk.target with
+                  | None -> 0
+                  | Some n -> n));
+          let slot = (share.Chunk.target, share.Chunk.base) in
+          (match Hashtbl.find_opt seen_slot slot with
+          | Some other ->
+              add "chunks %d and %d collide on target %a base %d"
+                (Stdlib.min id other) (Stdlib.max id other) Target.pp_key
+                share.Chunk.target share.Chunk.base
+          | None -> Hashtbl.replace seen_slot slot id))
+        chunk.Chunk.shares;
+      let sorted = List.sort_uniq compare !indices in
+      if List.length sorted <> List.length !indices then
+        add "chunk %d carries duplicate share indices" id)
+    t.chunks;
+  Hashtbl.iter
+    (fun key target ->
+      if Target.is_active target then begin
+        let shares =
+          match Hashtbl.find_opt placed key with None -> 0 | Some n -> n
+        in
+        let used = Target.used_count target in
+        if used <> shares then
+          add "target %a has %d allocated range%s but %d share%s placed"
+            Target.pp_key key used
+            (if used = 1 then "" else "s")
+            shares
+            (if shares = 1 then "" else "s")
+      end)
+    t.targets;
+  List.sort compare !violations
 
 (* --- introspection ------------------------------------------------------------ *)
 
@@ -759,6 +1100,11 @@ let verify_chunk t id =
 
 let chunks t = Hashtbl.fold (fun id _ acc -> id :: acc) t.chunks []
 
+let share_count t id =
+  Option.map
+    (fun chunk -> List.length chunk.Chunk.shares)
+    (Hashtbl.find_opt t.chunks id)
+
 let live_targets t =
   Hashtbl.fold
     (fun _ target acc -> if Target.is_active target then acc + 1 else acc)
@@ -771,6 +1117,13 @@ let recovery_opages (t : t) = t.recovery_written
 let recovery_read_opages (t : t) = t.recovery_read
 let recovery_events (t : t) = t.recovery_events
 let lost_chunks (t : t) = t.lost
+let unrecoverable_opages (t : t) = t.unrecoverable_opages
+let rebuilt_shares (t : t) = t.rebuilt
+let rebuild_aborts (t : t) = t.rebuild_aborts
+let kill_ignored (t : t) = t.kill_ignored
+let scrub_sweeps (t : t) = t.scrub_sweeps
+let scrub_mismatches (t : t) = t.scrub_mismatches
+let scrub_repairs (t : t) = t.scrub_repairs
 
 let devices_alive t =
   Hashtbl.fold

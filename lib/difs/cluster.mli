@@ -49,8 +49,8 @@ val default_ec_config : config
 type t
 
 val create : ?config:config -> ?registry:Telemetry.Registry.t -> unit -> t
-(** Telemetry binds against [registry] (default: the deprecated process
-    default). *)
+(** Telemetry binds against [registry] (default:
+    {!Telemetry.Registry.null}, i.e. inert). *)
 
 val config : t -> config
 
@@ -99,13 +99,68 @@ val kill_device : t -> int -> unit
 (** Failure injection: declare a device dead regardless of its media state
     (controller/DRAM/firmware failures — the ~1% AFR class the field
     studies report).  All its targets fail and recovery runs immediately.
-    Unknown or already-failed ids are ignored. *)
+
+    Edge semantics: a kill of an unknown id, a second kill of an
+    already-killed device, or a kill arriving while a recovery span
+    (failure handling, drain, truncation, {!repair}, {!scrub}) is
+    mid-flight is a strict no-op — no target state changes — that bumps
+    the [difs_kill_ignored_total] counter (also {!kill_ignored}) instead
+    of silently diverging.  Callers injecting faults should re-issue the
+    kill after the recovery span completes if they still want the device
+    dead. *)
+
+val kill_ignored : t -> int
+(** kill_device calls ignored per the edge semantics above. *)
 
 val is_device_killed : t -> int -> bool
 
 val repair : t -> unit
 (** Try to bring under-redundant chunks back to full share counts (e.g.
     after capacity freed up or new minidisks appeared). *)
+
+(** {2 Background scrubbing}
+
+    The tolerance half of the silent-corruption story: faults that raise
+    no error at read time (a flipped payload below the ECC's radar) are
+    only caught by re-verifying stored content against what the chunk
+    should contain.  The scrubber sweeps chunks in id order, reads every
+    share, repairs bad oPages in place on live targets, and treats shares
+    that stop answering like failed shares — drop and rebuild from
+    survivors.  Chunks whose repair keeps failing (no spare capacity, too
+    few survivors) back off exponentially (up to 64 sweeps) so a stuck
+    chunk cannot monopolize every sweep. *)
+
+type scrub_report = {
+  chunks_scanned : int;
+  opages_verified : int;  (** oPages read and compared *)
+  mismatches : int;  (** content that failed verification *)
+  unreadable_shares : int;  (** shares dropped and rebuilt *)
+  repairs : int;  (** in-place rewrites + share rebuilds that landed *)
+  repair_failures : int;  (** rebuilds that found no destination *)
+  skipped_backoff : int;  (** chunks skipped while backing off *)
+}
+
+val scrub : ?limit:int -> t -> scrub_report
+(** Run one scrub sweep.  [limit] caps the chunks scanned this sweep; a
+    limited scrubber resumes after the last scanned chunk on the next
+    sweep (deterministic round-robin), so every chunk is still covered.
+    Pending device events are processed before and after the sweep.
+    Progress is exported through [difs_scrub_sweeps_total],
+    [difs_scrub_mismatches_total] and [difs_scrub_repairs_total]. *)
+
+val pp_scrub_report : Format.formatter -> scrub_report -> unit
+
+val scrub_sweeps : t -> int
+val scrub_mismatches : t -> int
+val scrub_repairs : t -> int
+
+val audit : t -> string list
+(** Structural placement invariants, for the chaos verdict: every share
+    sits on a known active target, no two shares occupy the same
+    (target, base) range, no chunk carries duplicate share indices, and
+    each active target's allocated range count equals the shares placed
+    on it.  Returns human-readable violations (empty = clean), sorted
+    for deterministic output. *)
 
 (** {2 Introspection} *)
 
@@ -119,6 +174,11 @@ val verify_chunk : t -> int -> bool
 (** Strong check: every stored share matches the recorded version. *)
 
 val chunks : t -> int list
+
+val share_count : t -> int -> int option
+(** Shares currently held by chunk [id] ([None] for unknown chunks); the
+    chaos verdict compares this against the read quorum. *)
+
 val live_targets : t -> int
 val total_free_ranges : t -> int
 
@@ -135,4 +195,21 @@ val recovery_events : t -> int
 (** Target failures handled. *)
 
 val lost_chunks : t -> int
+
+val unrecoverable_opages : t -> int
+(** oPages recovery could not reconstruct (fewer than quorum survivors
+    answered while rebuilding a share). *)
+
+val rebuilt_shares : t -> int
+(** Shares successfully re-materialized on a fresh target.  Recovery
+    accounting balances as
+    [recovery_opages + unrecoverable_opages >= rebuilt_shares *
+    share_opages], with equality when no rebuild was aborted mid-copy
+    (see {!rebuild_aborts}). *)
+
+val rebuild_aborts : t -> int
+(** Rebuild attempts abandoned because the destination target died
+    mid-copy (their partial writes are still metered in
+    {!recovery_opages}). *)
+
 val devices_alive : t -> int

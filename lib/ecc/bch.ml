@@ -34,7 +34,7 @@ let make_tel reg ~m ~capability =
 
 let create ?registry ~m ~capability () =
   let registry =
-    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+    match registry with Some r -> r | None -> Telemetry.Registry.null
   in
   if capability <= 0 then invalid_arg "Bch.create: capability must be > 0";
   let field = Galois.create m in

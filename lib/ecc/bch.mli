@@ -19,7 +19,7 @@ val create :
   ?registry:Telemetry.Registry.t -> m:int -> capability:int -> unit -> t
 (** [create ~m ~capability] builds a code over GF(2^m) correcting
     [capability] bit errors per codeword.  Decode telemetry binds
-    against [registry] (default: the deprecated process default).
+    against [registry] (default: {!Telemetry.Registry.null}, i.e. inert).
     @raise Invalid_argument if the requested capability leaves no data bits
     (parity would reach or exceed the codeword length). *)
 

@@ -15,6 +15,7 @@ let experiments =
     ("recovery", fun ctx fmt -> Recovery_table.run ~ctx fmt);
     ("uber", fun ctx fmt -> Uber_table.run ~ctx fmt);
     ("ablations", fun ctx fmt -> Ablations.run ~ctx fmt);
+    ("chaos", fun ctx fmt -> ignore (Chaos.run ~ctx fmt));
   ]
 
 let run ?(ctx = Ctx.default) fmt =

@@ -1,0 +1,231 @@
+(* The fault classes are split between the arenas by which layer owns
+   the matching tolerance mechanism; see chaos.mli. *)
+let device_plan plan =
+  List.filter
+    (function
+      | Faults.Plan.Silent_corruption _ | Faults.Plan.Device_death _ -> false
+      | _ -> true)
+    plan
+
+let cluster_plan plan =
+  List.filter (function Faults.Plan.Power_loss _ -> false | _ -> true) plan
+
+let pp_injected fmt inj =
+  List.iter
+    (fun (cls, n) -> Format.fprintf fmt " %s=%d" cls n)
+    (Faults.Injector.injected inj)
+
+(* --- device arena -------------------------------------------------------- *)
+
+let device_geometry = Flash.Geometry.create ~pages_per_block:8 ~blocks:16 ()
+
+let run_device_arena ~registry ~plan ~seed ~steps fmt =
+  let root = Sim.Rng.create seed in
+  let inj_rng = Sim.Rng.split root in
+  let chip_rng = Sim.Rng.split root in
+  let engine_rng = Sim.Rng.split root in
+  let op_rng = Sim.Rng.split root in
+  let geometry = device_geometry in
+  let chip =
+    Flash.Chip.create ~registry ~rng:chip_rng ~geometry ~model:Defaults.model
+      ()
+  in
+  let ecc = Ftl.Ecc_profile.of_geometry geometry in
+  let policy =
+    {
+      (Ftl.Policy.always_fresh
+         ~opages_per_fpage:geometry.Flash.Geometry.opages_per_fpage)
+      with
+      Ftl.Policy.read_fail_prob =
+        (fun ~rber ~block:_ ~page:_ ->
+          Ftl.Ecc_profile.opage_read_fail_prob ecc ~rber);
+      Ftl.Policy.should_reclaim =
+        (fun ~rber ~block:_ ~page:_ -> Ftl.Ecc_profile.should_reclaim ecc ~rber);
+    }
+  in
+  let capacity = Flash.Geometry.total_opages geometry * 2 / 5 in
+  let engine =
+    ref
+      (Ftl.Engine.create ~registry ~chip ~rng:engine_rng ~policy
+         ~logical_capacity:capacity ())
+  in
+  (* A power cut fires at the next crash site the engine crosses after
+     the injector schedules it. *)
+  let crash_armed = ref false in
+  Ftl.Engine.set_crash_hook !engine
+    (Some
+       (fun _site ->
+         if !crash_armed then begin
+           crash_armed := false;
+           raise Ftl.Engine.Power_loss
+         end));
+  let inj = Faults.Injector.create ~rng:inj_rng (device_plan plan) in
+  let acked = Hashtbl.create 512 in
+  let trimmed = Hashtbl.create 64 in
+  let crashes = ref 0 in
+  let with_crash f =
+    try f ()
+    with Ftl.Engine.Power_loss ->
+      incr crashes;
+      engine := Ftl.Engine.crash_rebuild !engine
+  in
+  for step = 0 to steps - 1 do
+    List.iter
+      (function
+        | Faults.Injector.Inject { block; page; fault } ->
+            Flash.Chip.inject chip ~block ~page fault
+        | Faults.Injector.Power_cut -> crash_armed := true
+        | Faults.Injector.Kill_device _ -> ())
+      (Faults.Injector.step inj ~geometry ~step);
+    let lba = Sim.Rng.int op_rng capacity in
+    match Sim.Rng.int op_rng 10 with
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 -> (
+        let payload = Sim.Rng.int op_rng 1_000_000 in
+        match Ftl.Engine.write !engine ~logical:lba ~payload with
+        | Ok () ->
+            Hashtbl.replace acked lba payload;
+            Hashtbl.remove trimmed lba
+        | Error `No_space -> ()
+        | exception Ftl.Engine.Power_loss ->
+            incr crashes;
+            engine := Ftl.Engine.crash_rebuild !engine;
+            (* The cut write was never acked: it may legally have landed
+               or vanished — read back and update the shadow to whichever
+               legal state the media is in. *)
+            Faults.Verdict.reconcile_torn_write ~engine:!engine ~acked
+              ~trimmed ~logical:lba ~payload)
+    | 7 | 8 -> ignore (Ftl.Engine.read !engine ~logical:lba)
+    | _ ->
+        Ftl.Engine.discard !engine ~logical:lba;
+        Hashtbl.remove acked lba;
+        Hashtbl.replace trimmed lba ()
+  done;
+  (* Flush always crosses a crash site, so a cut armed on the last steps
+     still lands before the verdict. *)
+  with_crash (fun () -> ignore (Ftl.Engine.flush !engine));
+  let verdict = Faults.Verdict.check_engine ~engine:!engine ~acked ~trimmed in
+  Format.fprintf fmt "arena device seed=%d: steps=%d crashes=%d@." seed steps
+    !crashes;
+  Format.fprintf fmt "  injected:%a@." pp_injected inj;
+  Format.fprintf fmt
+    "  tolerance: read_retries=%d retry_successes=%d read_reclaims=%d \
+     chip_faults=%d@."
+    (Ftl.Engine.read_retries !engine)
+    (Ftl.Engine.retry_successes !engine)
+    (Ftl.Engine.read_reclaims !engine)
+    (Flash.Chip.faults_injected chip);
+  Faults.Verdict.pp fmt verdict;
+  Faults.Verdict.all_ok verdict
+
+(* --- cluster arena ------------------------------------------------------- *)
+
+let cluster_devices = 6
+
+let run_cluster_arena ~registry ~plan ~seed ~steps fmt =
+  let root = Sim.Rng.create seed in
+  let inj_rng = Sim.Rng.split root in
+  let op_rng = Sim.Rng.split root in
+  let cluster = Difs.Cluster.create ~registry () in
+  let chips =
+    Array.init cluster_devices (fun i ->
+        let rng = Sim.Rng.split root in
+        let d =
+          Salamander.Device.create
+            ~config:(Defaults.salamander_config ~mode:Salamander.Device.Regen_s)
+            ~registry ~geometry:Defaults.geometry ~model:Defaults.model ~rng ()
+        in
+        ignore (Difs.Cluster.add_device cluster ~node:i (Difs.Cluster.Salamander d));
+        Ftl.Engine.chip (Salamander.Device.engine d))
+  in
+  let inj = Faults.Injector.create ~rng:inj_rng (cluster_plan plan) in
+  let physical_per_chunk =
+    Difs.Cluster.share_opages cluster * Difs.Cluster.total_shares cluster
+  in
+  let raw_capacity =
+    cluster_devices * Flash.Geometry.total_opages Defaults.geometry
+  in
+  let chunk_count = raw_capacity * 30 / 100 / physical_per_chunk in
+  for id = 0 to chunk_count - 1 do
+    ignore (Difs.Cluster.write_chunk cluster id)
+  done;
+  for step = 0 to steps - 1 do
+    (* Media faults land round-robin across the member chips; kills and
+       scheduled events come straight from the plan. *)
+    let chip = chips.(step mod cluster_devices) in
+    List.iter
+      (function
+        | Faults.Injector.Inject { block; page; fault } ->
+            Flash.Chip.inject chip ~block ~page fault
+        | Faults.Injector.Kill_device victim ->
+            Difs.Cluster.kill_device cluster (victim mod cluster_devices)
+        | Faults.Injector.Power_cut -> ())
+      (Faults.Injector.step inj ~geometry:(Flash.Chip.geometry chip) ~step);
+    let id = Sim.Rng.int op_rng chunk_count in
+    (match Sim.Rng.int op_rng 10 with
+    | 0 | 1 | 2 | 3 | 4 | 5 -> ignore (Difs.Cluster.write_chunk cluster id)
+    | 6 | 7 | 8 -> ignore (Difs.Cluster.read_chunk cluster id)
+    | _ -> Difs.Cluster.delete_chunk cluster id);
+    if (step + 1) mod 50 = 0 then ignore (Difs.Cluster.scrub cluster)
+  done;
+  Difs.Cluster.repair cluster;
+  ignore (Difs.Cluster.scrub cluster);
+  let verdict = Faults.Verdict.check_cluster cluster in
+  let health = Difs.Cluster.health cluster in
+  Format.fprintf fmt "arena cluster seed=%d: steps=%d devices=%d/%d@." seed
+    steps
+    (Difs.Cluster.devices_alive cluster)
+    cluster_devices;
+  Format.fprintf fmt "  injected:%a@." pp_injected inj;
+  Format.fprintf fmt
+    "  tolerance: scrub_sweeps=%d mismatches=%d scrub_repairs=%d \
+     rebuilt_shares=%d rebuild_aborts=%d kill_ignored=%d@."
+    (Difs.Cluster.scrub_sweeps cluster)
+    (Difs.Cluster.scrub_mismatches cluster)
+    (Difs.Cluster.scrub_repairs cluster)
+    (Difs.Cluster.rebuilt_shares cluster)
+    (Difs.Cluster.rebuild_aborts cluster)
+    (Difs.Cluster.kill_ignored cluster);
+  Format.fprintf fmt "  chunks: intact=%d degraded=%d lost=%d@." health.intact
+    health.degraded health.lost;
+  Faults.Verdict.pp fmt verdict;
+  Faults.Verdict.all_ok verdict
+
+(* --- the campaign -------------------------------------------------------- *)
+
+let default_plan = List.assoc "default" Faults.Plan.presets
+
+let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
+    ?(steps = 1000) fmt =
+  Format.fprintf fmt "chaos campaign: plan=%a seed=%d steps=%d@."
+    Faults.Plan.pp plan seed steps;
+  (* Four self-contained cells fan out over the pool; rendering and
+     registry absorption happen in submission order, so the report is
+     byte-identical at any job count (the PR 2 pattern). *)
+  let cells =
+    [ (`Device, seed); (`Device, seed + 1); (`Cluster, seed); (`Cluster, seed + 1) ]
+  in
+  let rendered =
+    Parallel.Pool.map_opt ctx.Ctx.pool
+      (fun (arena, cell_seed) ->
+        let sub = Ctx.sub_registry ctx in
+        let buf = Buffer.create 2048 in
+        let bfmt = Format.formatter_of_buffer buf in
+        let ok =
+          match arena with
+          | `Device ->
+              run_device_arena ~registry:sub ~plan ~seed:cell_seed ~steps bfmt
+          | `Cluster ->
+              run_cluster_arena ~registry:sub ~plan ~seed:cell_seed ~steps bfmt
+        in
+        Format.pp_print_flush bfmt ();
+        (Buffer.contents buf, ok, sub))
+      cells
+  in
+  List.iter
+    (fun (text, _, sub) ->
+      Format.pp_print_string fmt text;
+      Ctx.absorb ctx sub)
+    rendered;
+  let all = List.for_all (fun (_, ok, _) -> ok) rendered in
+  Format.fprintf fmt "chaos verdict: %s@." (if all then "PASS" else "FAIL");
+  all

@@ -1,0 +1,33 @@
+(** CHAOS: deterministic fault campaigns with verdicts (tentpole of the
+    robustness layer).
+
+    Two arenas, each run at two seeds (four cells fanned out over the
+    context's pool, reduced in submission order, so the report is
+    byte-identical at any job count):
+
+    - {b device arena} — a bare {!Ftl.Engine} under a random
+      write/read/trim mix while the injector drives transient flips,
+      sticky pages, correlated block failures and power cuts (crashes
+      route through [crash_rebuild]).  Silent corruption and device
+      death are out of scope here: the engine layer cannot distinguish
+      below-ECC corruption from a bug, and has no notion of other
+      devices — both belong to the cluster arena.
+    - {b cluster arena} — a replicated {!Difs.Cluster} over Salamander
+      devices under a chunk write/read/delete mix, with media faults
+      spread round-robin across the member chips, scheduled device
+      kills, periodic scrub sweeps, and a final repair + scrub.  Power
+      loss is out of scope here (a cluster member's crash is modeled by
+      the kill/rebuild path).
+
+    Each cell ends with its {!Faults.Verdict} — the run passes only if
+    every check in every cell holds. *)
+
+val run :
+  ?ctx:Ctx.t ->
+  ?plan:Faults.Plan.t ->
+  ?seed:int ->
+  ?steps:int ->
+  Format.formatter ->
+  bool
+(** Defaults: the [default] plan preset, seed 42, 1000 steps per cell.
+    Returns whether every verdict passed. *)

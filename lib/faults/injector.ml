@@ -1,0 +1,105 @@
+type action =
+  | Inject of { block : int; page : int; fault : Flash.Chip.fault }
+  | Kill_device of int
+  | Power_cut
+
+type t = {
+  plan : Plan.t;
+  rng : Sim.Rng.t;
+  mutable transient : int;
+  mutable sticky : int;
+  mutable silent : int;
+  mutable correlated : int;
+  mutable kills : int;
+  mutable crashes : int;
+}
+
+let create ~rng plan =
+  {
+    plan;
+    rng;
+    transient = 0;
+    sticky = 0;
+    silent = 0;
+    correlated = 0;
+    kills = 0;
+    crashes = 0;
+  }
+
+(* A correlated failure models plane/die-scope damage: every page of a
+   span of adjacent blocks goes stuck at once. *)
+let stuck_rber = 1.
+
+let random_page t (g : Flash.Geometry.t) =
+  let block = Sim.Rng.int t.rng g.Flash.Geometry.blocks in
+  let page = Sim.Rng.int t.rng g.Flash.Geometry.pages_per_block in
+  (block, page)
+
+let spec_actions t (g : Flash.Geometry.t) ~step:now spec =
+  match spec with
+  | Plan.Transient_flips { per_step; extra_rber } ->
+      if Sim.Rng.chance t.rng per_step then begin
+        let block, page = random_page t g in
+        t.transient <- t.transient + 1;
+        [ Inject { block; page; fault = Flash.Chip.Transient_rber extra_rber } ]
+      end
+      else []
+  | Plan.Sticky_pages { per_step; extra_rber } ->
+      if Sim.Rng.chance t.rng per_step then begin
+        let block, page = random_page t g in
+        t.sticky <- t.sticky + 1;
+        [ Inject { block; page; fault = Flash.Chip.Sticky_rber extra_rber } ]
+      end
+      else []
+  | Plan.Silent_corruption { per_step } ->
+      if Sim.Rng.chance t.rng per_step then begin
+        let block, page = random_page t g in
+        let mask = 1 + Sim.Rng.int t.rng 0xFF_FFFF in
+        t.silent <- t.silent + 1;
+        [ Inject { block; page; fault = Flash.Chip.Silent_corruption mask } ]
+      end
+      else []
+  | Plan.Correlated_failure { at_step; blocks } ->
+      if now <> at_step then []
+      else begin
+        let start = Sim.Rng.int t.rng g.Flash.Geometry.blocks in
+        let span = Stdlib.min blocks g.Flash.Geometry.blocks in
+        let actions = ref [] in
+        for b = span - 1 downto 0 do
+          let block = (start + b) mod g.Flash.Geometry.blocks in
+          for page = g.Flash.Geometry.pages_per_block - 1 downto 0 do
+            t.correlated <- t.correlated + 1;
+            actions :=
+              Inject { block; page; fault = Flash.Chip.Sticky_rber stuck_rber }
+              :: !actions
+          done
+        done;
+        !actions
+      end
+  | Plan.Device_death { at_step; victim } ->
+      if now <> at_step then []
+      else begin
+        t.kills <- t.kills + 1;
+        [ Kill_device victim ]
+      end
+  | Plan.Power_loss { at_step } ->
+      if now <> at_step then []
+      else begin
+        t.crashes <- t.crashes + 1;
+        [ Power_cut ]
+      end
+
+let step t ~geometry ~step =
+  List.concat_map (spec_actions t geometry ~step) t.plan
+
+let injected t =
+  [
+    ("transient", t.transient);
+    ("sticky", t.sticky);
+    ("silent", t.silent);
+    ("correlated", t.correlated);
+    ("kill", t.kills);
+    ("crash", t.crashes);
+  ]
+
+let total t = List.fold_left (fun acc (_, n) -> acc + n) 0 (injected t)

@@ -1,0 +1,34 @@
+(** Compiles a {!Plan.t} into per-step injection actions.
+
+    The injector owns a seeded stream: rate-driven specs draw from it in
+    plan order on every step (whether or not they fire), so the fault
+    schedule depends only on (plan, seed, step) — never on what the
+    workload under test is doing.  The harness applies the returned
+    actions to whichever layer each one targets: media faults go to
+    [Flash.Chip.inject], kills to [Difs.Cluster.kill_device], power cuts
+    arm the engine's crash hook. *)
+
+type action =
+  | Inject of { block : int; page : int; fault : Flash.Chip.fault }
+  | Kill_device of int  (** cluster device id to kill *)
+  | Power_cut  (** cut power before the step's next engine operation *)
+
+type t
+
+val create : rng:Sim.Rng.t -> Plan.t -> t
+(** The injector consumes [rng] exclusively from then on. *)
+
+val step : t -> geometry:Flash.Geometry.t -> step:int -> action list
+(** Actions to apply before workload step [step], in plan order.
+    [geometry] bounds the block/page coordinates drawn for media faults
+    (a multi-device harness passes the geometry of the device it will
+    inject into).  Steps must be fed in increasing order for the stream
+    to be reproducible. *)
+
+val injected : t -> (string * int) list
+(** Cumulative per-class action counts, in fixed class order
+    ([transient], [sticky], [silent], [correlated], [kill], [crash]) —
+    the report's injection census. *)
+
+val total : t -> int
+(** Sum over {!injected}. *)

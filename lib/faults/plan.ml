@@ -1,0 +1,158 @@
+type spec =
+  | Transient_flips of { per_step : float; extra_rber : float }
+  | Sticky_pages of { per_step : float; extra_rber : float }
+  | Silent_corruption of { per_step : float }
+  | Correlated_failure of { at_step : int; blocks : int }
+  | Device_death of { at_step : int; victim : int }
+  | Power_loss of { at_step : int }
+
+type t = spec list
+
+let pp_spec fmt = function
+  | Transient_flips { per_step; extra_rber } ->
+      Format.fprintf fmt "transient=%g@@%g" per_step extra_rber
+  | Sticky_pages { per_step; extra_rber } ->
+      Format.fprintf fmt "sticky=%g@@%g" per_step extra_rber
+  | Silent_corruption { per_step } -> Format.fprintf fmt "silent=%g" per_step
+  | Correlated_failure { at_step; blocks } ->
+      Format.fprintf fmt "corr@@%d:%d" at_step blocks
+  | Device_death { at_step; victim } ->
+      Format.fprintf fmt "kill@@%d:%d" at_step victim
+  | Power_loss { at_step } -> Format.fprintf fmt "crash@@%d" at_step
+
+let pp fmt = function
+  | [] -> Format.pp_print_string fmt "none"
+  | specs ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+        pp_spec fmt specs
+
+let to_string t = Format.asprintf "%a" pp t
+
+let presets =
+  [
+    ("none", []);
+    ( "default",
+      [
+        Transient_flips { per_step = 0.05; extra_rber = 0.05 };
+        Sticky_pages { per_step = 0.01; extra_rber = 1. };
+        Silent_corruption { per_step = 0.02 };
+        Correlated_failure { at_step = 400; blocks = 3 };
+        Device_death { at_step = 600; victim = 1 };
+        Power_loss { at_step = 800 };
+      ] );
+    ( "media",
+      [
+        Transient_flips { per_step = 0.1; extra_rber = 0.05 };
+        Sticky_pages { per_step = 0.02; extra_rber = 1. };
+        Silent_corruption { per_step = 0.05 };
+      ] );
+    ( "crashy",
+      [
+        Transient_flips { per_step = 0.02; extra_rber = 0.05 };
+        Power_loss { at_step = 100 };
+        Power_loss { at_step = 250 };
+        Power_loss { at_step = 400 };
+        Power_loss { at_step = 550 };
+        Power_loss { at_step = 700 };
+      ] );
+    ( "killer",
+      [
+        Device_death { at_step = 200; victim = 0 };
+        Correlated_failure { at_step = 350; blocks = 4 };
+        Device_death { at_step = 500; victim = 2 };
+      ] );
+  ]
+
+(* A scanner that only succeeds when it consumes the whole item. *)
+let try_scan s fmt f =
+  try Some (Scanf.sscanf s fmt f)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let parse_spec item =
+  let prob what p k =
+    if p < 0. || p > 1. then
+      Error (Printf.sprintf "%s: probability %g not in [0, 1]" what p)
+    else k ()
+  in
+  let rber what r k =
+    if r < 0. then Error (Printf.sprintf "%s: negative RBER %g" what r)
+    else k ()
+  in
+  let step what s k =
+    if s < 0 then Error (Printf.sprintf "%s: negative step %d" what s)
+    else k ()
+  in
+  let scanners =
+    [
+      (fun () ->
+        Option.map
+          (fun (p, r) ->
+            prob "transient" p @@ fun () ->
+            rber "transient" r @@ fun () ->
+            Ok (Transient_flips { per_step = p; extra_rber = r }))
+          (try_scan item "transient=%f@%f%!" (fun p r -> (p, r))));
+      (fun () ->
+        Option.map
+          (fun p ->
+            prob "transient" p @@ fun () ->
+            Ok (Transient_flips { per_step = p; extra_rber = 0.05 }))
+          (try_scan item "transient=%f%!" Fun.id));
+      (fun () ->
+        Option.map
+          (fun (p, r) ->
+            prob "sticky" p @@ fun () ->
+            rber "sticky" r @@ fun () ->
+            Ok (Sticky_pages { per_step = p; extra_rber = r }))
+          (try_scan item "sticky=%f@%f%!" (fun p r -> (p, r))));
+      (fun () ->
+        Option.map
+          (fun p ->
+            prob "sticky" p @@ fun () ->
+            Ok (Sticky_pages { per_step = p; extra_rber = 1. }))
+          (try_scan item "sticky=%f%!" Fun.id));
+      (fun () ->
+        Option.map
+          (fun p ->
+            prob "silent" p @@ fun () ->
+            Ok (Silent_corruption { per_step = p }))
+          (try_scan item "silent=%f%!" Fun.id));
+      (fun () ->
+        Option.map
+          (fun (s, n) ->
+            step "corr" s @@ fun () ->
+            if n < 1 then Error "corr: needs at least one block"
+            else Ok (Correlated_failure { at_step = s; blocks = n }))
+          (try_scan item "corr@%d:%d%!" (fun s n -> (s, n))));
+      (fun () ->
+        Option.map
+          (fun (s, v) ->
+            step "kill" s @@ fun () ->
+            if v < 0 then Error "kill: negative victim"
+            else Ok (Device_death { at_step = s; victim = v }))
+          (try_scan item "kill@%d:%d%!" (fun s v -> (s, v))));
+      (fun () ->
+        Option.map
+          (fun s -> step "crash" s @@ fun () -> Ok (Power_loss { at_step = s }))
+          (try_scan item "crash@%d%!" Fun.id));
+    ]
+  in
+  match List.find_map (fun scan -> scan ()) scanners with
+  | Some result -> result
+  | None -> Error (Printf.sprintf "cannot parse fault spec %S" item)
+
+let parse input =
+  let input = String.trim input in
+  match List.assoc_opt input presets with
+  | Some plan -> Ok plan
+  | None ->
+      if input = "" then Error "empty fault plan (use \"none\")"
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+              match parse_spec (String.trim item) with
+              | Ok spec -> go (spec :: acc) rest
+              | Error _ as e -> e)
+        in
+        go [] (String.split_on_char ',' input)

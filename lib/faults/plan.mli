@@ -1,0 +1,52 @@
+(** Declarative fault plans.
+
+    A plan is the what/when/how-often of an injection campaign, fixed
+    before the run starts: rate-driven media faults (sampled each step
+    from the injector's seeded stream) and scheduled one-shot events
+    (fired at an exact step).  Separating the plan from the injector
+    keeps campaigns reproducible — same plan + same seed = the same
+    faults, wherever the plan came from (CLI string, preset, test).
+
+    The fault classes and the tolerance mechanism each one exercises:
+
+    - {{!spec.Transient_flips} transient flips} — one-shot RBER spikes
+      absorbed by the FTL's read-retry ladder;
+    - {{!spec.Sticky_pages} sticky pages} — latent corruption that
+      persists until the block is erased; survives retries, so it
+      escalates to [`Uncorrectable] and the diFS share rebuild;
+    - {{!spec.Silent_corruption} silent corruption} — wrong payloads
+      below the ECC's radar, caught only by the diFS scrubber;
+    - {{!spec.Correlated_failure} correlated block failures} — a span of
+      neighbouring blocks stuck at once (plane/die scope), stressing
+      repair under burst loss;
+    - {{!spec.Device_death} device death} — whole-controller loss via
+      [Difs.Cluster.kill_device];
+    - {{!spec.Power_loss} power loss} — a crash routed through
+      [Ftl.Engine.crash_rebuild]. *)
+
+type spec =
+  | Transient_flips of { per_step : float; extra_rber : float }
+  | Sticky_pages of { per_step : float; extra_rber : float }
+  | Silent_corruption of { per_step : float }
+  | Correlated_failure of { at_step : int; blocks : int }
+  | Device_death of { at_step : int; victim : int }
+  | Power_loss of { at_step : int }
+
+type t = spec list
+
+val parse : string -> (t, string) result
+(** Parse a preset name ({!presets}) or a comma-separated spec list:
+    [transient=P[@R]], [sticky=P[@R]], [silent=P], [corr@STEP:BLOCKS],
+    [kill@STEP:VICTIM], [crash@STEP] — with [P] a per-step probability,
+    [R] an extra raw bit error rate.  [parse (to_string t) = Ok t]. *)
+
+val presets : (string * t) list
+(** Named default campaigns: [none], [default] (every class), [media]
+    (transient + sticky + silent only), [crashy] (repeated power loss),
+    [killer] (device and correlated-block deaths). *)
+
+val pp : Format.formatter -> t -> unit
+(** Canonical compact form, re-parsable by {!parse}; the chaos report
+    echoes the plan through this. *)
+
+val to_string : t -> string

@@ -1,0 +1,151 @@
+type check = { name : string; ok : bool; detail : string }
+type t = check list
+
+let all_ok t = List.for_all (fun c -> c.ok) t
+
+let pp fmt t =
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "[%s] %s: %s@." (if c.ok then "PASS" else "FAIL")
+        c.name c.detail)
+    t
+
+let reconcile_torn_write ~engine ~acked ~trimmed ~logical ~payload =
+  match Ftl.Engine.read engine ~logical with
+  | Ok v when v = payload ->
+      (* The interrupted write landed before the cut: an overwrite is
+         allowed to survive its own crash, so fold it into the shadow. *)
+      Hashtbl.replace acked logical payload;
+      Hashtbl.remove trimmed logical
+  | Ok _ | Error `Unmapped | Error `Uncorrectable ->
+      (* Old value retained, still unmapped, or unreadable: all legal —
+         and any *illegal* state (a value that is neither old nor new, a
+         resurrection) contradicts the untouched shadow, so check_engine
+         flags it. *)
+      ()
+
+let check_engine ~engine ~acked ~trimmed =
+  let checked = ref 0
+  and lost = ref 0
+  and wrong = ref 0
+  and unreadable = ref 0 in
+  let acked_lbas =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) acked [])
+  in
+  List.iter
+    (fun (logical, expected) ->
+      incr checked;
+      match Ftl.Engine.read engine ~logical with
+      | Ok payload -> if payload <> expected then incr wrong
+      | Error `Unmapped -> incr lost
+      | Error `Uncorrectable -> incr unreadable)
+    acked_lbas;
+  let trimmed_n = ref 0 and resurrected = ref 0 in
+  let trimmed_lbas =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) trimmed [])
+  in
+  List.iter
+    (fun logical ->
+      incr trimmed_n;
+      match Ftl.Engine.read engine ~logical with
+      | Error `Unmapped -> ()
+      | Ok _ | Error `Uncorrectable -> incr resurrected)
+    trimmed_lbas;
+  [
+    {
+      name = "no acked-write loss";
+      ok = !lost = 0;
+      detail =
+        Printf.sprintf "%d/%d acked oPages mapped, %d uncorrectable tolerated"
+          (!checked - !lost) !checked !unreadable;
+    };
+    {
+      name = "acked payloads intact";
+      ok = !wrong = 0;
+      detail =
+        Printf.sprintf "%d/%d readable payloads matched"
+          (!checked - !lost - !unreadable - !wrong)
+          (!checked - !lost - !unreadable);
+    };
+    {
+      name = "no trim resurrection";
+      ok = !resurrected = 0;
+      detail =
+        Printf.sprintf "%d/%d trimmed LBAs stayed unmapped"
+          (!trimmed_n - !resurrected) !trimmed_n;
+    };
+  ]
+
+let check_cluster cluster =
+  let audit = Difs.Cluster.audit cluster in
+  let audit_check =
+    {
+      name = "placement audit clean";
+      ok = audit = [];
+      detail =
+        (match audit with
+        | [] -> "no violations"
+        | v :: _ ->
+            Printf.sprintf "%d violation%s, first: %s" (List.length audit)
+              (if List.length audit = 1 then "" else "s")
+              v);
+    }
+  in
+  let share_opages = Difs.Cluster.share_opages cluster in
+  let rebuilt = Difs.Cluster.rebuilt_shares cluster in
+  let aborts = Difs.Cluster.rebuild_aborts cluster in
+  let written = Difs.Cluster.recovery_opages cluster in
+  let unrecoverable = Difs.Cluster.unrecoverable_opages cluster in
+  let accounting =
+    {
+      name = "recovery accounting balances";
+      ok =
+        written + unrecoverable >= rebuilt * share_opages
+        && written <= (rebuilt + aborts) * share_opages;
+      detail =
+        Printf.sprintf
+          "%d written + %d unrecoverable vs %d rebuilt x %d oPages (%d \
+           aborts)"
+          written unrecoverable rebuilt share_opages aborts;
+    }
+  in
+  let quorum = Difs.Cluster.read_quorum cluster in
+  let chunk_opages = (Difs.Cluster.config cluster).Difs.Cluster.chunk_opages in
+  let with_quorum = ref 0
+  and below_quorum = ref 0
+  and unreadable = ref 0
+  and corrupt = ref 0 in
+  List.iter
+    (fun id ->
+      match Difs.Cluster.share_count cluster id with
+      | None -> ()
+      | Some shares when shares < quorum -> incr below_quorum
+      | Some _ -> (
+          incr with_quorum;
+          match Difs.Cluster.read_chunk cluster id with
+          | Ok matches -> if matches <> chunk_opages then incr corrupt
+          | Error _ -> incr unreadable))
+    (List.sort compare (Difs.Cluster.chunks cluster));
+  let readable =
+    {
+      name = "quorum chunks readable";
+      ok = !unreadable = 0;
+      detail =
+        Printf.sprintf
+          "%d/%d chunks with >= %d shares readable (%d below quorum, \
+           tolerated as lost)"
+          (!with_quorum - !unreadable)
+          !with_quorum quorum !below_quorum;
+    }
+  in
+  let intact =
+    {
+      name = "quorum chunks content intact";
+      ok = !corrupt = 0;
+      detail =
+        Printf.sprintf "%d/%d readable chunks fully matched"
+          (!with_quorum - !unreadable - !corrupt)
+          (!with_quorum - !unreadable);
+    }
+  in
+  [ audit_check; accounting; readable; intact ]

@@ -1,0 +1,60 @@
+(** Invariant checks a fault campaign must not break.
+
+    Injection without a verdict is just vandalism: these checks pin down
+    what "the software tolerated the faults" means, layer by layer.
+
+    {b Engine} (run against the post-campaign FTL and the workload's
+    shadow of acknowledged state):
+    - no acknowledged-write loss — every acked logical oPage is still
+      mapped (an [`Uncorrectable] read is tolerated media loss, counted
+      in the detail; a silent [`Unmapped] is a lost write);
+    - acked payloads that do read back match what was acknowledged;
+    - no trim resurrection — trimmed LBAs stay unmapped across crashes.
+
+    {b Cluster} (run after the campaign's final repair + scrub):
+    - the placement {!Difs.Cluster.audit} is clean;
+    - recovery-write accounting balances:
+      [recovery_opages + unrecoverable_opages >= rebuilt_shares *
+      share_opages], with
+      [recovery_opages <= (rebuilt_shares + rebuild_aborts) *
+      share_opages];
+    - no chunk is lost while >= read-quorum shares survive: every such
+      chunk is fully readable with intact content. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+type t = check list
+
+val all_ok : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One [ [PASS]/[FAIL] name: detail ] line per check. *)
+
+val reconcile_torn_write :
+  engine:Ftl.Engine.t ->
+  acked:(int, int) Hashtbl.t ->
+  trimmed:(int, unit) Hashtbl.t ->
+  logical:int ->
+  payload:int ->
+  unit
+(** Call after a power cut interrupted [write ~logical ~payload] (the
+    write raised, so it was never acknowledged) and the engine was
+    crash-rebuilt.  A torn write may legally land or vanish; this reads
+    the LBA back and folds a landed overwrite into the shadow tables,
+    leaving them untouched otherwise so {!check_engine} still catches
+    genuinely illegal states (a value that is neither old nor new, a
+    trim resurrection). *)
+
+val check_engine :
+  engine:Ftl.Engine.t ->
+  acked:(int, int) Hashtbl.t ->
+  trimmed:(int, unit) Hashtbl.t ->
+  t
+(** [acked] maps logical oPage -> last acknowledged payload; [trimmed]
+    holds LBAs whose latest acknowledged operation was a trim.  Reads
+    the engine (so run it when the workload is done). *)
+
+val check_cluster : Difs.Cluster.t -> t
+(** Expects the harness to have run {!Difs.Cluster.repair} and a full
+    {!Difs.Cluster.scrub} sweep first, so surviving shares are readable
+    and content-clean. *)

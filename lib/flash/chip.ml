@@ -6,12 +6,21 @@ type page = {
   strength : float;
   mutable state : page_state;
   mutable reads_since_erase : int;
+  (* Injected faults (see {!inject}); all three are cleared by erase. *)
+  mutable transient_rber : float;
+  mutable sticky_rber : float;
+  mutable corrupt_mask : int;
 }
+
+type fault =
+  | Transient_rber of float
+  | Sticky_rber of float
+  | Silent_corruption of int
 
 type block_state = { mutable pec : int; pages : page array }
 
 (* Telemetry handles, bound to the registry passed to [create] (the
-   deprecated process default when omitted); inert (single-branch
+   null registry when omitted); inert (single-branch
    no-ops) against the null registry.  Latency histograms record the
    *modeled* time of each operation under {!Latency.default} — the chip
    executes in zero simulated time, but the distribution of modeled op
@@ -24,12 +33,20 @@ type tel = {
   tel_read_us : Telemetry.Registry.Histogram.t;
   tel_program_us : Telemetry.Registry.Histogram.t;
   tel_erase_us : Telemetry.Registry.Histogram.t;
+  tel_faults_transient : Telemetry.Registry.Counter.t;
+  tel_faults_sticky : Telemetry.Registry.Counter.t;
+  tel_faults_silent : Telemetry.Registry.Counter.t;
 }
 
 let make_tel registry =
   let latency op lo hi =
     Telemetry.Registry.histogram registry ~labels:[ ("op", op) ]
       ~help:"Modeled flash operation latency" ~lo ~hi "flash_op_latency_us"
+  in
+  let fault_counter cls =
+    Telemetry.Registry.counter registry
+      ~labels:[ ("class", cls) ]
+      ~help:"Faults injected into the medium" "flash_faults_injected_total"
   in
   {
     tel_programs =
@@ -44,6 +61,9 @@ let make_tel registry =
     tel_read_us = latency "read" 0. 500.;
     tel_program_us = latency "program" 0. 2_000.;
     tel_erase_us = latency "erase" 0. 10_000.;
+    tel_faults_transient = fault_counter "transient";
+    tel_faults_sticky = fault_counter "sticky";
+    tel_faults_silent = fault_counter "silent";
   }
 
 type t = {
@@ -54,11 +74,12 @@ type t = {
   mutable programs : int;
   mutable reads : int;
   mutable erases : int;
+  mutable faults_injected : int;
 }
 
 let create ?registry ~rng ~geometry ~model () =
   let registry =
-    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+    match registry with Some r -> r | None -> Telemetry.Registry.null
   in
   (* Endurance variance has a block-level component (process corner,
      position on the die) and a page-level one (layer-to-layer variation
@@ -79,6 +100,9 @@ let create ?registry ~rng ~geometry ~model () =
                 *. Sim.Dist.lognormal rng ~mu:0. ~sigma:component_sigma;
               state = Free;
               reads_since_erase = 0;
+              transient_rber = 0.;
+              sticky_rber = 0.;
+              corrupt_mask = 0;
             });
     }
   in
@@ -90,6 +114,7 @@ let create ?registry ~rng ~geometry ~model () =
     programs = 0;
     reads = 0;
     erases = 0;
+    faults_injected = 0;
   }
 
 let geometry t = t.geometry
@@ -148,7 +173,13 @@ let read t ~block ~page =
     ~data_kib:(float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.);
   match p.state with
   | Free -> Free
-  | Programmed slots -> Programmed (Array.copy slots)
+  | Programmed slots ->
+      let copy = Array.copy slots in
+      if p.corrupt_mask <> 0 then
+        Array.iteri
+          (fun i v -> copy.(i) <- Option.map (fun x -> x lxor p.corrupt_mask) v)
+          copy;
+      Programmed copy
 
 let read_slot t ~block ~page ~slot =
   let b, p = get_page t block page in
@@ -161,7 +192,9 @@ let read_slot t ~block ~page ~slot =
     ~data_kib:(float_of_int t.geometry.Geometry.opage_bytes /. 1024.);
   match p.state with
   | Free -> invalid_arg "Chip.read_slot: page is erased"
-  | Programmed slots -> slots.(slot)
+  | Programmed slots ->
+      if p.corrupt_mask = 0 then slots.(slot)
+      else Option.map (fun x -> x lxor p.corrupt_mask) slots.(slot)
 
 let erase t ~block =
   let b = get_block t block in
@@ -169,7 +202,13 @@ let erase t ~block =
   Array.iter
     (fun p ->
       p.state <- Free;
-      p.reads_since_erase <- 0)
+      p.reads_since_erase <- 0;
+      (* Injected faults model damaged *content* and charge leakage, not
+         permanent silicon damage: an erase rewrites the cells and clears
+         them all. *)
+      p.transient_rber <- 0.;
+      p.sticky_rber <- 0.;
+      p.corrupt_mask <- 0)
     b.pages;
   t.erases <- t.erases + 1;
   Telemetry.Registry.Counter.incr t.tel.tel_erases;
@@ -187,6 +226,7 @@ let rber t ~block ~page =
   let b, p = get_page t block page in
   Rber_model.rber ~reads:p.reads_since_erase t.model ~pec:b.pec
     ~strength:p.strength
+  +. p.transient_rber +. p.sticky_rber
 
 let rber_after_next_erase t ~block ~page =
   (* An erase clears the accumulated read disturb along with the data. *)
@@ -204,3 +244,32 @@ let is_free t ~block ~page =
 let programs t = t.programs
 let reads t = t.reads
 let erases t = t.erases
+
+let inject t ~block ~page fault =
+  let _, p = get_page t block page in
+  (match fault with
+  | Transient_rber extra ->
+      if extra < 0. then invalid_arg "Chip.inject: negative transient rber";
+      p.transient_rber <- p.transient_rber +. extra;
+      Telemetry.Registry.Counter.incr t.tel.tel_faults_transient
+  | Sticky_rber extra ->
+      if extra < 0. then invalid_arg "Chip.inject: negative sticky rber";
+      p.sticky_rber <- p.sticky_rber +. extra;
+      Telemetry.Registry.Counter.incr t.tel.tel_faults_sticky
+  | Silent_corruption mask ->
+      if mask = 0 then invalid_arg "Chip.inject: zero corruption mask";
+      p.corrupt_mask <- p.corrupt_mask lxor mask;
+      Telemetry.Registry.Counter.incr t.tel.tel_faults_silent);
+  t.faults_injected <- t.faults_injected + 1
+
+let take_transient t ~block ~page =
+  let _, p = get_page t block page in
+  let extra = p.transient_rber in
+  p.transient_rber <- 0.;
+  extra
+
+let sticky_rber t ~block ~page =
+  let _, p = get_page t block page in
+  p.sticky_rber
+
+let faults_injected t = t.faults_injected

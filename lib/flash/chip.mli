@@ -31,8 +31,8 @@ val create :
   unit ->
   t
 (** Per-page strengths are drawn from [rng] at creation; telemetry
-    handles bind against [registry] (default: the deprecated process
-    default, i.e. inert unless a legacy caller installed one). *)
+    handles bind against [registry] (default: {!Telemetry.Registry.null},
+    i.e. inert). *)
 
 val geometry : t -> Geometry.t
 val model : t -> Rber_model.t
@@ -57,12 +57,13 @@ val strength : t -> block:int -> page:int -> float
 
 val rber : t -> block:int -> page:int -> float
 (** Current raw bit error rate of the page: program/erase wear plus
-    accumulated read disturb since the block's last erase. *)
+    accumulated read disturb since the block's last erase, plus any
+    injected transient/sticky excess (see {!inject}). *)
 
 val rber_after_next_erase : t -> block:int -> page:int -> float
 (** The RBER the page will have once its block is erased one more time
-    (an erase also clears the read disturb); the retirement policies look
-    ahead with this. *)
+    (an erase also clears the read disturb — and any injected faults);
+    the retirement policies look ahead with this. *)
 
 val reads_since_erase : t -> block:int -> page:int -> int
 (** Reads the page absorbed since its block's last erase: the read
@@ -76,3 +77,43 @@ val is_free : t -> block:int -> page:int -> bool
 val programs : t -> int
 val reads : t -> int
 val erases : t -> int
+
+(** {2 Fault injection}
+
+    The hook surface the deterministic chaos layer ([lib/faults]) drives.
+    Faults damage page *content* or charge retention, so all three
+    classes are cleared when the block is erased (the cells are
+    rewritten).  Injections count into the
+    [flash_faults_injected_total{class=...}] telemetry counter. *)
+
+type fault =
+  | Transient_rber of float
+      (** One-shot extra raw bit error rate (e.g. a read-disturb spike or
+          a marginal sense).  Raises {!rber} until the next
+          {!take_transient} consumes it — the FTL's read path takes it
+          exactly once, so a re-read (retry ladder) sees the page clean
+          again. *)
+  | Sticky_rber of float
+      (** Latent extra RBER that persists across reads (charge leak,
+          weak cell cluster): every read of the page sees the elevated
+          rate until the block is erased. *)
+  | Silent_corruption of int
+      (** XOR mask applied to every payload read from the page without
+          raising RBER: corruption below the ECC's radar.  Only
+          content-verifying layers (the diFS scrubber) can catch it.
+          Injecting the same mask twice cancels out. *)
+
+val inject : t -> block:int -> page:int -> fault -> unit
+(** @raise Invalid_argument on bad indices, negative RBER deltas, or a
+    zero corruption mask. *)
+
+val take_transient : t -> block:int -> page:int -> float
+(** Consume (return and clear) the page's pending transient RBER excess.
+    The FTL read path calls this after its first read attempt; 0. when
+    nothing is pending. *)
+
+val sticky_rber : t -> block:int -> page:int -> float
+(** The page's current injected sticky RBER excess (0. when none). *)
+
+val faults_injected : t -> int
+(** Cumulative count of {!inject} calls across all fault classes. *)

@@ -2,10 +2,22 @@ type config = {
   gc_reserve_blocks : int;
   wear_level_period : int;
   wear_level_gap : int;
+  read_retries : int;
+  retry_rber_factor : float;
 }
 
 let default_config =
-  { gc_reserve_blocks = 2; wear_level_period = 16; wear_level_gap = 8 }
+  {
+    gc_reserve_blocks = 2;
+    wear_level_period = 16;
+    wear_level_gap = 8;
+    read_retries = 3;
+    retry_rber_factor = 0.5;
+  }
+
+type crash_site = Before_program | After_program | Gc | Flush
+
+exception Power_loss
 
 type block_class = Free | Open | Closed | Retired
 
@@ -21,6 +33,8 @@ type tel = {
   tel_reclaims : Telemetry.Registry.Counter.t;
   tel_unmapped : Telemetry.Registry.Counter.t;
   tel_uncorrectable : Telemetry.Registry.Counter.t;
+  tel_read_retries : Telemetry.Registry.Counter.t;
+  tel_retry_successes : Telemetry.Registry.Counter.t;
   tel_waf : Telemetry.Registry.Gauge.t;
 }
 
@@ -43,6 +57,12 @@ let make_tel registry =
     tel_uncorrectable =
       counter "ftl_uncorrectable_reads_total"
         "Reads ECC could not correct (residual UBER)";
+    tel_read_retries =
+      counter "ftl_read_retries_total"
+        "Re-read attempts made by the read-retry ladder";
+    tel_retry_successes =
+      counter "ftl_retry_successes_total"
+        "Reads rescued by the retry ladder after a failed first attempt";
     tel_waf =
       Telemetry.Registry.gauge registry
         ~help:"Physical oPage programs per host oPage write"
@@ -74,6 +94,9 @@ type t = {
   mutable padded : int;
   mutable reclaims : int;
   mutable in_gc : bool;
+  mutable read_retry_count : int;
+  mutable retry_success_count : int;
+  mutable crash_hook : (crash_site -> unit) option;
   tel : tel;
 }
 
@@ -85,10 +108,14 @@ let geometry t = Flash.Chip.geometry t.chip
 let create ?(config = default_config) ?registry ~chip ~rng ~policy
     ~logical_capacity () =
   let registry =
-    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+    match registry with Some r -> r | None -> Telemetry.Registry.null
   in
   if config.gc_reserve_blocks < 2 then
     invalid_arg "Engine.create: gc_reserve_blocks must be >= 2";
+  if config.read_retries < 0 then
+    invalid_arg "Engine.create: read_retries must be >= 0";
+  if config.retry_rber_factor <= 0. || config.retry_rber_factor > 1. then
+    invalid_arg "Engine.create: retry_rber_factor must be in (0, 1]";
   let geometry = Flash.Chip.geometry chip in
   if logical_capacity <= 0 then invalid_arg "Engine.create: logical_capacity";
   let slots =
@@ -117,12 +144,24 @@ let create ?(config = default_config) ?registry ~chip ~rng ~policy
     padded = 0;
     reclaims = 0;
     in_gc = false;
+    read_retry_count = 0;
+    retry_success_count = 0;
+    crash_hook = None;
     tel = make_tel registry;
   }
 
 let chip t = t.chip
 let policy t = t.policy
 let logical_capacity t = t.logical_capacity
+let set_crash_hook t hook = t.crash_hook <- hook
+
+(* Crash-injection sites sit where a power cut would interleave with the
+   persistence protocol.  The hook may raise {!Power_loss}; every notified
+   point is chosen so that the non-volatile state (flash + OOB + trim
+   journal + NV write buffer) still covers all acknowledged writes, which
+   is exactly what [crash_rebuild] recovers from. *)
+let notify_crash t site =
+  match t.crash_hook with None -> () | Some f -> f site
 
 let flat_slot t ~block ~page ~slot =
   let g = geometry t in
@@ -241,6 +280,7 @@ let gc_once t =
   match victim with
   | None -> false
   | Some (block, kind) ->
+      notify_crash t Gc;
       t.gc_runs <- t.gc_runs + 1;
       Telemetry.Registry.Counter.incr t.tel.tel_gc_runs;
       if kind = `Wear_level then
@@ -341,8 +381,13 @@ let rec drain t ~force =
     | None -> Error `No_space
     | Some (block, page, slots) ->
         if force || Write_buffer.length t.buffer >= slots then begin
+          (* Notify *before* popping the buffer: a crash here loses
+             nothing, because unprogrammed entries are still in the
+             non-volatile buffer. *)
+          notify_crash t Before_program;
           program_page t ~block ~page ~slots
             (Write_buffer.pop t.buffer slots);
+          notify_crash t After_program;
           drain t ~force
         end
         else Ok ()
@@ -355,7 +400,9 @@ let write t ~logical ~payload =
   Write_buffer.put t.buffer ~logical ~payload;
   drain t ~force:false
 
-let flush t = drain t ~force:true
+let flush t =
+  notify_crash t Flush;
+  drain t ~force:true
 
 let read t ~logical =
   if logical < 0 || logical >= t.logical_capacity then
@@ -368,28 +415,55 @@ let read t ~logical =
           Telemetry.Registry.Counter.incr t.tel.tel_unmapped;
           Error `Unmapped
       | Some { Location.block; page; slot } ->
-          let rber = Flash.Chip.rber t.chip ~block ~page in
-          let fail = t.policy.Policy.read_fail_prob ~rber ~block ~page in
-          if Sim.Rng.chance t.rng fail then begin
-            Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
-            Error `Uncorrectable
-          end
-          else begin
-            let result =
-              match Flash.Chip.read_slot t.chip ~block ~page ~slot with
-              | Some payload -> Ok payload
-              | None -> assert false
+          (* Read-retry ladder: each rung re-senses with escalating effort
+             (adjusted read thresholds, soft-decision decoding), modeled
+             as the effective RBER shrinking by [retry_rber_factor] per
+             attempt.  Attempt 0 sees any pending transient fault; the
+             re-read consumes it, so later rungs sense the page clean.
+             [`Uncorrectable] only after the ladder is exhausted. *)
+          let rec attempt k =
+            let rber = Flash.Chip.rber t.chip ~block ~page in
+            let effective =
+              rber *. (t.config.retry_rber_factor ** float_of_int k)
             in
-            (* Read-reclaim: the read itself disturbed the page; if its
-               error rate has crept toward the code's limit, move the live
-               data somewhere younger before it becomes uncorrectable. *)
-            if t.policy.Policy.should_reclaim ~rber ~block ~page then begin
-              t.reclaims <- t.reclaims + 1;
-              Telemetry.Registry.Counter.incr t.tel.tel_reclaims;
-              relocate_page t ~block ~page
-            end;
-            result
-          end)
+            let fail =
+              t.policy.Policy.read_fail_prob ~rber:effective ~block ~page
+            in
+            let failed = Sim.Rng.chance t.rng fail in
+            if k = 0 then
+              ignore (Flash.Chip.take_transient t.chip ~block ~page);
+            if failed then
+              if k < t.config.read_retries then begin
+                t.read_retry_count <- t.read_retry_count + 1;
+                Telemetry.Registry.Counter.incr t.tel.tel_read_retries;
+                attempt (k + 1)
+              end
+              else begin
+                Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
+                Error `Uncorrectable
+              end
+            else begin
+              if k > 0 then begin
+                t.retry_success_count <- t.retry_success_count + 1;
+                Telemetry.Registry.Counter.incr t.tel.tel_retry_successes
+              end;
+              let result =
+                match Flash.Chip.read_slot t.chip ~block ~page ~slot with
+                | Some payload -> Ok payload
+                | None -> assert false
+              in
+              (* Read-reclaim: the read itself disturbed the page; if its
+                 error rate has crept toward the code's limit, move the live
+                 data somewhere younger before it becomes uncorrectable. *)
+              if t.policy.Policy.should_reclaim ~rber ~block ~page then begin
+                t.reclaims <- t.reclaims + 1;
+                Telemetry.Registry.Counter.incr t.tel.tel_reclaims;
+                relocate_page t ~block ~page
+              end;
+              result
+            end
+          in
+          attempt 0)
 
 let discard t ~logical =
   if logical < 0 || logical >= t.logical_capacity then
@@ -433,6 +507,8 @@ let relocated_opages t = t.relocated
 let gc_runs t = t.gc_runs
 let padded_slots t = t.padded
 let read_reclaims t = t.reclaims
+let read_retries t = t.read_retry_count
+let retry_successes t = t.retry_success_count
 
 let write_amplification t =
   if t.host_writes = 0 then nan

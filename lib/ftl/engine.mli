@@ -21,6 +21,13 @@ type config = {
   wear_level_gap : int;
       (** A sweep targets the coldest block only when its PEC lags the
           hottest by more than this. *)
+  read_retries : int;
+      (** Maximum re-read attempts after a failed read before declaring
+          [`Uncorrectable] (the retry ladder; 0 disables it). *)
+  retry_rber_factor : float;
+      (** Each retry rung senses at this fraction of the previous rung's
+          effective RBER, modeling escalating read-threshold tuning and
+          soft-decision decoding; in (0, 1]. *)
 }
 
 val default_config : config
@@ -34,8 +41,8 @@ val create :
   logical_capacity:int ->
   unit ->
   t
-(** Telemetry binds against [registry] (default: the deprecated process
-    default). *)
+(** Telemetry binds against [registry] (default:
+    {!Telemetry.Registry.null}, i.e. inert). *)
 
 val chip : t -> Flash.Chip.t
 val policy : t -> Policy.t
@@ -51,10 +58,14 @@ val write : t -> logical:int -> payload:int -> (unit, write_error) result
     that means death or a capacity reduction). *)
 
 val read : t -> logical:int -> (int, read_error) result
-(** Read a logical oPage: the buffer first, then flash.  [`Uncorrectable]
-    is sampled from the policy's failure probability at the page's current
-    RBER — rare below the retirement threshold, exactly the residual UBER
-    a real drive exhibits. *)
+(** Read a logical oPage: the buffer first, then flash.  A failed read is
+    retried up to [config.read_retries] times with the effective RBER
+    attenuated by [config.retry_rber_factor] per rung (the retry ladder
+    real controllers walk: threshold tuning, then soft-decision decode);
+    [`Uncorrectable] is returned only once the ladder is exhausted.
+    Failures are sampled from the policy's probability at each rung's
+    effective RBER — rare below the retirement threshold, exactly the
+    residual UBER a real drive exhibits. *)
 
 val discard : t -> logical:int -> unit
 (** Trim: drop any buffered copy and unmap the logical oPage. *)
@@ -105,6 +116,38 @@ val padded_slots : t -> int
 val read_reclaims : t -> int
 (** Pages whose live data was moved by read-reclaim (the scrub against
     read disturb and creeping wear). *)
+
+val read_retries : t -> int
+(** Re-read attempts made by the retry ladder (also exported as the
+    [ftl_read_retries_total] counter). *)
+
+val retry_successes : t -> int
+(** Reads that failed at least one rung but succeeded before the ladder
+    ran out. *)
+
+(** {2 Crash injection}
+
+    The fault-injection layer ([lib/faults]) arms a hook at the points
+    where a power cut would interleave with the persistence protocol.
+    Every site is placed so the non-volatile state (flash + OOB tags +
+    trim journal + NV write buffer) still covers all acknowledged
+    writes — so {!crash_rebuild} can always recover. *)
+
+type crash_site =
+  | Before_program  (** about to program an fPage (buffer not yet popped) *)
+  | After_program  (** an fPage program just completed *)
+  | Gc  (** a GC pass just picked its victim *)
+  | Flush  (** an explicit flush is starting *)
+
+exception Power_loss
+(** Raised by crash hooks to simulate the power cut.  After it escapes,
+    the engine value must be discarded and rebuilt with
+    {!crash_rebuild}. *)
+
+val set_crash_hook : t -> (crash_site -> unit) option -> unit
+(** Install (or clear) the crash hook.  The hook is called synchronously
+    at each {!crash_site}; raising {!Power_loss} from it simulates the
+    cut.  The hook survives {!crash_rebuild}. *)
 
 (** {2 Power-fail recovery}
 

@@ -147,17 +147,21 @@ val merge : into:t -> t -> unit
     The old implicit wiring: install a process-global registry, then
     build components.  Superseded by the explicit [?registry] argument
     on every component constructor; these shims remain for one release
-    so out-of-tree callers can migrate.  Constructors still fall back to
-    [default ()] when no registry is passed, which is {!null} unless a
-    caller used {!set_default}. *)
+    so out-of-tree callers can migrate.  No in-tree code consults the
+    global any more: every constructor falls back to {!null} when no
+    registry is passed, so {!set_default} no longer affects components
+    built without an explicit [?registry]. *)
 
 val default : unit -> t
 (** @deprecated Pass registries explicitly via [?registry]. *)
 
 val set_default : t -> unit
   [@@ocaml.deprecated
-    "Pass the registry explicitly to component constructors (?registry); \
-     this global will be removed in the next release."]
+    "Pass the registry explicitly to component constructors (?registry). \
+     Removal timeline: the last in-tree readers were dropped when the \
+     fault-injection layer landed (v0.3); the shim itself (set_default / \
+     default / with_default) is kept for one more release and will be \
+     deleted in v0.4."]
 
 val with_default : t -> (unit -> 'a) -> 'a
 (** Run a thunk with the default registry swapped, restoring on exit.

@@ -7,6 +7,7 @@ let () =
       ("ecc", Test_ecc.suite);
       ("flash", Test_flash.suite);
       ("ftl", Test_ftl.suite);
+      ("faults", Test_faults.suite);
       ("core", Test_core.suite);
       ("difs", Test_difs.suite);
       ("workload", Test_workload.suite);

@@ -392,6 +392,88 @@ let test_cluster_kill_two_of_five () =
       (Difs.Cluster.verify_chunk cluster id)
   done
 
+let test_cluster_kill_edge_semantics () =
+  (* Unknown ids and double kills are strict no-ops: no recovery runs,
+     only the ignored counter moves. *)
+  let cluster, _ = baseline_cluster ~devices:5 () in
+  for id = 0 to 7 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.kill_device cluster 99;
+  checki "unknown id ignored" 1 (Difs.Cluster.kill_ignored cluster);
+  checki "no recovery ran" 0 (Difs.Cluster.recovery_events cluster);
+  Difs.Cluster.kill_device cluster 1;
+  let events = Difs.Cluster.recovery_events cluster in
+  checkb "first kill recovered" true (events > 0);
+  Difs.Cluster.kill_device cluster 1;
+  checki "double kill ignored" 2 (Difs.Cluster.kill_ignored cluster);
+  checki "double kill ran no recovery" events
+    (Difs.Cluster.recovery_events cluster);
+  checkb "device stays killed" true (Difs.Cluster.is_device_killed cluster 1)
+
+(* --- Scrubbing ---------------------------------------------------------------- *)
+
+(* Flip a mask into every flash-resident page of [chip]: silent
+   corruption of data at rest, invisible to the read path's error model.
+   Free pages stay clean, so repair rewrites land on good media. *)
+let corrupt_resident_pages chip =
+  let g = Flash.Chip.geometry chip in
+  let corrupted = ref 0 in
+  for block = 0 to g.Flash.Geometry.blocks - 1 do
+    for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
+      if not (Flash.Chip.is_free chip ~block ~page) then begin
+        Flash.Chip.inject chip ~block ~page (Flash.Chip.Silent_corruption 0x3A);
+        incr corrupted
+      end
+    done
+  done;
+  !corrupted
+
+let test_cluster_scrub_repairs_silent_corruption () =
+  let cluster, devices = salamander_cluster ~model:gentle_model () in
+  for id = 0 to 7 do
+    write_ok cluster id
+  done;
+  let chip = Ftl.Engine.chip (Salamander.Device.engine (List.hd devices)) in
+  checkb "some pages corrupted" true (corrupt_resident_pages chip > 0);
+  let report = Difs.Cluster.scrub cluster in
+  checkb "mismatches found" true (report.Difs.Cluster.mismatches > 0);
+  checki "every mismatch repaired in place" report.Difs.Cluster.mismatches
+    report.Difs.Cluster.repairs;
+  checki "no shares dropped" 0 report.Difs.Cluster.unreadable_shares;
+  checki "no repair failures" 0 report.Difs.Cluster.repair_failures;
+  for id = 0 to 7 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done;
+  checkb "audit clean" true (Difs.Cluster.audit cluster = [])
+
+let test_cluster_scrub_limit_round_robin () =
+  (* A limited sweep resumes where the previous one stopped, so three
+     4-chunk sweeps cover all nine chunks and the corruption is gone. *)
+  let cluster, devices = salamander_cluster ~model:gentle_model () in
+  for id = 0 to 8 do
+    write_ok cluster id
+  done;
+  let chip = Ftl.Engine.chip (Salamander.Device.engine (List.hd devices)) in
+  ignore (corrupt_resident_pages chip);
+  let found = ref 0 in
+  for _sweep = 1 to 3 do
+    let r = Difs.Cluster.scrub ~limit:4 cluster in
+    checki "limit respected" 4 r.Difs.Cluster.chunks_scanned;
+    found := !found + r.Difs.Cluster.mismatches
+  done;
+  checki "three sweeps recorded" 3 (Difs.Cluster.scrub_sweeps cluster);
+  checkb "corruption found across sweeps" true (!found > 0);
+  for id = 0 to 8 do
+    checkb
+      (Printf.sprintf "chunk %d verifies" id)
+      true
+      (Difs.Cluster.verify_chunk cluster id)
+  done
+
 (* --- Erasure coding ---------------------------------------------------------- *)
 
 let ec_cluster ?(devices = 6) ?(seed = 70) () =
@@ -558,6 +640,11 @@ let suite =
      test_cluster_grace_avoids_degraded_window);
     ("cluster kill device injection", `Quick, test_cluster_kill_device_injection);
     ("cluster kill two of five", `Quick, test_cluster_kill_two_of_five);
+    ("cluster kill edge semantics", `Quick, test_cluster_kill_edge_semantics);
+    ("cluster scrub repairs silent corruption", `Quick,
+     test_cluster_scrub_repairs_silent_corruption);
+    ("cluster scrub limit round robin", `Quick,
+     test_cluster_scrub_limit_round_robin);
     ("ec write/read/verify", `Quick, test_ec_write_read_verify);
     ("ec survives one device death", `Quick, test_ec_survives_one_device_death);
     ("ec two deaths at quorum edge", `Quick,

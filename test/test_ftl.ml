@@ -550,6 +550,145 @@ let test_cvss_outlives_baseline () =
     (Printf.sprintf "cvss %d > baseline %d writes" cvss_life baseline_life)
     true (cvss_life > baseline_life)
 
+(* --- Read-retry ladder ---------------------------------------------------- *)
+
+let make_ladder_engine ?(config = Ftl.Engine.default_config) ~read_fail_prob
+    seed =
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model:gentle_model
+      ()
+  in
+  let policy =
+    { (Ftl.Policy.always_fresh ~opages_per_fpage:4) with
+      Ftl.Policy.read_fail_prob = read_fail_prob }
+  in
+  Ftl.Engine.create ~config ~chip
+    ~rng:(Sim.Rng.create (seed + 1))
+    ~policy ~logical_capacity:64 ()
+
+let test_retry_ladder_bounded () =
+  (* A permanently failing page walks exactly [read_retries] rungs, and
+     only then surfaces `Uncorrectable`. *)
+  List.iter
+    (fun retries ->
+      let config = { Ftl.Engine.default_config with read_retries = retries } in
+      let engine =
+        make_ladder_engine ~config
+          ~read_fail_prob:(fun ~rber:_ ~block:_ ~page:_ -> 1.)
+          80
+      in
+      (match Ftl.Engine.write engine ~logical:0 ~payload:1 with
+      | Ok () -> ()
+      | Error `No_space -> Alcotest.fail "no space");
+      ignore (Ftl.Engine.flush engine);
+      (match Ftl.Engine.read engine ~logical:0 with
+      | Error `Uncorrectable -> ()
+      | Ok _ -> Alcotest.fail "read should have failed"
+      | Error `Unmapped -> Alcotest.fail "mapping lost");
+      checki
+        (Printf.sprintf "exactly %d rungs walked" retries)
+        retries
+        (Ftl.Engine.read_retries engine);
+      checki "no phantom successes" 0 (Ftl.Engine.retry_successes engine))
+    [ 0; 3; 7 ]
+
+let test_retry_ladder_absorbs_transient () =
+  (* Fail only while the sensed RBER carries an injected transient spike:
+     rung 0 consumes the spike, so one retry recovers the payload. *)
+  let engine =
+    make_ladder_engine
+      ~read_fail_prob:(fun ~rber ~block:_ ~page:_ ->
+        if rber > 0.5 then 1. else 0.)
+      81
+  in
+  (match Ftl.Engine.write engine ~logical:7 ~payload:42 with
+  | Ok () -> ()
+  | Error `No_space -> Alcotest.fail "no space");
+  ignore (Ftl.Engine.flush engine);
+  let chip = Ftl.Engine.chip engine in
+  let g = Flash.Chip.geometry chip in
+  for block = 0 to g.Flash.Geometry.blocks - 1 do
+    for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
+      Flash.Chip.inject chip ~block ~page (Flash.Chip.Transient_rber 1.)
+    done
+  done;
+  (match Ftl.Engine.read engine ~logical:7 with
+  | Ok payload -> checki "payload recovered" 42 payload
+  | Error _ -> Alcotest.fail "ladder failed to absorb the spike");
+  checki "one retry" 1 (Ftl.Engine.read_retries engine);
+  checki "one rescue" 1 (Ftl.Engine.retry_successes engine)
+
+let test_retry_ladder_deterministic () =
+  let run () =
+    let engine =
+      make_ladder_engine
+        ~read_fail_prob:(fun ~rber:_ ~block:_ ~page:_ -> 0.3)
+        83
+    in
+    for logical = 0 to 49 do
+      ignore (Ftl.Engine.write engine ~logical ~payload:logical)
+    done;
+    ignore (Ftl.Engine.flush engine);
+    let results =
+      List.init 200 (fun i -> Ftl.Engine.read engine ~logical:(i mod 50))
+    in
+    (results, Ftl.Engine.read_retries engine,
+     Ftl.Engine.retry_successes engine)
+  in
+  let r1, n1, s1 = run () in
+  let r2, n2, s2 = run () in
+  checkb "same read outcomes" true (r1 = r2);
+  checki "same retry count" n1 n2;
+  checki "same rescue count" s1 s2;
+  checkb "ladder actually exercised" true (n1 > 0 && s1 > 0)
+
+(* --- Adversarial crash timing --------------------------------------------- *)
+
+let prop_crash_adversarial_timing =
+  QCheck.Test.make ~count:30
+    ~name:"crashes at every site never lose acked writes or resurrect trims"
+    QCheck.(
+      triple small_int (int_range 1 6)
+        (list (pair (int_range 0 49) (int_range 0 4))))
+    (fun (seed, crash_period, ops) ->
+      let engine = ref (make_engine ~seed:(seed + 300) ~logical:50 ()) in
+      (* Cut power at every [crash_period]-th crash site the engine
+         crosses (the hook survives crash_rebuild, so cuts keep coming
+         through recovery-heavy histories). *)
+      let sites = ref 0 in
+      Ftl.Engine.set_crash_hook !engine
+        (Some
+           (fun _site ->
+             incr sites;
+             if !sites mod crash_period = 0 then raise Ftl.Engine.Power_loss));
+      let acked = Hashtbl.create 32 in
+      let trimmed = Hashtbl.create 16 in
+      let rebuild () = engine := Ftl.Engine.crash_rebuild !engine in
+      List.iteri
+        (fun i (logical, op) ->
+          if op = 4 then begin
+            (try Ftl.Engine.discard !engine ~logical
+             with Ftl.Engine.Power_loss -> rebuild ());
+            Hashtbl.remove acked logical;
+            Hashtbl.replace trimmed logical ()
+          end
+          else
+            let payload = i + 1 in
+            match Ftl.Engine.write !engine ~logical ~payload with
+            | Ok () ->
+                Hashtbl.replace acked logical payload;
+                Hashtbl.remove trimmed logical;
+                (* also crash right on the ack boundary sometimes *)
+                if op = 3 then rebuild ()
+            | Error `No_space -> ()
+            | exception Ftl.Engine.Power_loss ->
+                rebuild ();
+                Faults.Verdict.reconcile_torn_write ~engine:!engine ~acked
+                  ~trimmed ~logical ~payload)
+        ops;
+      Faults.Verdict.all_ok
+        (Faults.Verdict.check_engine ~engine:!engine ~acked ~trimmed))
+
 let suite =
   let qc = QCheck_alcotest.to_alcotest in
   [
@@ -576,6 +715,11 @@ let suite =
      test_crash_rebuild_trim_then_rewrite);
     qc prop_crash_rebuild;
     qc prop_engine_read_your_writes;
+    ("retry ladder bounded", `Quick, test_retry_ladder_bounded);
+    ("retry ladder absorbs transient", `Quick,
+     test_retry_ladder_absorbs_transient);
+    ("retry ladder deterministic", `Quick, test_retry_ladder_deterministic);
+    qc prop_crash_adversarial_timing;
     ("baseline ages and bricks", `Slow, test_baseline_ages_and_bricks);
     ("baseline capacity until death", `Slow,
      test_baseline_capacity_constant_until_death);
