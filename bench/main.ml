@@ -325,12 +325,54 @@ let parallel_subjects () =
     subject "parallel/fleet_jobs4" (Some pool4);
   ]
 
+let monitor_subjects () =
+  (* ISSUE 4's overhead claim: what longitudinal sampling adds to a
+     fleet day.  [fleet_mon_off] is the null-monitor path (the branch
+     every instrumented loop takes when no monitor is attached);
+     [fleet_mon_every1] samples every epoch — the worst case.  The two
+     micro-subjects price one raw series sample and one full registry
+     sweep, the primitives the per-epoch cost is made of. *)
+  let fleet mon_every =
+    let monitor =
+      Option.map
+        (fun sample_every -> Monitor.Engine.create ~sample_every ())
+        mon_every
+    in
+    let ctx =
+      Experiments.Ctx.make ~registry:(Telemetry.Registry.create ()) ?monitor ()
+    in
+    ignore (Experiments.Fleet.run ~devices:2 ~days:4 ~seed:3 ~ctx `Regens)
+  in
+  let series = Monitor.Series.create () in
+  let t = ref 0. in
+  let sweep_reg = Telemetry.Registry.create () in
+  for i = 0 to 15 do
+    Telemetry.Registry.Gauge.set
+      (Telemetry.Registry.gauge sweep_reg (Printf.sprintf "g%d" i))
+      (float_of_int i)
+  done;
+  let sampler = Monitor.Sampler.create () in
+  [
+    Test.make ~name:"monitor/series_add"
+      (Staged.stage (fun () ->
+           t := !t +. 1.;
+           Monitor.Series.add series ~time:!t 42.));
+    Test.make ~name:"monitor/registry_sweep_16"
+      (Staged.stage (fun () ->
+           t := !t +. 1.;
+           Monitor.Sampler.sample sampler ~time:!t sweep_reg));
+    Test.make ~name:"monitor/fleet_mon_off"
+      (Staged.stage (fun () -> fleet None));
+    Test.make ~name:"monitor/fleet_mon_every1"
+      (Staged.stage (fun () -> fleet (Some 1)));
+  ]
+
 let run_micro () =
   let tests =
     bch_subjects () @ device_subjects () @ cluster_subjects ()
     @ service_subjects () @ disturb_subjects () @ fleet_subjects ()
     @ carbon_subjects () @ chaos_subjects () @ telemetry_subjects ()
-    @ parallel_subjects ()
+    @ monitor_subjects () @ parallel_subjects ()
   in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in

@@ -54,13 +54,18 @@ let render_snapshot format samples =
   | Jsonl -> Telemetry.Export.to_jsonl samples
 
 (* Build the registry [f]'s components bind their metric handles against:
-   a live one when a snapshot was requested, {!Telemetry.Registry.null}
+   a live one when a snapshot was requested (or when [force_live] — the
+   health monitor samples the registry, so it needs real metrics even if
+   no snapshot file was asked for), {!Telemetry.Registry.null}
    (collection compiled away) otherwise. *)
-let with_telemetry opts f =
+let with_telemetry ?(force_live = false) opts f =
   Telemetry.Trace.set_level (Telemetry.Trace.level_of_verbosity opts.verbosity);
   if opts.verbosity > 0 then Logs.set_reporter (Logs.format_reporter ());
   match opts.metrics with
-  | None -> f Telemetry.Registry.null
+  | None ->
+      f
+        (if force_live then Telemetry.Registry.create ()
+         else Telemetry.Registry.null)
   | Some path ->
       let reg = Telemetry.Registry.create () in
       let result = f reg in
@@ -72,6 +77,152 @@ let with_telemetry opts f =
          Printf.eprintf "salamander: cannot write metrics: %s\n" msg;
          exit 1);
       result
+
+(* --- health monitor options ------------------------------------------------- *)
+
+type mon_opts = {
+  sample_every : int option;
+  timeline : string option;
+  timeline_format : [ `Csv | `Jsonl ];
+  chrome_trace : string option;
+  health : bool;
+}
+
+let no_monitor =
+  {
+    sample_every = None;
+    timeline = None;
+    timeline_format = `Csv;
+    chrome_trace = None;
+    health = false;
+  }
+
+(* Any monitor flag turns the whole sampling path on; none leaves the
+   null-monitor fast path (no live registry, no sampling) untouched. *)
+let monitor_active m =
+  m.sample_every <> None || m.timeline <> None || m.chrome_trace <> None
+  || m.health
+
+let mon_opts_term =
+  let sample_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Sample device health every $(docv) epochs (fleet days, chaos \
+             steps, aging slices).  Implies monitoring; default interval 1.")
+  in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Write the sampled time series to $(docv) (\"-\" for stdout); \
+             byte-identical at any --jobs.")
+  in
+  let timeline_format =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("csv", `Csv); ("jsonl", `Jsonl) ]) `Csv
+      & info [ "timeline-format" ] ~docv:"FMT"
+          ~doc:"Timeline format: csv or jsonl.")
+  in
+  let chrome_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Record structured spans on the simulation clock and write a \
+             Chrome trace_event JSON to $(docv) (load via chrome://tracing \
+             or Perfetto).")
+  in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:"Print the SMART-style per-device health report after the run.")
+  in
+  let make sample_every timeline timeline_format chrome_trace health =
+    { sample_every; timeline; timeline_format; chrome_trace; health }
+  in
+  Term.(
+    const make $ sample_every $ timeline $ timeline_format $ chrome_trace
+    $ health)
+
+(* Built-in alert rules on the experiment calibration: device death,
+   wear past the rated target, and RBER approaching the default code's
+   tolerance.  The hysteresis bands keep a series that oscillates around
+   a threshold from spamming transitions. *)
+let default_rules () =
+  let tolerable =
+    (Ftl.Ecc_profile.of_geometry Experiments.Defaults.geometry)
+      .Ftl.Ecc_profile.tolerable_rber
+  in
+  let target = float_of_int Experiments.Defaults.target_pec in
+  [
+    Monitor.Alert.rule ~direction:Monitor.Alert.Below ~metric:"device_alive"
+      ~fire:0.5 ~resolve:0.5 "device-dead";
+    Monitor.Alert.rule ~metric:"flash_pec_max" ~fire:target
+      ~resolve:(0.9 *. target) "wear-past-target";
+    Monitor.Alert.rule ~metric:"flash_rber_worst" ~fire:(0.9 *. tolerable)
+      ~resolve:(0.7 *. tolerable) "rber-near-tolerable";
+  ]
+
+let write_artifact ~what ~path content =
+  try Telemetry.Export.write_file ~path content
+  with Sys_error msg ->
+    Printf.eprintf "salamander: cannot write %s: %s\n" what msg;
+    exit 1
+
+(* Build the monitor engine when any monitor flag is set, run [f] with
+   it, then write the requested artifacts and render the health report. *)
+let with_monitor mon f =
+  if not (monitor_active mon) then f None
+  else begin
+    let sink =
+      match mon.chrome_trace with
+      | Some _ -> Some (Telemetry.Trace.Sink.create ())
+      | None -> None
+    in
+    let engine =
+      Monitor.Engine.create ?sample_every:mon.sample_every
+        ~rules:(default_rules ()) ?sink ()
+    in
+    let result = f (Some engine) in
+    Option.iter
+      (fun path ->
+        let sampler = Monitor.Engine.sampler engine in
+        let content =
+          match mon.timeline_format with
+          | `Csv -> Monitor.Timeline.to_csv sampler
+          | `Jsonl -> Monitor.Timeline.to_jsonl sampler
+        in
+        write_artifact ~what:"timeline" ~path content)
+      mon.timeline;
+    Option.iter
+      (fun path ->
+        Option.iter
+          (fun sink ->
+            write_artifact ~what:"trace" ~path
+              (Monitor.Chrome_trace.to_string sink))
+          (Monitor.Engine.sink engine))
+      mon.chrome_trace;
+    if mon.health then begin
+      let thresholds =
+        {
+          Monitor.Health.default_thresholds with
+          Monitor.Health.target_pec =
+            float_of_int Experiments.Defaults.target_pec;
+        }
+      in
+      Monitor.Health.pp fmt
+        (Monitor.Health.assess ~thresholds (Monitor.Engine.sampler engine))
+    end;
+    result
+  end
 
 (* --- parallelism ------------------------------------------------------------ *)
 
@@ -93,13 +244,14 @@ let jobs_term =
    respects it): oversubscription only costs scheduling, and running the
    real multi-domain path everywhere is what the determinism guarantee
    is tested against. *)
-let with_context opts ~jobs f =
-  with_telemetry opts @@ fun registry ->
+let with_context ?(mon = no_monitor) opts ~jobs f =
+  with_monitor mon @@ fun monitor ->
+  with_telemetry ~force_live:(Option.is_some monitor) opts @@ fun registry ->
   let jobs = Stdlib.max 1 jobs in
-  if jobs = 1 then f (Experiments.Ctx.make ~registry ())
+  if jobs = 1 then f (Experiments.Ctx.make ~registry ?monitor ())
   else
     Parallel.Pool.with_pool ~domains:jobs (fun pool ->
-        f (Experiments.Ctx.make ~registry ~pool ()))
+        f (Experiments.Ctx.make ~registry ~pool ?monitor ()))
 
 (* --- experiments ----------------------------------------------------------- *)
 
@@ -162,8 +314,8 @@ let age_cmd =
       & info [ "utilization" ] ~docv:"FRACTION"
           ~doc:"Fraction of exported capacity kept live.")
   in
-  let run tel jobs kind seed utilization =
-    with_context tel ~jobs @@ fun ctx ->
+  let run tel jobs mon kind seed utilization =
+    with_context ~mon tel ~jobs @@ fun ctx ->
     let registry = ctx.Experiments.Ctx.registry in
     let device = Experiments.Defaults.make_device ~registry kind ~seed in
     let pattern =
@@ -175,11 +327,85 @@ let age_cmd =
                 *. float_of_int (Ftl.Device_intf.logical_capacity device))))
         ~read_fraction:0.05
     in
+    let max_writes = 50_000_000 in
+    let rng = Sim.Rng.create (seed + 1) in
     let outcome =
-      Telemetry.Trace.with_span ~registry "age" (fun () ->
-          Workload.Aging.run ~max_writes:50_000_000 ~utilization
-            ~rng:(Sim.Rng.create (seed + 1))
-            ~pattern ~device ())
+      match ctx.Experiments.Ctx.monitor with
+      | None ->
+          Telemetry.Trace.with_span ~registry "age" (fun () ->
+              Workload.Aging.run ~max_writes ~utilization ~rng ~pattern ~device
+                ())
+      | Some monitor ->
+          (* Same workload stream, cut into fixed write slices so the
+             monitor can sample the registry between them: one epoch =
+             [epoch_writes] accepted host writes. *)
+          let sink = Monitor.Engine.sink monitor in
+          let epoch_writes = 4096 in
+          let alive_g =
+            Telemetry.Registry.gauge registry
+              ~help:"1 while the device still accepts writes" "device_alive"
+          and cap_g =
+            Telemetry.Registry.gauge registry
+              ~help:"Current logical capacity in oPages"
+              "device_capacity_opages"
+          in
+          let sample epoch =
+            Telemetry.Registry.Gauge.set alive_g
+              (if Ftl.Device_intf.alive device then 1. else 0.);
+            Telemetry.Registry.Gauge.set cap_g
+              (float_of_int (Ftl.Device_intf.logical_capacity device));
+            Monitor.Engine.sample monitor ~time:(float_of_int epoch) registry
+          in
+          Telemetry.Trace.with_span ~registry ?sink "age" (fun () ->
+              sample 0;
+              let total =
+                ref
+                  {
+                    Workload.Aging.host_writes = 0;
+                    reads = 0;
+                    unmapped_reads = 0;
+                    uncorrectable_reads = 0;
+                    died = false;
+                  }
+              in
+              let epoch = ref 0 in
+              let finished = ref false in
+              while not !finished do
+                incr epoch;
+                let o =
+                  Telemetry.Trace.with_span ?sink
+                    ~args:[ ("epoch", string_of_int !epoch) ]
+                    "age:epoch"
+                    (fun () ->
+                      Workload.Aging.run_until ~utilization ~rng ~pattern
+                        ~device
+                        ~stop:(fun writes -> writes >= epoch_writes)
+                        ())
+                in
+                total :=
+                  {
+                    Workload.Aging.host_writes =
+                      !total.Workload.Aging.host_writes
+                      + o.Workload.Aging.host_writes;
+                    reads = !total.Workload.Aging.reads + o.Workload.Aging.reads;
+                    unmapped_reads =
+                      !total.Workload.Aging.unmapped_reads
+                      + o.Workload.Aging.unmapped_reads;
+                    uncorrectable_reads =
+                      !total.Workload.Aging.uncorrectable_reads
+                      + o.Workload.Aging.uncorrectable_reads;
+                    died =
+                      !total.Workload.Aging.died || o.Workload.Aging.died;
+                  };
+                if
+                  !total.Workload.Aging.died
+                  || o.Workload.Aging.host_writes = 0
+                  || !total.Workload.Aging.host_writes >= max_writes
+                then finished := true;
+                if Monitor.Engine.due monitor ~tick:!epoch || !finished then
+                  sample !epoch
+              done;
+              !total)
     in
     Experiments.Report.section fmt
       (Printf.sprintf "aging %s (seed %d)" (Ftl.Device_intf.label device) seed);
@@ -204,7 +430,9 @@ let age_cmd =
   in
   Cmd.v
     (Cmd.info "age" ~doc:"Age one device to death and report its endurance")
-    Term.(const run $ tel_opts_term $ jobs_term $ kind $ seed $ utilization)
+    Term.(
+      const run $ tel_opts_term $ jobs_term $ mon_opts_term $ kind $ seed
+      $ utilization)
 
 (* --- fleet ------------------------------------------------------------------ *)
 
@@ -218,14 +446,14 @@ let fleet_cmd =
       & opt int Experiments.Defaults.fleet_devices
       & info [ "devices" ] ~docv:"N" ~doc:"Fleet size.")
   in
-  let run tel jobs days devices =
-    with_context tel ~jobs (fun ctx ->
+  let run tel jobs mon days devices =
+    with_context ~mon tel ~jobs (fun ctx ->
         Experiments.Fig3ab.run ~days ~devices ~ctx fmt)
   in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Fleet aging: alive devices and capacity over time (Figs. 3a/3b)")
-    Term.(const run $ tel_opts_term $ jobs_term $ days $ devices)
+    Term.(const run $ tel_opts_term $ jobs_term $ mon_opts_term $ days $ devices)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -297,12 +525,12 @@ let chaos_cmd =
       value & opt int 1000
       & info [ "steps" ] ~docv:"N" ~doc:"Workload steps per cell.")
   in
-  let run tel jobs plan seed steps =
+  let run tel jobs mon plan seed steps =
     match Faults.Plan.parse plan with
     | Error msg -> `Error (false, msg)
     | Ok plan ->
         let ok =
-          with_context tel ~jobs (fun ctx ->
+          with_context ~mon tel ~jobs (fun ctx ->
               Telemetry.Trace.with_span
                 ~registry:ctx.Experiments.Ctx.registry "chaos" (fun () ->
                   Experiments.Chaos.run ~ctx ~plan ~seed ~steps fmt))
@@ -314,7 +542,56 @@ let chaos_cmd =
        ~doc:
          "Run a deterministic fault-injection campaign and check the \
           tolerance invariants (byte-identical at any --jobs)")
-    Term.(ret (const run $ tel_opts_term $ jobs_term $ plan $ seed $ steps))
+    Term.(
+      ret
+        (const run $ tel_opts_term $ jobs_term $ mon_opts_term $ plan $ seed
+        $ steps))
+
+(* --- monitor ----------------------------------------------------------------- *)
+
+let monitor_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv `Regens
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Device design: baseline, cvss, shrinks or regens.")
+  in
+  let devices =
+    Arg.(value & opt int 6 & info [ "devices" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let days =
+    Arg.(value & opt int 25 & info [ "days" ] ~docv:"DAYS" ~doc:"Scaled days.")
+  in
+  let dwpd =
+    Arg.(
+      value & opt float 2.
+      & info [ "dwpd" ] ~docv:"X" ~doc:"Drive writes per day per device.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Experiments.Defaults.fleet_seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run tel jobs mon kind devices days dwpd seed =
+    (* This command exists to monitor, so monitoring is always on: default
+       to a health report when no monitor flag picked an output. *)
+    let mon = if monitor_active mon then mon else { mon with health = true } in
+    with_context ~mon tel ~jobs (fun ctx ->
+        ignore
+          (Experiments.Monitor_run.run ~kind ~devices ~days ~dwpd ~seed ~ctx
+             fmt))
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Age a wear-heavy fleet under the longitudinal health monitor and \
+          report per-device health, alerts, timelines and traces \
+          (byte-identical at any --jobs)")
+    Term.(
+      const run $ tel_opts_term $ jobs_term $ mon_opts_term $ kind $ devices
+      $ days $ dwpd $ seed)
 
 (* --- levels ------------------------------------------------------------------ *)
 
@@ -419,5 +696,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ experiments_cmd; age_cmd; fleet_cmd; stats_cmd; chaos_cmd;
-            levels_cmd; carbon_cmd; tco_cmd ]))
+          [ experiments_cmd; age_cmd; fleet_cmd; monitor_cmd; stats_cmd;
+            chaos_cmd; levels_cmd; carbon_cmd; tco_cmd ]))

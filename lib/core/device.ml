@@ -169,6 +169,13 @@ let create ?(config = default_config) ?registry ~geometry ~model ~rng () =
   in
   let pending_check = ref false in
   let tel = make_tel tel_registry profile config.mode in
+  (* Health-monitor input: the deepest tiredness level's code sets the
+     RBER ceiling this device can ever correct past. *)
+  Telemetry.Registry.Gauge.set
+    (Telemetry.Registry.gauge tel_registry
+       ~help:"Highest RBER the device's strongest code corrects"
+       "device_tolerable_rber")
+    (Tiredness.info profile (Tiredness.max_level profile)).Tiredness.tolerable_rber;
   let policy =
     {
       Ftl.Policy.data_slots =

@@ -54,6 +54,7 @@ type tel = {
   tel_scrub_sweeps : Telemetry.Registry.Counter.t;
   tel_scrub_mismatches : Telemetry.Registry.Counter.t;
   tel_scrub_repairs : Telemetry.Registry.Counter.t;
+  tel_scrub_repair_failures : Telemetry.Registry.Counter.t;
 }
 
 let make_tel registry =
@@ -101,6 +102,9 @@ let make_tel registry =
     tel_scrub_repairs =
       counter "difs_scrub_repairs_total"
         "Scrub repairs (in-place rewrites + share rebuilds)";
+    tel_scrub_repair_failures =
+      counter "difs_scrub_repair_failures_total"
+        "Unreadable shares the scrubber could not rebuild";
   }
 
 type t = {
@@ -908,7 +912,10 @@ let scrub_chunk t chunk =
         t.scrub_repairs <- t.scrub_repairs + 1;
         Telemetry.Registry.Counter.incr t.tel.tel_scrub_repairs
       end
-      else incr failures)
+      else begin
+        incr failures;
+        Telemetry.Registry.Counter.incr t.tel.tel_scrub_repair_failures
+      end)
     (List.rev !dead);
   ( {
       chunks_scanned = 1;

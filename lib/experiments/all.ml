@@ -32,7 +32,7 @@ let run ?(ctx = Ctx.default) fmt =
         let buf = Buffer.create 4096 in
         let bfmt = Format.formatter_of_buffer buf in
         Format.fprintf bfmt "@.### experiment %s@." id;
-        runner { Ctx.registry = sub; pool = None } bfmt;
+        runner (Ctx.make ~registry:sub ()) bfmt;
         Format.pp_print_flush bfmt ();
         (Buffer.contents buf, sub))
       experiments

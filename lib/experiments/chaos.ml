@@ -15,11 +15,24 @@ let pp_injected fmt inj =
     (fun (cls, n) -> Format.fprintf fmt " %s=%d" cls n)
     (Faults.Injector.injected inj)
 
+(* Monitor plumbing shared by both arenas: one epoch = one injector
+   step.  Sampling is a no-op without a monitor. *)
+let sample_step mon registry step =
+  match mon with
+  | Some m when Monitor.Engine.due m ~tick:step ->
+      Monitor.Engine.sample m ~time:(float_of_int step) registry
+  | _ -> ()
+
+let sample_final mon registry steps =
+  Option.iter
+    (fun m -> Monitor.Engine.sample m ~time:(float_of_int steps) registry)
+    mon
+
 (* --- device arena -------------------------------------------------------- *)
 
 let device_geometry = Flash.Geometry.create ~pages_per_block:8 ~blocks:16 ()
 
-let run_device_arena ~registry ~plan ~seed ~steps fmt =
+let run_device_arena ~registry ?mon ~plan ~seed ~steps fmt =
   let root = Sim.Rng.create seed in
   let inj_rng = Sim.Rng.split root in
   let chip_rng = Sim.Rng.split root in
@@ -69,40 +82,47 @@ let run_device_arena ~registry ~plan ~seed ~steps fmt =
       incr crashes;
       engine := Ftl.Engine.crash_rebuild !engine
   in
-  for step = 0 to steps - 1 do
-    List.iter
-      (function
-        | Faults.Injector.Inject { block; page; fault } ->
-            Flash.Chip.inject chip ~block ~page fault
-        | Faults.Injector.Power_cut -> crash_armed := true
-        | Faults.Injector.Kill_device _ -> ())
-      (Faults.Injector.step inj ~geometry ~step);
-    let lba = Sim.Rng.int op_rng capacity in
-    match Sim.Rng.int op_rng 10 with
-    | 0 | 1 | 2 | 3 | 4 | 5 | 6 -> (
-        let payload = Sim.Rng.int op_rng 1_000_000 in
-        match Ftl.Engine.write !engine ~logical:lba ~payload with
-        | Ok () ->
-            Hashtbl.replace acked lba payload;
-            Hashtbl.remove trimmed lba
-        | Error `No_space -> ()
-        | exception Ftl.Engine.Power_loss ->
-            incr crashes;
-            engine := Ftl.Engine.crash_rebuild !engine;
-            (* The cut write was never acked: it may legally have landed
-               or vanished — read back and update the shadow to whichever
-               legal state the media is in. *)
-            Faults.Verdict.reconcile_torn_write ~engine:!engine ~acked
-              ~trimmed ~logical:lba ~payload)
-    | 7 | 8 -> ignore (Ftl.Engine.read !engine ~logical:lba)
-    | _ ->
-        Ftl.Engine.discard !engine ~logical:lba;
-        Hashtbl.remove acked lba;
-        Hashtbl.replace trimmed lba ()
-  done;
+  Telemetry.Trace.with_span
+    ?sink:(Option.bind mon Monitor.Engine.sink)
+    ~args:[ ("arena", "device"); ("seed", string_of_int seed) ]
+    "chaos:cell"
+    (fun () ->
+      for step = 0 to steps - 1 do
+        List.iter
+          (function
+            | Faults.Injector.Inject { block; page; fault } ->
+                Flash.Chip.inject chip ~block ~page fault
+            | Faults.Injector.Power_cut -> crash_armed := true
+            | Faults.Injector.Kill_device _ -> ())
+          (Faults.Injector.step inj ~geometry ~step);
+        let lba = Sim.Rng.int op_rng capacity in
+        (match Sim.Rng.int op_rng 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 | 6 -> (
+            let payload = Sim.Rng.int op_rng 1_000_000 in
+            match Ftl.Engine.write !engine ~logical:lba ~payload with
+            | Ok () ->
+                Hashtbl.replace acked lba payload;
+                Hashtbl.remove trimmed lba
+            | Error `No_space -> ()
+            | exception Ftl.Engine.Power_loss ->
+                incr crashes;
+                engine := Ftl.Engine.crash_rebuild !engine;
+                (* The cut write was never acked: it may legally have landed
+                   or vanished — read back and update the shadow to whichever
+                   legal state the media is in. *)
+                Faults.Verdict.reconcile_torn_write ~engine:!engine ~acked
+                  ~trimmed ~logical:lba ~payload)
+        | 7 | 8 -> ignore (Ftl.Engine.read !engine ~logical:lba)
+        | _ ->
+            Ftl.Engine.discard !engine ~logical:lba;
+            Hashtbl.remove acked lba;
+            Hashtbl.replace trimmed lba ());
+        sample_step mon registry step
+      done);
   (* Flush always crosses a crash site, so a cut armed on the last steps
      still lands before the verdict. *)
   with_crash (fun () -> ignore (Ftl.Engine.flush !engine));
+  sample_final mon registry steps;
   let verdict = Faults.Verdict.check_engine ~engine:!engine ~acked ~trimmed in
   Format.fprintf fmt "arena device seed=%d: steps=%d crashes=%d@." seed steps
     !crashes;
@@ -121,7 +141,7 @@ let run_device_arena ~registry ~plan ~seed ~steps fmt =
 
 let cluster_devices = 6
 
-let run_cluster_arena ~registry ~plan ~seed ~steps fmt =
+let run_cluster_arena ~registry ?mon ~plan ~seed ~steps fmt =
   let root = Sim.Rng.create seed in
   let inj_rng = Sim.Rng.split root in
   let op_rng = Sim.Rng.split root in
@@ -148,27 +168,34 @@ let run_cluster_arena ~registry ~plan ~seed ~steps fmt =
   for id = 0 to chunk_count - 1 do
     ignore (Difs.Cluster.write_chunk cluster id)
   done;
-  for step = 0 to steps - 1 do
-    (* Media faults land round-robin across the member chips; kills and
-       scheduled events come straight from the plan. *)
-    let chip = chips.(step mod cluster_devices) in
-    List.iter
-      (function
-        | Faults.Injector.Inject { block; page; fault } ->
-            Flash.Chip.inject chip ~block ~page fault
-        | Faults.Injector.Kill_device victim ->
-            Difs.Cluster.kill_device cluster (victim mod cluster_devices)
-        | Faults.Injector.Power_cut -> ())
-      (Faults.Injector.step inj ~geometry:(Flash.Chip.geometry chip) ~step);
-    let id = Sim.Rng.int op_rng chunk_count in
-    (match Sim.Rng.int op_rng 10 with
-    | 0 | 1 | 2 | 3 | 4 | 5 -> ignore (Difs.Cluster.write_chunk cluster id)
-    | 6 | 7 | 8 -> ignore (Difs.Cluster.read_chunk cluster id)
-    | _ -> Difs.Cluster.delete_chunk cluster id);
-    if (step + 1) mod 50 = 0 then ignore (Difs.Cluster.scrub cluster)
-  done;
+  Telemetry.Trace.with_span
+    ?sink:(Option.bind mon Monitor.Engine.sink)
+    ~args:[ ("arena", "cluster"); ("seed", string_of_int seed) ]
+    "chaos:cell"
+    (fun () ->
+      for step = 0 to steps - 1 do
+        (* Media faults land round-robin across the member chips; kills and
+           scheduled events come straight from the plan. *)
+        let chip = chips.(step mod cluster_devices) in
+        List.iter
+          (function
+            | Faults.Injector.Inject { block; page; fault } ->
+                Flash.Chip.inject chip ~block ~page fault
+            | Faults.Injector.Kill_device victim ->
+                Difs.Cluster.kill_device cluster (victim mod cluster_devices)
+            | Faults.Injector.Power_cut -> ())
+          (Faults.Injector.step inj ~geometry:(Flash.Chip.geometry chip) ~step);
+        let id = Sim.Rng.int op_rng chunk_count in
+        (match Sim.Rng.int op_rng 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 -> ignore (Difs.Cluster.write_chunk cluster id)
+        | 6 | 7 | 8 -> ignore (Difs.Cluster.read_chunk cluster id)
+        | _ -> Difs.Cluster.delete_chunk cluster id);
+        if (step + 1) mod 50 = 0 then ignore (Difs.Cluster.scrub cluster);
+        sample_step mon registry step
+      done);
   Difs.Cluster.repair cluster;
   ignore (Difs.Cluster.scrub cluster);
+  sample_final mon registry steps;
   let verdict = Faults.Verdict.check_cluster cluster in
   let health = Difs.Cluster.health cluster in
   Format.fprintf fmt "arena cluster seed=%d: steps=%d devices=%d/%d@." seed
@@ -208,24 +235,31 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
     Parallel.Pool.map_opt ctx.Ctx.pool
       (fun (arena, cell_seed) ->
         let sub = Ctx.sub_registry ctx in
+        let mon = Ctx.sub_monitor ctx in
         let buf = Buffer.create 2048 in
         let bfmt = Format.formatter_of_buffer buf in
+        let tag =
+          match arena with `Device -> "device" | `Cluster -> "cluster"
+        in
         let ok =
           match arena with
           | `Device ->
-              run_device_arena ~registry:sub ~plan ~seed:cell_seed ~steps bfmt
+              run_device_arena ~registry:sub ?mon ~plan ~seed:cell_seed ~steps
+                bfmt
           | `Cluster ->
-              run_cluster_arena ~registry:sub ~plan ~seed:cell_seed ~steps bfmt
+              run_cluster_arena ~registry:sub ?mon ~plan ~seed:cell_seed
+                ~steps bfmt
         in
         Format.pp_print_flush bfmt ();
-        (Buffer.contents buf, ok, sub))
+        (Buffer.contents buf, ok, sub, mon, Printf.sprintf "%s-%d" tag cell_seed))
       cells
   in
   List.iter
-    (fun (text, _, sub) ->
+    (fun (text, _, sub, mon, cell_tag) ->
       Format.pp_print_string fmt text;
-      Ctx.absorb ctx sub)
+      Ctx.absorb ctx sub;
+      Ctx.absorb_monitor ctx ~labels:[ ("device", cell_tag) ] mon)
     rendered;
-  let all = List.for_all (fun (_, ok, _) -> ok) rendered in
+  let all = List.for_all (fun (_, ok, _, _, _) -> ok) rendered in
   Format.fprintf fmt "chaos verdict: %s@." (if all then "PASS" else "FAIL");
   all

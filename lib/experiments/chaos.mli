@@ -30,4 +30,9 @@ val run :
   Format.formatter ->
   bool
 (** Defaults: the [default] plan preset, seed 42, 1000 steps per cell.
-    Returns whether every verdict passed. *)
+    Returns whether every verdict passed.
+
+    With a monitor on [ctx], each cell samples its scratch registry at
+    the monitor's epoch interval (one epoch = one injector step, plus a
+    final post-repair sample), wraps its step loop in a [chaos:cell]
+    span, and merges back under a [device=<arena>-<seed>] label. *)

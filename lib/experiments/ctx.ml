@@ -1,11 +1,27 @@
-type t = { registry : Telemetry.Registry.t; pool : Parallel.Pool.t option }
+type t = {
+  registry : Telemetry.Registry.t;
+  pool : Parallel.Pool.t option;
+  monitor : Monitor.Engine.t option;
+}
 
-let default = { registry = Telemetry.Registry.null; pool = None }
-let make ?(registry = Telemetry.Registry.null) ?pool () = { registry; pool }
+let default = { registry = Telemetry.Registry.null; pool = None; monitor = None }
+
+let make ?(registry = Telemetry.Registry.null) ?pool ?monitor () =
+  { registry; pool; monitor }
+
 let sequential ctx = { ctx with pool = None }
 
 let sub_registry ctx =
-  if Telemetry.Registry.is_null ctx.registry then Telemetry.Registry.null
+  (* A monitor samples the task's scratch registry, so it forces live
+     sub-registries even when the context registry itself is null. *)
+  if Telemetry.Registry.is_null ctx.registry && Option.is_none ctx.monitor then
+    Telemetry.Registry.null
   else Telemetry.Registry.create ()
 
 let absorb ctx sub = Telemetry.Registry.merge ~into:ctx.registry sub
+let sub_monitor ctx = Option.map Monitor.Engine.sub ctx.monitor
+
+let absorb_monitor ctx ?labels sub =
+  match (ctx.monitor, sub) with
+  | Some into, Some sub -> Monitor.Engine.absorb ~into ?labels sub
+  | _ -> ()

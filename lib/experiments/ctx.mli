@@ -14,12 +14,20 @@ type t = {
       (** Run independent units of work (fleet devices, whole experiments)
           on this pool; [None] means run sequentially on the caller's
           domain.  Output is byte-identical either way. *)
+  monitor : Monitor.Engine.t option;
+      (** Longitudinal health monitor sampling the registry over simulated
+          time; [None] (the default) keeps the whole sampling path off. *)
 }
 
 val default : t
-(** Null registry, no pool. *)
+(** Null registry, no pool, no monitor. *)
 
-val make : ?registry:Telemetry.Registry.t -> ?pool:Parallel.Pool.t -> unit -> t
+val make :
+  ?registry:Telemetry.Registry.t ->
+  ?pool:Parallel.Pool.t ->
+  ?monitor:Monitor.Engine.t ->
+  unit ->
+  t
 
 val sequential : t -> t
 (** Same context with the pool stripped.  Dispatchers hand this to the
@@ -27,12 +35,27 @@ val sequential : t -> t
     into it (see {!Parallel.Pool}). *)
 
 val sub_registry : t -> Telemetry.Registry.t
-(** A scratch registry for one parallel task: null when the context's
-    registry is null (so inactive telemetry stays free), otherwise a
-    fresh live registry the task's components bind against.  Merge it
-    back with {!absorb} {e in submission order} to keep metric output
-    independent of execution interleaving. *)
+(** A scratch registry for one parallel task: null when both the
+    context's registry is null and no monitor is attached (so inactive
+    telemetry stays free), otherwise a fresh live registry the task's
+    components bind against — a monitor needs live metrics to sample
+    even when the caller never exports them.  Merge it back with
+    {!absorb} {e in submission order} to keep metric output independent
+    of execution interleaving. *)
 
 val absorb : t -> Telemetry.Registry.t -> unit
 (** [absorb ctx sub] merges a task's scratch registry into the context
     registry ({!Telemetry.Registry.merge}); no-op when either is null. *)
+
+val sub_monitor : t -> Monitor.Engine.t option
+(** A scratch monitor engine for one parallel task ({!Monitor.Engine.sub}):
+    same cadence/rules as the context's monitor, fresh state.  [None] when
+    the context carries no monitor.  Like {!sub_registry}, the task samples
+    into it privately; merge back with {!absorb_monitor} in submission
+    order so timelines are independent of execution interleaving. *)
+
+val absorb_monitor : t -> ?labels:(string * string) list -> Monitor.Engine.t option -> unit
+(** Merge a task's scratch monitor into the context monitor
+    ({!Monitor.Engine.absorb}), prefixing every series/alert key with
+    [labels] (e.g. [("device", "cvss-3")]).  No-op when either side is
+    [None]. *)

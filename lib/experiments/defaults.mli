@@ -35,8 +35,8 @@ val make_device :
   seed:int ->
   Ftl.Device_intf.packed
 (** A fresh device of each competing design on the shared scale, its
-    telemetry bound to [registry] (default: the deprecated process
-    default). *)
+    telemetry bound to [registry] (default: the null registry, i.e.
+    telemetry off). *)
 
 val make_device_rng :
   ?registry:Telemetry.Registry.t ->

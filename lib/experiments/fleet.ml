@@ -17,23 +17,40 @@ type result = {
    a pure function of (seed, device index) — identical whether the tasks
    run sequentially or on a pool, in any interleaving. *)
 type device_streams = {
+  index : int;
   dev_rng : Sim.Rng.t;
   wl_rng : Sim.Rng.t;
   afr_rng : Sim.Rng.t;
   sub : Telemetry.Registry.t;
+  mon : Monitor.Engine.t option;
 }
 
 type device_outcome = {
+  out_index : int;
   per_day : (bool * int) array; (* (alive, capacity) for day 0 .. days *)
   host_writes : int;
   wear_dead : bool;
   afr_dead : bool;
   out_sub : Telemetry.Registry.t;
+  out_mon : Monitor.Engine.t option;
 }
 
 let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
   let device =
     Defaults.make_device_rng ~registry:streams.sub kind ~rng:streams.dev_rng
+  in
+  let sink = Option.bind streams.mon Monitor.Engine.sink in
+  (* Liveness/capacity gauges exist only for the monitor: they feed the
+     health model's alive and capacity series. *)
+  let liveness =
+    Option.map
+      (fun _ ->
+        ( Telemetry.Registry.gauge streams.sub
+            ~help:"1 while the device still accepts writes" "device_alive",
+          Telemetry.Registry.gauge streams.sub
+            ~help:"Current logical capacity in oPages"
+            "device_capacity_opages" ))
+      streams.mon
   in
   let pattern =
     Workload.Pattern.uniform
@@ -51,32 +68,58 @@ let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
   let capacity () =
     if alive () then Ftl.Device_intf.logical_capacity device else 0
   in
+  let sample day =
+    match streams.mon with
+    | Some mon when Monitor.Engine.due mon ~tick:day || day = 0 || day = days
+      ->
+        Option.iter
+          (fun (alive_g, cap_g) ->
+            Telemetry.Registry.Gauge.set alive_g (if alive () then 1. else 0.);
+            Telemetry.Registry.Gauge.set cap_g (float_of_int (capacity ())))
+          liveness;
+        Monitor.Engine.sample mon ~time:(float_of_int day) streams.sub
+    | _ -> ()
+  in
   let per_day = Array.make (days + 1) (false, 0) in
   per_day.(0) <- (alive (), capacity ());
-  for day = 1 to days do
-    if alive () then begin
-      (* Random, non-wear failure (controller, DRAM, firmware): the
-         ~1%-AFR class of failures the field studies report. *)
-      if Sim.Rng.chance streams.afr_rng afr_per_day then afr_dead := true
-      else begin
-        let quota = int_of_float (dwpd *. float_of_int (capacity ())) in
-        let outcome =
-          Workload.Aging.run_until ~rng:streams.wl_rng ~pattern ~device
-            ~stop:(fun writes -> writes >= quota)
-            ()
-        in
-        host_writes := !host_writes + outcome.Workload.Aging.host_writes;
-        if outcome.Workload.Aging.died then wear_dead := true
-      end
-    end;
-    per_day.(day) <- (alive (), capacity ())
-  done;
+  sample 0;
+  Telemetry.Trace.with_span ?sink
+    ~args:[ ("device", string_of_int streams.index) ]
+    "fleet:device"
+    (fun () ->
+      for day = 1 to days do
+        if alive () then
+          Telemetry.Trace.with_span ?sink
+            ~args:[ ("day", string_of_int day) ]
+            "fleet:day"
+            (fun () ->
+              (* Random, non-wear failure (controller, DRAM, firmware): the
+                 ~1%-AFR class of failures the field studies report. *)
+              if Sim.Rng.chance streams.afr_rng afr_per_day then
+                afr_dead := true
+              else begin
+                let quota =
+                  int_of_float (dwpd *. float_of_int (capacity ()))
+                in
+                let outcome =
+                  Workload.Aging.run_until ~rng:streams.wl_rng ~pattern ~device
+                    ~stop:(fun writes -> writes >= quota)
+                    ()
+                in
+                host_writes := !host_writes + outcome.Workload.Aging.host_writes;
+                if outcome.Workload.Aging.died then wear_dead := true
+              end);
+        per_day.(day) <- (alive (), capacity ());
+        sample day
+      done);
   {
+    out_index = streams.index;
     per_day;
     host_writes = !host_writes;
     wear_dead = !wear_dead;
     afr_dead = !afr_dead;
     out_sub = streams.sub;
+    out_mon = streams.mon;
   }
 
 let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
@@ -84,12 +127,19 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
     kind =
   let root = Sim.Rng.create seed in
   let streams =
-    List.init devices (fun _ ->
+    List.init devices (fun index ->
         (* split order matters: three streams per device, device-major *)
         let dev_rng = Sim.Rng.split root in
         let wl_rng = Sim.Rng.split root in
         let afr_rng = Sim.Rng.split root in
-        { dev_rng; wl_rng; afr_rng; sub = Ctx.sub_registry ctx })
+        {
+          index;
+          dev_rng;
+          wl_rng;
+          afr_rng;
+          sub = Ctx.sub_registry ctx;
+          mon = Ctx.sub_monitor ctx;
+        })
   in
   let outcomes =
     Parallel.Pool.map_opt ctx.Ctx.pool
@@ -97,9 +147,17 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
       streams
   in
   (* Reduce in submission order: sums are order-insensitive, the registry
-     merge is not (gauges keep the last write), so both stay deterministic
-     at any job count. *)
-  List.iter (fun o -> Ctx.absorb ctx o.out_sub) outcomes;
+     and monitor merges are not (gauges keep the last write, spans splice
+     where they land), so everything stays deterministic at any job
+     count. *)
+  let kind_tag = Defaults.kind_label kind in
+  List.iter
+    (fun o ->
+      Ctx.absorb ctx o.out_sub;
+      Ctx.absorb_monitor ctx
+        ~labels:[ ("device", Printf.sprintf "%s-%d" kind_tag o.out_index) ]
+        o.out_mon)
+    outcomes;
   let snapshots =
     List.init (days + 1) (fun day ->
         let alive = ref 0 and capacity = ref 0 in

@@ -43,4 +43,11 @@ val run :
     split off the root seed in submission order, so for a fixed [seed]
     the result — and any telemetry merged into [ctx]'s registry — is
     identical whether [ctx] carries a pool or not, at any domain count.
-    With [ctx.pool] set, devices age in parallel. *)
+    With [ctx.pool] set, devices age in parallel.
+
+    When [ctx] carries a monitor, each device samples its scratch
+    registry into a {!Ctx.sub_monitor} engine at the monitor's epoch
+    interval (plus day 0 and the final day) with time = the simulated
+    day, wraps its life in a [fleet:device] span with per-day [fleet:day]
+    child spans, and is merged back under a [device=<kind>-<i>] label —
+    still byte-identical at any job count. *)

@@ -1,0 +1,60 @@
+type result = {
+  fleet : Fleet.result;
+  samples : int;
+  series : int;
+  transitions : int;
+}
+
+let run ?(kind = `Regens) ?(devices = 6) ?(days = 25) ?(dwpd = 2.)
+    ?(afr_per_day = 0.0011) ?(seed = Defaults.fleet_seed) ?(ctx = Ctx.default)
+    fmt =
+  Report.section fmt "monitor: longitudinal fleet health";
+  Report.note fmt
+    (Printf.sprintf
+       "%d %s devices written at %.1f DWPD for %d scaled days — a \
+        wear-heavy deployment whose health the monitor watches decay."
+       devices (Defaults.kind_label kind) dwpd days);
+  let fleet = Fleet.run ~devices ~days ~dwpd ~afr_per_day ~seed ~ctx kind in
+  let final = List.nth fleet.Fleet.snapshots days in
+  Report.table fmt
+    ~header:
+      [ "devices"; "survivors"; "wear deaths"; "afr deaths"; "host writes" ]
+    ~rows:
+      [
+        [
+          string_of_int fleet.Fleet.devices;
+          string_of_int final.Fleet.alive;
+          string_of_int fleet.Fleet.wear_deaths;
+          string_of_int fleet.Fleet.afr_deaths;
+          string_of_int fleet.Fleet.total_host_writes;
+        ];
+      ];
+  let samples, series, transitions =
+    match ctx.Ctx.monitor with
+    | None ->
+        Report.note fmt
+          "no monitor attached — pass --sample-every/--health/--timeline to \
+           collect the longitudinal series";
+        (0, 0, 0)
+    | Some mon ->
+        let sampler = Monitor.Engine.sampler mon in
+        let log = Monitor.Engine.alert_log mon in
+        Report.table fmt
+          ~header:[ "samples"; "series"; "alert transitions" ]
+          ~rows:
+            [
+              [
+                string_of_int (Monitor.Engine.samples mon);
+                string_of_int (List.length (Monitor.Sampler.series sampler));
+                string_of_int (List.length log);
+              ];
+            ];
+        if log <> [] then begin
+          Report.note fmt "alert transitions (simulated days):";
+          Monitor.Alert.pp fmt log
+        end;
+        ( Monitor.Engine.samples mon,
+          List.length (Monitor.Sampler.series sampler),
+          List.length log )
+  in
+  { fleet; samples; series; transitions }

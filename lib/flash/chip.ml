@@ -36,6 +36,14 @@ type tel = {
   tel_faults_transient : Telemetry.Registry.Counter.t;
   tel_faults_sticky : Telemetry.Registry.Counter.t;
   tel_faults_silent : Telemetry.Registry.Counter.t;
+  (* Wear/health gauges, refreshed on erase (the only operation that
+     moves them): the longitudinal signals the health monitor grades
+     devices by.  All three are monotone over a chip's life — P/E
+     counts only grow, so their max and min only grow, and the worst
+     post-erase RBER is kept as a running max. *)
+  tel_pec_max : Telemetry.Registry.Gauge.t;
+  tel_pec_min : Telemetry.Registry.Gauge.t;
+  tel_rber_worst : Telemetry.Registry.Gauge.t;
 }
 
 let make_tel registry =
@@ -64,6 +72,16 @@ let make_tel registry =
     tel_faults_transient = fault_counter "transient";
     tel_faults_sticky = fault_counter "sticky";
     tel_faults_silent = fault_counter "silent";
+    tel_pec_max =
+      Telemetry.Registry.gauge registry
+        ~help:"Highest per-block P/E cycle count" "flash_pec_max";
+    tel_pec_min =
+      Telemetry.Registry.gauge registry
+        ~help:"Lowest per-block P/E cycle count" "flash_pec_min";
+    tel_rber_worst =
+      Telemetry.Registry.gauge registry
+        ~help:"Worst post-erase page RBER seen so far (running max)"
+        "flash_rber_worst";
   }
 
 type t = {
@@ -214,7 +232,31 @@ let erase t ~block =
   Telemetry.Registry.Counter.incr t.tel.tel_erases;
   if Telemetry.Registry.Histogram.is_active t.tel.tel_erase_us then
     Telemetry.Registry.Histogram.observe t.tel.tel_erase_us
-      (Latency.erase_us Latency.default)
+      (Latency.erase_us Latency.default);
+  if Telemetry.Registry.Gauge.is_active t.tel.tel_pec_max then begin
+    Telemetry.Registry.Gauge.set t.tel.tel_pec_max
+      (Float.max
+         (Telemetry.Registry.Gauge.value t.tel.tel_pec_max)
+         (float_of_int b.pec));
+    Telemetry.Registry.Gauge.set t.tel.tel_pec_min
+      (float_of_int
+         (Array.fold_left
+            (fun m (blk : block_state) -> Stdlib.min m blk.pec)
+            max_int t.blocks));
+    (* Post-erase RBER of the freshly worn block: pure wear, no read
+       disturb, no injected faults (erase just cleared both). *)
+    let block_worst =
+      Array.fold_left
+        (fun worst (p : page) ->
+          Float.max worst
+            (Rber_model.rber t.model ~pec:b.pec ~strength:p.strength))
+        0. b.pages
+    in
+    Telemetry.Registry.Gauge.set t.tel.tel_rber_worst
+      (Float.max
+         (Telemetry.Registry.Gauge.value t.tel.tel_rber_worst)
+         block_worst)
+  end
 
 let pec t ~block = (get_block t block).pec
 

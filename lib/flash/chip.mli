@@ -32,7 +32,12 @@ val create :
   t
 (** Per-page strengths are drawn from [rng] at creation; telemetry
     handles bind against [registry] (default: {!Telemetry.Registry.null},
-    i.e. inert). *)
+    i.e. inert).  Besides the op counters and modeled-latency
+    histograms, a live registry carries the wear gauges the health
+    monitor samples: [flash_pec_max] / [flash_pec_min] (highest and
+    lowest per-block P/E count) and [flash_rber_worst] (running max of
+    post-erase page RBER) — all refreshed on erase and monotone over
+    the chip's life. *)
 
 val geometry : t -> Geometry.t
 val model : t -> Rber_model.t

@@ -44,6 +44,16 @@ let create ?(config = default_config) ?ecc ?registry ~geometry ~model ~rng () =
     Engine.create ?registry ~chip ~rng:(Sim.Rng.split rng) ~policy
       ~logical_capacity:capacity ()
   in
+  (* Health-monitor input: the correction ceiling this design can ever
+     bring to bear (one fixed code — no deeper levels to fall back to). *)
+  (match registry with
+  | Some registry ->
+      Telemetry.Registry.Gauge.set
+        (Telemetry.Registry.gauge registry
+           ~help:"Highest RBER the device's strongest code corrects"
+           "device_tolerable_rber")
+        ecc.Ecc_profile.tolerable_rber
+  | None -> ());
   let t =
     { config; ecc; geometry; engine; block_bad; bad_blocks = 0; dead = false;
       capacity }

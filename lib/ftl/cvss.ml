@@ -47,6 +47,16 @@ let create ?(config = default_config) ?ecc ?registry ~geometry ~model ~rng () =
     Engine.create ?registry ~chip ~rng:(Sim.Rng.split rng) ~policy
       ~logical_capacity:initial_capacity ()
   in
+  (* Health-monitor input: CVSS shrinks capacity but never changes the
+     code, so its correction ceiling is the level-0 tolerance. *)
+  (match registry with
+  | Some registry ->
+      Telemetry.Registry.Gauge.set
+        (Telemetry.Registry.gauge registry
+           ~help:"Highest RBER the device's strongest code corrects"
+           "device_tolerable_rber")
+        ecc.Ecc_profile.tolerable_rber
+  | None -> ());
   let t =
     {
       config;

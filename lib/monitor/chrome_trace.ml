@@ -1,0 +1,44 @@
+let esc = Telemetry.Export.json_escape
+
+let args_json pairs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v))
+         pairs)
+  ^ "}"
+
+let to_string sink =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string buffer ",\n ";
+    Buffer.add_string buffer s
+  in
+  List.iter
+    (fun (s : Telemetry.Trace.Sink.span) ->
+      let args =
+        s.args
+        @ [ ("id", string_of_int s.id) ]
+        @
+        match s.parent with
+        | None -> []
+        | Some p -> [ ("parent", string_of_int p) ]
+      in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":0,\"args\":%s}"
+           (esc s.name) s.start
+           (s.finish - s.start)
+           (args_json args)))
+    (Telemetry.Trace.Sink.spans sink);
+  List.iter
+    (fun (ts, name, fields) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":%s}"
+           (esc name) ts (args_json fields)))
+    (Telemetry.Trace.Sink.instants sink);
+  Buffer.add_string buffer "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buffer

@@ -1,0 +1,9 @@
+(** Chrome [trace_event] export of a structured span sink.
+
+    Produces a JSON object loadable in [chrome://tracing] or Perfetto:
+    complete events (["ph":"X"]) for spans and instant events
+    (["ph":"i"]) for recorded instants, with the sink's logical ticks
+    as microsecond timestamps — the trace is a deterministic function
+    of the traced operations, never of wall time. *)
+
+val to_string : Telemetry.Trace.Sink.t -> string

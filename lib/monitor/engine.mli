@@ -1,0 +1,49 @@
+(** The longitudinal monitor: sampler + alert rules + optional span
+    sink behind one handle the execution context carries.
+
+    An engine is single-domain.  Parallel drivers give each task a
+    {!sub} engine (fresh state, same configuration) and {!absorb} the
+    subs back {e in submission order} with identifying labels; the
+    merged engine then renders timelines, health reports and traces
+    that are byte-identical at any job count. *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?sample_every:int ->
+  ?rules:Alert.rule list ->
+  ?sink:Telemetry.Trace.Sink.t ->
+  unit ->
+  t
+(** [capacity] bounds each time series (default 256 points);
+    [sample_every] is the epoch interval {!due} implements (default 1:
+    every epoch).  @raise Invalid_argument when [sample_every < 1]. *)
+
+val sample_every : t -> int
+
+val due : t -> tick:int -> bool
+(** Whether epoch [tick] is a sampling epoch
+    ([tick mod sample_every = 0]). *)
+
+val sample : t -> time:float -> Telemetry.Registry.t -> unit
+(** Snapshot the registry into the time series, then evaluate the
+    alert rules; fresh alert transitions are also recorded as instant
+    events in the sink when one is attached. *)
+
+val samples : t -> int
+(** {!sample} calls so far (absorbed subs included). *)
+
+val sampler : t -> Sampler.t
+val alert_log : t -> Alert.transition list
+val sink : t -> Telemetry.Trace.Sink.t option
+
+val sub : t -> t
+(** A fresh engine with the same configuration (capacity, interval,
+    rules; a fresh sink iff the parent has one) and empty state — what
+    one parallel task samples into. *)
+
+val absorb : into:t -> ?labels:(string * string) list -> t -> unit
+(** Merge a sub-engine back: series and alert transitions gain
+    [labels] (e.g. [device=regens-3]); the sub's spans are spliced
+    under [into]'s currently open span.  Call in submission order. *)

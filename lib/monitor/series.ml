@@ -1,0 +1,102 @@
+type point = {
+  t0 : float;
+  t1 : float;
+  last : float;
+  mean : float;
+  vmin : float;
+  vmax : float;
+  n : int;
+}
+
+type t = {
+  capacity : int;
+  data : point array;
+  mutable len : int;
+  mutable stride : int;
+  mutable pending : point option;
+  mutable pending_n : int;
+}
+
+let point_of ~time v =
+  { t0 = time; t1 = time; last = v; mean = v; vmin = v; vmax = v; n = 1 }
+
+let combine a b =
+  {
+    t0 = a.t0;
+    t1 = b.t1;
+    last = b.last;
+    mean =
+      ((a.mean *. float_of_int a.n) +. (b.mean *. float_of_int b.n))
+      /. float_of_int (a.n + b.n);
+    vmin = Float.min a.vmin b.vmin;
+    vmax = Float.max a.vmax b.vmax;
+    n = a.n + b.n;
+  }
+
+let create ?(capacity = 256) () =
+  if capacity < 2 then invalid_arg "Series.create: capacity < 2";
+  let capacity = if capacity land 1 = 1 then capacity + 1 else capacity in
+  {
+    capacity;
+    data = Array.make capacity (point_of ~time:0. 0.);
+    len = 0;
+    stride = 1;
+    pending = None;
+    pending_n = 0;
+  }
+
+let compact t =
+  let half = t.len / 2 in
+  for i = 0 to half - 1 do
+    t.data.(i) <- combine t.data.(2 * i) t.data.((2 * i) + 1)
+  done;
+  t.len <- half;
+  t.stride <- t.stride * 2
+
+let commit t p =
+  t.data.(t.len) <- p;
+  t.len <- t.len + 1;
+  if t.len = t.capacity then compact t
+
+let flush_pending t =
+  match t.pending with
+  | None -> ()
+  | Some p ->
+      t.pending <- None;
+      t.pending_n <- 0;
+      commit t p
+
+let append_point t p =
+  flush_pending t;
+  commit t p
+
+let add t ~time v =
+  let p1 = point_of ~time v in
+  (match t.pending with
+  | None ->
+      t.pending <- Some p1;
+      t.pending_n <- 1
+  | Some p ->
+      t.pending <- Some (combine p p1);
+      t.pending_n <- t.pending_n + 1);
+  if t.pending_n >= t.stride then flush_pending t
+
+let points t =
+  let committed = Array.to_list (Array.sub t.data 0 t.len) in
+  match t.pending with None -> committed | Some p -> committed @ [ p ]
+
+let length t = t.len + (match t.pending with None -> 0 | Some _ -> 1)
+
+let total t =
+  let committed = ref 0 in
+  for i = 0 to t.len - 1 do
+    committed := !committed + t.data.(i).n
+  done;
+  !committed + match t.pending with None -> 0 | Some p -> p.n
+
+let stride t = t.stride
+
+let last t =
+  match t.pending with
+  | Some p -> Some p.last
+  | None -> if t.len = 0 then None else Some t.data.(t.len - 1).last

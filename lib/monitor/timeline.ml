@@ -1,0 +1,57 @@
+let num = Telemetry.Export.json_float
+
+let csv_field s =
+  if String.contains s ',' || String.contains s '"' then
+    (* Label values cannot contain '"' (Labels.v rejects it), but quote
+       defensively per RFC 4180 anyway. *)
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' s)
+    ^ "\""
+  else s
+
+let to_csv sampler =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "metric,labels,field,t0,t1,last,mean,min,max,n\n";
+  List.iter
+    (fun ((k : Sampler.Key.t), series) ->
+      let prefix =
+        Printf.sprintf "%s,%s,%s" (csv_field k.name)
+          (csv_field (Telemetry.Registry.Labels.to_string k.labels))
+          (csv_field k.field)
+      in
+      List.iter
+        (fun (p : Series.point) ->
+          Buffer.add_string buffer
+            (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%d\n" prefix (num p.t0)
+               (num p.t1) (num p.last) (num p.mean) (num p.vmin) (num p.vmax)
+               p.n))
+        (Series.points series))
+    (Sampler.series sampler);
+  Buffer.contents buffer
+
+let to_jsonl sampler =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun ((k : Sampler.Key.t), series) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "{\"metric\":\"%s\",\"labels\":{%s},\"field\":\"%s\""
+           (Telemetry.Export.json_escape k.name)
+           (String.concat ","
+              (List.map
+                 (fun (key, v) ->
+                   Printf.sprintf "\"%s\":\"%s\""
+                     (Telemetry.Export.json_escape key)
+                     (Telemetry.Export.json_escape v))
+                 k.labels))
+           (Telemetry.Export.json_escape k.field));
+      Buffer.add_string buffer ",\"points\":[";
+      List.iteri
+        (fun i (p : Series.point) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          Buffer.add_string buffer
+            (Printf.sprintf "[%s,%s,%s,%s,%s,%s,%d]" (num p.t0) (num p.t1)
+               (num p.last) (num p.mean) (num p.vmin) (num p.vmax) p.n))
+        (Series.points series);
+      Buffer.add_string buffer "]}\n")
+    (Sampler.series sampler);
+  Buffer.contents buffer

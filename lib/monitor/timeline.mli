@@ -1,0 +1,14 @@
+(** Timeline exporters for sampled series.
+
+    Both formats are byte-deterministic: series in {!Sampler.Key}
+    order, points oldest first, floats rendered with
+    {!Telemetry.Export.json_float}'s conventions. *)
+
+val to_csv : Sampler.t -> string
+(** One row per (series, point):
+    [metric,labels,field,t0,t1,last,mean,min,max,n] with a header
+    line.  Label strings are CSV-quoted (they contain commas). *)
+
+val to_jsonl : Sampler.t -> string
+(** One JSON object per series:
+    [{"metric":...,"labels":{...},"field":...,"points":[[t0,t1,last,mean,min,max,n],...]}]. *)

@@ -82,19 +82,27 @@ let to_prometheus samples =
                (prom_float v))
       | Histogram sum ->
           header s.name s.help "summary";
-          List.iter
-            (fun (quantile, v) ->
-              Buffer.add_string buffer
-                (Printf.sprintf "%s%s %s\n" s.name
-                   (prom_labels (Labels.v (("quantile", quantile) :: s.labels)))
-                   (prom_float v)))
-            [ ("0.5", sum.p50); ("0.9", sum.p90); ("0.99", sum.p99) ];
+          (* An empty histogram has no quantiles to report (they would
+             all be NaN), and its sum is zero by definition — not the
+             [mean * count = nan * 0] NaN the naive product yields. *)
+          if sum.count > 0 then
+            List.iter
+              (fun (quantile, v) ->
+                Buffer.add_string buffer
+                  (Printf.sprintf "%s%s %s\n" s.name
+                     (prom_labels
+                        (Labels.v (("quantile", quantile) :: s.labels)))
+                     (prom_float v)))
+              [ ("0.5", sum.p50); ("0.9", sum.p90); ("0.99", sum.p99) ];
           Buffer.add_string buffer
             (Printf.sprintf "%s_count%s %d\n" s.name (prom_labels s.labels)
                sum.count);
+          let total =
+            if sum.count = 0 then 0. else sum.mean *. float_of_int sum.count
+          in
           Buffer.add_string buffer
             (Printf.sprintf "%s_sum%s %s\n" s.name (prom_labels s.labels)
-               (prom_float (sum.mean *. float_of_int sum.count))))
+               (prom_float total)))
     samples;
   Buffer.contents buffer
 

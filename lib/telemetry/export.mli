@@ -9,15 +9,18 @@ val pp_table : Format.formatter -> Registry.sample list -> unit
 val to_prometheus : Registry.sample list -> string
 (** Prometheus text exposition format.  Counters and gauges map
     directly; a histogram [h] becomes [h{quantile="0.5|0.9|0.99"}],
-    [h_count] and [h_sum] summary series.  [# HELP] / [# TYPE] headers
-    are emitted once per metric name. *)
+    [h_count] and [h_sum] summary series.  An {e empty} histogram
+    renders as [h_count 0] and [h_sum 0] with no quantile lines (its
+    summary statistics are NaN and have no exposition meaning).
+    [# HELP] / [# TYPE] headers are emitted once per metric name. *)
 
 val to_jsonl : Registry.sample list -> string
 (** One line per sample:
     [{"name":...,"labels":{...},"type":"counter","value":42}].
     Histogram lines carry
     ["count","mean","min","max","p50","p90","p99"] fields.  Non-finite
-    floats are encoded as null. *)
+    floats are encoded as null — in particular an empty histogram is
+    rendered explicitly as [count 0] with null statistics. *)
 
 val of_jsonl : string -> Registry.sample list
 (** Parse text produced by {!to_jsonl} back into samples (help strings
@@ -26,3 +29,15 @@ val of_jsonl : string -> Registry.sample list
 
 val write_file : path:string -> string -> unit
 (** Write exporter output to [path], with ["-"] meaning stdout. *)
+
+(** {2 JSON building blocks}
+
+    Reused by the monitor's timeline and Chrome-trace exporters so
+    every JSON artifact escapes and formats identically. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes. *)
+
+val json_float : float -> string
+(** Deterministic float rendering: integers as ["%.0f"], others as
+    ["%.17g"] (round-trip exact), non-finite as ["null"]. *)

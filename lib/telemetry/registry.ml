@@ -305,15 +305,3 @@ let merge ~into src =
             Histogram.merge_into ~dst h)
       sorted
   end
-
-(* Deprecated process-default shim: reads are kept for one release so
-   out-of-tree callers migrating to the explicit ~registry arguments
-   keep working; nothing inside this repository uses it anymore. *)
-let default_registry = Atomic.make null
-let default () = Atomic.get default_registry
-let set_default t = Atomic.set default_registry t
-
-let with_default t f =
-  let saved = Atomic.get default_registry in
-  Atomic.set default_registry t;
-  Fun.protect ~finally:(fun () -> Atomic.set default_registry saved) f

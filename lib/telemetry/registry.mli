@@ -140,29 +140,14 @@ val merge : into:t -> t -> unit
     deterministic and equal to what a sequential run against a single
     registry would have produced.  Metrics missing from [into] are
     registered on the fly.  A no-op when either side is {!null}.
-    @raise Invalid_argument on a metric-kind or bucket-layout clash. *)
+    @raise Invalid_argument on a metric-kind or bucket-layout clash.
 
-(** {2 The process-default registry (deprecated)}
+    {2 Removed: the process-default registry}
 
-    The old implicit wiring: install a process-global registry, then
-    build components.  Superseded by the explicit [?registry] argument
-    on every component constructor; these shims remain for one release
-    so out-of-tree callers can migrate.  No in-tree code consults the
-    global any more: every constructor falls back to {!null} when no
-    registry is passed, so {!set_default} no longer affects components
-    built without an explicit [?registry]. *)
-
-val default : unit -> t
-(** @deprecated Pass registries explicitly via [?registry]. *)
-
-val set_default : t -> unit
-  [@@ocaml.deprecated
-    "Pass the registry explicitly to component constructors (?registry). \
-     Removal timeline: the last in-tree readers were dropped when the \
-     fault-injection layer landed (v0.3); the shim itself (set_default / \
-     default / with_default) is kept for one more release and will be \
-     deleted in v0.4."]
-
-val with_default : t -> (unit -> 'a) -> 'a
-(** Run a thunk with the default registry swapped, restoring on exit.
-    @deprecated Pass registries explicitly via [?registry]. *)
+    The deprecated [default] / [set_default] / [with_default] shim —
+    the old implicit process-global wiring — was deleted on the
+    timeline its deprecation notice announced (last in-tree readers
+    removed in v0.3, shim deleted in v0.4).  Out-of-tree callers must
+    pass registries explicitly through each component constructor's
+    [?registry] argument; constructors fall back to {!null} when none
+    is given. *)

@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
+      ("monitor", Test_monitor.suite);
       ("ecc", Test_ecc.suite);
       ("flash", Test_flash.suite);
       ("ftl", Test_ftl.suite);

@@ -135,23 +135,12 @@ let test_null_registry_inert () =
   checki "null snapshot is empty" 0
     (List.length (Telemetry.Registry.snapshot Telemetry.Registry.null))
 
-let test_with_default_restores () =
-  let before = Telemetry.Registry.default () in
-  let reg = Telemetry.Registry.create () in
-  let inside =
-    Telemetry.Registry.with_default reg (fun () ->
-        Telemetry.Registry.default () == reg)
-  in
-  checkb "default swapped inside" true inside;
-  checkb "default restored after" true
-    (Telemetry.Registry.default () == before);
-  (* ... also on exceptions. *)
-  (try
-     Telemetry.Registry.with_default reg (fun () -> failwith "boom")
-   with Failure _ -> ());
-  checkb "restored after raise" true (Telemetry.Registry.default () == before)
-
 (* --- Exporters --------------------------------------------------------------- *)
+
+let contains_sub text needle =
+  let n = String.length needle and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+  go 0
 
 let sample_registry () =
   let reg = Telemetry.Registry.create () in
@@ -163,13 +152,8 @@ let test_prometheus_format () =
     Telemetry.Export.to_prometheus
       (Telemetry.Registry.snapshot (sample_registry ()))
   in
-  let contains needle =
-    let n = String.length needle and m = String.length text in
-    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
-    go 0
-  in
   List.iter
-    (fun line -> checkb line true (contains line))
+    (fun line -> checkb line true (contains_sub text line))
     [
       "# HELP alpha_total a";
       "# TYPE alpha_total counter";
@@ -220,6 +204,33 @@ let test_jsonl_nonfinite () =
       checki "count zero" 0 s.count;
       checkb "mean is nan" true (Float.is_nan s.mean)
   | _ -> Alcotest.fail "expected one histogram sample"
+
+let test_prometheus_empty_histogram () =
+  (* An empty histogram must render finite text: count 0, sum 0, and no
+     quantile lines (there is no data to summarize) — never NaN. *)
+  let reg = Telemetry.Registry.create () in
+  ignore (Telemetry.Registry.histogram reg ~lo:0. ~hi:1. "empty_us");
+  let text =
+    Telemetry.Export.to_prometheus (Telemetry.Registry.snapshot reg)
+  in
+  checkb "count 0" true (contains_sub text "empty_us_count 0");
+  checkb "sum 0" true (contains_sub text "empty_us_sum 0");
+  checkb "no quantiles" false (contains_sub text "quantile");
+  checkb "no NaN anywhere" false (contains_sub text "NaN")
+
+let test_prometheus_single_observation () =
+  let reg = Telemetry.Registry.create () in
+  Telemetry.Registry.Histogram.observe
+    (Telemetry.Registry.histogram reg ~lo:0. ~hi:10. "one_us")
+    2.5;
+  let text =
+    Telemetry.Export.to_prometheus (Telemetry.Registry.snapshot reg)
+  in
+  checkb "count 1" true (contains_sub text "one_us_count 1");
+  checkb "sum 2.5" true (contains_sub text "one_us_sum 2.5");
+  checkb "quantiles present" true
+    (contains_sub text "one_us{quantile=\"0.5\"}");
+  checkb "no NaN anywhere" false (contains_sub text "NaN")
 
 let test_table_export () =
   let out =
@@ -380,6 +391,73 @@ let prop_snapshot_order_independent =
       List.map key (Telemetry.Registry.snapshot reg1)
       = List.map key (Telemetry.Registry.snapshot reg2))
 
+(* --- qcheck: JSONL round-trip over exotic metric populations ---------------- *)
+
+(* Label values may contain anything except '"', '\n' and '=' (the
+   registry rejects those); lean on the characters the JSON escaper has
+   to work for: backslashes, braces, commas, colons, tabs. *)
+let exotic_string_gen =
+  let chars = "abcXYZ 0123456789{},\\:/._-+%'\t" in
+  QCheck.Gen.(
+    string_size
+      ~gen:(map (String.get chars) (int_range 0 (String.length chars - 1)))
+      (int_range 0 10))
+
+let spec_gen =
+  QCheck.Gen.(
+    triple (int_range 0 2) exotic_string_gen
+      (list_size (int_range 0 5) (float_bound_inclusive 100.)))
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"of_jsonl inverts to_jsonl (exotic labels)"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 8) spec_gen))
+    (fun specs ->
+      let reg = Telemetry.Registry.create () in
+      List.iteri
+        (fun i (kind, lv, obs) ->
+          (* Distinct names per spec: no kind clashes by construction. *)
+          let name = Printf.sprintf "m%d%s" i (if kind = 0 then "_total" else "") in
+          let labels = if lv = "" then [] else [ ("l", lv) ] in
+          match kind with
+          | 0 ->
+              Telemetry.Registry.Counter.incr
+                (Telemetry.Registry.counter reg ~labels name)
+                ~by:(List.length obs)
+          | 1 ->
+              Telemetry.Registry.Gauge.set
+                (Telemetry.Registry.gauge reg ~labels name)
+                (match obs with [] -> nan | x :: _ -> x -. 50.)
+          | _ ->
+              let h =
+                Telemetry.Registry.histogram reg ~labels ~lo:0. ~hi:100. name
+              in
+              List.iter (Telemetry.Registry.Histogram.observe h) obs)
+        specs;
+      let samples = Telemetry.Registry.snapshot reg in
+      let parsed =
+        Telemetry.Export.of_jsonl (Telemetry.Export.to_jsonl samples)
+      in
+      (* %.17g makes finite floats exact; non-finite travels as null and
+         comes back nan, so compare nan-aware. *)
+      let feq a b = (Float.is_nan a && Float.is_nan b) || a = b in
+      List.length samples = List.length parsed
+      && List.for_all2
+           (fun (a : Telemetry.Registry.sample)
+                (b : Telemetry.Registry.sample) ->
+             a.name = b.name
+             && Telemetry.Registry.Labels.to_string a.labels
+                = Telemetry.Registry.Labels.to_string b.labels
+             &&
+             match (a.value, b.value) with
+             | Counter x, Counter y -> x = y
+             | Gauge x, Gauge y -> feq x y
+             | Histogram x, Histogram y ->
+                 x.count = y.count && feq x.mean y.mean && feq x.min y.min
+                 && feq x.max y.max && feq x.p50 y.p50 && feq x.p90 y.p90
+                 && feq x.p99 y.p99
+             | _ -> false)
+           samples parsed)
+
 let suite =
   [
     ("counter and gauge basics", `Quick, test_counter_gauge_basics);
@@ -387,8 +465,10 @@ let suite =
     ("kind clash raises", `Quick, test_kind_clash_raises);
     ("snapshot determinism", `Quick, test_snapshot_determinism);
     ("null registry inert", `Quick, test_null_registry_inert);
-    ("with_default restores", `Quick, test_with_default_restores);
     ("prometheus format", `Quick, test_prometheus_format);
+    ("prometheus empty histogram", `Quick, test_prometheus_empty_histogram);
+    ("prometheus single observation", `Quick,
+     test_prometheus_single_observation);
     ("jsonl roundtrip", `Quick, test_jsonl_roundtrip);
     ("jsonl non-finite", `Quick, test_jsonl_nonfinite);
     ("table export", `Quick, test_table_export);
@@ -401,4 +481,5 @@ let suite =
     ("registry merge null no-op", `Quick, test_merge_null_noop);
     ("registry merge kind clash", `Quick, test_merge_kind_clash_raises);
     QCheck_alcotest.to_alcotest prop_snapshot_order_independent;
+    QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
   ]
