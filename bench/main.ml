@@ -33,9 +33,56 @@ let bch_subjects () =
       (Staged.stage (fun () ->
            let d, p = corrupted () in
            ignore (Ecc.Bch.decode code ~data:d ~parity:p)));
+    (* The retained naive paths, so BENCH_5.json carries before/after
+       numbers for the table-driven hot paths in one run. *)
+    Test.make ~name:"fig2/bch_encode_ref"
+      (Staged.stage (fun () -> ignore (Ecc.Bch.Reference.encode code data)));
+    Test.make ~name:"fig2/bch_decode_4err_ref"
+      (Staged.stage (fun () ->
+           let d, p = corrupted () in
+           ignore (Ecc.Bch.Reference.decode code ~data:d ~parity:p)));
     Test.make ~name:"fig2/binomial_tail"
       (Staged.stage (fun () ->
            ignore (Ecc.Reliability.codeword_fail_prob params ~rber:3e-3)));
+  ]
+
+let ftl_subjects () =
+  (* The FTL accounting hot path: steady-state GC churn on a nearly full
+     device.  Every write lands on a full buffer page boundary or forces
+     allocation, so victim selection, free-block picking and capacity
+     sums all run against the incremental structures. *)
+  let geometry = Experiments.Defaults.geometry in
+  let gentle =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+  in
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 41) ~geometry ~model:gentle ()
+  in
+  let policy =
+    Ftl.Policy.always_fresh
+      ~opages_per_fpage:geometry.Flash.Geometry.opages_per_fpage
+  in
+  let slots =
+    geometry.Flash.Geometry.blocks * geometry.Flash.Geometry.pages_per_block
+    * geometry.Flash.Geometry.opages_per_fpage
+  in
+  let logical = slots * 3 / 4 in
+  let engine =
+    Ftl.Engine.create ~chip ~rng:(Sim.Rng.create 43) ~policy
+      ~logical_capacity:logical ()
+  in
+  for lba = 0 to logical - 1 do
+    ignore (Ftl.Engine.write engine ~logical:lba ~payload:lba)
+  done;
+  ignore (Ftl.Engine.flush engine);
+  let cursor = ref 0 in
+  [
+    Test.make ~name:"ftl/gc_churn"
+      (Staged.stage (fun () ->
+           cursor := (!cursor + 1) mod logical;
+           ignore (Ftl.Engine.write engine ~logical:!cursor ~payload:!cursor)));
+    Test.make ~name:"ftl/total_data_slots"
+      (Staged.stage (fun () -> ignore (Ftl.Engine.total_data_slots engine)));
   ]
 
 let device_subjects () =
@@ -367,12 +414,27 @@ let monitor_subjects () =
       (Staged.stage (fun () -> fleet (Some 1)));
   ]
 
-let run_micro () =
+(* Flat {"subject": ns_per_run} JSON, one line per subject in sorted
+   order, so CI diffs of the artifact stay readable. *)
+let write_json_results path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (match ns with Some v -> Printf.sprintf "%.1f" v | None -> "null")
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
+let run_micro ?json_path () =
   let tests =
-    bch_subjects () @ device_subjects () @ cluster_subjects ()
-    @ service_subjects () @ disturb_subjects () @ fleet_subjects ()
-    @ carbon_subjects () @ chaos_subjects () @ telemetry_subjects ()
-    @ monitor_subjects () @ parallel_subjects ()
+    bch_subjects () @ ftl_subjects () @ device_subjects ()
+    @ cluster_subjects () @ service_subjects () @ disturb_subjects ()
+    @ fleet_subjects () @ carbon_subjects () @ chaos_subjects ()
+    @ telemetry_subjects () @ monitor_subjects () @ parallel_subjects ()
   in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in
@@ -383,27 +445,45 @@ let run_micro () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Format.printf "@.=== Bechamel micro-benchmarks (monotonic clock) ===@.";
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
         let ns =
           match Analyze.OLS.estimates ols with
-          | Some (t :: _) -> Printf.sprintf "%.1f" t
-          | _ -> "n/a"
+          | Some (t :: _) -> Some t
+          | _ -> None
         in
-        let r2 =
-          match Analyze.OLS.r_square ols with
-          | Some r -> Printf.sprintf "%.4f" r
-          | None -> "n/a"
-        in
-        [ name; ns; r2 ] :: acc)
+        let r2 = Analyze.OLS.r_square ols in
+        (name, ns, r2) :: acc)
       results []
     |> List.sort compare
+  in
+  let rows =
+    List.map
+      (fun (name, ns, r2) ->
+        [
+          name;
+          (match ns with Some t -> Printf.sprintf "%.1f" t | None -> "n/a");
+          (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "n/a");
+        ])
+      estimates
   in
   Experiments.Report.table Format.std_formatter
     ~header:[ "benchmark"; "ns/run"; "r²" ]
     ~rows;
-  Format.printf "@."
+  Format.printf "@.";
+  match json_path with
+  | None -> ()
+  | Some path ->
+      (* Subject names without the harness group prefix. *)
+      let strip name =
+        match String.index_opt name '.' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      write_json_results path
+        (List.map (fun (name, ns, _) -> (strip name, ns)) estimates);
+      Format.printf "wrote %s@." path
 
 (* --- dispatch -------------------------------------------------------------- *)
 
@@ -436,6 +516,7 @@ let usage () =
     (fun (id, _) -> Printf.printf "  %s\n" id)
     Experiments.All.experiments;
   print_endline "  micro (Bechamel micro-benchmarks)";
+  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_5.json)";
   print_endline "  all (default: everything)"
 
 let () =
@@ -445,6 +526,8 @@ let () =
       run_all fmt;
       run_micro ()
   | [| _; "micro" |] -> run_micro ()
+  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_5.json" ()
+  | [| _; "micro"; "--json"; path |] -> run_micro ~json_path:path ()
   | [| _; id |] -> (
       match List.assoc_opt id Experiments.All.experiments with
       | Some runner -> run_experiment fmt (id, runner)

@@ -20,6 +20,13 @@ val create :
 (** [create ~m ~capability] builds a code over GF(2^m) correcting
     [capability] bit errors per codeword.  Decode telemetry binds
     against [registry] (default: {!Telemetry.Registry.null}, i.e. inert).
+
+    The immutable half of a codec — field tables, generator polynomial,
+    and the byte-at-a-time encode tables — is memoized per
+    [(m, capability)] and shared by every instance with those parameters,
+    including across [Parallel.Pool] domains.  Telemetry counters are
+    per-instance, so two codecs bound to different registries count
+    independently even though they share tables.
     @raise Invalid_argument if the requested capability leaves no data bits
     (parity would reach or exceed the codeword length). *)
 
@@ -67,4 +74,21 @@ val decode : t -> data:Bitarray.t -> parity:Bitarray.t -> decode_result
     the code, exactly as SSD controllers do. *)
 
 val syndromes_zero : t -> data:Bitarray.t -> parity:Bitarray.t -> bool
-(** True when the received word is a valid codeword (all syndromes zero). *)
+(** True when the received word is a valid codeword (all syndromes zero).
+    Exits on the first nonzero syndrome, so corrupt words are typically
+    rejected after a single pass over the set bits. *)
+
+val syndromes : t -> data:Bitarray.t -> parity:Bitarray.t -> int array
+(** The raw syndrome array [S_0 .. S_2t] (index 0 unused, kept 0) for the
+    received word.  Exposed for differential testing of the optimized
+    accumulation path. *)
+
+(** Naive bit-at-a-time implementations of the codec, retained as the
+    oracle for differential tests and as the "before" micro-benchmark
+    subjects.  Semantics are identical to the table-driven paths, except
+    that [Reference.decode] touches no telemetry. *)
+module Reference : sig
+  val encode : t -> Bitarray.t -> Bitarray.t
+  val syndromes : t -> data:Bitarray.t -> parity:Bitarray.t -> int array
+  val decode : t -> data:Bitarray.t -> parity:Bitarray.t -> decode_result
+end

@@ -23,6 +23,26 @@ let set t i value =
 let flip t i = set t i (not (get t i))
 let copy t = { bits = t.bits; data = Bytes.copy t.data }
 
+let byte_length t = Bytes.length t.data
+
+let byte t i =
+  if i < 0 || i >= Bytes.length t.data then
+    invalid_arg "Bitarray.byte: index out of bounds";
+  Char.code (Bytes.get t.data i)
+
+let set_byte t i v =
+  if i < 0 || i >= Bytes.length t.data then
+    invalid_arg "Bitarray.set_byte: index out of bounds";
+  (* Mask the final partial byte so padding bits past [t.bits] stay clear
+     (popcount/equal rely on that invariant). *)
+  let v = v land 0xff in
+  let v =
+    if i = Bytes.length t.data - 1 && t.bits land 7 <> 0 then
+      v land ((1 lsl (t.bits land 7)) - 1)
+    else v
+  in
+  Bytes.set t.data i (Char.chr v)
+
 let popcount_byte =
   let table = Array.make 256 0 in
   for b = 1 to 255 do

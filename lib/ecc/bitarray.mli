@@ -16,6 +16,18 @@ val copy : t -> t
 val popcount : t -> int
 (** Number of set bits. *)
 
+val byte_length : t -> int
+(** Number of underlying bytes, [(length + 7) / 8]. *)
+
+val byte : t -> int -> int
+(** [byte t i] is bits [8i .. 8i+7] as an int (bit [8i] is the LSB); bits
+    past the length read as 0.  The byte-at-a-time BCH encoder consumes
+    codewords through this. *)
+
+val set_byte : t -> int -> int -> unit
+(** [set_byte t i v] stores the low 8 bits of [v] into bits [8i .. 8i+7];
+    bits past the length are dropped so the padding invariant holds. *)
+
 val equal : t -> t -> bool
 val xor_into : dst:t -> t -> unit
 (** [xor_into ~dst src] sets [dst] to [dst xor src].

@@ -23,7 +23,7 @@ let primitive_poly_for = function
   | 15 -> 0b1000000000000011
   | m -> invalid_arg (Printf.sprintf "Galois.create: unsupported m = %d" m)
 
-let create m =
+let build m =
   let primitive_poly = primitive_poly_for m in
   let order = (1 lsl m) - 1 in
   let exp_table = Array.make (2 * order) 0 in
@@ -37,6 +37,21 @@ let create m =
     if !x land (1 lsl m) <> 0 then x := !x lxor primitive_poly
   done;
   { m; order; primitive_poly; exp_table; log_table }
+
+(* A field is an immutable pair of tables once built, so one instance per
+   degree can be shared freely — including across [Parallel.Pool] domains.
+   The mutex only guards the cold first build of each degree. *)
+let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
+
+let create m =
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt cache m with
+      | Some field -> field
+      | None ->
+          let field = build m in
+          Hashtbl.add cache m field;
+          field)
 
 let m t = t.m
 let order t = t.order
@@ -56,6 +71,9 @@ let div t a b = mul t a (inv t b)
 let alpha_pow t i =
   let i = ((i mod t.order) + t.order) mod t.order in
   t.exp_table.(i)
+
+let exp t i = t.exp_table.(i)
+let exp_table t = t.exp_table
 
 let log_alpha t a =
   if a = 0 then raise Division_by_zero else t.log_table.(a)

@@ -8,12 +8,31 @@ let page_fail_prob params ~codewords ~rber =
   let p = codeword_fail_prob params ~rber in
   1. -. ((1. -. p) ** float_of_int codewords)
 
+(* The bisection solve below is pure in (params, target) but costs dozens
+   of binomial-tail evaluations; fleet experiments ask for the same handful
+   of code levels once per device, so memoize.  Code_params.t is a scalar
+   record, fine as a structural hash key.  The mutex keeps the table safe
+   under [Parallel.Pool] domains; values are immutable floats. *)
+let tolerable_cache : (Code_params.t * float, float) Hashtbl.t =
+  Hashtbl.create 32
+
+let tolerable_mutex = Mutex.create ()
+
 let tolerable_rber ?(target = default_codeword_target)
     (params : Code_params.t) =
-  (* codeword_fail_prob is monotonically increasing in rber. *)
-  Sim.Special.solve_monotone
-    ~f:(fun rber -> codeword_fail_prob params ~rber)
-    ~target ~lo:0. ~hi:0.5 ()
+  Mutex.protect tolerable_mutex (fun () ->
+      let key = (params, target) in
+      match Hashtbl.find_opt tolerable_cache key with
+      | Some rber -> rber
+      | None ->
+          (* codeword_fail_prob is monotonically increasing in rber. *)
+          let rber =
+            Sim.Special.solve_monotone
+              ~f:(fun rber -> codeword_fail_prob params ~rber)
+              ~target ~lo:0. ~hi:0.5 ()
+          in
+          Hashtbl.add tolerable_cache key rber;
+          rber)
 
 let expected_errors (params : Code_params.t) ~rber =
   float_of_int params.n_bits *. rber

@@ -22,7 +22,9 @@ val tolerable_rber : ?target:float -> Code_params.t -> float
 (** Largest raw bit-error rate at which the codeword failure probability
     stays below [target] (default {!default_codeword_target}).  This is the
     retirement threshold: a page whose RBER exceeds it is "tired" for this
-    code. *)
+    code.  Results are memoized per [(params, target)] (the solve is pure
+    and fleet runs request the same few code levels per device); the cache
+    is safe to hit from multiple [Parallel.Pool] domains. *)
 
 val expected_errors : Code_params.t -> rber:float -> float
 (** Mean raw errors per codeword, [n_bits * rber]; handy for latency models

@@ -93,6 +93,14 @@ type t = {
   mutable reads : int;
   mutable erases : int;
   mutable faults_injected : int;
+  (* Fleet minimum P/E count, maintained incrementally so erase never
+     scans the block array: [pec_min] is min over blocks of pec and
+     [at_min] counts the blocks sitting at it.  When the last block
+     leaves the minimum, the new minimum is exactly [pec_min + 1] (the
+     block just erased landed there), and the recount scan runs at most
+     once per [blocks] erases — amortized O(1). *)
+  mutable pec_min : int;
+  mutable at_min : int;
 }
 
 let create ?registry ~rng ~geometry ~model () =
@@ -133,6 +141,8 @@ let create ?registry ~rng ~geometry ~model () =
     reads = 0;
     erases = 0;
     faults_injected = 0;
+    pec_min = 0;
+    at_min = geometry.Geometry.blocks;
   }
 
 let geometry t = t.geometry
@@ -217,6 +227,17 @@ let read_slot t ~block ~page ~slot =
 let erase t ~block =
   let b = get_block t block in
   b.pec <- b.pec + 1;
+  if b.pec - 1 = t.pec_min then begin
+    t.at_min <- t.at_min - 1;
+    if t.at_min = 0 then begin
+      t.pec_min <- t.pec_min + 1;
+      let count = ref 0 in
+      Array.iter
+        (fun (blk : block_state) -> if blk.pec = t.pec_min then incr count)
+        t.blocks;
+      t.at_min <- !count
+    end
+  end;
   Array.iter
     (fun p ->
       p.state <- Free;
@@ -238,11 +259,7 @@ let erase t ~block =
       (Float.max
          (Telemetry.Registry.Gauge.value t.tel.tel_pec_max)
          (float_of_int b.pec));
-    Telemetry.Registry.Gauge.set t.tel.tel_pec_min
-      (float_of_int
-         (Array.fold_left
-            (fun m (blk : block_state) -> Stdlib.min m blk.pec)
-            max_int t.blocks));
+    Telemetry.Registry.Gauge.set t.tel.tel_pec_min (float_of_int t.pec_min);
     (* Post-erase RBER of the freshly worn block: pure wear, no read
        disturb, no injected faults (erase just cleared both). *)
     let block_worst =
@@ -259,6 +276,7 @@ let erase t ~block =
   end
 
 let pec t ~block = (get_block t block).pec
+let pec_min t = t.pec_min
 
 let strength t ~block ~page =
   let _, p = get_page t block page in

@@ -58,6 +58,11 @@ val erase : t -> block:int -> unit
 (** Erase a block: all its pages become [Free]; its PEC increments. *)
 
 val pec : t -> block:int -> int
+
+val pec_min : t -> int
+(** Lowest per-block P/E count, maintained incrementally (erase pays
+    amortized O(1) instead of scanning every block). *)
+
 val strength : t -> block:int -> page:int -> float
 
 val rber : t -> block:int -> page:int -> float

@@ -1,0 +1,70 @@
+(* Fixed-universe bitset over block indices.  One int per 63 blocks; the
+   policy scans (GC victim, wear-level victim) iterate set members in
+   ascending order, which preserves the lowest-index tie-breaking the
+   full-array folds had. *)
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+type t = { universe : int; words : int array }
+
+let create universe =
+  if universe < 0 then invalid_arg "Blockset.create: negative universe";
+  { universe; words = Array.make ((universe + bits_per_word - 1) / bits_per_word) 0 }
+
+let check t i =
+  if i < 0 || i >= t.universe then
+    invalid_arg "Blockset: element out of universe"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+(* Ascending iteration: words low to high, bits low to high within a
+   word, peeling the lowest set bit each step. *)
+let iter t f =
+  for w = 0 to Array.length t.words - 1 do
+    let bits = ref t.words.(w) in
+    let base = w * bits_per_word in
+    while !bits <> 0 do
+      let lsb = !bits land - !bits in
+      (* log2 of an isolated bit via linear probe is O(word); use the
+         de-Bruijn-free portable route: count trailing zeros by halving. *)
+      let i = ref 0 in
+      let v = ref lsb in
+      while !v land 1 = 0 do
+        v := !v lsr 1;
+        incr i
+      done;
+      f (base + !i);
+      bits := !bits lxor lsb
+    done
+  done
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun i -> acc := f !acc i);
+  !acc
+
+let cardinal t =
+  let count = ref 0 in
+  Array.iter
+    (fun w ->
+      let v = ref w in
+      while !v <> 0 do
+        v := !v land (!v - 1);
+        incr count
+      done)
+    t.words;
+  !count

@@ -1,0 +1,27 @@
+(** Fixed-universe bitset over block indices.
+
+    The FTL keeps the closed-block population in one of these so victim
+    selection touches only closed blocks instead of scanning the whole
+    block array.  Iteration is in ascending index order — the policy
+    folds depend on that to keep the historical lowest-index
+    tie-breaking. *)
+
+type t
+
+val create : int -> t
+(** [create universe] is the empty set over [0 .. universe-1]. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+(** [add]/[remove] are idempotent. *)
+
+val clear : t -> unit
+
+val iter : t -> (int -> unit) -> unit
+(** Visit members in ascending order. *)
+
+val fold : t -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over members in ascending order. *)
+
+val cardinal : t -> int

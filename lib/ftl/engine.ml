@@ -97,6 +97,20 @@ type t = {
   mutable read_retry_count : int;
   mutable retry_success_count : int;
   mutable crash_hook : (crash_site -> unit) option;
+  (* Incremental block accounting.  [cap_cache.(b)] is the block's data
+     capacity (sum of [Policy.data_slots] over its pages) as of the last
+     refresh; [cap_dirty] marks blocks whose capacity may have changed
+     (erase hooks and proactive retirement are the only mutation points —
+     see the contract on {!Policy.data_slots}); [total_capacity] is the
+     sum of [cap_cache] over all blocks (retired blocks contribute 0).
+     [closed] is the set of Closed blocks, so victim selection only
+     touches candidates; [free_heap] holds one [(pec, block)]-encoded
+     entry per Free block. *)
+  cap_cache : int array;
+  cap_dirty : Blockset.t;
+  mutable total_capacity : int;
+  closed : Blockset.t;
+  free_heap : Intheap.t;
   tel : tel;
 }
 
@@ -122,6 +136,16 @@ let create ?(config = default_config) ?registry ~chip ~rng ~policy
     geometry.Flash.Geometry.blocks * geometry.Flash.Geometry.pages_per_block
     * geometry.Flash.Geometry.opages_per_fpage
   in
+  let blocks = geometry.Flash.Geometry.blocks in
+  let cap_dirty = Blockset.create blocks in
+  for block = 0 to blocks - 1 do
+    Blockset.add cap_dirty block
+  done;
+  let free_heap = Intheap.create () in
+  (* every block starts Free at PEC 0, so the encoded key is the index *)
+  for block = 0 to blocks - 1 do
+    Intheap.push free_heap block
+  done;
   {
     chip;
     rng;
@@ -147,6 +171,11 @@ let create ?(config = default_config) ?registry ~chip ~rng ~policy
     read_retry_count = 0;
     retry_success_count = 0;
     crash_hook = None;
+    cap_cache = Array.make blocks 0;
+    cap_dirty;
+    total_capacity = 0;
+    closed = Blockset.create blocks;
+    free_heap;
     tel = make_tel registry;
   }
 
@@ -169,13 +198,32 @@ let flat_slot t ~block ~page ~slot =
   * g.Flash.Geometry.opages_per_fpage
   + slot
 
-let block_data_capacity t block =
+let compute_block_capacity t block =
   let pages = (geometry t).Flash.Geometry.pages_per_block in
   let capacity = ref 0 in
   for page = 0 to pages - 1 do
     capacity := !capacity + t.policy.Policy.data_slots ~block ~page
   done;
   !capacity
+
+let refresh_capacity t block =
+  if Blockset.mem t.cap_dirty block then begin
+    let capacity = compute_block_capacity t block in
+    t.total_capacity <- t.total_capacity - t.cap_cache.(block) + capacity;
+    t.cap_cache.(block) <- capacity;
+    Blockset.remove t.cap_dirty block
+  end
+
+let block_data_capacity t block =
+  refresh_capacity t block;
+  t.cap_cache.(block)
+
+(* Free-block pool keys: min-PEC first, lowest block index on ties. *)
+let free_key t ~block ~pec = (pec * Array.length t.classes) + block
+
+let push_free t block =
+  Intheap.push t.free_heap
+    (free_key t ~block ~pec:(Flash.Chip.pec t.chip ~block))
 
 (* --- relocation helpers ------------------------------------------------ *)
 
@@ -202,7 +250,11 @@ let relocate_block_contents t block =
 let relocate_page t ~block ~page =
   List.iter
     (fun (slot, logical) -> relocate_slot t ~block ~page ~slot ~logical)
-    (Mapping.live_slots_in_page t.mapping ~block ~page)
+    (Mapping.live_slots_in_page t.mapping ~block ~page);
+  (* Devices retire pages (changing [Policy.data_slots]) immediately after
+     this call, so the block's cached capacity must be recomputed on its
+     next use. *)
+  Blockset.add t.cap_dirty block
 
 (* --- garbage collection ------------------------------------------------ *)
 
@@ -216,19 +268,20 @@ let erase_and_reclassify t block =
     done
   done;
   t.policy.Policy.on_block_erased ~block;
+  (* the erase hook may have advanced page levels *)
+  Blockset.add t.cap_dirty block;
+  Blockset.remove t.closed block;
   if block_data_capacity t block = 0 then begin
     t.classes.(block) <- Retired;
     t.retired_count <- t.retired_count + 1
   end
   else begin
     t.classes.(block) <- Free;
-    t.free_count <- t.free_count + 1
+    t.free_count <- t.free_count + 1;
+    push_free t block
   end
 
-let closed_blocks_fold t f init =
-  let acc = ref init in
-  Array.iteri (fun b c -> if c = Closed then acc := f !acc b) t.classes;
-  !acc
+let closed_blocks_fold t f init = Blockset.fold t.closed f init
 
 (* Victim with fewest live oPages: the greedy-min-valid policy.  A block
    with no dead slots yields nothing and is never picked — otherwise GC
@@ -303,21 +356,26 @@ let maybe_gc t =
 
 let pick_free_block t =
   maybe_gc t;
-  let best = ref None in
-  Array.iteri
-    (fun block c ->
-      if c = Free then
-        let pec = Flash.Chip.pec t.chip ~block in
-        match !best with
-        | Some (_, best_pec) when best_pec <= pec -> ()
-        | _ -> best := Some (block, pec))
-    t.classes;
-  match !best with
-  | None -> None
-  | Some (block, _) ->
-      t.classes.(block) <- Open;
-      t.free_count <- t.free_count - 1;
-      Some block
+  (* The heap holds exactly one entry per Free block (pushed when the
+     block enters the pool, consumed when it leaves), so the minimum is
+     the allocation choice directly.  The validity checks below guard the
+     invariant; a stale entry can never look valid again — a Free block's
+     PEC cannot change — so discarding is safe. *)
+  let rec pop () =
+    match Intheap.pop t.free_heap with
+    | None -> None
+    | Some key ->
+        let block = key mod Array.length t.classes in
+        let pec = key / Array.length t.classes in
+        if t.classes.(block) = Free && Flash.Chip.pec t.chip ~block = pec
+        then begin
+          t.classes.(block) <- Open;
+          t.free_count <- t.free_count - 1;
+          Some block
+        end
+        else pop ()
+  in
+  pop ()
 
 (* Next programmable page of the open block, skipping pages the policy has
    retired (data_slots = 0); opens a new block as needed. *)
@@ -339,6 +397,7 @@ let rec open_position t =
           Some (block, page, slots)
       | None ->
           t.classes.(block) <- Closed;
+          Blockset.add t.closed block;
           t.open_block <- None;
           open_position t)
   | None -> (
@@ -420,50 +479,69 @@ let read t ~logical =
              as the effective RBER shrinking by [retry_rber_factor] per
              attempt.  Attempt 0 sees any pending transient fault; the
              re-read consumes it, so later rungs sense the page clean.
-             [`Uncorrectable] only after the ladder is exhausted. *)
-          let rec attempt k =
-            let rber = Flash.Chip.rber t.chip ~block ~page in
-            let effective =
-              rber *. (t.config.retry_rber_factor ** float_of_int k)
+             The ladder itself performs no chip reads, so the page's RBER
+             is constant across rungs: it is computed once per read (twice
+             when a transient was consumed) and each rung derives its
+             effective rate from it.  [`Uncorrectable] only after the
+             ladder is exhausted. *)
+          let succeed k ~rber =
+            if k > 0 then begin
+              t.retry_success_count <- t.retry_success_count + 1;
+              Telemetry.Registry.Counter.incr t.tel.tel_retry_successes
+            end;
+            let result =
+              match Flash.Chip.read_slot t.chip ~block ~page ~slot with
+              | Some payload -> Ok payload
+              | None -> assert false
             in
-            let fail =
-              t.policy.Policy.read_fail_prob ~rber:effective ~block ~page
-            in
-            let failed = Sim.Rng.chance t.rng fail in
-            if k = 0 then
-              ignore (Flash.Chip.take_transient t.chip ~block ~page);
-            if failed then
-              if k < t.config.read_retries then begin
-                t.read_retry_count <- t.read_retry_count + 1;
-                Telemetry.Registry.Counter.incr t.tel.tel_read_retries;
-                attempt (k + 1)
-              end
-              else begin
-                Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
-                Error `Uncorrectable
-              end
-            else begin
-              if k > 0 then begin
-                t.retry_success_count <- t.retry_success_count + 1;
-                Telemetry.Registry.Counter.incr t.tel.tel_retry_successes
-              end;
-              let result =
-                match Flash.Chip.read_slot t.chip ~block ~page ~slot with
-                | Some payload -> Ok payload
-                | None -> assert false
-              in
-              (* Read-reclaim: the read itself disturbed the page; if its
-                 error rate has crept toward the code's limit, move the live
-                 data somewhere younger before it becomes uncorrectable. *)
-              if t.policy.Policy.should_reclaim ~rber ~block ~page then begin
-                t.reclaims <- t.reclaims + 1;
-                Telemetry.Registry.Counter.incr t.tel.tel_reclaims;
-                relocate_page t ~block ~page
-              end;
-              result
-            end
+            (* Read-reclaim: the read itself disturbed the page; if its
+               error rate has crept toward the code's limit, move the live
+               data somewhere younger before it becomes uncorrectable. *)
+            if t.policy.Policy.should_reclaim ~rber ~block ~page then begin
+              t.reclaims <- t.reclaims + 1;
+              Telemetry.Registry.Counter.incr t.tel.tel_reclaims;
+              relocate_page t ~block ~page
+            end;
+            result
           in
-          attempt 0)
+          let uncorrectable () =
+            Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
+            Error `Uncorrectable
+          in
+          let rber0 = Flash.Chip.rber t.chip ~block ~page in
+          let fail0 =
+            t.policy.Policy.read_fail_prob
+              ~rber:(rber0 *. (t.config.retry_rber_factor ** float_of_int 0))
+              ~block ~page
+          in
+          let failed0 = Sim.Rng.chance t.rng fail0 in
+          let taken = Flash.Chip.take_transient t.chip ~block ~page in
+          if not failed0 then succeed 0 ~rber:rber0
+          else if t.config.read_retries = 0 then uncorrectable ()
+          else begin
+            (* Consuming the transient changed the page's rate exactly
+               when [taken] is nonzero; otherwise rung 0's value is
+               already the clean rate. *)
+            let rber =
+              if taken = 0. then rber0
+              else Flash.Chip.rber t.chip ~block ~page
+            in
+            let rec attempt k =
+              t.read_retry_count <- t.read_retry_count + 1;
+              Telemetry.Registry.Counter.incr t.tel.tel_read_retries;
+              let effective =
+                rber *. (t.config.retry_rber_factor ** float_of_int k)
+              in
+              let fail =
+                t.policy.Policy.read_fail_prob ~rber:effective ~block ~page
+              in
+              if Sim.Rng.chance t.rng fail then
+                if k < t.config.read_retries then attempt (k + 1)
+                else uncorrectable ()
+              else succeed k ~rber
+            in
+            attempt 1
+          end)
 
 let discard t ~logical =
   if logical < 0 || logical >= t.logical_capacity then
@@ -482,12 +560,12 @@ let free_blocks t = t.free_count
 let retired_blocks t = t.retired_count
 
 let total_data_slots t =
-  let total = ref 0 in
-  Array.iteri
-    (fun block c ->
-      if c <> Retired then total := !total + block_data_capacity t block)
-    t.classes;
-  !total
+  (* Flush pending capacity recomputations, then the maintained sum is
+     the answer (retired blocks contribute 0 — retirement requires a
+     capacity of 0 and [Policy.data_slots] never grows). *)
+  let dirty = Blockset.fold t.cap_dirty (fun acc b -> b :: acc) [] in
+  List.iter (fun block -> refresh_capacity t block) dirty;
+  t.total_capacity
 
 let mapped_opages t = Mapping.mapped_count t.mapping
 
@@ -525,6 +603,11 @@ let locate t ~logical = Mapping.find t.mapping logical
    buffer and trim journal are non-volatile and carry over. *)
 let crash_rebuild old =
   let g = Flash.Chip.geometry old.chip in
+  let blocks = g.Flash.Geometry.blocks in
+  let cap_dirty = Blockset.create blocks in
+  for block = 0 to blocks - 1 do
+    Blockset.add cap_dirty block
+  done;
   let t =
     {
       old with
@@ -535,6 +618,11 @@ let crash_rebuild old =
       free_count = 0;
       retired_count = 0;
       in_gc = false;
+      cap_cache = Array.make blocks 0;
+      cap_dirty;
+      total_capacity = 0;
+      closed = Blockset.create blocks;
+      free_heap = Intheap.create ();
     }
   in
   (* Collect surviving OOB tags and replay them oldest-first so that
@@ -576,10 +664,14 @@ let crash_rebuild old =
       t.classes.(block) <- Retired;
       t.retired_count <- t.retired_count + 1
     end
-    else if !any_programmed then t.classes.(block) <- Closed
+    else if !any_programmed then begin
+      t.classes.(block) <- Closed;
+      Blockset.add t.closed block
+    end
     else begin
       t.classes.(block) <- Free;
-      t.free_count <- t.free_count + 1
+      t.free_count <- t.free_count + 1;
+      push_free t block
     end
   done;
   t

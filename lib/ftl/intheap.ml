@@ -1,0 +1,56 @@
+(* Array-backed binary min-heap of ints.  The engine keys free blocks as
+   [pec * blocks + block], so the minimum is lexicographic (pec, block) —
+   exactly the min-PEC / lowest-index-tie-break order the old full-array
+   scan produced. *)
+
+type t = { mutable data : int array; mutable size : int }
+
+let create () = { data = Array.make 16 0; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+let clear t = t.size <- 0
+
+let push t v =
+  if t.size = Array.length t.data then begin
+    let grown = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 grown 0 t.size;
+    t.data <- grown
+  end;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.data.(!i) <- v;
+  (* sift up *)
+  while !i > 0 && t.data.((!i - 1) / 2) > t.data.(!i) do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(parent) in
+    t.data.(parent) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && t.data.(l) < t.data.(!smallest) then smallest := l;
+        if r < t.size && t.data.(r) < t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!smallest) in
+          t.data.(!smallest) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some top
+  end

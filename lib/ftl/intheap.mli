@@ -1,0 +1,19 @@
+(** Binary min-heap of ints.
+
+    Backs the FTL's free-block pool: entries encode [(pec, block)] pairs
+    as [pec * blocks + block], so popping the minimum yields the
+    least-worn block with lowest-index tie-breaking — the same choice the
+    former whole-array scan made, at O(log n) per allocation. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all entries (the backing store is retained). *)
+
+val push : t -> int -> unit
+val pop : t -> int option
+(** Remove and return the minimum entry. *)

@@ -18,9 +18,13 @@
 type t = {
   data_slots : block:int -> page:int -> int;
       (** Data capacity of a physical page, in oPages, under the current
-          wear state; 0 retires the page.  The engine re-reads this on
-          every allocation, so devices may change it at any time (erase
-          hooks, proactive retirement). *)
+          wear state; 0 retires the page.  The engine caches per-block
+          capacity sums off this function, so changes must happen at one
+          of the two points the engine invalidates that cache: inside the
+          [on_block_erased] hook, or immediately after an
+          [Engine.relocate_page] call (proactive retirement) and before
+          any other engine operation.  Both device implementations in
+          [lib/core] already follow this discipline. *)
   read_fail_prob : rber:float -> block:int -> page:int -> float;
       (** Probability that ECC fails to correct a read at this error
           rate. *)

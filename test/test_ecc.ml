@@ -269,6 +269,123 @@ let prop_bch_roundtrip =
       | Ecc.Bch.Uncorrectable -> false
       | Ecc.Bch.Corrected _ -> Ecc.Bitarray.equal data original)
 
+(* --- differential: table-driven hot paths vs naive reference ----------- *)
+
+(* The optimized encode/syndrome/Chien paths must be bit-identical to the
+   retained naive implementations, over random codes, random data lengths,
+   and error patterns both within and beyond capability. *)
+
+let differential_codes = [| (5, 3); (6, 2); (7, 4); (8, 5); (8, 8); (10, 8) |]
+
+let decode_results_equal a b =
+  match (a, b) with
+  | Ecc.Bch.Uncorrectable, Ecc.Bch.Uncorrectable -> true
+  | Ecc.Bch.Corrected xs, Ecc.Bch.Corrected ys -> xs = ys
+  | _ -> false
+
+let prop_bch_differential =
+  QCheck.Test.make ~count:200 ~name:"fast codec bit-identical to reference"
+    QCheck.(
+      quad
+        (int_range 0 (Array.length differential_codes - 1))
+        (int_range 0 250) (int_range 0 30) small_int)
+    (fun (code_index, data_bits, raw_errors, seed) ->
+      let m, capability = differential_codes.(code_index) in
+      let code = Ecc.Bch.create ~m ~capability () in
+      let data_bits = Stdlib.min data_bits (Ecc.Bch.k code) in
+      let rng = Sim.Rng.create (seed + 1) in
+      let data = Ecc.Bitarray.create data_bits in
+      Ecc.Bitarray.randomize rng data;
+      let parity = Ecc.Bch.encode code data in
+      let encode_agrees =
+        Ecc.Bitarray.equal parity (Ecc.Bch.Reference.encode code data)
+      in
+      (* Spread errors over the whole stored word; up to ~2t of them, so
+         the beyond-capability detection paths are exercised too. *)
+      let total = data_bits + Ecc.Bch.parity_bits code in
+      let errors = Stdlib.min raw_errors (Stdlib.min (2 * capability + 3) total) in
+      let flipped = Hashtbl.create 8 in
+      let injected = ref 0 in
+      while !injected < errors do
+        let p = Sim.Rng.int rng total in
+        if not (Hashtbl.mem flipped p) then begin
+          Hashtbl.add flipped p ();
+          if p < data_bits then Ecc.Bitarray.flip data p
+          else Ecc.Bitarray.flip parity (p - data_bits);
+          incr injected
+        end
+      done;
+      let syndromes_agree =
+        Ecc.Bch.syndromes code ~data ~parity
+        = Ecc.Bch.Reference.syndromes code ~data ~parity
+      in
+      let zero_agrees =
+        Ecc.Bch.syndromes_zero code ~data ~parity
+        = Array.for_all
+            (fun s -> s = 0)
+            (Ecc.Bch.Reference.syndromes code ~data ~parity)
+      in
+      (* Both decoders repair in place: run each on its own copy and
+         compare results and repaired words. *)
+      let d_fast = Ecc.Bitarray.copy data
+      and p_fast = Ecc.Bitarray.copy parity in
+      let d_ref = Ecc.Bitarray.copy data
+      and p_ref = Ecc.Bitarray.copy parity in
+      let r_fast = Ecc.Bch.decode code ~data:d_fast ~parity:p_fast in
+      let r_ref = Ecc.Bch.Reference.decode code ~data:d_ref ~parity:p_ref in
+      encode_agrees && syndromes_agree && zero_agrees
+      && decode_results_equal r_fast r_ref
+      && Ecc.Bitarray.equal d_fast d_ref
+      && Ecc.Bitarray.equal p_fast p_ref)
+
+(* --- codec cache ------------------------------------------------------- *)
+
+let counter_value registry name =
+  List.fold_left
+    (fun acc (s : Telemetry.Registry.sample) ->
+      match s.value with
+      | Telemetry.Registry.Counter v when s.name = name -> acc + v
+      | _ -> acc)
+    0
+    (Telemetry.Registry.snapshot registry)
+
+let test_bch_shared_core_independent_telemetry () =
+  let reg_a = Telemetry.Registry.create () in
+  let reg_b = Telemetry.Registry.create () in
+  let a = Ecc.Bch.create ~registry:reg_a ~m:8 ~capability:4 () in
+  let b = Ecc.Bch.create ~registry:reg_b ~m:8 ~capability:4 () in
+  (* The immutable tables are shared (one build per (m, capability))... *)
+  checkb "generator physically shared" true
+    (Ecc.Bch.generator a == Ecc.Bch.generator b);
+  (* ...but telemetry stays per-instance. *)
+  let decode_once code =
+    let rng = Sim.Rng.create 5 in
+    let data = Ecc.Bitarray.create 64 in
+    Ecc.Bitarray.randomize rng data;
+    let parity = Ecc.Bch.encode code data in
+    Ecc.Bitarray.flip data 3;
+    match Ecc.Bch.decode code ~data ~parity with
+    | Ecc.Bch.Corrected [ 3 ] -> ()
+    | _ -> Alcotest.fail "single injected error not corrected"
+  in
+  decode_once a;
+  decode_once a;
+  decode_once b;
+  checki "codec a counted its decodes" 2 (counter_value reg_a "bch_decodes_total");
+  checki "codec b counted its decodes" 1 (counter_value reg_b "bch_decodes_total")
+
+let test_galois_memoized () =
+  checkb "same field instance per m" true
+    (Ecc.Galois.create 9 == Ecc.Galois.create 9)
+
+let test_tolerable_rber_memo_consistent () =
+  let p = Ecc.Code_params.for_sector ~data_bytes:2048 ~spare_bytes:256 in
+  let first = Ecc.Reliability.tolerable_rber p in
+  check (Alcotest.float 0.) "memoized result identical" first
+    (Ecc.Reliability.tolerable_rber p);
+  checkb "distinct targets solve separately" true
+    (Ecc.Reliability.tolerable_rber ~target:1e-6 p > first)
+
 (* --- Code params and reliability -------------------------------------- *)
 
 let test_code_params_flash_sector () =
@@ -475,6 +592,12 @@ let suite =
     ("bch k matches generator", `Quick, test_bch_k_matches_generator);
     ("bch shortened zero data", `Quick, test_bch_shortened_zero_data);
     qc prop_bch_roundtrip;
+    qc prop_bch_differential;
+    ("bch shared core, independent telemetry", `Quick,
+     test_bch_shared_core_independent_telemetry);
+    ("galois memoized", `Quick, test_galois_memoized);
+    ("reliability memo consistent", `Quick,
+     test_tolerable_rber_memo_consistent);
     ("code params flash sector", `Quick, test_code_params_flash_sector);
     ("code params invalid", `Quick, test_code_params_invalid);
     ("reliability monotone in rber", `Quick, test_reliability_monotone_in_rber);

@@ -123,6 +123,29 @@ let test_chip_erase_frees_and_wears () =
   (* reprogram allowed *)
   Flash.Chip.program chip ~block:2 ~page:5 contents
 
+let test_chip_pec_min_incremental () =
+  (* The incrementally maintained fleet minimum must equal a brute-force
+     recount after every erase, under a skewed random erase pattern. *)
+  let rng = Sim.Rng.create 31 in
+  let model =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1000 ()
+  in
+  let chip = Flash.Chip.create ~rng ~geometry:small_geometry ~model () in
+  let blocks = small_geometry.Flash.Geometry.blocks in
+  checki "fresh min" 0 (Flash.Chip.pec_min chip);
+  for step = 1 to 500 do
+    (* squaring skews toward low blocks so some blocks lag far behind *)
+    let r = Sim.Rng.int rng (blocks * blocks) in
+    let block = r * r / (blocks * blocks * blocks) mod blocks in
+    Flash.Chip.erase chip ~block;
+    let brute = ref max_int in
+    for b = 0 to blocks - 1 do
+      brute := Stdlib.min !brute (Flash.Chip.pec chip ~block:b)
+    done;
+    checki (Printf.sprintf "pec_min at step %d" step) !brute
+      (Flash.Chip.pec_min chip)
+  done
+
 let test_chip_rber_tracks_wear () =
   let chip = make_chip () in
   let before = Flash.Chip.rber chip ~block:0 ~page:0 in
@@ -328,6 +351,7 @@ let suite =
     ("chip program/read roundtrip", `Quick, test_chip_program_read_roundtrip);
     ("chip program once", `Quick, test_chip_program_once);
     ("chip erase frees and wears", `Quick, test_chip_erase_frees_and_wears);
+    ("chip pec_min incremental", `Quick, test_chip_pec_min_incremental);
     ("chip rber tracks wear", `Quick, test_chip_rber_tracks_wear);
     ("chip page variance", `Quick, test_chip_page_variance);
     ("chip counters", `Quick, test_chip_counters);

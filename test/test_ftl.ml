@@ -137,6 +137,106 @@ let test_buffer_drop_then_rewrite () =
 
 (* --- Engine -------------------------------------------------------------- *)
 
+(* --- incremental accounting structures --------------------------------- *)
+
+let test_blockset_ascending () =
+  let s = Ftl.Blockset.create 200 in
+  List.iter (Ftl.Blockset.add s) [ 190; 3; 64; 63; 0; 127; 3 ];
+  Ftl.Blockset.remove s 64;
+  Ftl.Blockset.remove s 5;
+  (* removing a non-member is a no-op *)
+  let seen = ref [] in
+  Ftl.Blockset.iter s (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int))
+    "members in ascending order" [ 0; 3; 63; 127; 190 ] (List.rev !seen);
+  checki "cardinal" 5 (Ftl.Blockset.cardinal s);
+  checkb "mem" true (Ftl.Blockset.mem s 127);
+  checkb "not mem" false (Ftl.Blockset.mem s 64)
+
+let test_intheap_sorted_pops () =
+  let h = Ftl.Intheap.create () in
+  let rng = Sim.Rng.create 77 in
+  let pushed = List.init 500 (fun _ -> Sim.Rng.int rng 10_000) in
+  List.iter (Ftl.Intheap.push h) pushed;
+  let rec drain acc =
+    match Ftl.Intheap.pop h with
+    | None -> List.rev acc
+    | Some v -> drain (v :: acc)
+  in
+  let popped = drain [] in
+  Alcotest.(check (list int))
+    "pops come out sorted" (List.sort compare pushed) popped;
+  checkb "empty after drain" true (Ftl.Intheap.is_empty h)
+
+(* The engine's cached per-block capacities, maintained total, closed set
+   and free-block heap must agree with a brute-force recount at any point
+   of a churny life that includes level bumps (capacity shrinking at erase
+   time, like the Salamander policy does). *)
+let test_incremental_accounting_matches_brute_force () =
+  let pages = geometry.Flash.Geometry.pages_per_block in
+  let blocks = geometry.Flash.Geometry.blocks in
+  let levels = Array.make (blocks * pages) 0 in
+  let page_index ~block ~page = (block * pages) + page in
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create 71) ~geometry ~model:gentle_model ()
+  in
+  let policy =
+    {
+      Ftl.Policy.data_slots =
+        (fun ~block ~page -> Stdlib.max 0 (4 - levels.(page_index ~block ~page)));
+      read_fail_prob = (fun ~rber:_ ~block:_ ~page:_ -> 0.);
+      should_reclaim = (fun ~rber:_ ~block:_ ~page:_ -> false);
+      on_block_erased = (fun ~block:_ -> ());
+    }
+  in
+  let engine =
+    Ftl.Engine.create ~chip ~rng:(Sim.Rng.create 72) ~policy
+      ~logical_capacity:300 ()
+  in
+  (* Erase-time tiredness: every third cycle of a block bumps all its
+     pages one level, shrinking its capacity — the mutation pattern the
+     capacity cache must track through its dirty set. *)
+  policy.Ftl.Policy.on_block_erased <-
+    (fun ~block ->
+      if Flash.Chip.pec chip ~block mod 3 = 0 then
+        for page = 0 to pages - 1 do
+          let i = page_index ~block ~page in
+          if levels.(i) < 4 then levels.(i) <- levels.(i) + 1
+        done);
+  let rng = Sim.Rng.create 73 in
+  let cross_check step =
+    let brute_total = ref 0 in
+    let brute_free = ref 0 in
+    for block = 0 to blocks - 1 do
+      (match Ftl.Engine.block_class engine block with
+      | Ftl.Engine.Retired -> ()
+      | _ ->
+          for page = 0 to pages - 1 do
+            brute_total := !brute_total + policy.Ftl.Policy.data_slots ~block ~page
+          done);
+      if Ftl.Engine.block_class engine block = Ftl.Engine.Free then
+        incr brute_free
+    done;
+    checki
+      (Printf.sprintf "total_data_slots matches brute force at step %d" step)
+      !brute_total
+      (Ftl.Engine.total_data_slots engine);
+    checki
+      (Printf.sprintf "free_blocks matches classes at step %d" step)
+      !brute_free
+      (Ftl.Engine.free_blocks engine)
+  in
+  for step = 1 to 3000 do
+    let lba = Sim.Rng.int rng 300 in
+    (match Ftl.Engine.write engine ~logical:lba ~payload:step with
+    | Ok () -> ()
+    | Error `No_space -> ());
+    if step mod 7 = 0 then
+      Ftl.Engine.discard engine ~logical:(Sim.Rng.int rng 300);
+    if step mod 200 = 0 then cross_check step
+  done;
+  cross_check 3001
+
 let make_engine ?(seed = 1) ?(logical = 256) ?(model = gentle_model) () =
   let chip =
     Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model ()
@@ -700,6 +800,10 @@ let suite =
     ("buffer dedupe", `Quick, test_buffer_dedupe);
     ("buffer pop order", `Quick, test_buffer_pop_order);
     ("buffer drop then rewrite", `Quick, test_buffer_drop_then_rewrite);
+    ("blockset ascending iteration", `Quick, test_blockset_ascending);
+    ("intheap sorted pops", `Quick, test_intheap_sorted_pops);
+    ("incremental accounting brute force", `Slow,
+     test_incremental_accounting_matches_brute_force);
     ("engine read-your-writes", `Quick, test_engine_read_your_writes);
     ("engine unmapped read", `Quick, test_engine_unmapped_read);
     ("engine overwrite", `Quick, test_engine_overwrite);
