@@ -414,6 +414,85 @@ let monitor_subjects () =
       (Staged.stage (fun () -> fleet (Some 1)));
   ]
 
+let traffic_subjects () =
+  (* ISSUE 6's substrate: the trace generator, the replayer, and the
+     batched submission path that amortizes per-op overhead.  The gentle
+     wear model keeps the devices healthy across thousands of bench
+     iterations, so every run measures the same steady state. *)
+  let spec =
+    {
+      Traffic.Gen.default_spec with
+      Traffic.Gen.tenants = 64;
+      ops = 2_000;
+      window = 1024;
+    }
+  in
+  let trace = Traffic.Gen.generate spec ~seed:7 in
+  let geometry = Experiments.Defaults.geometry in
+  let gentle =
+    Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+  in
+  let replay_device =
+    let d =
+      Ftl.Baseline_ssd.create ~geometry ~model:gentle ~rng:(Sim.Rng.create 5) ()
+    in
+    Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d)
+  in
+  let prefill =
+    Stdlib.min 1024 (Ftl.Device_intf.logical_capacity replay_device)
+  in
+  ignore
+    (Ftl.Device_intf.write_many replay_device
+       (Array.init prefill (fun i -> (i, i))));
+  let population = Traffic.Tenant.create ~tenants:64 () in
+  (* Twin engines on the same scale for the submission-path comparison:
+     64 distinct LBAs per round, once through Engine.write in a loop and
+     once through Engine.write_batch. *)
+  let make_engine seed =
+    let chip =
+      Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model:gentle ()
+    in
+    let policy =
+      Ftl.Policy.always_fresh
+        ~opages_per_fpage:geometry.Flash.Geometry.opages_per_fpage
+    in
+    let slots =
+      geometry.Flash.Geometry.blocks * geometry.Flash.Geometry.pages_per_block
+      * geometry.Flash.Geometry.opages_per_fpage
+    in
+    let logical = slots * 3 / 4 in
+    let engine =
+      Ftl.Engine.create ~chip ~rng:(Sim.Rng.create (seed + 1)) ~policy
+        ~logical_capacity:logical ()
+    in
+    for lba = 0 to logical - 1 do
+      ignore (Ftl.Engine.write engine ~logical:lba ~payload:lba)
+    done;
+    ignore (Ftl.Engine.flush engine);
+    engine
+  in
+  let per_op_engine = make_engine 23 and batch_engine = make_engine 23 in
+  let entries = Array.init 64 (fun i -> (i, i)) in
+  [
+    Test.make ~name:"traffic/generate_2k"
+      (Staged.stage (fun () -> ignore (Traffic.Gen.generate spec ~seed:7)));
+    Test.make ~name:"traffic/replay_2k"
+      (Staged.stage (fun () ->
+           ignore
+             (Traffic.Replay.run ~qos:Traffic.Qos.default_config
+                ~intensity:(fun ~op -> Traffic.Gen.intensity spec ~op)
+                ~population ~trace ~device:replay_device ())));
+    Test.make ~name:"traffic/engine_write_per_op_64"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun (logical, payload) ->
+               ignore (Ftl.Engine.write per_op_engine ~logical ~payload))
+             entries));
+    Test.make ~name:"traffic/engine_write_batch_64"
+      (Staged.stage (fun () ->
+           ignore (Ftl.Engine.write_batch batch_engine entries)));
+  ]
+
 (* Flat {"subject": ns_per_run} JSON, one line per subject in sorted
    order, so CI diffs of the artifact stay readable. *)
 let write_json_results path rows =
@@ -435,6 +514,7 @@ let run_micro ?json_path () =
     @ cluster_subjects () @ service_subjects () @ disturb_subjects ()
     @ fleet_subjects () @ carbon_subjects () @ chaos_subjects ()
     @ telemetry_subjects () @ monitor_subjects () @ parallel_subjects ()
+    @ traffic_subjects ()
   in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in
@@ -516,7 +596,7 @@ let usage () =
     (fun (id, _) -> Printf.printf "  %s\n" id)
     Experiments.All.experiments;
   print_endline "  micro (Bechamel micro-benchmarks)";
-  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_5.json)";
+  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_6.json)";
   print_endline "  all (default: everything)"
 
 let () =
@@ -526,7 +606,7 @@ let () =
       run_all fmt;
       run_micro ()
   | [| _; "micro" |] -> run_micro ()
-  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_5.json" ()
+  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_6.json" ()
   | [| _; "micro"; "--json"; path |] -> run_micro ~json_path:path ()
   | [| _; id |] -> (
       match List.assoc_opt id Experiments.All.experiments with

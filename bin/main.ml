@@ -547,6 +547,109 @@ let chaos_cmd =
         (const run $ tel_opts_term $ jobs_term $ mon_opts_term $ plan $ seed
         $ steps))
 
+(* --- traffic ----------------------------------------------------------------- *)
+
+let traffic_cmd =
+  let tenants =
+    Arg.(
+      value & opt int 64
+      & info [ "tenants" ] ~docv:"N" ~doc:"Simulated tenants issuing the mix.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 12_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Trace length in accesses.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Ops per submission batch (1 = per-op submission).")
+  in
+  let qos =
+    Arg.(
+      value & opt bool true
+      & info [ "qos" ] ~docv:"BOOL"
+          ~doc:"Per-tenant token-bucket QoS (weighted bandwidth sharing).")
+  in
+  let plan =
+    Arg.(
+      value & opt string "media"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan for the chaos cells (media faults only; kills and \
+             crashes are filtered out).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Replay this trace file (salamander-trace v1) instead of \
+             generating one; --tenants/--ops/--seed still shape pacing and \
+             the tenant population.")
+  in
+  let emit_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-trace" ] ~docv:"FILE"
+          ~doc:"Also write the trace being replayed to $(docv).")
+  in
+  let latency_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "latency-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the latency-percentile table as JSON to $(docv) (\"-\" \
+             for stdout).")
+  in
+  let run tel jobs tenants ops seed batch qos plan trace_file emit_trace
+      latency_json =
+    match Faults.Plan.parse plan with
+    | Error msg -> `Error (false, msg)
+    | Ok plan -> (
+        let trace =
+          match trace_file with
+          | Some path -> Workload.Trace.of_file ~path
+          | None -> Ok (Experiments.Traffic_run.make_trace ~tenants ~ops ~seed)
+        in
+        match trace with
+        | Error msg -> `Error (false, msg)
+        | Ok trace ->
+            Option.iter (fun path -> Workload.Trace.to_file trace ~path)
+              emit_trace;
+            let rows =
+              with_context tel ~jobs (fun ctx ->
+                  Telemetry.Trace.with_span
+                    ~registry:ctx.Experiments.Ctx.registry "traffic"
+                    (fun () ->
+                      Experiments.Traffic_run.run ~ctx ~tenants ~ops ~seed
+                        ~batch ~qos ~plan ~trace fmt))
+            in
+            Option.iter
+              (fun path ->
+                Telemetry.Export.write_file ~path
+                  (Experiments.Traffic_run.rows_to_json rows ^ "\n"))
+              latency_json;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Replay a multi-tenant trace against all device designs and report \
+          per-tenant QoS plus p50/p95/p99/p999 latency (byte-identical at \
+          any --jobs)")
+    Term.(
+      ret
+        (const run $ tel_opts_term $ jobs_term $ tenants $ ops $ seed $ batch
+        $ qos $ plan $ trace_file $ emit_trace $ latency_json))
+
 (* --- monitor ----------------------------------------------------------------- *)
 
 let monitor_cmd =
@@ -697,4 +800,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ experiments_cmd; age_cmd; fleet_cmd; monitor_cmd; stats_cmd;
-            chaos_cmd; levels_cmd; carbon_cmd; tco_cmd ]))
+            chaos_cmd; traffic_cmd; levels_cmd; carbon_cmd; tco_cmd ]))

@@ -672,6 +672,14 @@ module As_device = struct
   let initial_capacity t = t.initial_mdisks * t.config.mdisk_opages
   let host_writes = host_writes
   let write_amplification = write_amplification
+
+  let bg_stats t =
+    {
+      Ftl.Device_intf.gc_runs = Ftl.Engine.gc_runs t.engine;
+      relocated_opages = Ftl.Engine.relocated_opages t.engine;
+      read_retries = Ftl.Engine.read_retries t.engine;
+      read_reclaims = Ftl.Engine.read_reclaims t.engine;
+    }
 end
 
 let pack t = Ftl.Device_intf.Packed ((module As_device), t)

@@ -1,0 +1,49 @@
+(** TRAFFIC: request latency under multi-tenant load (ROADMAP item 3).
+
+    One shared trace ({!Traffic.Gen}) replayed against the three device
+    designs, fault-free and under a chaos plan: six cells fanned over
+    the pool, rendered and absorbed in submission order, so the report
+    is byte-identical at any job count.  Each cell reports p50/p95/p99/
+    p999 request latency (all/read/write), the per-tenant QoS summary
+    (throttles, SLO violations, busiest tenants) and the background
+    activity the latency model charged; the final table compares tails
+    across designs and shows what the fault plan does to them. *)
+
+type row = {
+  label : string;  (** device kind *)
+  chaos : bool;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+  max_us : float;
+  completed : int;
+  throttled : int;
+  violations : int;
+  read_errors : int;
+}
+
+val make_trace : tenants:int -> ops:int -> seed:int -> Workload.Trace.t
+(** The trace {!run} would generate for these parameters — the CLI's
+    [--emit-trace] writes exactly this, so a saved trace replays
+    identically to the generated one. *)
+
+val run :
+  ?ctx:Ctx.t ->
+  ?tenants:int ->
+  ?ops:int ->
+  ?seed:int ->
+  ?batch:int ->
+  ?qos:bool ->
+  ?plan:Faults.Plan.t ->
+  ?trace:Workload.Trace.t ->
+  Format.formatter ->
+  row list
+(** Run the six cells (defaults: 64 tenants, 12k ops, seed 42, batches
+    of 16, QoS on, the [media] fault preset).  [trace] replaces the
+    generated trace (the CLI's [--trace]); its events are folded into
+    the tenant population and device capacity by the replayer.  Returns
+    one row per cell in report order. *)
+
+val rows_to_json : row list -> string
+(** The latency table as one JSON object (the CI artifact). *)

@@ -116,3 +116,11 @@ let logical_capacity t = if t.dead then 0 else t.capacity
 let initial_capacity t = t.capacity
 let host_writes t = Engine.host_writes t.engine
 let write_amplification t = Engine.write_amplification t.engine
+
+let bg_stats t =
+  {
+    Device_intf.gc_runs = Engine.gc_runs t.engine;
+    relocated_opages = Engine.relocated_opages t.engine;
+    read_retries = Engine.read_retries t.engine;
+    read_reclaims = Engine.read_reclaims t.engine;
+  }

@@ -8,6 +8,16 @@
 type write_error = [ `Dead | `No_space | `Out_of_range ]
 type read_error = [ `Dead | `Unmapped | `Uncorrectable | `Out_of_range ]
 
+(** Cumulative background-activity counters, so a latency model can diff
+    them around a foreground op and charge the queueing delay the
+    intervening GC / scrub / retry work caused. *)
+type bg_stats = {
+  gc_runs : int;
+  relocated_opages : int;  (** GC + scrub/decommission relocations *)
+  read_retries : int;  (** retry-ladder rungs walked *)
+  read_reclaims : int;  (** pages scrubbed by read-reclaim *)
+}
+
 module type S = sig
   type t
 
@@ -29,6 +39,9 @@ module type S = sig
   val initial_capacity : t -> int
   val host_writes : t -> int
   val write_amplification : t -> float
+
+  val bg_stats : t -> bg_stats
+  (** Snapshot of the device's cumulative background activity. *)
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -43,3 +56,22 @@ let logical_capacity (Packed ((module D), d)) = D.logical_capacity d
 let initial_capacity (Packed ((module D), d)) = D.initial_capacity d
 let host_writes (Packed ((module D), d)) = D.host_writes d
 let write_amplification (Packed ((module D), d)) = D.write_amplification d
+let bg_stats (Packed ((module D), d)) = D.bg_stats d
+
+(* Submit a batch through the flat interface.  Devices whose capacity can
+   move mid-batch (CVSS shrinks, Salamander decommissions) make a true
+   batched entry point ambiguous — which entries were in range? — so the
+   packed path loops per-op and reports how far it got; the per-batch
+   amortization lives in [Engine.write_batch] below the device layer and
+   in the replayer's submission-cost model above it. *)
+let write_many p entries =
+  let n = Array.length entries in
+  let rec go i =
+    if i >= n then (i, None)
+    else
+      let lba, payload = entries.(i) in
+      match write p ~lba ~payload with
+      | Ok () -> go (i + 1)
+      | Error e -> (i, Some e)
+  in
+  go 0

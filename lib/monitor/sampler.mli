@@ -3,7 +3,8 @@
     Each call to {!sample} snapshots a {!Telemetry.Registry} and appends
     one sample per metric field to the matching {!Series}: counters and
     gauges contribute a ["value"] field, histograms a ["count"] field
-    always plus ["mean"] and ["p99"] once they hold observations (so
+    always plus ["mean"], ["p99"] and ["p999"] once they hold
+    observations (so
     timelines never carry the NaN an empty histogram summarizes to).
 
     A sampler is single-domain: parallel tasks sample their own
@@ -16,7 +17,7 @@ module Key : sig
   type t = {
     name : string;  (** metric name *)
     labels : Telemetry.Registry.Labels.t;
-    field : string;  (** "value" | "count" | "mean" | "p99" *)
+    field : string;  (** "value" | "count" | "mean" | "p99" | "p999" *)
   }
 
   val compare : t -> t -> int

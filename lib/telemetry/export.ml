@@ -16,9 +16,10 @@ let describe_value = function
       if s.count = 0 then "count=0"
       else
         Printf.sprintf
-          "count=%d mean=%s p50=%s p90=%s p99=%s max=%s" s.count
-          (float_str s.mean) (float_str s.p50) (float_str s.p90)
-          (float_str s.p99) (float_str s.max)
+          "count=%d mean=%s p50=%s p90=%s p95=%s p99=%s p999=%s max=%s"
+          s.count (float_str s.mean) (float_str s.p50) (float_str s.p90)
+          (float_str s.p95) (float_str s.p99) (float_str s.p999)
+          (float_str s.max)
 
 let metric_id sample =
   match sample.labels with
@@ -93,7 +94,10 @@ let to_prometheus samples =
                      (prom_labels
                         (Labels.v (("quantile", quantile) :: s.labels)))
                      (prom_float v)))
-              [ ("0.5", sum.p50); ("0.9", sum.p90); ("0.99", sum.p99) ];
+              [
+                ("0.5", sum.p50); ("0.9", sum.p90); ("0.95", sum.p95);
+                ("0.99", sum.p99); ("0.999", sum.p999);
+              ];
           Buffer.add_string buffer
             (Printf.sprintf "%s_count%s %d\n" s.name (prom_labels s.labels)
                sum.count);
@@ -153,10 +157,10 @@ let to_jsonl samples =
     | Histogram sum ->
         Printf.sprintf
           "{%s,\"type\":\"histogram\",\"count\":%d,\"mean\":%s,\"min\":%s,\
-           \"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+           \"max\":%s,\"p50\":%s,\"p90\":%s,\"p95\":%s,\"p99\":%s,\"p999\":%s}"
           common sum.count (json_float sum.mean) (json_float sum.min)
           (json_float sum.max) (json_float sum.p50) (json_float sum.p90)
-          (json_float sum.p99)
+          (json_float sum.p95) (json_float sum.p99) (json_float sum.p999)
   in
   String.concat "" (List.map (fun s -> line s ^ "\n") samples)
 
@@ -304,6 +308,14 @@ let of_jsonl text =
     | _ -> failwith (Printf.sprintf "jsonl: field %S is not a number" name)
   in
   let get_int fields name = int_of_float (get_float fields name) in
+  (* Fields added after a format was first emitted (p95/p999) read as
+     [nan] from older artifacts instead of failing the whole parse. *)
+  let get_float_opt fields name =
+    match List.assoc_opt name fields with
+    | Some (Json.Number x) -> x
+    | Some Json.Null | None -> nan
+    | Some _ -> failwith (Printf.sprintf "jsonl: field %S is not a number" name)
+  in
   let sample_of_line line =
     match Json.of_line line with
     | Json.Object fields ->
@@ -332,7 +344,9 @@ let of_jsonl text =
                   max = get_float fields "max";
                   p50 = get_float fields "p50";
                   p90 = get_float fields "p90";
+                  p95 = get_float_opt fields "p95";
                   p99 = get_float fields "p99";
+                  p999 = get_float_opt fields "p999";
                 }
           | kind -> failwith (Printf.sprintf "jsonl: unknown type %S" kind)
         in

@@ -225,7 +225,9 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 type value = Counter of int | Gauge of float | Histogram of summary
@@ -245,7 +247,9 @@ let summarize (h : Histogram.t) =
     max = Histogram.max h;
     p50 = Histogram.percentile h 0.5;
     p90 = Histogram.percentile h 0.9;
+    p95 = Histogram.percentile h 0.95;
     p99 = Histogram.percentile h 0.99;
+    p999 = Histogram.percentile h 0.999;
   }
 
 let entries t = locked t (fun () -> List.map (fun (name, key) -> (name, Hashtbl.find t.table key)) t.names)

@@ -116,7 +116,9 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 type value = Counter of int | Gauge of float | Histogram of summary

@@ -1,0 +1,95 @@
+type spec = {
+  tenants : int;
+  ops : int;
+  window : int;
+  profiles : Tenant.profile list;
+  popularity_theta : float;
+  burst_period : int;
+  burst_duty : float;
+  diurnal_period : int;
+  diurnal_amplitude : float;
+}
+
+let default_spec =
+  {
+    tenants = 200;
+    ops = 20_000;
+    window = 16_384;
+    profiles = Tenant.default_profiles;
+    popularity_theta = 0.9;
+    burst_period = 2_000;
+    burst_duty = 0.4;
+    diurnal_period = 10_000;
+    diurnal_amplitude = 0.6;
+  }
+
+let check spec =
+  if spec.tenants <= 0 then invalid_arg "Gen: tenants must be positive";
+  if spec.ops < 0 then invalid_arg "Gen: ops must be non-negative";
+  if spec.window <= 0 then invalid_arg "Gen: window must be positive";
+  if spec.burst_period > 0 && not (spec.burst_duty > 0. && spec.burst_duty <= 1.)
+  then invalid_arg "Gen: burst_duty must be in (0, 1]";
+  if not (spec.diurnal_amplitude >= 0. && spec.diurnal_amplitude < 1.) then
+    invalid_arg "Gen: diurnal_amplitude must be in [0, 1)"
+
+let pi = 4. *. Stdlib.atan 1.
+
+let intensity spec ~op =
+  if spec.diurnal_period <= 0 || spec.diurnal_amplitude <= 0. then 1.
+  else
+    let phase =
+      2. *. pi
+      *. float_of_int (op mod spec.diurnal_period)
+      /. float_of_int spec.diurnal_period
+    in
+    (* Peak at the cycle's start, trough at [1 - amplitude] halfway. *)
+    1. -. (spec.diurnal_amplitude *. 0.5 *. (1. -. Stdlib.cos phase))
+
+let tenant_on spec ~tenant ~op =
+  spec.burst_period <= 0
+  ||
+  let phase = (tenant * 2654435761) land max_int mod spec.burst_period in
+  let on_span =
+    Stdlib.max 1
+      (int_of_float (spec.burst_duty *. float_of_int spec.burst_period))
+  in
+  (op + phase) mod spec.burst_period < on_span
+
+let generate spec ~seed =
+  check spec;
+  let rng = Sim.Rng.create seed in
+  let population = Tenant.create ~profiles:spec.profiles ~tenants:spec.tenants () in
+  let popularity =
+    if spec.popularity_theta <= 0. then None
+    else Some (Sim.Dist.Zipf.create ~n:spec.tenants ~theta:spec.popularity_theta)
+  in
+  let draw_tenant () =
+    match popularity with
+    | Some zipf -> Sim.Dist.Zipf.sample zipf rng
+    | None -> Sim.Rng.int rng spec.tenants
+  in
+  let trace = Workload.Trace.create () in
+  for op = 0 to spec.ops - 1 do
+    (* Re-draw a bursting-off tenant a bounded number of times: the trace
+       stays exactly [ops] long, the off-phase just sheds most of its
+       load onto whoever is on. *)
+    let rec pick retries =
+      let tenant = draw_tenant () in
+      if retries = 0 || tenant_on spec ~tenant ~op then tenant
+      else pick (retries - 1)
+    in
+    let tenant = pick 8 in
+    let profile = Tenant.profile_of population tenant in
+    let kind =
+      if Sim.Rng.chance rng profile.Tenant.read_fraction then
+        Workload.Access.Read
+      else Workload.Access.Write
+    in
+    let lba =
+      Tenant.base_lba population tenant ~window:spec.window
+      + Tenant.next_local population tenant ~rng
+    in
+    Workload.Trace.record_event trace
+      { Workload.Trace.tenant; access = { Workload.Access.kind; lba } }
+  done;
+  trace

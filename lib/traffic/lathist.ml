@@ -1,0 +1,80 @@
+let lo_us = 1.0
+let buckets_per_decade = 24
+let decades = 7
+
+let n_buckets = (buckets_per_decade * decades) + 1 (* + overflow *)
+let overflow = n_buckets - 1
+let log_ratio = Stdlib.log 10. /. float_of_int buckets_per_decade
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  {
+    counts = Array.make n_buckets 0;
+    count = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let bucket_of v =
+  if v <= lo_us then 0
+  else
+    let i = int_of_float (Stdlib.log (v /. lo_us) /. log_ratio) in
+    if i >= overflow then overflow else i
+
+(* Geometric midpoint of bucket [i]'s range [lo_us * 10^(i/bpd),
+   lo_us * 10^((i+1)/bpd)). *)
+let representative t i =
+  if i = overflow then t.vmax
+  else lo_us *. Stdlib.exp ((float_of_int i +. 0.5) *. log_ratio)
+
+let observe t v =
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+let min t = if t.count = 0 then nan else t.vmin
+let max t = if t.count = 0 then nan else t.vmax
+
+let percentile t q =
+  if t.count = 0 then nan
+  else begin
+    let q = Stdlib.min 1. (Stdlib.max 0. q) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.count)))
+    in
+    let rec walk i seen =
+      let seen = seen + t.counts.(i) in
+      if seen >= rank || i = overflow then representative t i
+      else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let merge ~into src =
+  Array.iteri
+    (fun i n -> into.counts.(i) <- into.counts.(i) + n)
+    src.counts;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax
+
+let pp_row ppf t =
+  if t.count = 0 then
+    Format.fprintf ppf "%10s %10s %10s %10s %10s" "-" "-" "-" "-" "-"
+  else
+    Format.fprintf ppf "%10.1f %10.1f %10.1f %10.1f %10.1f" (percentile t 0.5)
+      (percentile t 0.95) (percentile t 0.99) (percentile t 0.999) t.vmax

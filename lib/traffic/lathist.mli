@@ -1,0 +1,48 @@
+(** Fixed-bucket latency histogram for request-latency percentiles.
+
+    Telemetry's {!Telemetry.Registry.Histogram} buckets linearly over a
+    caller-chosen range — fine for error counts, useless for latencies
+    spanning five decades where p999 must stay resolvable next to p50.
+    This histogram is log-spaced: a fixed layout of [buckets_per_decade]
+    buckets per decade from [lo_us] up, so relative resolution is
+    constant (~10% at 24 buckets/decade) at every magnitude and two
+    histograms always merge bucket-for-bucket.
+
+    Count, sum, min and max are exact; percentiles are bucket
+    approximations (the bucket's geometric midpoint).  All operations
+    are single-domain; parallel cells keep their own histogram and the
+    driver {!merge}s in submission order, so results are deterministic
+    at any job count. *)
+
+type t
+
+val lo_us : float
+(** Lower edge of the first bucket (1 us); smaller observations clamp
+    into it. *)
+
+val buckets_per_decade : int
+
+val decades : int
+(** Span of the bucketed range; beyond it observations land in one
+    overflow bucket whose representative value is the observed max. *)
+
+val create : unit -> t
+val observe : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** [nan] when empty. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q] in \[0, 1\]; [nan] when empty. *)
+
+val merge : into:t -> t -> unit
+(** Add the source's buckets into [into]; exact for count/sum/min/max. *)
+
+val pp_row : Format.formatter -> t -> unit
+(** Render [p50 p95 p99 p999 max] in microseconds, fixed width — one row
+    of the latency tables (a count-0 histogram renders dashes). *)

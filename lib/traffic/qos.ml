@@ -1,0 +1,47 @@
+type config = { bandwidth_ops_per_s : float; burst_ops : float }
+
+let default_config = { bandwidth_ops_per_s = 50_000.; burst_ops = 32. }
+
+type t = {
+  rates_per_us : float array;
+  burst : float;
+  tokens : float array;
+  last_us : float array;
+}
+
+let create config ~weights =
+  if config.bandwidth_ops_per_s <= 0. then
+    invalid_arg "Qos.create: bandwidth must be positive";
+  if config.burst_ops < 1. then invalid_arg "Qos.create: burst_ops must be >= 1";
+  let total = Array.fold_left ( +. ) 0. weights in
+  Array.iter
+    (fun w -> if w <= 0. then invalid_arg "Qos.create: weights must be positive")
+    weights;
+  let n = Array.length weights in
+  {
+    rates_per_us =
+      Array.map
+        (fun w -> config.bandwidth_ops_per_s *. w /. total /. 1e6)
+        weights;
+    burst = config.burst_ops;
+    tokens = Array.make n config.burst_ops;
+    last_us = Array.make n 0.;
+  }
+
+let refill t ~tenant ~now_us =
+  let elapsed = now_us -. t.last_us.(tenant) in
+  if elapsed > 0. then begin
+    t.tokens.(tenant) <-
+      Stdlib.min t.burst (t.tokens.(tenant) +. (elapsed *. t.rates_per_us.(tenant)));
+    t.last_us.(tenant) <- now_us
+  end
+
+let admit t ~tenant ~now_us =
+  refill t ~tenant ~now_us;
+  if t.tokens.(tenant) >= 1. then begin
+    t.tokens.(tenant) <- t.tokens.(tenant) -. 1.;
+    `Ok
+  end
+  else `Delay ((1. -. t.tokens.(tenant)) /. t.rates_per_us.(tenant))
+
+let rate t ~tenant = t.rates_per_us.(tenant) *. 1e6

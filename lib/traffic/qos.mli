@@ -1,0 +1,32 @@
+(** Per-tenant QoS: token buckets with weighted sharing of device
+    bandwidth.
+
+    Each tenant owns a bucket refilled at
+    [bandwidth * weight / total_weight] ops per second, with room for
+    [burst_ops] tokens.  Refill is lazy (computed from the elapsed
+    simulated time at each admit), so a million idle tenants cost
+    nothing per tick — state is two floats per tenant. *)
+
+type config = {
+  bandwidth_ops_per_s : float;  (** device bandwidth shared by all tenants *)
+  burst_ops : float;  (** bucket depth, >= 1 *)
+}
+
+val default_config : config
+(** 50k ops/s shared, bursts of 32 ops. *)
+
+type t
+
+val create : config -> weights:float array -> t
+(** One bucket per entry of [weights] (all start full).
+    @raise Invalid_argument on a non-positive bandwidth, burst or
+    weight. *)
+
+val admit : t -> tenant:int -> now_us:float -> [ `Ok | `Delay of float ]
+(** At simulated time [now_us], either consume one token ([`Ok]) or
+    report how long until the bucket holds one ([`Delay us] — the
+    caller advances its clock and re-admits; tokens are not consumed).
+    [now_us] must not move backwards for a given tenant. *)
+
+val rate : t -> tenant:int -> float
+(** The tenant's refill rate, ops per second. *)

@@ -1,0 +1,223 @@
+type config = {
+  arrival_rate_ops_per_s : float;
+  batch : int;
+  submit_us : float;
+  per_op_us : float;
+  read_us : float;
+  write_us : float;
+  trim_us : float;
+  retry_us : float;
+  gc_us : float;
+  relocate_us : float;
+  reclaim_us : float;
+  error_us : float;
+}
+
+let default_config =
+  {
+    arrival_rate_ops_per_s = 5_000.;
+    batch = 16;
+    submit_us = 20.;
+    per_op_us = 2.;
+    read_us = 60.;
+    write_us = 180.;
+    trim_us = 5.;
+    retry_us = 100.;
+    gc_us = 5_000.;
+    relocate_us = 760.;
+    reclaim_us = 60.;
+    error_us = 10_000.;
+  }
+
+type outcome = {
+  issued : int;
+  completed : int;
+  read_errors : int;
+  unmapped_reads : int;
+  write_errors : int;
+  throttled_ops : int;
+  throttle_us : float;
+  slo_violations : int;
+  died : bool;
+  end_us : float;
+  all : Lathist.t;
+  reads : Lathist.t;
+  writes : Lathist.t;
+  accounts : Tenant.Accounts.t;
+}
+
+let bg_cost config (before : Ftl.Device_intf.bg_stats)
+    (after : Ftl.Device_intf.bg_stats) =
+  (float_of_int (after.gc_runs - before.gc_runs) *. config.gc_us)
+  +. float_of_int (after.relocated_opages - before.relocated_opages)
+     *. config.relocate_us
+  +. float_of_int (after.read_retries - before.read_retries) *. config.retry_us
+  +. float_of_int (after.read_reclaims - before.read_reclaims)
+     *. config.reclaim_us
+
+let run ?(config = default_config) ?qos ?intensity ?on_batch ~population ~trace
+    ~device () =
+  if config.batch < 1 then invalid_arg "Replay.run: batch must be >= 1";
+  if config.arrival_rate_ops_per_s <= 0. then
+    invalid_arg "Replay.run: arrival rate must be positive";
+  let qos =
+    Option.map
+      (fun c -> Qos.create c ~weights:(Tenant.qos_weights population))
+      qos
+  in
+  let accounts = Tenant.Accounts.create population in
+  let all = Lathist.create () in
+  let read_lat = Lathist.create () in
+  let write_lat = Lathist.create () in
+  let issued = ref 0 in
+  let completed = ref 0 in
+  let read_errors = ref 0 in
+  let unmapped_reads = ref 0 in
+  let write_errors = ref 0 in
+  let throttled_ops = ref 0 in
+  let throttle_us = ref 0. in
+  let slo_violations = ref 0 in
+  let died = ref false in
+  let arrival = ref 0. in
+  let device_free = ref 0. in
+  let capacity = ref (Ftl.Device_intf.logical_capacity device) in
+  let base_gap = 1e6 /. config.arrival_rate_ops_per_s in
+  let n_tenants = Tenant.tenants population in
+  let op = ref 0 in
+  (try
+     Workload.Trace.iter_events trace (fun event ->
+         let k = !op in
+         incr op;
+         (* Batch boundary: fire the hook (chaos injection), refresh the
+            capacity a shrinking device exports, pay the submission
+            overhead once. *)
+         let batch_head = k mod config.batch = 0 in
+         if batch_head then begin
+           (match on_batch with
+           | Some f -> f ~batch:(k / config.batch)
+           | None -> ());
+           capacity := Ftl.Device_intf.logical_capacity device;
+           if !capacity <= 0 || not (Ftl.Device_intf.alive device) then begin
+             died := true;
+             raise Exit
+           end
+         end;
+         let gap =
+           match intensity with
+           | Some f -> base_gap /. Stdlib.max 1e-6 (f ~op:k)
+           | None -> base_gap
+         in
+         arrival := !arrival +. gap;
+         incr issued;
+         let tenant =
+           ((event.Workload.Trace.tenant mod n_tenants) + n_tenants)
+           mod n_tenants
+         in
+         let lba =
+           let raw = event.Workload.Trace.access.Workload.Access.lba in
+           ((raw mod !capacity) + !capacity) mod !capacity
+         in
+         (* Queue behind the device, then behind the tenant's bucket. *)
+         let start = ref (Stdlib.max !arrival !device_free) in
+         (match qos with
+         | None -> ()
+         | Some qos ->
+             let rec wait attempts =
+               match Qos.admit qos ~tenant ~now_us:!start with
+               | `Ok ->
+                   if attempts > 0 then begin
+                     incr throttled_ops;
+                     Tenant.Accounts.record_throttle accounts ~tenant
+                   end
+               | `Delay d ->
+                   throttle_us := !throttle_us +. d;
+                   start := !start +. d;
+                   (* Refill rounding can leave the bucket a hair short of
+                      a full token; after a few laps let the op through. *)
+                   if attempts < 3 then wait (attempts + 1)
+                   else begin
+                     incr throttled_ops;
+                     Tenant.Accounts.record_throttle accounts ~tenant
+                   end
+             in
+             wait 0);
+         let kind = event.Workload.Trace.access.Workload.Access.kind in
+         let before = Ftl.Device_intf.bg_stats device in
+         let base =
+           match kind with
+           | Workload.Access.Read -> (
+               match Ftl.Device_intf.read device ~lba with
+               | Ok _ -> config.read_us
+               | Error `Unmapped ->
+                   incr unmapped_reads;
+                   config.read_us
+               | Error `Uncorrectable ->
+                   incr read_errors;
+                   config.read_us +. config.error_us
+               | Error (`Dead | `Out_of_range) ->
+                   incr read_errors;
+                   config.read_us +. config.error_us)
+           | Workload.Access.Write -> (
+               match Ftl.Device_intf.write device ~lba ~payload:k with
+               | Ok () -> config.write_us
+               | Error `Out_of_range ->
+                   (* The device shrank under this batch; retry inside the
+                      fresh window before giving up on the op. *)
+                   let capacity' =
+                     Stdlib.max 1 (Ftl.Device_intf.logical_capacity device)
+                   in
+                   capacity := capacity';
+                   (match
+                      Ftl.Device_intf.write device ~lba:(lba mod capacity')
+                        ~payload:k
+                    with
+                   | Ok () -> ()
+                   | Error _ -> incr write_errors);
+                   config.write_us
+               | Error (`Dead | `No_space) ->
+                   incr write_errors;
+                   died := true;
+                   raise Exit)
+           | Workload.Access.Trim ->
+               Ftl.Device_intf.trim device ~lba;
+               config.trim_us
+         in
+         let after = Ftl.Device_intf.bg_stats device in
+         let service =
+           config.per_op_us
+           +. (if batch_head then config.submit_us else 0.)
+           +. base
+           +. bg_cost config before after
+         in
+         let completion = !start +. service in
+         device_free := completion;
+         let latency = completion -. !arrival in
+         incr completed;
+         Lathist.observe all latency;
+         (match kind with
+         | Workload.Access.Read -> Lathist.observe read_lat latency
+         | Workload.Access.Write -> Lathist.observe write_lat latency
+         | Workload.Access.Trim -> ());
+         Tenant.Accounts.record_op accounts ~tenant
+           ~read:(kind = Workload.Access.Read);
+         if latency > (Tenant.profile_of population tenant).Tenant.slo_us then begin
+           incr slo_violations;
+           Tenant.Accounts.record_violation accounts ~tenant
+         end)
+   with Exit -> ());
+  {
+    issued = !issued;
+    completed = !completed;
+    read_errors = !read_errors;
+    unmapped_reads = !unmapped_reads;
+    write_errors = !write_errors;
+    throttled_ops = !throttled_ops;
+    throttle_us = !throttle_us;
+    slo_violations = !slo_violations;
+    died = !died;
+    end_us = !device_free;
+    all;
+    reads = read_lat;
+    writes = write_lat;
+    accounts;
+  }

@@ -1,0 +1,75 @@
+(** Trace replay under a simulated clock: turns a multi-tenant trace plus
+    a device into request latencies.
+
+    The model is a single submission queue of depth one over the device:
+    op [k] arrives open-loop at a paced arrival time (base rate shaped
+    by an optional intensity envelope, normally {!Gen.intensity}),
+    waits for the device to go idle and for its tenant's QoS bucket to
+    admit it, then occupies the device for a service time.  Service is
+    the base read/write cost plus a per-batch submission overhead
+    amortized over [batch] ops plus a {e contention charge}: the
+    device's {!Ftl.Device_intf.bg_stats} are diffed around the op, and
+    every GC pass, relocation, retry rung and read-reclaim that fired
+    inside it stalls the queue by the configured cost — which is how GC,
+    scrub and regeneration churn surface as tail latency.
+
+    Latency = completion - arrival, observed into {!Lathist}s (all /
+    reads / writes) and checked against the tenant's SLO.  Everything is
+    sequential and deterministic for a given trace, device and config. *)
+
+type config = {
+  arrival_rate_ops_per_s : float;  (** offered load before intensity shaping *)
+  batch : int;  (** ops per submission batch (>= 1) *)
+  submit_us : float;  (** once-per-batch submission overhead *)
+  per_op_us : float;  (** per-op CPU cost *)
+  read_us : float;  (** base service of a read hitting flash *)
+  write_us : float;  (** base service of a buffered write (amortized program) *)
+  trim_us : float;
+  retry_us : float;  (** per retry-ladder rung the op triggered *)
+  gc_us : float;  (** per GC pass (the erase) the op absorbed *)
+  relocate_us : float;  (** per oPage relocated under the op *)
+  reclaim_us : float;  (** per read-reclaim scrub the op triggered *)
+  error_us : float;
+      (** host-level recovery charged to an uncorrectable read (the
+          layer above reconstructs the data from elsewhere) *)
+}
+
+val default_config : config
+(** 5k ops/s against TLC-flavoured costs (read 60 us, amortized write
+    180 us, GC pass 5 ms), batches of 16. *)
+
+type outcome = {
+  issued : int;
+  completed : int;
+  read_errors : int;  (** uncorrectable reads *)
+  unmapped_reads : int;
+  write_errors : int;
+  throttled_ops : int;  (** ops a QoS bucket made wait *)
+  throttle_us : float;  (** total time spent waiting on buckets *)
+  slo_violations : int;
+  died : bool;  (** replay stopped because the device failed *)
+  end_us : float;  (** simulated completion time of the last op *)
+  all : Lathist.t;
+  reads : Lathist.t;
+  writes : Lathist.t;
+  accounts : Tenant.Accounts.t;
+}
+
+val run :
+  ?config:config ->
+  ?qos:Qos.config ->
+  ?intensity:(op:int -> float) ->
+  ?on_batch:(batch:int -> unit) ->
+  population:Tenant.t ->
+  trace:Workload.Trace.t ->
+  device:Ftl.Device_intf.packed ->
+  unit ->
+  outcome
+(** Replay the whole trace (stopping early only if the device dies).
+    LBAs are folded into the device's current capacity ([lba mod
+    capacity], re-read at every batch boundary so shrinking devices keep
+    absorbing the full stream); tenant ids are folded into the
+    population likewise.  [on_batch] runs before each batch — the chaos
+    hook point.
+    @raise Invalid_argument if [config.batch < 1] or the arrival rate is
+    non-positive. *)

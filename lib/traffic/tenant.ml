@@ -1,0 +1,177 @@
+type pattern = Sequential | Uniform | Zipfian of float
+
+type profile = {
+  name : string;
+  share : int;
+  pattern : pattern;
+  read_fraction : float;
+  footprint : int;
+  qos_weight : float;
+  slo_us : float;
+}
+
+let default_profiles =
+  [
+    {
+      name = "web";
+      share = 6;
+      pattern = Zipfian 0.99;
+      read_fraction = 0.9;
+      footprint = 256;
+      qos_weight = 4.;
+      slo_us = 2_000.;
+    };
+    {
+      name = "batch";
+      share = 3;
+      pattern = Uniform;
+      read_fraction = 0.5;
+      footprint = 1024;
+      qos_weight = 2.;
+      slo_us = 10_000.;
+    };
+    {
+      name = "logger";
+      share = 1;
+      pattern = Sequential;
+      read_fraction = 0.05;
+      footprint = 512;
+      qos_weight = 1.;
+      slo_us = 20_000.;
+    };
+  ]
+
+type t = {
+  tenants : int;
+  profiles : profile array;
+  total_share : int;
+  cum_share : int array;  (* exclusive prefix sums of shares *)
+  zipfs : Sim.Dist.Zipf.t option array;  (* per profile, over its footprint *)
+  cursors : int array;  (* per tenant, for Sequential profiles *)
+}
+
+let create ?(profiles = default_profiles) ~tenants () =
+  if tenants <= 0 then invalid_arg "Tenant.create: tenants must be positive";
+  if profiles = [] then invalid_arg "Tenant.create: no profiles";
+  List.iter
+    (fun p ->
+      if p.share <= 0 || p.footprint <= 0 || p.qos_weight <= 0. then
+        invalid_arg
+          (Printf.sprintf "Tenant.create: profile %S is malformed" p.name))
+    profiles;
+  let profiles = Array.of_list profiles in
+  let cum_share = Array.make (Array.length profiles) 0 in
+  let total_share = ref 0 in
+  Array.iteri
+    (fun i p ->
+      cum_share.(i) <- !total_share;
+      total_share := !total_share + p.share)
+    profiles;
+  {
+    tenants;
+    profiles;
+    total_share = !total_share;
+    cum_share;
+    zipfs =
+      Array.map
+        (function
+          | { pattern = Zipfian theta; footprint; _ } ->
+              Some (Sim.Dist.Zipf.create ~n:footprint ~theta)
+          | _ -> None)
+        profiles;
+    cursors = Array.make tenants 0;
+  }
+
+let tenants t = t.tenants
+let profiles t = t.profiles
+
+let profile_index t tenant =
+  let r = tenant mod t.total_share in
+  let rec find i =
+    if
+      i = Array.length t.profiles - 1
+      || r < t.cum_share.(i) + t.profiles.(i).share
+    then i
+    else find (i + 1)
+  in
+  find 0
+
+let profile_of t tenant = t.profiles.(profile_index t tenant)
+
+(* Fibonacci-hash the id so footprints scatter over the window instead of
+   packing tenants 0..k into the hottest (lowest, most-cached) LBAs. *)
+let base_lba t tenant ~window =
+  let footprint = (profile_of t tenant).footprint in
+  let span = window - footprint in
+  if span <= 0 then 0
+  else ((tenant * 2654435761) land max_int) mod span
+
+let next_local t tenant ~rng =
+  let i = profile_index t tenant in
+  let p = t.profiles.(i) in
+  match p.pattern with
+  | Sequential ->
+      let local = t.cursors.(tenant) in
+      t.cursors.(tenant) <- (local + 1) mod p.footprint;
+      local
+  | Uniform -> Sim.Rng.int rng p.footprint
+  | Zipfian _ -> (
+      match t.zipfs.(i) with
+      | Some zipf -> Sim.Dist.Zipf.sample zipf rng
+      | None -> assert false)
+
+let qos_weights t =
+  Array.init t.tenants (fun tenant -> (profile_of t tenant).qos_weight)
+
+module Accounts = struct
+  type nonrec t = {
+    ops : int array;
+    reads : int array;
+    throttles : int array;
+    violations : int array;
+  }
+
+  let create population =
+    let n = population.tenants in
+    {
+      ops = Array.make n 0;
+      reads = Array.make n 0;
+      throttles = Array.make n 0;
+      violations = Array.make n 0;
+    }
+
+  let record_op t ~tenant ~read =
+    t.ops.(tenant) <- t.ops.(tenant) + 1;
+    if read then t.reads.(tenant) <- t.reads.(tenant) + 1
+
+  let record_throttle t ~tenant = t.throttles.(tenant) <- t.throttles.(tenant) + 1
+  let record_violation t ~tenant =
+    t.violations.(tenant) <- t.violations.(tenant) + 1
+
+  let ops t tenant = t.ops.(tenant)
+  let reads t tenant = t.reads.(tenant)
+  let throttles t tenant = t.throttles.(tenant)
+  let violations t tenant = t.violations.(tenant)
+
+  let totals t =
+    let sum a = Array.fold_left ( + ) 0 a in
+    (sum t.ops, sum t.reads, sum t.throttles, sum t.violations)
+
+  let active t =
+    Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 t.ops
+
+  let top t ~n =
+    let ids = Array.init (Array.length t.ops) Fun.id in
+    Array.sort
+      (fun a b ->
+        match compare t.ops.(b) t.ops.(a) with 0 -> compare a b | c -> c)
+      ids;
+    Array.to_list (Array.sub ids 0 (Stdlib.min n (Array.length ids)))
+
+  let merge ~into src =
+    let add dst src = Array.iteri (fun i n -> dst.(i) <- dst.(i) + n) src in
+    add into.ops src.ops;
+    add into.reads src.reads;
+    add into.throttles src.throttles;
+    add into.violations src.violations
+end

@@ -14,7 +14,9 @@ let sync_window pattern device ~utilization =
   if window <> Pattern.window pattern && capacity > 0 then
     Pattern.resize pattern ~window
 
-let run_until ?(utilization = 0.85) ~rng ~pattern ~device ~stop () =
+let run_until ?(stop_every = 256) ?(utilization = 0.85) ~rng ~pattern ~device
+    ~stop () =
+  if stop_every <= 0 then invalid_arg "Aging.run_until: stop_every";
   let host_writes = ref 0 in
   let reads = ref 0 in
   let unmapped_reads = ref 0 in
@@ -26,7 +28,7 @@ let run_until ?(utilization = 0.85) ~rng ~pattern ~device ~stop () =
          died := true;
          raise Exit
        end;
-       if !host_writes land 0xff = 0 then
+       if !host_writes mod stop_every = 0 then
          sync_window pattern device ~utilization;
        let access = Pattern.next pattern rng in
        match access.Access.kind with

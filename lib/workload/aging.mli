@@ -28,6 +28,7 @@ val run :
     shrinks. *)
 
 val run_until :
+  ?stop_every:int ->
   ?utilization:float ->
   rng:Sim.Rng.t ->
   pattern:Pattern.t ->
@@ -35,6 +36,10 @@ val run_until :
   stop:(int -> bool) ->
   unit ->
   outcome
-(** Same, but the [stop] predicate (called with accepted writes so far,
-    every 256 writes) ends the run; used by fleet simulations that
-    interleave devices. *)
+(** Same, but the [stop] predicate (called with accepted writes so far)
+    ends the run; used by fleet simulations that interleave devices.  The
+    pattern window is resynced to the device's current capacity every
+    [stop_every] accepted writes (default 256) — callers interleaving at
+    finer granularity (fleet epochs, the traffic replayer) pass a smaller
+    stride so a shrink is noticed within their slice.
+    @raise Invalid_argument if [stop_every <= 0]. *)

@@ -12,6 +12,7 @@ let () =
       ("core", Test_core.suite);
       ("difs", Test_difs.suite);
       ("workload", Test_workload.suite);
+      ("traffic", Test_traffic.suite);
       ("sustain", Test_sustain.suite);
       ("experiments", Test_experiments.suite);
     ]

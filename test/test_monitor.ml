@@ -95,7 +95,8 @@ let test_sampler_snapshots_registry () =
   in
   Alcotest.(check (list string))
     "mean/p99 appear once observed"
-    [ "depth"; "lat_us.count"; "lat_us.mean"; "lat_us.p99"; "writes_total" ]
+    [ "depth"; "lat_us.count"; "lat_us.mean"; "lat_us.p99"; "lat_us.p999";
+      "writes_total" ]
     keys;
   match Monitor.Sampler.find s (Monitor.Sampler.key "writes_total") with
   | Some series ->

@@ -1,0 +1,331 @@
+(* Tests for the traffic library: the log-spaced latency histogram, QoS
+   token buckets, the multi-tenant generator, the replayer, and the
+   batched Engine submission path the replayer's cost model assumes. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let geometry = Experiments.Defaults.geometry
+
+let gentle_model =
+  Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:1_000_000 ()
+
+(* --- latency histogram --------------------------------------------------- *)
+
+let test_lathist_exact_stats () =
+  let h = Traffic.Lathist.create () in
+  List.iter (Traffic.Lathist.observe h) [ 10.; 100.; 1000.; 10_000. ];
+  checki "count" 4 (Traffic.Lathist.count h);
+  checkb "sum exact" true (Traffic.Lathist.sum h = 11_110.);
+  checkb "min exact" true (Traffic.Lathist.min h = 10.);
+  checkb "max exact" true (Traffic.Lathist.max h = 10_000.);
+  (* Percentiles are bucket representatives: ~10% relative resolution. *)
+  let p50 = Traffic.Lathist.percentile h 0.5 in
+  checkb "p50 within bucket resolution of 100us" true
+    (Float.abs (p50 -. 100.) /. 100. < 0.12)
+
+let test_lathist_percentiles_monotone () =
+  let h = Traffic.Lathist.create () in
+  for i = 1 to 500 do
+    Traffic.Lathist.observe h (float_of_int (i * i))
+  done;
+  let p q = Traffic.Lathist.percentile h q in
+  checkb "p50 <= p95" true (p 0.5 <= p 0.95);
+  checkb "p95 <= p99" true (p 0.95 <= p 0.99);
+  checkb "p99 <= p999" true (p 0.99 <= p 0.999);
+  checkb "p999 <= max" true (p 0.999 <= Traffic.Lathist.max h)
+
+let test_lathist_empty_and_overflow () =
+  let h = Traffic.Lathist.create () in
+  checkb "empty percentile is nan" true
+    (Float.is_nan (Traffic.Lathist.percentile h 0.5));
+  checkb "empty mean is nan" true (Float.is_nan (Traffic.Lathist.mean h));
+  let rendered = Format.asprintf "%a" Traffic.Lathist.pp_row h in
+  checkb "empty row renders dashes" true (String.contains rendered '-');
+  (* Beyond the bucketed decades everything lands in the overflow bucket,
+     whose representative is the exact observed max. *)
+  Traffic.Lathist.observe h 1e12;
+  checkb "overflow p999 = max" true
+    (Traffic.Lathist.percentile h 0.999 = 1e12)
+
+let prop_lathist_merge =
+  QCheck.Test.make ~count:100 ~name:"lathist merge = combined observations"
+    QCheck.(
+      pair
+        (list (float_bound_exclusive 1e8))
+        (list (float_bound_exclusive 1e8)))
+    (fun (xs, ys) ->
+      let observe_all h vs = List.iter (Traffic.Lathist.observe h) vs in
+      let merged = Traffic.Lathist.create ()
+      and src = Traffic.Lathist.create ()
+      and combined = Traffic.Lathist.create () in
+      observe_all merged xs;
+      observe_all src ys;
+      Traffic.Lathist.merge ~into:merged src;
+      observe_all combined (xs @ ys);
+      Traffic.Lathist.count merged = Traffic.Lathist.count combined
+      && compare (Traffic.Lathist.min merged) (Traffic.Lathist.min combined) = 0
+      && compare (Traffic.Lathist.max merged) (Traffic.Lathist.max combined) = 0
+      && Float.abs (Traffic.Lathist.sum merged -. Traffic.Lathist.sum combined)
+         <= 1e-6 *. Float.abs (Traffic.Lathist.sum combined)
+      && List.for_all
+           (fun q ->
+             compare
+               (Traffic.Lathist.percentile merged q)
+               (Traffic.Lathist.percentile combined q)
+             = 0)
+           [ 0.5; 0.9; 0.99; 0.999 ])
+
+(* --- QoS ------------------------------------------------------------------ *)
+
+let test_qos_bucket () =
+  let qos =
+    Traffic.Qos.create
+      { Traffic.Qos.bandwidth_ops_per_s = 1_000_000.; burst_ops = 4. }
+      ~weights:[| 1.; 3. |]
+  in
+  checkb "rates split by weight" true
+    (Float.abs
+       ((Traffic.Qos.rate qos ~tenant:1 /. Traffic.Qos.rate qos ~tenant:0)
+       -. 3.)
+    < 1e-9);
+  (* The bucket starts full: the whole burst admits at t=0, then the
+     next op must wait one refill interval (1/rate = 4us for tenant 0). *)
+  for i = 1 to 4 do
+    checkb
+      (Printf.sprintf "burst admit %d" i)
+      true
+      (Traffic.Qos.admit qos ~tenant:0 ~now_us:0. = `Ok)
+  done;
+  match Traffic.Qos.admit qos ~tenant:0 ~now_us:0. with
+  | `Ok -> Alcotest.fail "empty bucket admitted"
+  | `Delay d ->
+      checkb "delay is one refill interval" true
+        (d > 0. && Float.abs (d -. 4.) < 0.5);
+      checkb "admitted after waiting" true
+        (Traffic.Qos.admit qos ~tenant:0 ~now_us:(d *. 1.001) = `Ok)
+
+let test_qos_rejects_bad_config () =
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Qos.create: weights must be positive") (fun () ->
+      ignore
+        (Traffic.Qos.create Traffic.Qos.default_config ~weights:[| 1.; 0. |]))
+
+(* --- generator ------------------------------------------------------------ *)
+
+(* Window must cover the widest default footprint (batch: 1024 LBAs) so
+   every generated LBA stays inside it. *)
+let small_spec =
+  {
+    Traffic.Gen.default_spec with
+    Traffic.Gen.tenants = 32;
+    ops = 2_000;
+    window = 2_048;
+  }
+
+let test_gen_deterministic_and_bounded () =
+  let t1 = Traffic.Gen.generate small_spec ~seed:9 in
+  let t2 = Traffic.Gen.generate small_spec ~seed:9 in
+  checkb "same seed, same trace" true
+    (Workload.Trace.to_string t1 = Workload.Trace.to_string t2);
+  let t3 = Traffic.Gen.generate small_spec ~seed:10 in
+  checkb "different seed, different trace" true
+    (Workload.Trace.to_string t1 <> Workload.Trace.to_string t3);
+  checki "exact op count" 2_000 (Workload.Trace.length t1);
+  Workload.Trace.iter_events t1 (fun e ->
+      checkb "tenant in range" true
+        (e.Workload.Trace.tenant >= 0 && e.Workload.Trace.tenant < 32);
+      let lba = e.Workload.Trace.access.Workload.Access.lba in
+      checkb "lba inside window" true (lba >= 0 && lba < 2_048))
+
+let test_gen_intensity_envelope () =
+  let spec = small_spec in
+  let lo = 1. -. spec.Traffic.Gen.diurnal_amplitude in
+  for op = 0 to 2_000 do
+    let v = Traffic.Gen.intensity spec ~op in
+    checkb "intensity in [1-amp, 1]" true (v >= lo -. 1e-9 && v <= 1. +. 1e-9)
+  done;
+  checkb "peak at cycle start" true
+    (Traffic.Gen.intensity spec ~op:0 > Traffic.Gen.intensity spec
+                                          ~op:(spec.Traffic.Gen.diurnal_period / 2))
+
+(* --- replayer ------------------------------------------------------------- *)
+
+let make_baseline seed =
+  let d =
+    Ftl.Baseline_ssd.create ~geometry ~model:gentle_model
+      ~rng:(Sim.Rng.create seed) ()
+  in
+  Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d)
+
+let test_replay_accounts_every_op () =
+  let population = Traffic.Tenant.create ~tenants:32 () in
+  let trace = Traffic.Gen.generate small_spec ~seed:9 in
+  let device = make_baseline 21 in
+  ignore (Ftl.Device_intf.write_many device (Array.init 2_048 (fun i -> (i, i))));
+  let outcome =
+    Traffic.Replay.run ~qos:Traffic.Qos.default_config
+      ~intensity:(fun ~op -> Traffic.Gen.intensity small_spec ~op)
+      ~population ~trace ~device ()
+  in
+  checki "completed the whole trace" 2_000 outcome.Traffic.Replay.completed;
+  checki "issued = completed" outcome.Traffic.Replay.issued
+    outcome.Traffic.Replay.completed;
+  checkb "did not die" true (not outcome.Traffic.Replay.died);
+  checki "histogram saw every op" 2_000
+    (Traffic.Lathist.count outcome.Traffic.Replay.all);
+  checki "prefilled window never misses" 0 outcome.Traffic.Replay.unmapped_reads;
+  let ops, reads, _, _ =
+    Traffic.Tenant.Accounts.totals outcome.Traffic.Replay.accounts
+  in
+  checki "accounts cover every op" 2_000 ops;
+  checkb "some reads recorded" true (reads > 0);
+  checkb "simulated time advanced" true (outcome.Traffic.Replay.end_us > 0.)
+
+let test_replay_deterministic () =
+  let run () =
+    let population = Traffic.Tenant.create ~tenants:32 () in
+    let trace = Traffic.Gen.generate small_spec ~seed:9 in
+    let device = make_baseline 21 in
+    let o =
+      Traffic.Replay.run ~qos:Traffic.Qos.default_config ~population ~trace
+        ~device ()
+    in
+    ( o.Traffic.Replay.end_us,
+      o.Traffic.Replay.throttled_ops,
+      Traffic.Lathist.sum o.Traffic.Replay.all,
+      Traffic.Lathist.percentile o.Traffic.Replay.all 0.999 )
+  in
+  checkb "two identical runs agree exactly" true (run () = run ())
+
+let test_replay_rejects_bad_config () =
+  let population = Traffic.Tenant.create ~tenants:4 () in
+  let trace = Workload.Trace.create () in
+  let device = make_baseline 3 in
+  Alcotest.check_raises "batch < 1"
+    (Invalid_argument "Replay.run: batch must be >= 1") (fun () ->
+      ignore
+        (Traffic.Replay.run
+           ~config:{ Traffic.Replay.default_config with Traffic.Replay.batch = 0 }
+           ~population ~trace ~device ()))
+
+(* --- batched submission --------------------------------------------------- *)
+
+let make_engine seed =
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model:gentle_model
+      ()
+  in
+  let policy =
+    Ftl.Policy.always_fresh
+      ~opages_per_fpage:geometry.Flash.Geometry.opages_per_fpage
+  in
+  let slots =
+    geometry.Flash.Geometry.blocks * geometry.Flash.Geometry.pages_per_block
+    * geometry.Flash.Geometry.opages_per_fpage
+  in
+  let logical = slots * 3 / 4 in
+  ( Ftl.Engine.create ~chip ~rng:(Sim.Rng.create (seed + 1)) ~policy
+      ~logical_capacity:logical (),
+    logical )
+
+let test_write_batch_matches_per_op () =
+  (* Same op stream through Engine.write in a loop and through
+     Engine.write_batch: identical logical state and host accounting. *)
+  let per_op, logical = make_engine 31 in
+  let batched, _ = make_engine 31 in
+  for round = 0 to 19 do
+    let entries =
+      Array.init 64 (fun i ->
+          (((round * 13) + (i * 7)) mod logical, (round * 100) + i))
+    in
+    Array.iter
+      (fun (logical, payload) ->
+        ignore (Ftl.Engine.write per_op ~logical ~payload))
+      entries;
+    checkb "batch accepted" true
+      (Ftl.Engine.write_batch batched entries = Ok ())
+  done;
+  ignore (Ftl.Engine.flush per_op);
+  ignore (Ftl.Engine.flush batched);
+  checki "host_writes agree" (Ftl.Engine.host_writes per_op)
+    (Ftl.Engine.host_writes batched);
+  for lba = 0 to logical - 1 do
+    checkb "logical state identical" true
+      (Ftl.Engine.read per_op ~logical:lba = Ftl.Engine.read batched ~logical:lba)
+  done
+
+let test_write_batch_validates_range () =
+  let engine, logical = make_engine 33 in
+  checkb "out-of-range batch rejected before any write" true
+    (match Ftl.Engine.write_batch engine [| (0, 1); (logical, 2) |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checki "no entry of the rejected batch landed" 0
+    (Ftl.Engine.host_writes engine)
+
+(* --- experiment determinism and chaos tails ------------------------------- *)
+
+let traffic_report pool =
+  let registry = Telemetry.Registry.create () in
+  let ctx = Experiments.Ctx.make ~registry ?pool () in
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let rows = Experiments.Traffic_run.run ~ctx ~tenants:32 ~ops:8_000 fmt in
+  Format.pp_print_flush fmt ();
+  (Buffer.contents buf, rows)
+
+let test_traffic_run_jobs_deterministic_and_chaos_degrades () =
+  let seq_text, seq_rows = traffic_report None in
+  let par_text, par_rows =
+    Parallel.Pool.with_pool ~domains:4 (fun pool -> traffic_report (Some pool))
+  in
+  checkb "report byte-identical at jobs=1 and jobs=4" true
+    (seq_text = par_text);
+  checkb "rows identical at jobs=1 and jobs=4" true (seq_rows = par_rows);
+  checkb "json identical" true
+    (Experiments.Traffic_run.rows_to_json seq_rows
+    = Experiments.Traffic_run.rows_to_json par_rows);
+  (* The media fault plan must show up in the tail: every design's chaos
+     cell has a p999 at least as bad as its fault-free twin, and the
+     baseline (no scrub, no regeneration) measurably worse. *)
+  let p999 label chaos =
+    match
+      List.find_opt
+        (fun r ->
+          r.Experiments.Traffic_run.label = label
+          && r.Experiments.Traffic_run.chaos = chaos)
+        seq_rows
+    with
+    | Some r -> r.Experiments.Traffic_run.p999
+    | None -> Alcotest.fail (Printf.sprintf "missing row %s" label)
+  in
+  List.iter
+    (fun label ->
+      checkb
+        (Printf.sprintf "%s chaos tail no better than clean" label)
+        true
+        (p999 label true >= p999 label false))
+    [ "baseline"; "cvss"; "regens" ];
+  checkb "baseline tail measurably degraded under faults" true
+    (p999 "baseline" true > 1.2 *. p999 "baseline" false)
+
+let suite =
+  [
+    ("lathist exact stats", `Quick, test_lathist_exact_stats);
+    ("lathist percentiles monotone", `Quick, test_lathist_percentiles_monotone);
+    ("lathist empty and overflow", `Quick, test_lathist_empty_and_overflow);
+    QCheck_alcotest.to_alcotest prop_lathist_merge;
+    ("qos token bucket", `Quick, test_qos_bucket);
+    ("qos rejects bad config", `Quick, test_qos_rejects_bad_config);
+    ("gen deterministic and bounded", `Quick, test_gen_deterministic_and_bounded);
+    ("gen intensity envelope", `Quick, test_gen_intensity_envelope);
+    ("replay accounts every op", `Quick, test_replay_accounts_every_op);
+    ("replay deterministic", `Quick, test_replay_deterministic);
+    ("replay rejects bad config", `Quick, test_replay_rejects_bad_config);
+    ("write_batch matches per-op", `Slow, test_write_batch_matches_per_op);
+    ("write_batch validates range", `Quick, test_write_batch_validates_range);
+    ( "traffic experiment deterministic across jobs; chaos degrades tails",
+      `Slow,
+      test_traffic_run_jobs_deterministic_and_chaos_degrades );
+  ]

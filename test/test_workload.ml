@@ -87,6 +87,75 @@ let test_trace_of_list_roundtrip () =
   let trace = Workload.Trace.of_list accesses in
   checkb "roundtrip" true (Workload.Trace.to_list trace = accesses)
 
+(* --- trace on-disk format ------------------------------------------------- *)
+
+let test_trace_golden_format () =
+  (* The v1 format is an artifact other tools read; pin it byte-for-byte. *)
+  let trace =
+    Workload.Trace.of_events
+      [
+        { Workload.Trace.tenant = 0;
+          access = { Workload.Access.kind = Workload.Access.Write; lba = 7 } };
+        { Workload.Trace.tenant = 12;
+          access = { Workload.Access.kind = Workload.Access.Read; lba = 4096 } };
+        { Workload.Trace.tenant = 3;
+          access = { Workload.Access.kind = Workload.Access.Trim; lba = 0 } };
+      ]
+  in
+  Alcotest.(check string)
+    "golden v1 bytes" "salamander-trace v1\n0 w 7\n12 r 4096\n3 d 0\n"
+    (Workload.Trace.to_string trace)
+
+let test_trace_rejects_garbage () =
+  checkb "bad header rejected" true
+    (Result.is_error (Workload.Trace.of_string "salamander-trace v9\n0 w 1\n"));
+  checkb "bad op rejected" true
+    (Result.is_error
+       (Workload.Trace.of_string "salamander-trace v1\n0 x 1\n"));
+  checkb "bad arity rejected" true
+    (Result.is_error (Workload.Trace.of_string "salamander-trace v1\n0 w\n"));
+  checkb "missing file reported" true
+    (Result.is_error (Workload.Trace.of_file ~path:"/nonexistent/trace"))
+
+let test_trace_file_roundtrip () =
+  let path = Filename.temp_file "salamander" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let trace = Workload.Trace.create () in
+      Workload.Trace.capture trace
+        (Workload.Pattern.uniform ~window:100 ~read_fraction:0.5)
+        (Sim.Rng.create 13) ~n:50;
+      Workload.Trace.to_file trace ~path;
+      match Workload.Trace.of_file ~path with
+      | Error e -> Alcotest.fail e
+      | Ok loaded ->
+          checkb "events identical after disk roundtrip" true
+            (Workload.Trace.to_events loaded = Workload.Trace.to_events trace))
+
+let prop_trace_string_roundtrip =
+  (* of_string (to_string t) is the identity on events — including tenant
+     ids and LBAs no generator would emit (negative, huge). *)
+  QCheck.Test.make ~count:200 ~name:"trace of_string inverts to_string"
+    QCheck.(list (triple int (int_range 0 2) int))
+    (fun raw ->
+      let events =
+        List.map
+          (fun (tenant, op, lba) ->
+            let kind =
+              match op with
+              | 0 -> Workload.Access.Read
+              | 1 -> Workload.Access.Write
+              | _ -> Workload.Access.Trim
+            in
+            { Workload.Trace.tenant; access = { Workload.Access.kind; lba } })
+          raw
+      in
+      let trace = Workload.Trace.of_events events in
+      match Workload.Trace.of_string (Workload.Trace.to_string trace) with
+      | Error _ -> false
+      | Ok parsed -> Workload.Trace.to_events parsed = events)
+
 (* --- aging ------------------------------------------------------------------ *)
 
 let make_baseline seed model =
@@ -142,6 +211,25 @@ let test_aging_stop_predicate () =
   in
   checki "stopped exactly at predicate" 123 outcome.Workload.Aging.host_writes
 
+let test_aging_stop_every () =
+  (* stop_every only paces the window resync; the predicate is still
+     honoured exactly, at any cadence. *)
+  let run stop_every =
+    let device = make_baseline 11 gentle_model in
+    let pattern = Workload.Pattern.uniform ~window:50 ~read_fraction:0. in
+    Workload.Aging.run_until ?stop_every ~rng:(Sim.Rng.create 12) ~pattern
+      ~device
+      ~stop:(fun writes -> writes >= 123)
+      ()
+  in
+  checki "stop_every=1 stops at predicate" 123
+    (run (Some 1)).Workload.Aging.host_writes;
+  checkb "resync cadence does not change the run" true
+    (run (Some 1) = run (Some 10_000));
+  Alcotest.check_raises "stop_every must be positive"
+    (Invalid_argument "Aging.run_until: stop_every") (fun () ->
+      ignore (run (Some 0)))
+
 let suite =
   [
     ("sequential wraps", `Quick, test_sequential_wraps);
@@ -151,8 +239,13 @@ let suite =
     ("pattern invalid window", `Quick, test_pattern_invalid_window);
     ("trace capture/replay", `Quick, test_trace_capture_replay);
     ("trace of_list roundtrip", `Quick, test_trace_of_list_roundtrip);
+    ("trace golden v1 format", `Quick, test_trace_golden_format);
+    ("trace rejects garbage", `Quick, test_trace_rejects_garbage);
+    ("trace file roundtrip", `Quick, test_trace_file_roundtrip);
+    QCheck_alcotest.to_alcotest prop_trace_string_roundtrip;
     ("aging stops at cap", `Quick, test_aging_stops_at_cap);
     ("aging runs to death", `Slow, test_aging_runs_to_death);
     ("aging window tracks capacity", `Slow, test_aging_window_tracks_capacity);
     ("aging stop predicate", `Quick, test_aging_stop_predicate);
+    ("aging stop_every cadence", `Quick, test_aging_stop_every);
   ]
