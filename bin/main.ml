@@ -446,14 +446,33 @@ let fleet_cmd =
       & opt int Experiments.Defaults.fleet_devices
       & info [ "devices" ] ~docv:"N" ~doc:"Fleet size.")
   in
-  let run tel jobs mon days devices =
+  let dwpd =
+    Arg.(
+      value & opt float 1.
+      & info [ "dwpd" ] ~docv:"X" ~doc:"Drive writes per day per device.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (some kind_conv) None
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Restrict the run to one device design (baseline, cvss, shrinks \
+             or regens); default compares all four.  The single-design form \
+             is the one that scales to --devices 100000.")
+  in
+  let run tel jobs mon days devices dwpd mode =
     with_context ~mon tel ~jobs (fun ctx ->
-        Experiments.Fig3ab.run ~days ~devices ~ctx fmt)
+        Experiments.Fig3ab.run ~days ~devices ~dwpd
+          ?kinds:(Option.map (fun k -> [ k ]) mode)
+          ~ctx fmt)
   in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Fleet aging: alive devices and capacity over time (Figs. 3a/3b)")
-    Term.(const run $ tel_opts_term $ jobs_term $ mon_opts_term $ days $ devices)
+    Term.(
+      const run $ tel_opts_term $ jobs_term $ mon_opts_term $ days $ devices
+      $ dwpd $ mode)
 
 (* --- stats ------------------------------------------------------------------ *)
 

@@ -27,16 +27,14 @@ let run ?(ctx = Ctx.default) fmt =
      merging then happen in list order, making the output byte-identical
      at any domain count. *)
   let rendered =
-    Parallel.Pool.map_opt ctx.Ctx.pool
-      (fun (id, runner) ->
-        let sub = Ctx.sub_registry ctx in
+    Ctx.map_cells ctx (Array.of_list experiments)
+      (fun ~sub ~mon:_ (id, runner) ->
         let buf = Buffer.create 4096 in
         let bfmt = Format.formatter_of_buffer buf in
         Format.fprintf bfmt "@.### experiment %s@." id;
         runner (Ctx.make ~registry:sub ()) bfmt;
         Format.pp_print_flush bfmt ();
         (Buffer.contents buf, sub))
-      experiments
   in
   List.iter
     (fun (text, sub) ->

@@ -225,17 +225,16 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
     ?(steps = 1000) fmt =
   Format.fprintf fmt "chaos campaign: plan=%a seed=%d steps=%d@."
     Faults.Plan.pp plan seed steps;
-  (* Four self-contained cells fan out over the pool; rendering and
-     registry absorption happen in submission order, so the report is
-     byte-identical at any job count (the PR 2 pattern). *)
+  (* Four self-contained cells fan out over the pool via the chunked
+     path; rendering and registry absorption happen in submission
+     order, so the report is byte-identical at any job count (the PR 2
+     pattern). *)
   let cells =
-    [ (`Device, seed); (`Device, seed + 1); (`Cluster, seed); (`Cluster, seed + 1) ]
+    [| (`Device, seed); (`Device, seed + 1); (`Cluster, seed); (`Cluster, seed + 1) |]
   in
   let rendered =
-    Parallel.Pool.map_opt ctx.Ctx.pool
-      (fun (arena, cell_seed) ->
-        let sub = Ctx.sub_registry ctx in
-        let mon = Ctx.sub_monitor ctx in
+    Ctx.map_cells ctx cells
+      (fun ~sub ~mon (arena, cell_seed) ->
         let buf = Buffer.create 2048 in
         let bfmt = Format.formatter_of_buffer buf in
         let tag =
@@ -252,7 +251,6 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
         in
         Format.pp_print_flush bfmt ();
         (Buffer.contents buf, ok, sub, mon, Printf.sprintf "%s-%d" tag cell_seed))
-      cells
   in
   List.iter
     (fun (text, _, sub, mon, cell_tag) ->

@@ -13,10 +13,12 @@ let sequential ctx = { ctx with pool = None }
 
 let sub_registry ctx =
   (* A monitor samples the task's scratch registry, so it forces live
-     sub-registries even when the context registry itself is null. *)
+     sub-registries even when the context registry itself is null.
+     Scratch registries are unshared (plain-ref metric cells): exactly
+     one domain owns one until the barrier merge publishes it. *)
   if Telemetry.Registry.is_null ctx.registry && Option.is_none ctx.monitor then
     Telemetry.Registry.null
-  else Telemetry.Registry.create ()
+  else Telemetry.Registry.create ~shared:false ()
 
 let absorb ctx sub = Telemetry.Registry.merge ~into:ctx.registry sub
 let sub_monitor ctx = Option.map Monitor.Engine.sub ctx.monitor
@@ -25,3 +27,14 @@ let absorb_monitor ctx ?labels sub =
   match (ctx.monitor, sub) with
   | Some into, Some sub -> Monitor.Engine.absorb ~into ?labels sub
   | _ -> ()
+
+let map_cells ctx cells f =
+  (* Heterogeneous experiment cells don't bin-pack, so the chunk is one
+     cell; what the chunked path still buys is the single batched
+     submission and the scratch registry/monitor created once on the
+     worker that runs the cell. *)
+  Parallel.Pool.map_chunked ctx.pool ~chunk_size:1 ~n:(Array.length cells)
+    (fun (c : Parallel.Pool.chunk) ->
+      let sub = sub_registry ctx in
+      let mon = sub_monitor ctx in
+      f ~sub ~mon cells.(c.lo))

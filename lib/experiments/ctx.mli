@@ -59,3 +59,15 @@ val absorb_monitor : t -> ?labels:(string * string) list -> Monitor.Engine.t opt
     ({!Monitor.Engine.absorb}), prefixing every series/alert key with
     [labels] (e.g. [("device", "cvss-3")]).  No-op when either side is
     [None]. *)
+
+val map_cells :
+  t ->
+  'cell array ->
+  (sub:Telemetry.Registry.t -> mon:Monitor.Engine.t option -> 'cell -> 'r) ->
+  'r list
+(** Fan an array of self-contained experiment cells over the context's
+    pool via {!Parallel.Pool.map_chunked} (one cell per chunk — cells
+    are heterogeneous), handing each invocation a fresh {!sub_registry}
+    and {!sub_monitor} created on the worker.  Results come back in
+    cell order; the caller renders/absorbs them in that order to stay
+    byte-identical at any job count. *)

@@ -1,9 +1,9 @@
 let kinds : Fleet.kind list = [ `Baseline; `Cvss; `Shrinks; `Regens ]
 
-let run ?(days = 150) ?(devices = Defaults.fleet_devices) ?(ctx = Ctx.default)
-    fmt =
+let run ?(days = 150) ?(devices = Defaults.fleet_devices) ?(dwpd = 1.)
+    ?(kinds = kinds) ?(ctx = Ctx.default) fmt =
   let results =
-    List.map (fun kind -> Fleet.run ~days ~devices ~ctx kind) kinds
+    List.map (fun kind -> Fleet.run ~days ~devices ~dwpd ~ctx kind) kinds
   in
   let sample_days =
     (* every 5th day keeps the table readable *)

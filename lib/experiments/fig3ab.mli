@@ -7,6 +7,16 @@
     together; Salamander flattens both slopes because devices shrink
     gradually instead of failing, and RegenS flattens them further. *)
 
-val run : ?days:int -> ?devices:int -> ?ctx:Ctx.t -> Format.formatter -> unit
+val run :
+  ?days:int ->
+  ?devices:int ->
+  ?dwpd:float ->
+  ?kinds:Fleet.kind list ->
+  ?ctx:Ctx.t ->
+  Format.formatter ->
+  unit
 (** [ctx] supplies the telemetry registry and, when it carries a pool,
-    ages each fleet's devices across domains (output unchanged). *)
+    ages each fleet's devices across domains (output unchanged).
+    [kinds] restricts the comparison (default: all four designs) — the
+    CLI's [fleet --mode regens --devices 100000] path runs one kind at
+    datacenter scale; [dwpd] scales the daily write quota. *)

@@ -13,44 +13,47 @@ type result = {
 
 (* Each device's life is simulated independently: its creation stream,
    workload stream and failure-injection stream are all split off the
-   root RNG in submission order before any task runs, so the outcome is
-   a pure function of (seed, device index) — identical whether the tasks
-   run sequentially or on a pool, in any interleaving. *)
+   root RNG in submission order (device-major, three streams per
+   device) before any task runs, so the outcome is a pure function of
+   (seed, device index) — identical however devices are grouped into
+   chunks and whatever pool runs them. *)
 type device_streams = {
-  index : int;
   dev_rng : Sim.Rng.t;
   wl_rng : Sim.Rng.t;
   afr_rng : Sim.Rng.t;
+}
+
+(* Chunk-local accumulator: one scratch registry, one scratch monitor
+   and plain per-day sums shared by every device of the chunk.  Created
+   once per chunk on the worker that runs it, folded device by device
+   with no synchronization, merged into the context once at the
+   barrier. *)
+type chunk_acc = {
+  chunk : Parallel.Pool.chunk;
   sub : Telemetry.Registry.t;
   mon : Monitor.Engine.t option;
+  alive_by_day : int array; (* live devices per day 0 .. days *)
+  cap_by_day : int array; (* summed live capacity per day *)
+  mutable acc_host_writes : int;
+  mutable acc_wear_deaths : int;
+  mutable acc_afr_deaths : int;
 }
 
-type device_outcome = {
-  out_index : int;
-  per_day : (bool * int) array; (* (alive, capacity) for day 0 .. days *)
-  host_writes : int;
-  wear_dead : bool;
-  afr_dead : bool;
-  out_sub : Telemetry.Registry.t;
-  out_mon : Monitor.Engine.t option;
-}
-
-let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
-  let device =
-    Defaults.make_device_rng ~registry:streams.sub kind ~rng:streams.dev_rng
-  in
-  let sink = Option.bind streams.mon Monitor.Engine.sink in
+let simulate_device ~kind ~days ~dwpd ~afr_per_day ~streams acc index =
+  let s : device_streams = streams.(index) in
+  let device = Defaults.make_device_rng ~registry:acc.sub kind ~rng:s.dev_rng in
+  let sink = Option.bind acc.mon Monitor.Engine.sink in
   (* Liveness/capacity gauges exist only for the monitor: they feed the
      health model's alive and capacity series. *)
   let liveness =
     Option.map
       (fun _ ->
-        ( Telemetry.Registry.gauge streams.sub
+        ( Telemetry.Registry.gauge acc.sub
             ~help:"1 while the device still accepts writes" "device_alive",
-          Telemetry.Registry.gauge streams.sub
+          Telemetry.Registry.gauge acc.sub
             ~help:"Current logical capacity in oPages"
             "device_capacity_opages" ))
-      streams.mon
+      acc.mon
   in
   let pattern =
     Workload.Pattern.uniform
@@ -61,7 +64,6 @@ let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
       ~read_fraction:0.
   in
   let afr_dead = ref false and wear_dead = ref false in
-  let host_writes = ref 0 in
   let alive () =
     (not !afr_dead) && (not !wear_dead) && Ftl.Device_intf.alive device
   in
@@ -69,7 +71,7 @@ let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
     if alive () then Ftl.Device_intf.logical_capacity device else 0
   in
   let sample day =
-    match streams.mon with
+    match acc.mon with
     | Some mon when Monitor.Engine.due mon ~tick:day || day = 0 || day = days
       ->
         Option.iter
@@ -77,14 +79,19 @@ let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
             Telemetry.Registry.Gauge.set alive_g (if alive () then 1. else 0.);
             Telemetry.Registry.Gauge.set cap_g (float_of_int (capacity ())))
           liveness;
-        Monitor.Engine.sample mon ~time:(float_of_int day) streams.sub
+        Monitor.Engine.sample mon ~time:(float_of_int day) acc.sub
     | _ -> ()
   in
-  let per_day = Array.make (days + 1) (false, 0) in
-  per_day.(0) <- (alive (), capacity ());
+  let record day =
+    if alive () then begin
+      acc.alive_by_day.(day) <- acc.alive_by_day.(day) + 1;
+      acc.cap_by_day.(day) <- acc.cap_by_day.(day) + capacity ()
+    end
+  in
+  record 0;
   sample 0;
   Telemetry.Trace.with_span ?sink
-    ~args:[ ("device", string_of_int streams.index) ]
+    ~args:[ ("device", string_of_int index) ]
     "fleet:device"
     (fun () ->
       for day = 1 to days do
@@ -95,79 +102,98 @@ let simulate_device ~kind ~days ~dwpd ~afr_per_day streams =
             (fun () ->
               (* Random, non-wear failure (controller, DRAM, firmware): the
                  ~1%-AFR class of failures the field studies report. *)
-              if Sim.Rng.chance streams.afr_rng afr_per_day then
-                afr_dead := true
+              if Sim.Rng.chance s.afr_rng afr_per_day then afr_dead := true
               else begin
                 let quota =
                   int_of_float (dwpd *. float_of_int (capacity ()))
                 in
                 let outcome =
-                  Workload.Aging.run_until ~rng:streams.wl_rng ~pattern ~device
+                  Workload.Aging.run_until ~rng:s.wl_rng ~pattern ~device
                     ~stop:(fun writes -> writes >= quota)
                     ()
                 in
-                host_writes := !host_writes + outcome.Workload.Aging.host_writes;
+                acc.acc_host_writes <-
+                  acc.acc_host_writes + outcome.Workload.Aging.host_writes;
                 if outcome.Workload.Aging.died then wear_dead := true
               end);
-        per_day.(day) <- (alive (), capacity ());
+        record day;
         sample day
       done);
-  {
-    out_index = streams.index;
-    per_day;
-    host_writes = !host_writes;
-    wear_dead = !wear_dead;
-    afr_dead = !afr_dead;
-    out_sub = streams.sub;
-    out_mon = streams.mon;
-  }
+  if !wear_dead then acc.acc_wear_deaths <- acc.acc_wear_deaths + 1;
+  if !afr_dead then acc.acc_afr_deaths <- acc.acc_afr_deaths + 1
+
+(* Chunk sizing depends only on the fleet shape — never on the job
+   count, which must not be observable.  A monitored fleet pins one
+   device per chunk so each device keeps its own scratch monitor and
+   [device=<kind>-<i>] series; unmonitored fleets use up to 64 chunks,
+   plenty of slack for any realistic pool while amortizing the
+   per-chunk registry and queue round-trip over many devices. *)
+let default_chunk_size ~devices ~monitored =
+  if monitored then 1 else Stdlib.max 1 ((devices + 63) / 64)
 
 let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
     ?(afr_per_day = 0.0011) ?(seed = Defaults.fleet_seed) ?(ctx = Ctx.default)
-    kind =
+    ?chunk_size kind =
   let root = Sim.Rng.create seed in
   let streams =
-    List.init devices (fun index ->
-        (* split order matters: three streams per device, device-major *)
-        let dev_rng = Sim.Rng.split root in
-        let wl_rng = Sim.Rng.split root in
-        let afr_rng = Sim.Rng.split root in
-        {
-          index;
-          dev_rng;
-          wl_rng;
-          afr_rng;
-          sub = Ctx.sub_registry ctx;
-          mon = Ctx.sub_monitor ctx;
-        })
+    Array.init devices (fun _ ->
+        { dev_rng = root; wl_rng = root; afr_rng = root })
+  in
+  (* split order matters: three streams per device, device-major *)
+  for i = 0 to devices - 1 do
+    let dev_rng = Sim.Rng.split root in
+    let wl_rng = Sim.Rng.split root in
+    let afr_rng = Sim.Rng.split root in
+    streams.(i) <- { dev_rng; wl_rng; afr_rng }
+  done;
+  let chunk_size =
+    match chunk_size with
+    | Some size -> size
+    | None ->
+        default_chunk_size ~devices
+          ~monitored:(Option.is_some ctx.Ctx.monitor)
   in
   let outcomes =
-    Parallel.Pool.map_opt ctx.Ctx.pool
-      (simulate_device ~kind ~days ~dwpd ~afr_per_day)
-      streams
+    Parallel.Pool.accumulate ctx.Ctx.pool ~chunk_size ~n:devices
+      {
+        Parallel.Pool.Accumulator.create =
+          (fun chunk ->
+            {
+              chunk;
+              sub = Ctx.sub_registry ctx;
+              mon = Ctx.sub_monitor ctx;
+              alive_by_day = Array.make (days + 1) 0;
+              cap_by_day = Array.make (days + 1) 0;
+              acc_host_writes = 0;
+              acc_wear_deaths = 0;
+              acc_afr_deaths = 0;
+            });
+        item = simulate_device ~kind ~days ~dwpd ~afr_per_day ~streams;
+        finish = Fun.id;
+      }
   in
-  (* Reduce in submission order: sums are order-insensitive, the registry
-     and monitor merges are not (gauges keep the last write, spans splice
-     where they land), so everything stays deterministic at any job
-     count. *)
+  (* Reduce in submission (= chunk) order: sums are order-insensitive,
+     the registry and monitor merges are not (gauges keep the last
+     write, spans splice where they land), so everything stays
+     deterministic at any job count.  Monitored chunks hold exactly one
+     device, so the label reduces to the per-device [kind-index] the
+     health reports key on. *)
   let kind_tag = Defaults.kind_label kind in
   List.iter
     (fun o ->
-      Ctx.absorb ctx o.out_sub;
+      Ctx.absorb ctx o.sub;
       Ctx.absorb_monitor ctx
-        ~labels:[ ("device", Printf.sprintf "%s-%d" kind_tag o.out_index) ]
-        o.out_mon)
+        ~labels:
+          [ ("device", Printf.sprintf "%s-%d" kind_tag o.chunk.Parallel.Pool.lo) ]
+        o.mon)
     outcomes;
   let snapshots =
     List.init (days + 1) (fun day ->
         let alive = ref 0 and capacity = ref 0 in
         List.iter
           (fun o ->
-            let a, c = o.per_day.(day) in
-            if a then begin
-              incr alive;
-              capacity := !capacity + c
-            end)
+            alive := !alive + o.alive_by_day.(day);
+            capacity := !capacity + o.cap_by_day.(day))
           outcomes;
         { day; alive = !alive; capacity_opages = !capacity })
   in
@@ -176,7 +202,7 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
     kind;
     devices;
     snapshots;
-    total_host_writes = sum (fun o -> o.host_writes);
-    wear_deaths = sum (fun o -> if o.wear_dead then 1 else 0);
-    afr_deaths = sum (fun o -> if o.afr_dead then 1 else 0);
+    total_host_writes = sum (fun o -> o.acc_host_writes);
+    wear_deaths = sum (fun o -> o.acc_wear_deaths);
+    afr_deaths = sum (fun o -> o.acc_afr_deaths);
   }

@@ -33,6 +33,7 @@ val run :
   ?afr_per_day:float ->
   ?seed:int ->
   ?ctx:Ctx.t ->
+  ?chunk_size:int ->
   kind ->
   result
 (** Defaults: {!Defaults.fleet_devices} devices, 150 days, 1 DWPD,
@@ -43,7 +44,14 @@ val run :
     split off the root seed in submission order, so for a fixed [seed]
     the result — and any telemetry merged into [ctx]'s registry — is
     identical whether [ctx] carries a pool or not, at any domain count.
-    With [ctx.pool] set, devices age in parallel.
+    With [ctx.pool] set, devices age in parallel, chunked: one pool task
+    simulates a run of consecutive devices into a chunk-local scratch
+    registry/monitor ({!Parallel.Pool.accumulate}) that is merged once
+    at the barrier.  [chunk_size] overrides the sizing policy (one
+    device per chunk when a monitor is attached — each device keeps its
+    own label — otherwise up to 64 chunks across the fleet); the
+    aggregate [result] is the same at any chunk size, and chunk sizing
+    never depends on the job count.
 
     When [ctx] carries a monitor, each device samples its scratch
     registry into a {!Ctx.sub_monitor} engine at the monitor's epoch

@@ -201,14 +201,17 @@ let run ?(ctx = Ctx.default) ?(tenants = 64) ?(ops = 12_000) ?(seed = 42)
     "traffic: tenants=%d ops=%d seed=%d batch=%d qos=%b plan=%a@." tenants
     (Workload.Trace.length trace)
     seed batch qos Faults.Plan.pp (media_only plan);
-  let cells = List.concat_map (fun kind -> [ (kind, false); (kind, true) ]) kinds in
-  (* Six self-contained cells fan out over the pool; rendering and
-     registry absorption happen in submission order, so the report is
-     byte-identical at any job count (the PR 2 pattern). *)
+  let cells =
+    Array.of_list
+      (List.concat_map (fun kind -> [ (kind, false); (kind, true) ]) kinds)
+  in
+  (* Six self-contained cells fan out over the pool via the chunked
+     path; rendering and registry absorption happen in submission
+     order, so the report is byte-identical at any job count (the PR 2
+     pattern). *)
   let rendered =
-    Parallel.Pool.map_opt ctx.Ctx.pool
-      (fun (kind, chaos) ->
-        let sub = Ctx.sub_registry ctx in
+    Ctx.map_cells ctx cells
+      (fun ~sub ~mon:_ (kind, chaos) ->
         let buf = Buffer.create 2048 in
         let bfmt = Format.formatter_of_buffer buf in
         let row =
@@ -217,7 +220,6 @@ let run ?(ctx = Ctx.default) ?(tenants = 64) ?(ops = 12_000) ?(seed = 42)
         in
         Format.pp_print_flush bfmt ();
         (Buffer.contents buf, row, sub))
-      cells
   in
   List.iter
     (fun (text, _, sub) ->

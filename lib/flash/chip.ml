@@ -2,22 +2,21 @@ type payload = int
 
 type page_state = Free | Programmed of payload option array
 
-type page = {
-  strength : float;
-  mutable state : page_state;
-  mutable reads_since_erase : int;
-  (* Injected faults (see {!inject}); all three are cleared by erase. *)
-  mutable transient_rber : float;
-  mutable sticky_rber : float;
-  mutable corrupt_mask : int;
-}
-
 type fault =
   | Transient_rber of float
   | Sticky_rber of float
   | Silent_corruption of int
 
-type block_state = { mutable pec : int; pages : page array }
+(* Injected-fault state for one fPage.  Faults touch a handful of pages
+   per campaign while a chip holds thousands, so they live in a sparse
+   side table keyed by fPage index instead of three words on every page;
+   [Hashtbl.length = 0] is the fault-free fast path the read ladder
+   checks before any lookup. *)
+type fault_cell = {
+  mutable transient : float;
+  mutable sticky : float;
+  mutable corrupt : int;
+}
 
 (* Telemetry handles, bound to the registry passed to [create] (the
    null registry when omitted); inert (single-branch
@@ -84,10 +83,27 @@ let make_tel registry =
         "flash_rber_worst";
   }
 
+(* Payload slot value reserved to encode [None] (an ECC-reserved slot)
+   in the flat payload array. *)
+let slot_none = min_int
+
+(* Packed page store.  The old representation paid one [page] record,
+   one [page_state] box and one [payload option array] (plus a [Some]
+   box per slot) per page — ~14 words of header/box overhead per fPage
+   before any payload.  Here a device is four flat arrays: one int per
+   block (PEC), one word per fPage ([reads_since_erase * 2 + programmed
+   bit] — a program never outlives an erase, so one clearable word
+   covers both), one unboxed float per fPage (strength), and one int
+   per oPage slot (payload, [slot_none] = reserved).  Injected faults
+   sit in the sparse side table. *)
 type t = {
   geometry : Geometry.t;
   model : Rber_model.t;
-  blocks : block_state array;
+  pecs : int array; (* per block: P/E cycle count *)
+  words : int array; (* per fPage: reads_since_erase*2 lor programmed *)
+  strengths : floatarray; (* per fPage: wear-independent multiplier *)
+  payloads : int array; (* per oPage slot; [slot_none] = None *)
+  faults : (int, fault_cell) Hashtbl.t; (* fPage index -> faults *)
   tel : tel;
   mutable programs : int;
   mutable reads : int;
@@ -110,63 +126,71 @@ let create ?registry ~rng ~geometry ~model () =
   (* Endurance variance has a block-level component (process corner,
      position on the die) and a page-level one (layer-to-layer variation
      within the block, [42]); split the model's lognormal sigma evenly so
-     the total spread matches {!Rber_model.sample_strength}. *)
+     the total spread matches {!Rber_model.sample_strength}.  The draw
+     order (block strength, then that block's page strengths) is part of
+     the determinism contract — goldens pin it. *)
   let component_sigma = model.Rber_model.strength_sigma *. sqrt 0.5 in
-  let make_block _ =
+  let blocks = geometry.Geometry.blocks in
+  let ppb = geometry.Geometry.pages_per_block in
+  let opages = geometry.Geometry.opages_per_fpage in
+  let fpages = blocks * ppb in
+  let strengths = Float.Array.create fpages in
+  for block = 0 to blocks - 1 do
     let block_strength =
       Sim.Dist.lognormal rng ~mu:0. ~sigma:component_sigma
     in
-    {
-      pec = 0;
-      pages =
-        Array.init geometry.Geometry.pages_per_block (fun _ ->
-            {
-              strength =
-                block_strength
-                *. Sim.Dist.lognormal rng ~mu:0. ~sigma:component_sigma;
-              state = Free;
-              reads_since_erase = 0;
-              transient_rber = 0.;
-              sticky_rber = 0.;
-              corrupt_mask = 0;
-            });
-    }
-  in
+    for page = 0 to ppb - 1 do
+      Float.Array.set strengths
+        ((block * ppb) + page)
+        (block_strength *. Sim.Dist.lognormal rng ~mu:0. ~sigma:component_sigma)
+    done
+  done;
   {
     geometry;
     model;
-    blocks = Array.init geometry.Geometry.blocks make_block;
+    pecs = Array.make blocks 0;
+    words = Array.make fpages 0;
+    strengths;
+    payloads = Array.make (fpages * opages) slot_none;
+    faults = Hashtbl.create 8;
     tel = make_tel registry;
     programs = 0;
     reads = 0;
     erases = 0;
     faults_injected = 0;
     pec_min = 0;
-    at_min = geometry.Geometry.blocks;
+    at_min = blocks;
   }
 
 let geometry t = t.geometry
 let model t = t.model
 
-let get_block t block =
-  if block < 0 || block >= Array.length t.blocks then
-    invalid_arg "Chip: block out of range";
-  t.blocks.(block)
+let check_block t block =
+  if block < 0 || block >= t.geometry.Geometry.blocks then
+    invalid_arg "Chip: block out of range"
 
-let get_page t block page =
-  let b = get_block t block in
-  if page < 0 || page >= Array.length b.pages then
+(* Returns the page's flat fPage index. *)
+let check_page t block page =
+  check_block t block;
+  if page < 0 || page >= t.geometry.Geometry.pages_per_block then
     invalid_arg "Chip: page out of range";
-  (b, b.pages.(page))
+  (block * t.geometry.Geometry.pages_per_block) + page
+
+let is_programmed t fp = t.words.(fp) land 1 <> 0
+let page_reads t fp = t.words.(fp) lsr 1
+
+let corrupt_mask t fp =
+  if Hashtbl.length t.faults = 0 then 0
+  else match Hashtbl.find_opt t.faults fp with Some c -> c.corrupt | None -> 0
 
 (* Modeled sense + transfer + decode time of reading [data_kib] off one
    fPage at its current error rate; only evaluated when the latency
    histogram is live. *)
-let observe_read_latency t (b : block_state) (p : page) ~data_kib =
+let observe_read_latency t ~block ~fp ~data_kib =
   if Telemetry.Registry.Histogram.is_active t.tel.tel_read_us then begin
     let rber =
-      Rber_model.rber ~reads:p.reads_since_erase t.model ~pec:b.pec
-        ~strength:p.strength
+      Rber_model.rber ~reads:(page_reads t fp) t.model ~pec:t.pecs.(block)
+        ~strength:(Float.Array.get t.strengths fp)
     in
     let raw_errors =
       rber *. float_of_int (Geometry.fpage_data_bytes t.geometry * 8)
@@ -176,14 +200,23 @@ let observe_read_latency t (b : block_state) (p : page) ~data_kib =
   end
 
 let program t ~block ~page slots =
-  let _, p = get_page t block page in
-  if Array.length slots <> t.geometry.Geometry.opages_per_fpage then
+  let fp = check_page t block page in
+  let opages = t.geometry.Geometry.opages_per_fpage in
+  if Array.length slots <> opages then
     invalid_arg "Chip.program: slot array length mismatch";
-  (match p.state with
-  | Free -> ()
-  | Programmed _ ->
-      invalid_arg "Chip.program: page already programmed (erase first)");
-  p.state <- Programmed (Array.copy slots);
+  if is_programmed t fp then
+    invalid_arg "Chip.program: page already programmed (erase first)";
+  let base = fp * opages in
+  for i = 0 to opages - 1 do
+    t.payloads.(base + i) <-
+      (match slots.(i) with
+      | None -> slot_none
+      | Some p ->
+          if p = slot_none then
+            invalid_arg "Chip.program: payload min_int is reserved";
+          p)
+  done;
+  t.words.(fp) <- t.words.(fp) lor 1;
   t.programs <- t.programs + 1;
   Telemetry.Registry.Counter.incr t.tel.tel_programs;
   if Telemetry.Registry.Histogram.is_active t.tel.tel_program_us then
@@ -193,62 +226,63 @@ let program t ~block ~page slots =
            (float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.))
 
 let read t ~block ~page =
-  let b, p = get_page t block page in
+  let fp = check_page t block page in
   t.reads <- t.reads + 1;
-  p.reads_since_erase <- p.reads_since_erase + 1;
+  t.words.(fp) <- t.words.(fp) + 2;
   Telemetry.Registry.Counter.incr t.tel.tel_reads;
-  observe_read_latency t b p
+  observe_read_latency t ~block ~fp
     ~data_kib:(float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.);
-  match p.state with
-  | Free -> Free
-  | Programmed slots ->
-      let copy = Array.copy slots in
-      if p.corrupt_mask <> 0 then
-        Array.iteri
-          (fun i v -> copy.(i) <- Option.map (fun x -> x lxor p.corrupt_mask) v)
-          copy;
-      Programmed copy
+  if not (is_programmed t fp) then Free
+  else begin
+    let opages = t.geometry.Geometry.opages_per_fpage in
+    let base = fp * opages in
+    let mask = corrupt_mask t fp in
+    Programmed
+      (Array.init opages (fun i ->
+           let v = t.payloads.(base + i) in
+           if v = slot_none then None else Some (v lxor mask)))
+  end
 
 let read_slot t ~block ~page ~slot =
-  let b, p = get_page t block page in
+  let fp = check_page t block page in
   if slot < 0 || slot >= t.geometry.Geometry.opages_per_fpage then
     invalid_arg "Chip.read_slot: slot out of range";
   t.reads <- t.reads + 1;
-  p.reads_since_erase <- p.reads_since_erase + 1;
+  t.words.(fp) <- t.words.(fp) + 2;
   Telemetry.Registry.Counter.incr t.tel.tel_reads;
-  observe_read_latency t b p
+  observe_read_latency t ~block ~fp
     ~data_kib:(float_of_int t.geometry.Geometry.opage_bytes /. 1024.);
-  match p.state with
-  | Free -> invalid_arg "Chip.read_slot: page is erased"
-  | Programmed slots ->
-      if p.corrupt_mask = 0 then slots.(slot)
-      else Option.map (fun x -> x lxor p.corrupt_mask) slots.(slot)
+  if not (is_programmed t fp) then invalid_arg "Chip.read_slot: page is erased";
+  let v = t.payloads.((fp * t.geometry.Geometry.opages_per_fpage) + slot) in
+  if v = slot_none then None else Some (v lxor corrupt_mask t fp)
 
 let erase t ~block =
-  let b = get_block t block in
-  b.pec <- b.pec + 1;
-  if b.pec - 1 = t.pec_min then begin
+  check_block t block;
+  let pec = t.pecs.(block) + 1 in
+  t.pecs.(block) <- pec;
+  if pec - 1 = t.pec_min then begin
     t.at_min <- t.at_min - 1;
     if t.at_min = 0 then begin
       t.pec_min <- t.pec_min + 1;
       let count = ref 0 in
-      Array.iter
-        (fun (blk : block_state) -> if blk.pec = t.pec_min then incr count)
-        t.blocks;
+      Array.iter (fun p -> if p = t.pec_min then incr count) t.pecs;
       t.at_min <- !count
     end
   end;
-  Array.iter
-    (fun p ->
-      p.state <- Free;
-      p.reads_since_erase <- 0;
-      (* Injected faults model damaged *content* and charge leakage, not
-         permanent silicon damage: an erase rewrites the cells and clears
-         them all. *)
-      p.transient_rber <- 0.;
-      p.sticky_rber <- 0.;
-      p.corrupt_mask <- 0)
-    b.pages;
+  let ppb = t.geometry.Geometry.pages_per_block in
+  let base = block * ppb in
+  (* One word per page holds both the programmed bit and the read-
+     disturb counter, so the whole block clears with one fill; stale
+     payload slots stay in place — the cleared programmed bit hides
+     them until the next program overwrites. *)
+  Array.fill t.words base ppb 0;
+  (* Injected faults model damaged *content* and charge leakage, not
+     permanent silicon damage: an erase rewrites the cells and clears
+     them all. *)
+  if Hashtbl.length t.faults > 0 then
+    for fp = base to base + ppb - 1 do
+      Hashtbl.remove t.faults fp
+    done;
   t.erases <- t.erases + 1;
   Telemetry.Registry.Counter.incr t.tel.tel_erases;
   if Telemetry.Registry.Histogram.is_active t.tel.tel_erase_us then
@@ -258,78 +292,119 @@ let erase t ~block =
     Telemetry.Registry.Gauge.set t.tel.tel_pec_max
       (Float.max
          (Telemetry.Registry.Gauge.value t.tel.tel_pec_max)
-         (float_of_int b.pec));
+         (float_of_int pec));
     Telemetry.Registry.Gauge.set t.tel.tel_pec_min (float_of_int t.pec_min);
     (* Post-erase RBER of the freshly worn block: pure wear, no read
        disturb, no injected faults (erase just cleared both). *)
-    let block_worst =
-      Array.fold_left
-        (fun worst (p : page) ->
-          Float.max worst
-            (Rber_model.rber t.model ~pec:b.pec ~strength:p.strength))
-        0. b.pages
-    in
+    let block_worst = ref 0. in
+    for page = 0 to ppb - 1 do
+      block_worst :=
+        Float.max !block_worst
+          (Rber_model.rber t.model ~pec
+             ~strength:(Float.Array.get t.strengths (base + page)))
+    done;
     Telemetry.Registry.Gauge.set t.tel.tel_rber_worst
       (Float.max
          (Telemetry.Registry.Gauge.value t.tel.tel_rber_worst)
-         block_worst)
+         !block_worst)
   end
 
-let pec t ~block = (get_block t block).pec
+let pec t ~block =
+  check_block t block;
+  t.pecs.(block)
+
 let pec_min t = t.pec_min
 
 let strength t ~block ~page =
-  let _, p = get_page t block page in
-  p.strength
+  let fp = check_page t block page in
+  Float.Array.get t.strengths fp
 
 let rber t ~block ~page =
-  let b, p = get_page t block page in
-  Rber_model.rber ~reads:p.reads_since_erase t.model ~pec:b.pec
-    ~strength:p.strength
-  +. p.transient_rber +. p.sticky_rber
+  let fp = check_page t block page in
+  let base =
+    Rber_model.rber ~reads:(page_reads t fp) t.model ~pec:t.pecs.(block)
+      ~strength:(Float.Array.get t.strengths fp)
+  in
+  if Hashtbl.length t.faults = 0 then base
+  else
+    match Hashtbl.find_opt t.faults fp with
+    | Some c -> base +. c.transient +. c.sticky
+    | None -> base
 
 let rber_after_next_erase t ~block ~page =
   (* An erase clears the accumulated read disturb along with the data. *)
-  let b, p = get_page t block page in
-  Rber_model.rber t.model ~pec:(b.pec + 1) ~strength:p.strength
+  let fp = check_page t block page in
+  Rber_model.rber t.model
+    ~pec:(t.pecs.(block) + 1)
+    ~strength:(Float.Array.get t.strengths fp)
 
 let reads_since_erase t ~block ~page =
-  let _, p = get_page t block page in
-  p.reads_since_erase
+  let fp = check_page t block page in
+  page_reads t fp
 
 let is_free t ~block ~page =
-  let _, p = get_page t block page in
-  match p.state with Free -> true | Programmed _ -> false
+  let fp = check_page t block page in
+  not (is_programmed t fp)
 
 let programs t = t.programs
 let reads t = t.reads
 let erases t = t.erases
 
+let fault_cell t fp =
+  match Hashtbl.find_opt t.faults fp with
+  | Some c -> c
+  | None ->
+      let c = { transient = 0.; sticky = 0.; corrupt = 0 } in
+      Hashtbl.replace t.faults fp c;
+      c
+
+(* Keep the table minimal so [Hashtbl.length = 0] stays a meaningful
+   fast-path guard after faults are consumed or cancelled. *)
+let drop_if_clear t fp c =
+  if c.transient = 0. && c.sticky = 0. && c.corrupt = 0 then
+    Hashtbl.remove t.faults fp
+
 let inject t ~block ~page fault =
-  let _, p = get_page t block page in
+  let fp = check_page t block page in
   (match fault with
   | Transient_rber extra ->
       if extra < 0. then invalid_arg "Chip.inject: negative transient rber";
-      p.transient_rber <- p.transient_rber +. extra;
+      let c = fault_cell t fp in
+      c.transient <- c.transient +. extra;
+      drop_if_clear t fp c;
       Telemetry.Registry.Counter.incr t.tel.tel_faults_transient
   | Sticky_rber extra ->
       if extra < 0. then invalid_arg "Chip.inject: negative sticky rber";
-      p.sticky_rber <- p.sticky_rber +. extra;
+      let c = fault_cell t fp in
+      c.sticky <- c.sticky +. extra;
+      drop_if_clear t fp c;
       Telemetry.Registry.Counter.incr t.tel.tel_faults_sticky
   | Silent_corruption mask ->
       if mask = 0 then invalid_arg "Chip.inject: zero corruption mask";
-      p.corrupt_mask <- p.corrupt_mask lxor mask;
+      let c = fault_cell t fp in
+      c.corrupt <- c.corrupt lxor mask;
+      drop_if_clear t fp c;
       Telemetry.Registry.Counter.incr t.tel.tel_faults_silent);
   t.faults_injected <- t.faults_injected + 1
 
 let take_transient t ~block ~page =
-  let _, p = get_page t block page in
-  let extra = p.transient_rber in
-  p.transient_rber <- 0.;
-  extra
+  let fp = check_page t block page in
+  if Hashtbl.length t.faults = 0 then 0.
+  else
+    match Hashtbl.find_opt t.faults fp with
+    | None -> 0.
+    | Some c ->
+        let extra = c.transient in
+        c.transient <- 0.;
+        drop_if_clear t fp c;
+        extra
 
 let sticky_rber t ~block ~page =
-  let _, p = get_page t block page in
-  p.sticky_rber
+  let fp = check_page t block page in
+  if Hashtbl.length t.faults = 0 then 0.
+  else
+    match Hashtbl.find_opt t.faults fp with
+    | Some c -> c.sticky
+    | None -> 0.
 
 let faults_injected t = t.faults_injected

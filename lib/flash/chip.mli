@@ -10,12 +10,22 @@
 
     The chip itself enforces only physics: program-once, erase-before-
     reuse, wear accounting, and the RBER of every page.  Policy (ECC
-    sufficiency, retirement, mapping) belongs to the layers above. *)
+    sufficiency, retirement, mapping) belongs to the layers above.
+
+    The store is packed for fleet scale: per-block PEC words, one
+    state word per fPage (programmed bit + read-disturb count), unboxed
+    per-fPage strengths and a flat per-slot payload array — no per-page
+    records or option boxes — with injected faults in a sparse side
+    table (they touch a handful of pages while a chip holds thousands).
+    A 32x16x4 device's media state is ~20 KB instead of ~200 KB, which
+    is what lets one process age a 100k-device fleet. *)
 
 type t
 
 type payload = int
-(** Opaque per-oPage content fingerprint chosen by the FTL. *)
+(** Opaque per-oPage content fingerprint chosen by the FTL.
+    [min_int] is reserved (it encodes an ECC-reserved slot in the
+    packed payload array); {!program} rejects it. *)
 
 type page_state =
   | Free  (** erased, programmable *)

@@ -78,9 +78,13 @@ type t = {
   buffer : Write_buffer.t;
   classes : block_class array;
   logical_capacity : int;
-  oob : (int * int) option array;
+  oob_logical : int array;
+  oob_seq : int array;
       (* per physical slot: (logical, sequence) tag written with the data;
-         cleared by the block's erase, like real OOB bytes *)
+         cleared by the block's erase, like real OOB bytes.  Two flat int
+         arrays instead of an [(int * int) option array]: no tuple/Some
+         box per programmed slot, [-1] in [oob_logical] marks a clear
+         slot ([oob_seq] is only meaningful where logical >= 0). *)
   trim_journal : (int, int) Hashtbl.t;
       (* logical -> sequence of its latest trim (non-volatile journal) *)
   mutable sequence : int;
@@ -155,7 +159,8 @@ let create ?(config = default_config) ?registry ~chip ~rng ~policy
     buffer = Write_buffer.create ();
     classes = Array.make geometry.Flash.Geometry.blocks Free;
     logical_capacity;
-    oob = Array.make slots None;
+    oob_logical = Array.make slots (-1);
+    oob_seq = Array.make slots 0;
     trim_journal = Hashtbl.create 64;
     sequence = 0;
     open_block = None;
@@ -264,7 +269,7 @@ let erase_and_reclassify t block =
   let g = geometry t in
   for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
     for slot = 0 to g.Flash.Geometry.opages_per_fpage - 1 do
-      t.oob.(flat_slot t ~block ~page ~slot) <- None
+      t.oob_logical.(flat_slot t ~block ~page ~slot) <- -1
     done
   done;
   t.policy.Policy.on_block_erased ~block;
@@ -418,7 +423,9 @@ let program_page t ~block ~page ~slots entries =
   List.iteri
     (fun i (logical, _) ->
       t.sequence <- t.sequence + 1;
-      t.oob.(flat_slot t ~block ~page ~slot:i) <- Some (logical, t.sequence);
+      let flat = flat_slot t ~block ~page ~slot:i in
+      t.oob_logical.(flat) <- logical;
+      t.oob_seq.(flat) <- t.sequence;
       Mapping.bind t.mapping ~logical { Location.block; page; slot = i })
     entries;
   t.padded <- t.padded + (slots - List.length entries);
@@ -655,10 +662,12 @@ let crash_rebuild old =
     for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
       if not (Flash.Chip.is_free t.chip ~block ~page) then
         for slot = 0 to g.Flash.Geometry.opages_per_fpage - 1 do
-          match t.oob.(flat_slot t ~block ~page ~slot) with
-          | Some (logical, sequence) ->
-              tags := (sequence, logical, { Location.block; page; slot }) :: !tags
-          | None -> ()
+          let flat = flat_slot t ~block ~page ~slot in
+          let logical = t.oob_logical.(flat) in
+          if logical >= 0 then
+            tags :=
+              (t.oob_seq.(flat), logical, { Location.block; page; slot })
+              :: !tags
         done
     done
   done;

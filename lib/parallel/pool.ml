@@ -23,8 +23,25 @@ let rec worker_loop t =
     worker_loop t
   end
 
+(* Every minor collection in any domain is a stop-the-world rendezvous
+   of all of them.  At the 256k-word default nursery an allocation-brisk
+   fleet run syncs thousands of times per second, and each sync pays
+   scheduler latency per non-running domain — the very anti-scaling
+   BENCH_6 recorded.  The nursery size is per-domain in OCaml 5 and is
+   NOT inherited through [Domain.spawn], so each worker grows its own
+   at startup, and [create] grows the caller's (it allocates during the
+   barrier merges and attends every rendezvous too).  ~32 MB per domain
+   buys roughly 16x fewer rendezvous; never shrunk back. *)
+let min_minor_heap_words = 4 * 1024 * 1024
+
+let tune_gc () =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < min_minor_heap_words then
+    Gc.set { g with Gc.minor_heap_size = min_minor_heap_words }
+
 let create ~domains =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  tune_gc ();
   let t =
     {
       mutex = Mutex.create ();
@@ -35,63 +52,105 @@ let create ~domains =
     }
   in
   t.workers <-
-    Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            tune_gc ();
+            worker_loop t));
   t
 
 let domains t = Array.length t.workers
 
-let submit t task =
-  Mutex.lock t.mutex;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Pool: submit after shutdown"
-  end;
-  Queue.push task t.queue;
-  Condition.signal t.wake;
-  Mutex.unlock t.mutex
+let submit_batch t tasks =
+  if tasks <> [] then begin
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool: submit after shutdown"
+    end;
+    List.iter (fun task -> Queue.push task t.queue) tasks;
+    (* One broadcast for the whole batch: every sleeping worker races to
+       the queue once, instead of one signal (and one mutex round-trip)
+       per task. *)
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex
+  end
+
+let submit t task = submit_batch t [ task ]
+
+(* Shared barrier for [map]/[map_chunked]: workers post each result into
+   its submission-order slot, the caller sleeps until the last one lands.
+   Slots are written by exactly one worker before it takes the completion
+   mutex and read by the caller after the last release: the mutex orders
+   every write before every read. *)
+let run_all t (jobs : (unit -> 'a) array) =
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let done_mutex = Mutex.create () in
+  let done_cond = Condition.create () in
+  let remaining = ref n in
+  let tasks =
+    List.init n (fun i ->
+        fun () ->
+          let r =
+            match jobs.(i) () with y -> Ok y | exception e -> Error e
+          in
+          results.(i) <- Some r;
+          Mutex.lock done_mutex;
+          decr remaining;
+          if !remaining = 0 then Condition.signal done_cond;
+          Mutex.unlock done_mutex)
+  in
+  submit_batch t tasks;
+  Mutex.lock done_mutex;
+  while !remaining > 0 do
+    Condition.wait done_cond done_mutex
+  done;
+  Mutex.unlock done_mutex;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise e
+         | None -> assert false)
+       results)
 
 let map t f xs =
   match xs with
   | [] -> []
-  | xs ->
-      let inputs = Array.of_list xs in
-      let n = Array.length inputs in
-      (* Slots are each written by exactly one worker before it takes the
-         completion mutex, and read by the caller after the last release:
-         the mutex orders every write before every read. *)
-      let results = Array.make n None in
-      let done_mutex = Mutex.create () in
-      let done_cond = Condition.create () in
-      let remaining = ref n in
-      Array.iteri
-        (fun i x ->
-          submit t (fun () ->
-              let r =
-                match f x with
-                | y -> Ok y
-                | exception e -> Error e
-              in
-              results.(i) <- Some r;
-              Mutex.lock done_mutex;
-              decr remaining;
-              if !remaining = 0 then Condition.signal done_cond;
-              Mutex.unlock done_mutex))
-        inputs;
-      Mutex.lock done_mutex;
-      while !remaining > 0 do
-        Condition.wait done_cond done_mutex
-      done;
-      Mutex.unlock done_mutex;
-      Array.to_list
-        (Array.map
-           (function
-             | Some (Ok y) -> y
-             | Some (Error e) -> raise e
-             | None -> assert false)
-           results)
+  | xs -> run_all t (Array.of_list (List.map (fun x () -> f x) xs))
 
 let map_opt pool f xs =
   match pool with None -> List.map f xs | Some t -> map t f xs
+
+type chunk = { lo : int; hi : int }
+
+let chunks ~chunk_size ~n =
+  if chunk_size < 1 then invalid_arg "Pool.chunks: chunk_size must be >= 1";
+  if n < 0 then invalid_arg "Pool.chunks: n must be >= 0";
+  let rec build lo =
+    if lo >= n then []
+    else { lo; hi = Stdlib.min n (lo + chunk_size) } :: build (lo + chunk_size)
+  in
+  build 0
+
+let map_chunked pool ~chunk_size ~n f =
+  map_opt pool f (chunks ~chunk_size ~n)
+
+module Accumulator = struct
+  type ('acc, 'r) t = {
+    create : chunk -> 'acc;
+    item : 'acc -> int -> unit;
+    finish : 'acc -> 'r;
+  }
+end
+
+let accumulate pool ~chunk_size ~n (spec : _ Accumulator.t) =
+  map_chunked pool ~chunk_size ~n (fun c ->
+      let acc = spec.create c in
+      for i = c.lo to c.hi - 1 do
+        spec.item acc i
+      done;
+      spec.finish acc)
 
 let shutdown t =
   Mutex.lock t.mutex;

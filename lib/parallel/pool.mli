@@ -3,12 +3,21 @@
 
     The pool owns [domains] worker domains (OCaml 5 shared-memory
     parallelism; no dependencies beyond [Domain]/[Mutex]/[Condition])
-    pulling tasks off one queue.  {!map} returns results in submission
-    order regardless of completion order, which is what lets callers
-    keep the byte-identical-output determinism guarantee: as long as
-    each task is self-contained (its own RNG stream, its own metric
-    registry), the reduce step observes the same sequence at any
-    domain count.
+    pulling tasks off one queue.  {!map} and {!map_chunked} return
+    results in submission order regardless of completion order, which is
+    what lets callers keep the byte-identical-output determinism
+    guarantee: as long as each task is self-contained (its own RNG
+    stream, its own metric registry), the reduce step observes the same
+    sequence at any domain count.
+
+    Chunked execution is the preferred shape for homogeneous work over
+    an index range: one task per chunk amortizes the queue round-trip
+    and the completion handshake over [chunk_size] items, and the
+    {!Accumulator} pattern gives each chunk private accumulation state
+    (registry, monitor, plain [int ref]s) created once and merged once
+    at the barrier — no per-item synchronization at all.  Chunk
+    boundaries must depend only on the item count, never on the domain
+    count, so the merged result is identical at any [--jobs].
 
     Tasks must not submit work back into the pool they run on: workers
     block only between tasks, so a task that waits on a nested {!map}
@@ -30,17 +39,63 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count () - 1] (the caller's domain keeps
     one core), at least 1: the cap the CLI's [--jobs] flag defaults to. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one task.  @raise Invalid_argument after {!shutdown}. *)
+
+val submit_batch : t -> (unit -> unit) list -> unit
+(** Enqueue every task under a single lock acquisition and wake the
+    workers with one [Condition.broadcast] — the batched form {!map} and
+    {!map_chunked} are built on.  @raise Invalid_argument after
+    {!shutdown}. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] evaluates [f x] for every element on the pool's workers
     and returns the results in the order of [xs].  If any application
     raised, the first raising element's exception (in submission order)
-    is re-raised in the caller after all tasks have settled.
-    @raise Invalid_argument if the pool has been shut down. *)
+    is re-raised in the caller after all tasks have settled — the pool
+    itself stays usable. *)
 
 val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_opt (Some t)] is [map t]; [map_opt None] is sequential
     [List.map] — the single code path callers use so that [--jobs 1]
     and [--jobs n] run identical per-element computations. *)
+
+(** {2 Chunked execution} *)
+
+type chunk = { lo : int; hi : int }
+(** Half-open index range [\[lo, hi)]. *)
+
+val chunks : chunk_size:int -> n:int -> chunk list
+(** Static range partition of [\[0, n)] into runs of [chunk_size]
+    (the last chunk may be shorter).  Depends only on [chunk_size] and
+    [n] — never on the pool size — so downstream merges are
+    jobs-invariant.
+    @raise Invalid_argument if [chunk_size < 1] or [n < 0]. *)
+
+val map_chunked :
+  t option -> chunk_size:int -> n:int -> (chunk -> 'r) -> 'r list
+(** [map_chunked pool ~chunk_size ~n f] applies [f] to every chunk of
+    [\[0, n)] — one pool task per chunk, results in chunk order.  With
+    [pool = None] the chunks run sequentially in the caller. *)
+
+(** Per-chunk accumulation: [create] builds the chunk-local state (sub
+    registry/monitor, plain counters) once, [item] folds each index into
+    it with no synchronization, [finish] extracts the mergeable result
+    returned in submission order. *)
+module Accumulator : sig
+  type ('acc, 'r) t = {
+    create : chunk -> 'acc;
+    item : 'acc -> int -> unit;
+    finish : 'acc -> 'r;
+  }
+end
+
+val accumulate :
+  t option -> chunk_size:int -> n:int -> ('acc, 'r) Accumulator.t -> 'r list
+(** [accumulate pool ~chunk_size ~n spec] runs [spec] over every chunk
+    of [\[0, n)] via {!map_chunked}: per-chunk state from [spec.create],
+    [spec.item] on each index in order, [spec.finish] results in chunk
+    order for the caller's deterministic merge. *)
 
 val shutdown : t -> unit
 (** Drain nothing, accept nothing: wake every worker and join them.

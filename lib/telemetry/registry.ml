@@ -26,49 +26,65 @@ module Labels = struct
     String.concat "," (List.map (fun (k, value) -> k ^ "=" ^ value) t)
 end
 
-(* Live metrics are shared across domains (a fleet's devices update their
-   handles from pool workers), so every mutable cell is an [Atomic] or
-   sits behind a per-metric mutex.  Inactive (null-registry) metrics stay
-   single shared dummies: the [active] check short-circuits before any
-   synchronization, preserving the branch-only cost of disabled
-   telemetry. *)
+(* Metric cells come in three flavours.  [Inert] is the null-registry
+   dummy: an update is a single predictable branch, so fully
+   instrumented code paths cost nothing measurable when telemetry is
+   off.  [Shared] cells are domain-safe ([Atomic], or a per-metric
+   mutex for histograms): a fleet's devices may update their handles
+   from pool workers against one registry.  [Local] cells are plain
+   unsynchronized refs for registries owned by exactly one domain at a
+   time — the chunk-local accumulators the parallel experiment layer
+   creates per chunk and merges once at the barrier, where an atomic
+   RMW per event would be pure overhead. *)
 
 module Counter = struct
-  type t = { value : int Atomic.t; active : bool }
+  type t = Inert | Shared of int Atomic.t | Local of int ref
 
-  let dummy = { value = Atomic.make 0; active = false }
+  let dummy = Inert
 
   let incr ?(by = 1) t =
     if by < 0 then invalid_arg "Counter.incr: negative increment";
-    if t.active then ignore (Atomic.fetch_and_add t.value by)
+    match t with
+    | Inert -> ()
+    | Shared v -> ignore (Atomic.fetch_and_add v by)
+    | Local r -> r := !r + by
 
-  let value t = Atomic.get t.value
-  let is_active t = t.active
+  let value = function Inert -> 0 | Shared v -> Atomic.get v | Local r -> !r
+  let is_active = function Inert -> false | Shared _ | Local _ -> true
 end
 
 module Gauge = struct
-  type t = { value : float Atomic.t; active : bool }
+  type t = Inert | Shared of float Atomic.t | Local of float ref
 
-  let dummy = { value = Atomic.make 0.; active = false }
-  let set t x = if t.active then Atomic.set t.value x
+  let dummy = Inert
+
+  let set t x =
+    match t with
+    | Inert -> ()
+    | Shared v -> Atomic.set v x
+    | Local r -> r := x
 
   let add t x =
-    if t.active then begin
-      let rec retry () =
-        let current = Atomic.get t.value in
-        if not (Atomic.compare_and_set t.value current (current +. x)) then
-          retry ()
-      in
-      retry ()
-    end
+    match t with
+    | Inert -> ()
+    | Shared v ->
+        let rec retry () =
+          let current = Atomic.get v in
+          if not (Atomic.compare_and_set v current (current +. x)) then
+            retry ()
+        in
+        retry ()
+    | Local r -> r := !r +. x
 
-  let value t = Atomic.get t.value
-  let is_active t = t.active
+  let value = function Inert -> 0. | Shared v -> Atomic.get v | Local r -> !r
+  let is_active = function Inert -> false | Shared _ | Local _ -> true
 end
 
 module Histogram = struct
   (* One mutex per histogram (sharded by metric, not a global lock):
-     concurrent observers of *different* histograms never contend. *)
+     concurrent observers of *different* histograms never contend.
+     Histograms of unshared (single-domain) registries skip the mutex
+     entirely. *)
   type t = {
     mutex : Mutex.t;
     mutable buckets : Sim.Stats.Histogram.t;
@@ -77,9 +93,10 @@ module Histogram = struct
     lo : float;
     hi : float;
     active : bool;
+    shared : bool;
   }
 
-  let make ~buckets ~lo ~hi ~active =
+  let make ?(shared = true) ~buckets ~lo ~hi ~active () =
     {
       mutex = Mutex.create ();
       buckets = Sim.Stats.Histogram.create ~buckets ~lo ~hi ();
@@ -88,13 +105,17 @@ module Histogram = struct
       lo;
       hi;
       active;
+      shared;
     }
 
-  let dummy = make ~buckets:1 ~lo:0. ~hi:1. ~active:false
+  let dummy = make ~buckets:1 ~lo:0. ~hi:1. ~active:false ()
 
   let locked t f =
-    Mutex.lock t.mutex;
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+    if not t.shared then f ()
+    else begin
+      Mutex.lock t.mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+    end
 
   let observe t x =
     if t.active then
@@ -143,18 +164,32 @@ type entry = { labels : Labels.t; help : string; metric : metric }
 
 type t = {
   live : bool;
+  shared : bool; (* shared: atomic cells; unshared: plain refs *)
   mutex : Mutex.t; (* guards [table] and [names] *)
   table : (string, entry) Hashtbl.t; (* key = name ^ "{" ^ labels *)
   mutable names : (string * string) list; (* (name, key) in any order *)
 }
 
-let create () =
-  { live = true; mutex = Mutex.create (); table = Hashtbl.create 64; names = [] }
+let create ?(shared = true) () =
+  {
+    live = true;
+    shared;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    names = [];
+  }
 
 let null =
-  { live = false; mutex = Mutex.create (); table = Hashtbl.create 1; names = [] }
+  {
+    live = false;
+    shared = true;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 1;
+    names = [];
+  }
 
 let is_null t = not t.live
+let is_shared t = t.shared
 
 let kind_name = function
   | Counter_m _ -> "counter"
@@ -201,21 +236,29 @@ let counter t ?(help = "") ?(labels = []) name =
   if not t.live then Counter.dummy
   else
     register t ~name ~labels ~help ~kind:"counter"
-      (fun () -> Counter_m { Counter.value = Atomic.make 0; active = true })
+      (fun () ->
+        Counter_m
+          (if t.shared then Counter.Shared (Atomic.make 0)
+           else Counter.Local (ref 0)))
       (function Counter_m c -> Some c | _ -> None)
 
 let gauge t ?(help = "") ?(labels = []) name =
   if not t.live then Gauge.dummy
   else
     register t ~name ~labels ~help ~kind:"gauge"
-      (fun () -> Gauge_m { Gauge.value = Atomic.make 0.; active = true })
+      (fun () ->
+        Gauge_m
+          (if t.shared then Gauge.Shared (Atomic.make 0.)
+           else Gauge.Local (ref 0.)))
       (function Gauge_m g -> Some g | _ -> None)
 
 let histogram t ?(help = "") ?(labels = []) ?(buckets = 128) ~lo ~hi name =
   if not t.live then Histogram.dummy
   else
     register t ~name ~labels ~help ~kind:"histogram"
-      (fun () -> Histogram_m (Histogram.make ~buckets ~lo ~hi ~active:true))
+      (fun () ->
+        Histogram_m
+          (Histogram.make ~shared:t.shared ~buckets ~lo ~hi ~active:true ()))
       (function Histogram_m h -> Some h | _ -> None)
 
 type summary = {

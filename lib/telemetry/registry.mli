@@ -11,11 +11,16 @@
     nothing measurable when telemetry is off (see the [overhead]
     benchmark in [bench/main.ml]).
 
-    Live registries are domain-safe: counters and gauges are atomics,
+    Live registries come in two flavours.  Shared registries (the
+    {!create} default) are domain-safe: counters and gauges are atomics,
     histograms take a per-metric mutex, and registration itself is
     serialized, so components built and driven on [Parallel.Pool]
-    workers may share one registry — or keep per-domain registries and
-    reduce them with {!merge}.
+    workers may share one registry.  Unshared registries
+    ([create ~shared:false ()]) back every metric with a plain
+    unsynchronized ref — the fast path for chunk-local accumulators
+    that one domain owns at a time and the barrier reduces with
+    {!merge}; updating an unshared metric from two domains at once is a
+    data race and on the caller.
 
     Metrics are identified by a [(name, labels)] pair.  Registering the
     same pair twice returns the same handle (so independent components
@@ -82,7 +87,14 @@ end
 type t
 (** A metric registry. *)
 
-val create : unit -> t
+val create : ?shared:bool -> unit -> t
+(** [create ()] builds a shared (domain-safe) registry;
+    [create ~shared:false ()] builds an unshared one whose metrics are
+    plain refs — single-domain-owned accumulators only. *)
+
+val is_shared : t -> bool
+(** [true] for {!null} and for registries created without
+    [~shared:false]. *)
 
 val null : t
 (** The inert registry: all metrics obtained from it are inactive and

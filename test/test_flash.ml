@@ -223,6 +223,69 @@ let test_read_disturb_cleared_by_erase () =
        ~strength:(Flash.Chip.strength chip ~block:1 ~page:0))
     (Flash.Chip.rber_after_next_erase chip ~block:1 ~page:0)
 
+(* --- packed representation edge cases ----------------------------------- *)
+
+let test_chip_reserved_payload_rejected () =
+  (* The packed payload array reserves [min_int] as its None sentinel, so
+     programming it must be refused before any slot is written. *)
+  let chip = make_chip () in
+  Alcotest.check_raises "min_int payload"
+    (Invalid_argument "Chip.program: payload min_int is reserved") (fun () ->
+      Flash.Chip.program chip ~block:0 ~page:0
+        [| Some min_int; None; None; None |]);
+  checkb "page still free after rejection" true
+    (Flash.Chip.is_free chip ~block:0 ~page:0);
+  (* Extreme but legal payloads survive the packed roundtrip. *)
+  Flash.Chip.program chip ~block:0 ~page:1
+    [| Some max_int; Some (min_int + 1); Some 0; None |];
+  Alcotest.(check (option int)) "max_int roundtrips" (Some max_int)
+    (Flash.Chip.read_slot chip ~block:0 ~page:1 ~slot:0);
+  Alcotest.(check (option int)) "min_int+1 roundtrips" (Some (min_int + 1))
+    (Flash.Chip.read_slot chip ~block:0 ~page:1 ~slot:1)
+
+let test_chip_stale_payloads_hidden_after_erase () =
+  (* Erase flips the programmed bit but leaves old payload words in place;
+     reads must report Free, and a re-program must fully replace them. *)
+  let chip = make_chip () in
+  Flash.Chip.program chip ~block:1 ~page:2 [| Some 7; Some 8; Some 9; None |];
+  Flash.Chip.erase chip ~block:1;
+  (match Flash.Chip.read chip ~block:1 ~page:2 with
+  | Flash.Chip.Free -> ()
+  | Flash.Chip.Programmed _ -> Alcotest.fail "stale payload leaked");
+  Alcotest.check_raises "slot read on erased page rejected"
+    (Invalid_argument "Chip.read_slot: page is erased") (fun () ->
+      ignore (Flash.Chip.read_slot chip ~block:1 ~page:2 ~slot:0));
+  Flash.Chip.program chip ~block:1 ~page:2 [| None; Some 5; None; None |];
+  (match Flash.Chip.read chip ~block:1 ~page:2 with
+  | Flash.Chip.Programmed slots ->
+      Alcotest.(check (array (option int)))
+        "old slots fully replaced" [| None; Some 5; None; None |] slots
+  | Flash.Chip.Free -> Alcotest.fail "expected programmed")
+
+let test_chip_faults_cleared_by_erase () =
+  (* Injected faults live in a sparse side table keyed by flat page index;
+     erasing the block must drop the whole cell, not just one field. *)
+  let chip = make_chip () in
+  Flash.Chip.program chip ~block:3 ~page:0 [| Some 1; None; None; None |];
+  Flash.Chip.inject chip ~block:3 ~page:0 (Flash.Chip.Transient_rber 0.1);
+  Flash.Chip.inject chip ~block:3 ~page:0 (Flash.Chip.Sticky_rber 0.2);
+  Flash.Chip.inject chip ~block:3 ~page:0 (Flash.Chip.Silent_corruption 0b101);
+  checki "three injections counted" 3 (Flash.Chip.faults_injected chip);
+  checkf 1e-12 "sticky visible" 0.2
+    (Flash.Chip.sticky_rber chip ~block:3 ~page:0);
+  Alcotest.(check (option int)) "corruption flips payload bits" (Some 4)
+    (Flash.Chip.read_slot chip ~block:3 ~page:0 ~slot:0);
+  Flash.Chip.erase chip ~block:3;
+  checkf 1e-12 "sticky gone after erase" 0.
+    (Flash.Chip.sticky_rber chip ~block:3 ~page:0);
+  checkf 1e-12 "transient gone after erase" 0.
+    (Flash.Chip.take_transient chip ~block:3 ~page:0);
+  Flash.Chip.program chip ~block:3 ~page:0 [| Some 1; None; None; None |];
+  Alcotest.(check (option int)) "corruption gone after erase" (Some 1)
+    (Flash.Chip.read_slot chip ~block:3 ~page:0 ~slot:0);
+  checki "injection counter survives erase" 3
+    (Flash.Chip.faults_injected chip)
+
 let test_read_disturb_off_by_default () =
   let model = Flash.Rber_model.calibrate ~target_rber:3e-3 ~target_pec:100 () in
   let chip =
@@ -359,6 +422,11 @@ let suite =
     ("read disturb accumulates", `Quick, test_read_disturb_accumulates);
     ("read disturb cleared by erase", `Quick, test_read_disturb_cleared_by_erase);
     ("read disturb off by default", `Quick, test_read_disturb_off_by_default);
+    ("chip reserved payload rejected", `Quick,
+     test_chip_reserved_payload_rejected);
+    ("chip stale payloads hidden after erase", `Quick,
+     test_chip_stale_payloads_hidden_after_erase);
+    ("chip faults cleared by erase", `Quick, test_chip_faults_cleared_by_erase);
     ("latency retries grow", `Quick, test_latency_retries_grow_with_margin);
     ("latency read composition", `Quick, test_latency_read_composition);
     ("service single page latency", `Quick, test_service_single_page_latency);

@@ -66,6 +66,81 @@ let test_shutdown_semantics () =
     | exception Invalid_argument _ -> true);
   checkb "default_domains at least 1" true (Parallel.Pool.default_domains () >= 1)
 
+(* --- chunked execution ------------------------------------------------------ *)
+
+let test_chunks_partition () =
+  let cover ~chunk_size ~n =
+    let cs = Parallel.Pool.chunks ~chunk_size ~n in
+    List.concat_map
+      (fun c ->
+        List.init
+          (c.Parallel.Pool.hi - c.Parallel.Pool.lo)
+          (fun i -> c.Parallel.Pool.lo + i))
+      cs
+  in
+  Alcotest.(check (list int))
+    "chunks cover 0..n-1 in order" (List.init 10 Fun.id)
+    (cover ~chunk_size:3 ~n:10);
+  Alcotest.(check (list int))
+    "oversized chunk is one chunk" (List.init 4 Fun.id)
+    (cover ~chunk_size:100 ~n:4);
+  checki "n=0 gives no chunks" 0
+    (List.length (Parallel.Pool.chunks ~chunk_size:4 ~n:0));
+  checkb "chunk_size 0 rejected" true
+    (match Parallel.Pool.chunks ~chunk_size:0 ~n:5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_map_chunked_fewer_items_than_domains () =
+  (* 2 items across 4 domains: some workers never get a chunk; the barrier
+     must still complete and order must hold. *)
+  Parallel.Pool.with_pool ~domains:4 @@ fun pool ->
+  Alcotest.(check (list int))
+    "two chunks, four domains" [ 0; 1 ]
+    (Parallel.Pool.map_chunked (Some pool) ~chunk_size:1 ~n:2 (fun c ->
+         c.Parallel.Pool.lo));
+  Alcotest.(check (list int))
+    "no items, no tasks" []
+    (Parallel.Pool.map_chunked (Some pool) ~chunk_size:1 ~n:0 (fun _ -> 0))
+
+let test_exception_mid_chunk_does_not_wedge () =
+  (* A task raising halfway through its chunk must propagate to the caller
+     without deadlocking the barrier or poisoning the pool for later maps. *)
+  Parallel.Pool.with_pool ~domains:2 @@ fun pool ->
+  let raised =
+    match
+      Parallel.Pool.map_chunked (Some pool) ~chunk_size:4 ~n:16 (fun c ->
+          for i = c.Parallel.Pool.lo to c.Parallel.Pool.hi - 1 do
+            if i = 6 then failwith "mid-chunk"
+          done;
+          c.Parallel.Pool.lo)
+    with
+    | _ -> false
+    | exception Failure m -> m = "mid-chunk"
+  in
+  checkb "mid-chunk exception propagates" true raised;
+  checki "pool still serves maps afterwards" 10
+    (List.fold_left ( + ) 0
+       (Parallel.Pool.map pool Fun.id [ 1; 2; 3; 4 ]))
+
+let test_accumulate_chunk_size_invariant () =
+  (* Merged output of [accumulate] must depend only on the item set, never
+     on where chunk boundaries fall: 1-per-chunk, odd size, one big chunk. *)
+  let at chunk_size pool =
+    Parallel.Pool.accumulate pool ~chunk_size ~n:97
+      {
+        Parallel.Pool.Accumulator.create = (fun c -> ref (c.Parallel.Pool.lo * 0));
+        item = (fun acc i -> acc := !acc + (i * i));
+        finish = (fun acc -> !acc);
+      }
+    |> List.fold_left ( + ) 0
+  in
+  let seq = at 1 None in
+  Parallel.Pool.with_pool ~domains:3 @@ fun pool ->
+  checki "chunk_size 1 (pooled)" seq (at 1 (Some pool));
+  checki "chunk_size 7 (pooled)" seq (at 7 (Some pool));
+  checki "one big chunk (pooled)" seq (at 97 (Some pool))
+
 let test_shared_registry_from_workers () =
   (* Live registries are domain-safe: workers updating one shared counter
      concurrently lose no increments. *)
@@ -105,6 +180,25 @@ let test_fleet_jobs_deterministic () =
   checkb "merged telemetry identical" true
     (compare seq_snapshot par_snapshot = 0)
 
+(* Chunk boundaries must be invisible in fleet artifacts too: forcing 1
+   device per chunk, an odd size, and all-devices-in-one-chunk has to give
+   the same result record as the default policy. *)
+let test_fleet_chunk_size_invariant () =
+  let at ?chunk_size pool =
+    let ctx = Experiments.Ctx.make ?pool () in
+    Experiments.Fleet.run ?chunk_size ~devices:9 ~days:20 ~seed:5 ~ctx
+      `Shrinks
+  in
+  let reference = at None in
+  Parallel.Pool.with_pool ~domains:4 @@ fun pool ->
+  List.iter
+    (fun chunk_size ->
+      checkb
+        (Printf.sprintf "chunk_size %d matches sequential" chunk_size)
+        true
+        (at ~chunk_size (Some pool) = reference))
+    [ 1; 4; 9 ]
+
 let test_experiment_measure_deterministic () =
   let rows_at pool =
     let ctx = Experiments.Ctx.make ?pool () in
@@ -122,6 +216,14 @@ let suite =
     ("map empty and map_opt", `Quick, test_map_empty_and_opt);
     ("exceptions propagate in order", `Quick, test_exception_propagates);
     ("atomics cross domains", `Quick, test_atomic_cross_domain);
+    ("chunks partition the range", `Quick, test_chunks_partition);
+    ("map_chunked with fewer items than domains", `Quick,
+     test_map_chunked_fewer_items_than_domains);
+    ("exception mid-chunk does not wedge pool", `Quick,
+     test_exception_mid_chunk_does_not_wedge);
+    ("accumulate invariant to chunk size", `Quick,
+     test_accumulate_chunk_size_invariant);
+    ("fleet invariant to chunk size", `Slow, test_fleet_chunk_size_invariant);
     ("shutdown semantics", `Quick, test_shutdown_semantics);
     ("shared registry from workers", `Quick, test_shared_registry_from_workers);
     ("fleet deterministic across jobs", `Slow, test_fleet_jobs_deterministic);

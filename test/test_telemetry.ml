@@ -356,6 +356,41 @@ let test_merge_null_noop () =
   checkb "null snapshot still empty" true
     (Telemetry.Registry.snapshot Telemetry.Registry.null = [])
 
+let test_unshared_registry () =
+  (* Unshared registries back metrics with plain refs instead of atomics;
+     values, snapshots, and merging into a shared target must behave
+     exactly like the shared flavour. *)
+  let local = Telemetry.Registry.create ~shared:false () in
+  checkb "is_shared false" false (Telemetry.Registry.is_shared local);
+  checkb "default is shared" true
+    (Telemetry.Registry.is_shared (Telemetry.Registry.create ()));
+  let c = Telemetry.Registry.counter local "ops_total" in
+  Telemetry.Registry.Counter.incr c ~by:3;
+  Telemetry.Registry.Counter.incr c;
+  checki "local counter counts" 4 (Telemetry.Registry.Counter.value c);
+  checkb "negative incr still rejected" true
+    (raises_invalid (fun () -> Telemetry.Registry.Counter.incr c ~by:(-1)));
+  checki "value unchanged after rejection" 4
+    (Telemetry.Registry.Counter.value c);
+  let g = Telemetry.Registry.gauge local "depth" in
+  Telemetry.Registry.Gauge.set g 2.;
+  Telemetry.Registry.Gauge.add g 1.5;
+  checkf 1e-9 "local gauge arithmetic" 3.5 (Telemetry.Registry.Gauge.value g);
+  let h = Telemetry.Registry.histogram local ~lo:1. ~hi:100. "lat" in
+  List.iter (Telemetry.Registry.Histogram.observe h) [ 1.; 10.; 100. ];
+  checki "local histogram count" 3 (Telemetry.Registry.Histogram.count h);
+  let into = Telemetry.Registry.create () in
+  Telemetry.Registry.Counter.incr
+    (Telemetry.Registry.counter into "ops_total")
+    ~by:10;
+  Telemetry.Registry.merge ~into local;
+  checki "merge local into shared adds" 14
+    (Telemetry.Registry.Counter.value
+       (Telemetry.Registry.counter into "ops_total"));
+  checki "merged histogram lands shared" 3
+    (Telemetry.Registry.Histogram.count
+       (Telemetry.Registry.histogram into ~lo:1. ~hi:100. "lat"))
+
 let test_merge_kind_clash_raises () =
   let into = Telemetry.Registry.create () in
   let src = Telemetry.Registry.create () in
@@ -479,6 +514,7 @@ let suite =
     ("level_of_verbosity", `Quick, test_level_of_verbosity);
     ("registry merge reduces", `Quick, test_merge_reduces);
     ("registry merge null no-op", `Quick, test_merge_null_noop);
+    ("unshared registry flavour", `Quick, test_unshared_registry);
     ("registry merge kind clash", `Quick, test_merge_kind_clash_raises);
     QCheck_alcotest.to_alcotest prop_snapshot_order_independent;
     QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
