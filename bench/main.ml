@@ -258,10 +258,56 @@ let chaos_subjects () =
   for id = 0 to 15 do
     ignore (Difs.Cluster.write_chunk scrub_cluster id)
   done;
+  (* Escalation hot path: every read exhausts the ladder instantly
+     (read_retries = 0, fail_prob = 1) and the hook answers, so each
+     iteration is one full escalate-and-rescue round trip. *)
+  let escalating =
+    let chip =
+      Flash.Chip.create ~rng:(Sim.Rng.create 41) ~geometry ~model:gentle ()
+    in
+    let policy =
+      {
+        (Ftl.Policy.always_fresh
+           ~opages_per_fpage:geometry.Flash.Geometry.opages_per_fpage)
+        with
+        Ftl.Policy.read_fail_prob = (fun ~rber:_ ~block:_ ~page:_ -> 1.);
+      }
+    in
+    let engine =
+      Ftl.Engine.create
+        ~config:{ Ftl.Engine.default_config with Ftl.Engine.read_retries = 0 }
+        ~chip ~rng:(Sim.Rng.create 43) ~policy ~logical_capacity:256 ()
+    in
+    for lba = 0 to 63 do
+      ignore (Ftl.Engine.write engine ~logical:lba ~payload:lba)
+    done;
+    ignore (Ftl.Engine.flush engine);
+    Ftl.Engine.set_recovery_hook engine (Some (fun ~logical -> Some logical));
+    engine
+  in
+  (* Foreground live repair: recover one oPage of a replicated chunk from
+     a healthy replica and rewrite it in place, per iteration. *)
+  let repair_cluster = Difs.Cluster.create () in
+  List.iter
+    (fun i ->
+      let d =
+        Ftl.Baseline_ssd.create ~geometry ~model:gentle
+          ~rng:(Sim.Rng.create (300 + i))
+          ()
+      in
+      ignore
+        (Difs.Cluster.add_device repair_cluster ~node:i
+           (Difs.Cluster.Monolithic
+              (Ftl.Device_intf.Packed ((module Ftl.Baseline_ssd), d)))))
+    [ 0; 1; 2 ];
+  for id = 0 to 3 do
+    ignore (Difs.Cluster.write_chunk repair_cluster id)
+  done;
   let chip =
     Flash.Chip.create ~rng:(Sim.Rng.create 37) ~geometry ~model:gentle ()
   in
-  let c_clean = ref 0 and c_flaky = ref 0 and blk = ref 0 in
+  let c_clean = ref 0 and c_flaky = ref 0 and c_esc = ref 0 in
+  let r_lba = ref 0 and blk = ref 0 in
   [
     Test.make ~name:"chaos/read_clean"
       (Staged.stage (fun () ->
@@ -271,6 +317,16 @@ let chaos_subjects () =
       (Staged.stage (fun () ->
            c_flaky := (!c_flaky + 1) land 63;
            ignore (Ftl.Engine.read flaky ~logical:!c_flaky)));
+    Test.make ~name:"ftl/read_escalation"
+      (Staged.stage (fun () ->
+           c_esc := (!c_esc + 1) land 63;
+           ignore (Ftl.Engine.read escalating ~logical:!c_esc)));
+    Test.make ~name:"chaos/live_recovery"
+      (Staged.stage (fun () ->
+           (* 4 chunks x 16 oPages live at the front of device 0 *)
+           r_lba := (!r_lba + 1) land 63;
+           ignore
+             (Difs.Cluster.recover_opage repair_cluster ~device:0 ~lba:!r_lba)));
     Test.make ~name:"chaos/scrub_slice"
       (Staged.stage (fun () ->
            ignore (Difs.Cluster.scrub ~limit:1 scrub_cluster)));
@@ -614,7 +670,7 @@ let usage () =
     (fun (id, _) -> Printf.printf "  %s\n" id)
     Experiments.All.experiments;
   print_endline "  micro (Bechamel micro-benchmarks)";
-  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_7.json)";
+  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_8.json)";
   print_endline "  all (default: everything)"
 
 let () =
@@ -624,7 +680,7 @@ let () =
       run_all fmt;
       run_micro ()
   | [| _; "micro" |] -> run_micro ()
-  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_7.json" ()
+  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_8.json" ()
   | [| _; "micro"; "--json"; path |] -> run_micro ~json_path:path ()
   | [| _; id |] -> (
       match List.assoc_opt id Experiments.All.experiments with

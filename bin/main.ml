@@ -532,8 +532,9 @@ let chaos_cmd =
       value & opt string "default"
       & info [ "plan" ] ~docv:"PLAN"
           ~doc:
-            "Fault plan: a preset (none, default, media, crashy, killer) or a \
-             comma-separated spec list, e.g. \
+            "Fault plan: a preset (none, default, media, crashy, killer, \
+             sticky, silent, live-recovery) or a comma-separated spec list, \
+             e.g. \
              $(b,transient=0.05@0.1,sticky=0.01,silent=0.02,corr@400:3,kill@600:1,crash@800).")
   in
   let seed =

@@ -570,6 +570,27 @@ let trim t ~mdisk ~lba =
         Ftl.Engine.discard t.engine
           ~logical:(Minidisk.Registry.engine_logical t.registry m ~lba)
 
+(* Engine logicals are slot-addressed; reverse-map one to the minidisk
+   occupying that slot.  Draining minidisks are still readable — their
+   reads can escalate into live repair like any other. *)
+let mdisk_of_logical t ~logical =
+  let slot = logical / t.config.mdisk_opages in
+  let matches m = m.Minidisk.slot = slot in
+  match List.find_opt matches (Minidisk.Registry.active t.registry) with
+  | Some _ as found -> found
+  | None -> List.find_opt matches (Minidisk.Registry.draining t.registry)
+
+let set_recovery_hook t ?config hook =
+  Ftl.Engine.set_recovery_hook t.engine ?config
+    (Option.map
+       (fun f ~logical ->
+         match mdisk_of_logical t ~logical with
+         | None -> None
+         | Some m ->
+             f ~mdisk:m.Minidisk.id
+               ~lba:(logical mod t.config.mdisk_opages))
+       hook)
+
 let acknowledge_decommission t ~mdisk =
   if not t.dead then
     match Minidisk.Registry.find t.registry mdisk with
@@ -679,7 +700,28 @@ module As_device = struct
       relocated_opages = Ftl.Engine.relocated_opages t.engine;
       read_retries = Ftl.Engine.read_retries t.engine;
       read_reclaims = Ftl.Engine.read_reclaims t.engine;
+      live_repair_attempts = Ftl.Engine.read_escalations t.engine;
+      live_repairs = Ftl.Engine.escalation_successes t.engine;
     }
+
+  let set_recovery_hook t ?config hook =
+    (* reverse of [locate]: engine logical -> slot -> position in the
+       active array -> flat LBA (draining minidisks are not addressable
+       through the flat adapter, so their escalations find no owner) *)
+    Ftl.Engine.set_recovery_hook t.engine ?config
+      (Option.map
+         (fun f ~logical ->
+           let per = t.config.mdisk_opages in
+           let slot = logical / per in
+           let mdisks = active_array t in
+           let rec scan i =
+             if i >= Array.length mdisks then None
+             else if mdisks.(i).Minidisk.slot = slot then
+               f ~lba:((i * per) + (logical mod per))
+             else scan (i + 1)
+           in
+           scan 0)
+         hook)
 end
 
 let pack t = Ftl.Device_intf.Packed ((module As_device), t)

@@ -82,6 +82,17 @@ val read : t -> mdisk:int -> lba:int -> (int, read_error) result
 
 val trim : t -> mdisk:int -> lba:int -> unit
 
+val set_recovery_hook :
+  t ->
+  ?config:Ftl.Engine.recovery_config ->
+  (mdisk:int -> lba:int -> int option) option ->
+  unit
+(** Install (or clear) a read-recovery escalation hook keyed by
+    (minidisk, minidisk-relative LBA); see {!Ftl.Engine.set_recovery_hook}
+    for the attempt/backoff semantics.  Escalations on minidisks that no
+    longer exist (decommissioned mid-flight) degrade to [`Uncorrectable]
+    without invoking the hook. *)
+
 val acknowledge_decommission : t -> mdisk:int -> unit
 (** Host acknowledgement that a [Mdisk_retiring] minidisk's data has been
     re-replicated: its LBAs are dropped, the space reclaimed, and

@@ -55,6 +55,13 @@ type tel = {
   tel_scrub_mismatches : Telemetry.Registry.Counter.t;
   tel_scrub_repairs : Telemetry.Registry.Counter.t;
   tel_scrub_repair_failures : Telemetry.Registry.Counter.t;
+  tel_live_repair_attempts : Telemetry.Registry.Counter.t;
+  tel_live_repair_successes : Telemetry.Registry.Counter.t;
+  tel_live_repair_replica_reads : Telemetry.Registry.Counter.t;
+  tel_live_repair_rewritten : Telemetry.Registry.Counter.t;
+  tel_live_repair_failures : Telemetry.Registry.Counter.t;
+  tel_corrupt_served : Telemetry.Registry.Counter.t;
+  tel_corrupt_with_replica : Telemetry.Registry.Counter.t;
 }
 
 let make_tel registry =
@@ -105,6 +112,32 @@ let make_tel registry =
     tel_scrub_repair_failures =
       counter "difs_scrub_repair_failures_total"
         "Unreadable shares the scrubber could not rebuild";
+    tel_live_repair_attempts =
+      counter "difs_live_repair_attempts_total"
+        "Foreground (read-path) repair attempts";
+    tel_live_repair_successes =
+      counter "difs_live_repair_successes_total"
+        "Foreground repairs that reconstructed the oPage from a healthy \
+         replica or EC quorum";
+    tel_live_repair_replica_reads =
+      counter "difs_live_repair_replica_reads_total"
+        "Replica/share reads consumed by foreground repair";
+    tel_live_repair_rewritten =
+      counter "difs_live_repair_rewritten_opages_total"
+        "oPages rewritten in place through the normal FTL write path by \
+         foreground repair";
+    tel_live_repair_failures =
+      counter "difs_live_repair_failures_total"
+        "Foreground repairs that degraded to the unrecoverable outcome \
+         (no healthy share, or no owning chunk)";
+    tel_corrupt_served =
+      counter "difs_corrupt_reads_served_total"
+        "Corrupt oPages handed to a reader (degraded service: no healthy \
+         replica existed)";
+    tel_corrupt_with_replica =
+      counter "difs_corrupt_reads_with_replica_total"
+        "Corrupt oPages handed to a reader while a healthy replica \
+         existed (the live-repair invariant: must stay 0)";
   }
 
 type t = {
@@ -124,6 +157,17 @@ type t = {
   mutable rebuild_aborts : int;
   mutable kill_ignored : int;
   mutable in_recovery : bool;
+  mutable in_live_repair : bool;
+      (* reentrancy guard: replica reads issued by a live repair can
+         themselves escalate; the nested escalation must degrade (so the
+         outer repair just moves to the next share) instead of recursing *)
+  mutable live_repair_attempts : int;
+  mutable live_repair_successes : int;
+  mutable live_repair_replica_reads : int;
+  mutable live_repair_rewritten : int;
+  mutable live_repair_failures : int;
+  mutable corrupt_served : int;
+  mutable corrupt_with_replica : int;
   mutable scrub_sweeps : int;
   mutable scrub_mismatches : int;
   mutable scrub_repairs : int;
@@ -167,6 +211,14 @@ let create ?(config = default_config) ?registry () =
     rebuild_aborts = 0;
     kill_ignored = 0;
     in_recovery = false;
+    in_live_repair = false;
+    live_repair_attempts = 0;
+    live_repair_successes = 0;
+    live_repair_replica_reads = 0;
+    live_repair_rewritten = 0;
+    live_repair_failures = 0;
+    corrupt_served = 0;
+    corrupt_with_replica = 0;
     scrub_sweeps = 0;
     scrub_mismatches = 0;
     scrub_repairs = 0;
@@ -407,6 +459,172 @@ let recover_payload ?(metered = true) t chunk ~index ~offset =
             Some
               (Chunk.payload_of_bytes
                  (Ecc.Reed_solomon.reconstruct coder ~shares:readable index)))
+
+(* --- foreground (read-path) live repair ----------------------------------- *)
+
+(* A content-verified value for share [index] at [offset], derived from
+   healthy shares only — unlike [recover_payload], a copy that answers
+   with silently-corrupted data is not a source.  Replication accepts any
+   surviving copy whose payload verifies; erasure coding accepts a
+   verified direct read, falling back to a verified quorum of distinct
+   other indices.  The verified shares pin the decode output to the
+   oracle value, so that value is returned directly (the same in-place
+   repair content the scrubber writes).  [exclude] drops the failing
+   copy's target from consideration.  Reads are metered as live-repair
+   replica reads. *)
+let live_source ?exclude t chunk ~index ~offset =
+  let expected = expected_payload t chunk ~index ~offset in
+  let excluded (share : Chunk.share) =
+    match exclude with
+    | Some key -> Target.key_equal share.Chunk.target key
+    | None -> false
+  in
+  let shares =
+    List.sort
+      (fun a b -> compare a.Chunk.index b.Chunk.index)
+      (List.filter (fun s -> not (excluded s)) chunk.Chunk.shares)
+  in
+  let read_verified (share : Chunk.share) =
+    match target_read t share.Chunk.target ~lba:(share.Chunk.base + offset) with
+    | Ok payload ->
+        t.live_repair_replica_reads <- t.live_repair_replica_reads + 1;
+        Telemetry.Registry.Counter.incr t.tel.tel_live_repair_replica_reads;
+        payload = expected_payload t chunk ~index:share.Chunk.index ~offset
+    | Error `Unreadable -> false
+  in
+  match t.config.redundancy with
+  | Replication _ ->
+      if List.exists read_verified shares then Some expected else None
+  | Erasure _ ->
+      let direct_ok =
+        List.exists read_verified
+          (List.filter (fun s -> s.Chunk.index = index) shares)
+      in
+      if direct_ok then Some expected
+      else begin
+        let quorum = read_quorum t in
+        let verified = ref 0 in
+        let seen = Hashtbl.create 8 in
+        (try
+           List.iter
+             (fun (share : Chunk.share) ->
+               if
+                 share.Chunk.index <> index
+                 && not (Hashtbl.mem seen share.Chunk.index)
+                 && read_verified share
+               then begin
+                 Hashtbl.replace seen share.Chunk.index ();
+                 incr verified;
+                 if !verified >= quorum then raise Exit
+               end)
+             shares
+         with Exit -> ());
+        if !verified >= quorum then Some expected else None
+      end
+
+(* Repair one oPage in the foreground: find a healthy source, rewrite the
+   damaged copy through the normal FTL write path (so wear accounting and
+   GC see the traffic), and return the repaired payload.  [None] means no
+   healthy source existed — the caller degrades to serving what it has. *)
+let repair_opage ?exclude ?rewrite t chunk ~index ~offset =
+  t.live_repair_attempts <- t.live_repair_attempts + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_live_repair_attempts;
+  match live_source ?exclude t chunk ~index ~offset with
+  | None ->
+      t.live_repair_failures <- t.live_repair_failures + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_live_repair_failures;
+      None
+  | Some payload ->
+      t.live_repair_successes <- t.live_repair_successes + 1;
+      Telemetry.Registry.Counter.incr t.tel.tel_live_repair_successes;
+      (match rewrite with
+      | None -> ()
+      | Some (key, lba) -> (
+          match target_write t key ~lba ~payload with
+          | Ok () ->
+              t.live_repair_rewritten <- t.live_repair_rewritten + 1;
+              Telemetry.Registry.Counter.incr t.tel.tel_live_repair_rewritten
+          | Error `Target_failed ->
+              (* The data is already rescued; the dead rewrite target is
+                 the event loop's problem. *)
+              ()));
+      Some payload
+
+(* Book a corrupt oPage that is about to reach a reader.  [healthy] is
+   whether a verified source existed at serve time: every serving path
+   attempts repair first, so the with-replica counter moving means the
+   live-repair invariant broke. *)
+let serve_corrupt t ~healthy =
+  t.corrupt_served <- t.corrupt_served + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_corrupt_served;
+  if healthy then begin
+    t.corrupt_with_replica <- t.corrupt_with_replica + 1;
+    Telemetry.Registry.Counter.incr t.tel.tel_corrupt_with_replica
+  end
+
+(* Escalation entry point, invoked from a device's recovery hook when a
+   read's retry ladder exhausts: locate the chunk owning the failing
+   (target, LBA), reconstruct the oPage from healthy shares, rewrite the
+   failing copy in place, and hand the payload back to the engine.  Runs
+   as a recovery span so kills landing mid-repair stay counted no-ops;
+   nested escalations (a replica read failing during the repair) degrade
+   immediately via [in_live_repair]. *)
+let recover_opage ?mdisk t ~device ~lba =
+  if t.in_live_repair then None
+  else begin
+    t.in_live_repair <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_live_repair <- false)
+      (fun () ->
+        with_recovery t @@ fun () ->
+        let key = { Target.device; mdisk } in
+        let per_share = share_opages t in
+        let owner =
+          Hashtbl.fold
+            (fun _ (chunk : Chunk.t) acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  Option.map
+                    (fun share -> (chunk, share))
+                    (List.find_opt
+                       (fun (s : Chunk.share) ->
+                         Target.key_equal s.Chunk.target key
+                         && s.Chunk.base <= lba
+                         && lba < s.Chunk.base + per_share)
+                       chunk.Chunk.shares))
+            t.chunks None
+        in
+        match owner with
+        | None ->
+            (* Not cluster data (or the share was already dropped):
+               nothing to repair from. *)
+            t.live_repair_attempts <- t.live_repair_attempts + 1;
+            Telemetry.Registry.Counter.incr t.tel.tel_live_repair_attempts;
+            t.live_repair_failures <- t.live_repair_failures + 1;
+            Telemetry.Registry.Counter.incr t.tel.tel_live_repair_failures;
+            None
+        | Some (chunk, share) ->
+            repair_opage ~exclude:key ~rewrite:(key, lba) t chunk
+              ~index:share.Chunk.index
+              ~offset:(lba - share.Chunk.base))
+  end
+
+(* Arm every device's engine-level recovery hook to escalate into
+   [recover_opage].  From then on a read whose retry ladder exhausts is
+   repaired from cluster redundancy before the host ever sees
+   [`Uncorrectable]. *)
+let enable_live_repair ?config t =
+  Hashtbl.iter
+    (fun id entry ->
+      match entry.backend with
+      | Monolithic d ->
+          Ftl.Device_intf.set_recovery_hook d ?config
+            (Some (fun ~lba -> recover_opage t ~device:id ~lba))
+      | Salamander d ->
+          Salamander.Device.set_recovery_hook d ?config
+            (Some (fun ~mdisk ~lba -> recover_opage ~mdisk t ~device:id ~lba)))
+    t.devices
 
 (* Materialize share [index] on a fresh target, feeding it from
    survivors.  Returns [false] when no compatible target with space
@@ -744,6 +962,22 @@ let read_chunk t id =
                            = expected_payload t chunk
                                ~index:share.Chunk.index ~offset
                          then incr matches
+                         else begin
+                           (* Silent corruption caught on the read path:
+                              repair from a healthy replica and serve the
+                              verified content (Tai et al.'s live
+                              recovery) — corrupt data reaches the reader
+                              only when no healthy copy exists. *)
+                           match
+                             repair_opage ~exclude:share.Chunk.target
+                               ~rewrite:
+                                 ( share.Chunk.target,
+                                   share.Chunk.base + offset )
+                               t chunk ~index:share.Chunk.index ~offset
+                           with
+                           | Some _ -> incr matches
+                           | None -> serve_corrupt t ~healthy:false
+                         end
                      | Error `Unreadable ->
                          readable := false;
                          raise Exit
@@ -765,6 +999,24 @@ let read_chunk t id =
               | Some payload ->
                   if payload = expected_payload t chunk ~index ~offset then
                     incr matches
+                  else begin
+                    (* The direct share (or a quorum member feeding the
+                       decode) is silently corrupt.  Re-derive the value
+                       from verified shares only; rewrite the direct copy
+                       in place when one exists and serve the verified
+                       content. *)
+                    let rewrite =
+                      Option.map
+                        (fun (s : Chunk.share) ->
+                          (s.Chunk.target, s.Chunk.base + offset))
+                        (List.find_opt
+                           (fun (s : Chunk.share) -> s.Chunk.index = index)
+                           chunk.Chunk.shares)
+                    in
+                    match repair_opage ?rewrite t chunk ~index ~offset with
+                    | Some _ -> incr matches
+                    | None -> serve_corrupt t ~healthy:false
+                  end
             done
           done;
           if !short then Error `Insufficient_shares else Ok !matches)
@@ -1131,6 +1383,13 @@ let kill_ignored (t : t) = t.kill_ignored
 let scrub_sweeps (t : t) = t.scrub_sweeps
 let scrub_mismatches (t : t) = t.scrub_mismatches
 let scrub_repairs (t : t) = t.scrub_repairs
+let live_repair_attempts (t : t) = t.live_repair_attempts
+let live_repair_successes (t : t) = t.live_repair_successes
+let live_repair_replica_reads (t : t) = t.live_repair_replica_reads
+let live_repair_rewritten_opages (t : t) = t.live_repair_rewritten
+let live_repair_failures (t : t) = t.live_repair_failures
+let corrupt_reads_served (t : t) = t.corrupt_served
+let corrupt_reads_with_replica (t : t) = t.corrupt_with_replica
 
 let devices_alive t =
   Hashtbl.fold

@@ -118,6 +118,58 @@ val repair : t -> unit
 (** Try to bring under-redundant chunks back to full share counts (e.g.
     after capacity freed up or new minidisks appeared). *)
 
+(** {2 Foreground live repair}
+
+    The read-path half of the corruption story (Tai et al.'s live
+    recovery): instead of waiting for a background scrub to sweep across
+    the damage, corruptions detected while serving a read are repaired
+    in place from cluster redundancy, and reads whose device-level retry
+    ladder exhausts escalate into the same path before the host ever
+    sees [`Uncorrectable].
+
+    Two invariants fall out, both checked by [Faults.Verdict]: no read
+    returns corrupt data while a healthy replica exists
+    ([difs_corrupt_reads_with_replica_total] stays 0), and when no
+    healthy share answers the read degrades to today's unrecoverable
+    outcome without wedging the pool. *)
+
+val recover_opage : ?mdisk:int -> t -> device:int -> lba:int -> int option
+(** Foreground-repair the oPage at (device, mdisk?, lba): locate the
+    owning chunk, reconstruct the content from a healthy replica (or a
+    verified EC quorum), rewrite the failing copy through the normal FTL
+    write path — so wear accounting and GC see the traffic — and return
+    the payload.  [None] when no chunk owns the address, no healthy
+    source exists, or the call is a nested escalation from a repair
+    already in flight.  Runs as a recovery span: {!kill_device} calls
+    landing mid-repair are counted no-ops, like any other recovery. *)
+
+val enable_live_repair : ?config:Ftl.Engine.recovery_config -> t -> unit
+(** Arm every registered device's read-recovery hook to escalate into
+    {!recover_opage}.  [config] sets the per-read attempt bound and the
+    exponential backoff budget (default
+    {!Ftl.Engine.default_recovery}).  Devices added after this call are
+    not armed; call again to cover them. *)
+
+val live_repair_attempts : t -> int
+val live_repair_successes : t -> int
+
+val live_repair_replica_reads : t -> int
+(** Replica/share reads consumed hunting for a healthy source. *)
+
+val live_repair_rewritten_opages : t -> int
+(** Damaged copies rewritten in place through the normal write path. *)
+
+val live_repair_failures : t -> int
+(** Repairs that degraded to the unrecoverable outcome. *)
+
+val corrupt_reads_served : t -> int
+(** Corrupt oPages handed to a reader because no healthy replica
+    existed (legal degraded service). *)
+
+val corrupt_reads_with_replica : t -> int
+(** Corrupt oPages handed to a reader while a healthy replica existed —
+    the live-repair invariant; must stay 0. *)
+
 (** {2 Background scrubbing}
 
     The tolerance half of the silent-corruption story: faults that raise

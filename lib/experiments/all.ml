@@ -16,6 +16,7 @@ let experiments =
     ("uber", fun ctx fmt -> Uber_table.run ~ctx fmt);
     ("ablations", fun ctx fmt -> Ablations.run ~ctx fmt);
     ("chaos", fun ctx fmt -> ignore (Chaos.run ~ctx fmt));
+    ("shrink-vs-repair", fun ctx fmt -> ignore (Chaos.run_shrink_vs_repair ~ctx fmt));
     ("traffic", fun ctx fmt -> ignore (Traffic_run.run ~ctx fmt));
   ]
 

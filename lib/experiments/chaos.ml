@@ -141,12 +141,25 @@ let run_device_arena ~registry ?mon ~plan ~seed ~steps fmt =
 
 let cluster_devices = 6
 
-let run_cluster_arena ~registry ?mon ~plan ~seed ~steps fmt =
+type cluster_outcome = {
+  ok : bool;
+  capacity_opages : int;  (** exported LBAs still served by live devices *)
+  unrecoverable : int;
+  corrupt_served : int;
+  lost_chunks : int;
+  intact : int;
+  degraded : int;
+  live_attempts : int;
+  live_successes : int;
+}
+
+let run_cluster_arena ~registry ?mon ?(live_repair = false) ~plan ~seed ~steps
+    fmt =
   let root = Sim.Rng.create seed in
   let inj_rng = Sim.Rng.split root in
   let op_rng = Sim.Rng.split root in
   let cluster = Difs.Cluster.create ~registry () in
-  let chips =
+  let devices =
     Array.init cluster_devices (fun i ->
         let rng = Sim.Rng.split root in
         let d =
@@ -155,8 +168,13 @@ let run_cluster_arena ~registry ?mon ~plan ~seed ~steps fmt =
             ~registry ~geometry:Defaults.geometry ~model:Defaults.model ~rng ()
         in
         ignore (Difs.Cluster.add_device cluster ~node:i (Difs.Cluster.Salamander d));
-        Ftl.Engine.chip (Salamander.Device.engine d))
+        d)
   in
+  let chips =
+    Array.map (fun d -> Ftl.Engine.chip (Salamander.Device.engine d)) devices
+  in
+  if live_repair then Difs.Cluster.enable_live_repair cluster;
+  let monotone = Faults.Verdict.Monotone.create () in
   let inj = Faults.Injector.create ~rng:inj_rng (cluster_plan plan) in
   let physical_per_chunk =
     Difs.Cluster.share_opages cluster * Difs.Cluster.total_shares cluster
@@ -191,17 +209,28 @@ let run_cluster_arena ~registry ?mon ~plan ~seed ~steps fmt =
         | 6 | 7 | 8 -> ignore (Difs.Cluster.read_chunk cluster id)
         | _ -> Difs.Cluster.delete_chunk cluster id);
         if (step + 1) mod 50 = 0 then ignore (Difs.Cluster.scrub cluster);
+        (* Live repair may stop [unrecoverable_opages] from growing; it
+           must never roll it back. *)
+        Faults.Verdict.Monotone.observe monotone
+          ~name:"difs_unrecoverable_opages"
+          (Difs.Cluster.unrecoverable_opages cluster);
         sample_step mon registry step
       done);
   Difs.Cluster.repair cluster;
   ignore (Difs.Cluster.scrub cluster);
+  Faults.Verdict.Monotone.observe monotone ~name:"difs_unrecoverable_opages"
+    (Difs.Cluster.unrecoverable_opages cluster);
   sample_final mon registry steps;
-  let verdict = Faults.Verdict.check_cluster cluster in
+  let verdict =
+    Faults.Verdict.check_cluster cluster
+    @ Faults.Verdict.Monotone.checks monotone
+  in
   let health = Difs.Cluster.health cluster in
-  Format.fprintf fmt "arena cluster seed=%d: steps=%d devices=%d/%d@." seed
+  Format.fprintf fmt "arena cluster seed=%d: steps=%d devices=%d/%d%s@." seed
     steps
     (Difs.Cluster.devices_alive cluster)
-    cluster_devices;
+    cluster_devices
+    (if live_repair then " live-repair=on" else "");
   Format.fprintf fmt "  injected:%a@." pp_injected inj;
   Format.fprintf fmt
     "  tolerance: scrub_sweeps=%d mismatches=%d scrub_repairs=%d \
@@ -212,25 +241,65 @@ let run_cluster_arena ~registry ?mon ~plan ~seed ~steps fmt =
     (Difs.Cluster.rebuilt_shares cluster)
     (Difs.Cluster.rebuild_aborts cluster)
     (Difs.Cluster.kill_ignored cluster);
+  Format.fprintf fmt
+    "  live-repair: attempts=%d successes=%d replica_reads=%d rewritten=%d \
+     failures=%d corrupt_served=%d@."
+    (Difs.Cluster.live_repair_attempts cluster)
+    (Difs.Cluster.live_repair_successes cluster)
+    (Difs.Cluster.live_repair_replica_reads cluster)
+    (Difs.Cluster.live_repair_rewritten_opages cluster)
+    (Difs.Cluster.live_repair_failures cluster)
+    (Difs.Cluster.corrupt_reads_served cluster);
   Format.fprintf fmt "  chunks: intact=%d degraded=%d lost=%d@." health.intact
     health.degraded health.lost;
   Faults.Verdict.pp fmt verdict;
-  Faults.Verdict.all_ok verdict
+  let capacity_opages =
+    Array.to_list devices
+    |> List.mapi (fun i d -> (i, d))
+    |> List.fold_left
+         (fun acc (i, d) ->
+           if Salamander.Device.alive d && not (Difs.Cluster.is_device_killed cluster i)
+           then acc + Salamander.Device.active_opages d
+           else acc)
+         0
+  in
+  {
+    ok = Faults.Verdict.all_ok verdict;
+    capacity_opages;
+    unrecoverable = Difs.Cluster.unrecoverable_opages cluster;
+    corrupt_served = Difs.Cluster.corrupt_reads_served cluster;
+    lost_chunks = Difs.Cluster.lost_chunks cluster;
+    intact = health.intact;
+    degraded = health.degraded;
+    live_attempts = Difs.Cluster.live_repair_attempts cluster;
+    live_successes = Difs.Cluster.live_repair_successes cluster;
+  }
 
 (* --- the campaign -------------------------------------------------------- *)
 
 let default_plan = List.assoc "default" Faults.Plan.presets
+let recovery_plan = List.assoc "live-recovery" Faults.Plan.presets
 
 let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
     ?(steps = 1000) fmt =
   Format.fprintf fmt "chaos campaign: plan=%a seed=%d steps=%d@."
     Faults.Plan.pp plan seed steps;
-  (* Four self-contained cells fan out over the pool via the chunked
+  (* Six self-contained cells fan out over the pool via the chunked
      path; rendering and registry absorption happen in submission
      order, so the report is byte-identical at any job count (the PR 2
-     pattern). *)
+     pattern).  The recovery cells always run the [live-recovery]
+     preset with live repair armed, whatever [plan] the rest of the
+     campaign exercises — they are the standing regression for the
+     no-corrupt-read-with-healthy-replica invariant. *)
   let cells =
-    [| (`Device, seed); (`Device, seed + 1); (`Cluster, seed); (`Cluster, seed + 1) |]
+    [|
+      (`Device, seed);
+      (`Device, seed + 1);
+      (`Cluster, seed);
+      (`Cluster, seed + 1);
+      (`Recovery, seed);
+      (`Recovery, seed + 1);
+    |]
   in
   let rendered =
     Ctx.map_cells ctx cells
@@ -238,7 +307,10 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
         let buf = Buffer.create 2048 in
         let bfmt = Format.formatter_of_buffer buf in
         let tag =
-          match arena with `Device -> "device" | `Cluster -> "cluster"
+          match arena with
+          | `Device -> "device"
+          | `Cluster -> "cluster"
+          | `Recovery -> "recovery"
         in
         let ok =
           match arena with
@@ -246,8 +318,13 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
               run_device_arena ~registry:sub ?mon ~plan ~seed:cell_seed ~steps
                 bfmt
           | `Cluster ->
-              run_cluster_arena ~registry:sub ?mon ~plan ~seed:cell_seed
-                ~steps bfmt
+              (run_cluster_arena ~registry:sub ?mon ~plan ~seed:cell_seed
+                 ~steps bfmt)
+                .ok
+          | `Recovery ->
+              (run_cluster_arena ~registry:sub ?mon ~live_repair:true
+                 ~plan:recovery_plan ~seed:cell_seed ~steps bfmt)
+                .ok
         in
         Format.pp_print_flush bfmt ();
         (Buffer.contents buf, ok, sub, mon, Printf.sprintf "%s-%d" tag cell_seed))
@@ -260,4 +337,49 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
     rendered;
   let all = List.for_all (fun (_, ok, _, _, _) -> ok) rendered in
   Format.fprintf fmt "chaos verdict: %s@." (if all then "PASS" else "FAIL");
+  all
+
+(* --- shrink vs repair ----------------------------------------------------- *)
+
+let run_shrink_vs_repair ?(ctx = Ctx.default) ?(seed = 42) ?(steps = 1000) fmt
+    =
+  Format.fprintf fmt "shrink-vs-repair: plan=%a seed=%d steps=%d@."
+    Faults.Plan.pp recovery_plan seed steps;
+  let rendered =
+    Ctx.map_cells ctx [| false; true |]
+      (fun ~sub ~mon live_repair ->
+        let buf = Buffer.create 2048 in
+        let bfmt = Format.formatter_of_buffer buf in
+        let out =
+          run_cluster_arena ~registry:sub ?mon ~live_repair
+            ~plan:recovery_plan ~seed ~steps bfmt
+        in
+        Format.pp_print_flush bfmt ();
+        ( Buffer.contents buf,
+          out,
+          sub,
+          mon,
+          if live_repair then "repair-on" else "repair-off" ))
+  in
+  List.iter
+    (fun (text, _, sub, mon, tag) ->
+      Format.pp_print_string fmt text;
+      Ctx.absorb ctx sub;
+      Ctx.absorb_monitor ctx ~labels:[ ("device", tag) ] mon)
+    rendered;
+  (* Effective lifetime under identical damage: repairing in place costs
+     wear (exported capacity) but keeps data reachable (fewer
+     unrecoverable oPages, fewer corrupt reads served). *)
+  List.iter
+    (fun (_, out, _, _, tag) ->
+      Format.fprintf fmt
+        "%-10s capacity=%d unrecoverable=%d corrupt_served=%d lost_chunks=%d \
+         chunks=%d+%d live_repairs=%d/%d@."
+        tag out.capacity_opages out.unrecoverable out.corrupt_served
+        out.lost_chunks out.intact out.degraded out.live_successes
+        out.live_attempts)
+    rendered;
+  let all = List.for_all (fun (_, out, _, _, _) -> out.ok) rendered in
+  Format.fprintf fmt "shrink-vs-repair verdict: %s@."
+    (if all then "PASS" else "FAIL");
   all

@@ -1,9 +1,9 @@
 (** CHAOS: deterministic fault campaigns with verdicts (tentpole of the
     robustness layer).
 
-    Two arenas, each run at two seeds (four cells fanned out over the
-    context's pool, reduced in submission order, so the report is
-    byte-identical at any job count):
+    Three arena flavours, each run at two seeds (six cells fanned out
+    over the context's pool, reduced in submission order, so the report
+    is byte-identical at any job count):
 
     - {b device arena} — a bare {!Ftl.Engine} under a random
       write/read/trim mix while the injector drives transient flips,
@@ -18,6 +18,12 @@
       kills, periodic scrub sweeps, and a final repair + scrub.  Power
       loss is out of scope here (a cluster member's crash is modeled by
       the kill/rebuild path).
+    - {b recovery arena} — the cluster arena under the [live-recovery]
+      preset (heavy sticky + silent corruption plus a device kill) with
+      {!Difs.Cluster.enable_live_repair} armed, whatever plan the other
+      cells run: the standing regression for the live-repair invariants
+      (no corrupt read while a healthy replica exists,
+      [unrecoverable_opages] monotone across steps).
 
     Each cell ends with its {!Faults.Verdict} — the run passes only if
     every check in every cell holds. *)
@@ -36,3 +42,12 @@ val run :
     the monitor's epoch interval (one epoch = one injector step, plus a
     final post-repair sample), wraps its step loop in a [chaos:cell]
     span, and merges back under a [device=<arena>-<seed>] label. *)
+
+val run_shrink_vs_repair :
+  ?ctx:Ctx.t -> ?seed:int -> ?steps:int -> Format.formatter -> bool
+(** Effective-lifetime comparison: two cluster cells under the same
+    [live-recovery] damage and seed, live repair off vs on, reported
+    side by side — surviving exported capacity (repair costs wear)
+    against unrecoverable oPages, corrupt reads served and lost chunks
+    (repair saves data).  Returns whether both cells' verdicts
+    passed. *)

@@ -62,6 +62,17 @@ let presets =
         Correlated_failure { at_step = 350; blocks = 4 };
         Device_death { at_step = 500; victim = 2 };
       ] );
+    (* Recovery-focused mixes: heavy sticky damage exhausts retry
+       ladders (the live-repair escalation trigger), silent flips feed
+       repair-on-read. *)
+    ("sticky", [ Sticky_pages { per_step = 0.08; extra_rber = 2. } ]);
+    ("silent", [ Silent_corruption { per_step = 0.1 } ]);
+    ( "live-recovery",
+      [
+        Sticky_pages { per_step = 0.05; extra_rber = 2. };
+        Silent_corruption { per_step = 0.05 };
+        Device_death { at_step = 500; victim = 1 };
+      ] );
   ]
 
 (* A scanner that only succeeds when it consumes the whole item. *)

@@ -43,7 +43,11 @@ val parse : string -> (t, string) result
 val presets : (string * t) list
 (** Named default campaigns: [none], [default] (every class), [media]
     (transient + sticky + silent only), [crashy] (repeated power loss),
-    [killer] (device and correlated-block deaths). *)
+    [killer] (device and correlated-block deaths), [sticky] (heavy
+    latent corruption — the live-repair escalation trigger), [silent]
+    (heavy below-ECC corruption — repair-on-read fodder),
+    [live-recovery] (sticky + silent + a mid-run device kill, the
+    recovery-focused chaos mix). *)
 
 val pp : Format.formatter -> t -> unit
 (** Canonical compact form, re-parsable by {!parse}; the chaos report

@@ -10,6 +10,45 @@ let pp fmt t =
         c.name c.detail)
     t
 
+module Monotone = struct
+  type entry = {
+    mutable last : int;
+    mutable violations : int;
+    mutable first_drop : string;
+  }
+
+  type t = (string, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 7
+
+  let observe t ~name value =
+    match Hashtbl.find_opt t name with
+    | None -> Hashtbl.add t name { last = value; violations = 0; first_drop = "" }
+    | Some e ->
+        if value < e.last then begin
+          e.violations <- e.violations + 1;
+          if e.first_drop = "" then
+            e.first_drop <- Printf.sprintf "%d -> %d" e.last value
+        end;
+        e.last <- value
+
+  let checks t =
+    Hashtbl.fold (fun name e acc -> (name, e) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, e) ->
+           {
+             name = Printf.sprintf "%s monotone" name;
+             ok = e.violations = 0;
+             detail =
+               (if e.violations = 0 then
+                  Printf.sprintf "never decreased (last %d)" e.last
+                else
+                  Printf.sprintf "%d decrease%s, first %s" e.violations
+                    (if e.violations = 1 then "" else "s")
+                    e.first_drop);
+           })
+end
+
 let reconcile_torn_write ~engine ~acked ~trimmed ~logical ~payload =
   match Ftl.Engine.read engine ~logical with
   | Ok v when v = payload ->
@@ -148,4 +187,43 @@ let check_cluster cluster =
           (!with_quorum - !unreadable);
     }
   in
-  [ audit_check; accounting; readable; intact ]
+  (* Read the live-repair counters after the chunk sweep: repair-on-read
+     inside [read_chunk] above legally moves them, and the accounting
+     must cover those repairs too. *)
+  let live_attempts = Difs.Cluster.live_repair_attempts cluster in
+  let live_successes = Difs.Cluster.live_repair_successes cluster in
+  let live_failures = Difs.Cluster.live_repair_failures cluster in
+  let rewritten = Difs.Cluster.live_repair_rewritten_opages cluster in
+  let live_accounting =
+    {
+      name = "live-repair accounting balances";
+      ok =
+        live_successes + live_failures = live_attempts
+        && rewritten <= live_successes;
+      detail =
+        Printf.sprintf
+          "%d attempts = %d successes + %d failures, %d oPages rewritten"
+          live_attempts live_successes live_failures rewritten;
+    }
+  in
+  let with_replica = Difs.Cluster.corrupt_reads_with_replica cluster in
+  let no_corrupt_with_replica =
+    {
+      name = "no corrupt read with healthy replica";
+      ok = with_replica = 0;
+      detail =
+        Printf.sprintf
+          "%d corrupt oPages served despite a healthy replica (%d served \
+           legally degraded)"
+          with_replica
+          (Difs.Cluster.corrupt_reads_served cluster);
+    }
+  in
+  [
+    audit_check;
+    accounting;
+    readable;
+    intact;
+    live_accounting;
+    no_corrupt_with_replica;
+  ]

@@ -19,7 +19,16 @@
       [recovery_opages <= (rebuilt_shares + rebuild_aborts) *
       share_opages];
     - no chunk is lost while >= read-quorum shares survive: every such
-      chunk is fully readable with intact content. *)
+      chunk is fully readable with intact content;
+    - live-repair accounting balances ([attempts = successes +
+      failures], [rewritten <= successes]);
+    - no read served corrupt data while a healthy replica existed
+      ([corrupt_reads_with_replica = 0] — the live-recovery promise).
+
+    {b Monotone} counters (observed step by step while the campaign
+    runs): values that must never decrease — e.g.
+    [unrecoverable_opages], which live repair may stop from {e growing}
+    but must never roll {e back}. *)
 
 type check = { name : string; ok : bool; detail : string }
 
@@ -29,6 +38,20 @@ val all_ok : t -> bool
 
 val pp : Format.formatter -> t -> unit
 (** One [ [PASS]/[FAIL] name: detail ] line per check. *)
+
+(** Tracks named counters that must be monotone non-decreasing over a
+    campaign.  [observe] each counter once per step; [checks] folds the
+    history into one verdict check per counter (sorted by name, so the
+    output is deterministic). *)
+module Monotone : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> name:string -> int -> unit
+
+  val checks : t -> check list
+  (** A counter never observed yields no check. *)
+end
 
 val reconcile_torn_write :
   engine:Ftl.Engine.t ->

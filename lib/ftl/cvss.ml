@@ -141,4 +141,12 @@ let bg_stats t =
     relocated_opages = Engine.relocated_opages t.engine;
     read_retries = Engine.read_retries t.engine;
     read_reclaims = Engine.read_reclaims t.engine;
+    live_repair_attempts = Engine.read_escalations t.engine;
+    live_repairs = Engine.escalation_successes t.engine;
   }
+
+let set_recovery_hook t ?config hook =
+  (* flat LBAs map 1:1 onto engine logicals (reads above the shrunk
+     capacity still resolve, exactly like [read]) *)
+  Engine.set_recovery_hook t.engine ?config
+    (Option.map (fun f ~logical -> f ~lba:logical) hook)

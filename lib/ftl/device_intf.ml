@@ -16,6 +16,9 @@ type bg_stats = {
   relocated_opages : int;  (** GC + scrub/decommission relocations *)
   read_retries : int;  (** retry-ladder rungs walked *)
   read_reclaims : int;  (** pages scrubbed by read-reclaim *)
+  live_repair_attempts : int;
+      (** exhausted reads escalated to the recovery hook *)
+  live_repairs : int;  (** escalated reads the hook rescued *)
 }
 
 module type S = sig
@@ -42,6 +45,13 @@ module type S = sig
 
   val bg_stats : t -> bg_stats
   (** Snapshot of the device's cumulative background activity. *)
+
+  val set_recovery_hook :
+    t -> ?config:Engine.recovery_config -> (lba:int -> int option) option -> unit
+  (** Install (or clear) a read-recovery escalation hook, keyed by the
+      device's flat LBA space (see {!Engine.set_recovery_hook} for the
+      attempt/backoff semantics).  diFS live repair uses this to rescue
+      reads whose retry ladder exhausted from replica redundancy. *)
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -57,6 +67,9 @@ let initial_capacity (Packed ((module D), d)) = D.initial_capacity d
 let host_writes (Packed ((module D), d)) = D.host_writes d
 let write_amplification (Packed ((module D), d)) = D.write_amplification d
 let bg_stats (Packed ((module D), d)) = D.bg_stats d
+
+let set_recovery_hook (Packed ((module D), d)) ?config hook =
+  D.set_recovery_hook d ?config hook
 
 (* Submit a batch through the flat interface.  Devices whose capacity can
    move mid-batch (CVSS shrinks, Salamander decommissions) make a true

@@ -19,6 +19,21 @@ type crash_site = Before_program | After_program | Gc | Flush
 
 exception Power_loss
 
+(* Escalation of exhausted reads to an external recovery path (diFS live
+   repair).  The budget is counted on the engine's read clock — one tick
+   per host read — so backoff is deterministic simulated time, not wall
+   time: after a failed escalation burst the hook is left alone for
+   [backoff_base * 2^consecutive_failures] reads (capped), preventing a
+   dead replica set from turning every read into a cluster-wide search. *)
+type recovery_config = {
+  recovery_attempts : int;
+  backoff_base : int;
+  backoff_cap : int;
+}
+
+let default_recovery =
+  { recovery_attempts = 2; backoff_base = 8; backoff_cap = 1024 }
+
 type block_class = Free | Open | Closed | Retired
 
 (* Telemetry handles bound at engine creation; inert on the null
@@ -35,6 +50,9 @@ type tel = {
   tel_uncorrectable : Telemetry.Registry.Counter.t;
   tel_read_retries : Telemetry.Registry.Counter.t;
   tel_retry_successes : Telemetry.Registry.Counter.t;
+  tel_escalations : Telemetry.Registry.Counter.t;
+  tel_escalation_successes : Telemetry.Registry.Counter.t;
+  tel_escalations_suppressed : Telemetry.Registry.Counter.t;
   tel_waf : Telemetry.Registry.Gauge.t;
 }
 
@@ -63,6 +81,15 @@ let make_tel registry =
     tel_retry_successes =
       counter "ftl_retry_successes_total"
         "Reads rescued by the retry ladder after a failed first attempt";
+    tel_escalations =
+      counter "ftl_read_escalations_total"
+        "Exhausted reads escalated to the recovery hook";
+    tel_escalation_successes =
+      counter "ftl_escalation_successes_total"
+        "Escalated reads the recovery hook rescued";
+    tel_escalations_suppressed =
+      counter "ftl_escalations_suppressed_total"
+        "Escalations skipped while the backoff budget was spent";
     tel_waf =
       Telemetry.Registry.gauge registry
         ~help:"Physical oPage programs per host oPage write"
@@ -101,6 +128,16 @@ type t = {
   mutable read_retry_count : int;
   mutable retry_success_count : int;
   mutable crash_hook : (crash_site -> unit) option;
+  mutable recovery_hook : (logical:int -> int option) option;
+  mutable recovery_config : recovery_config;
+  mutable read_clock : int;
+      (* monotone host-read counter; the unit of the escalation backoff *)
+  mutable escalation_count : int;
+  mutable escalation_success_count : int;
+  mutable escalation_suppressed_count : int;
+  mutable escalation_fail_streak : int;
+  mutable escalation_retry_at : int;
+      (* read-clock value before which escalations are suppressed *)
   (* Incremental block accounting.  [cap_cache.(b)] is the block's data
      capacity (sum of [Policy.data_slots] over its pages) as of the last
      refresh; [cap_dirty] marks blocks whose capacity may have changed
@@ -176,6 +213,14 @@ let create ?(config = default_config) ?registry ~chip ~rng ~policy
     read_retry_count = 0;
     retry_success_count = 0;
     crash_hook = None;
+    recovery_hook = None;
+    recovery_config = default_recovery;
+    read_clock = 0;
+    escalation_count = 0;
+    escalation_success_count = 0;
+    escalation_suppressed_count = 0;
+    escalation_fail_streak = 0;
+    escalation_retry_at = 0;
     cap_cache = Array.make blocks 0;
     cap_dirty;
     total_capacity = 0;
@@ -188,6 +233,16 @@ let chip t = t.chip
 let policy t = t.policy
 let logical_capacity t = t.logical_capacity
 let set_crash_hook t hook = t.crash_hook <- hook
+
+let set_recovery_hook t ?(config = default_recovery) hook =
+  if config.recovery_attempts < 1 then
+    invalid_arg "Engine.set_recovery_hook: recovery_attempts must be >= 1";
+  if config.backoff_base < 1 || config.backoff_cap < config.backoff_base then
+    invalid_arg "Engine.set_recovery_hook: backoff must satisfy 1 <= base <= cap";
+  t.recovery_hook <- hook;
+  t.recovery_config <- config;
+  t.escalation_fail_streak <- 0;
+  t.escalation_retry_at <- 0
 
 (* Crash-injection sites sit where a power cut would interleave with the
    persistence protocol.  The hook may raise {!Power_loss}; every notified
@@ -493,9 +548,53 @@ let flush t =
   notify_crash t Flush;
   drain t ~force:true
 
+(* Last line of defense before [`Uncorrectable]: hand the read to the
+   recovery hook (bounded attempts per exhausted read), which may
+   reconstruct the payload from redundancy the engine cannot see.  A
+   fully failed burst opens an exponential backoff window on the read
+   clock; a success closes it. *)
+let escalate t ~logical =
+  match t.recovery_hook with
+  | None -> None
+  | Some hook ->
+      if t.read_clock < t.escalation_retry_at then begin
+        t.escalation_suppressed_count <- t.escalation_suppressed_count + 1;
+        Telemetry.Registry.Counter.incr t.tel.tel_escalations_suppressed;
+        None
+      end
+      else begin
+        let rec burst attempt =
+          if attempt > t.recovery_config.recovery_attempts then None
+          else begin
+            t.escalation_count <- t.escalation_count + 1;
+            Telemetry.Registry.Counter.incr t.tel.tel_escalations;
+            match hook ~logical with
+            | Some _ as rescued ->
+                t.escalation_success_count <- t.escalation_success_count + 1;
+                Telemetry.Registry.Counter.incr t.tel.tel_escalation_successes;
+                t.escalation_fail_streak <- 0;
+                t.escalation_retry_at <- 0;
+                rescued
+            | None -> burst (attempt + 1)
+          end
+        in
+        match burst 1 with
+        | Some _ as rescued -> rescued
+        | None ->
+            t.escalation_fail_streak <- t.escalation_fail_streak + 1;
+            let shift = Stdlib.min (t.escalation_fail_streak - 1) 20 in
+            let delay =
+              Stdlib.min t.recovery_config.backoff_cap
+                (t.recovery_config.backoff_base lsl shift)
+            in
+            t.escalation_retry_at <- t.read_clock + delay;
+            None
+      end
+
 let read t ~logical =
   if logical < 0 || logical >= t.logical_capacity then
     invalid_arg "Engine.read: logical index out of range";
+  t.read_clock <- t.read_clock + 1;
   match Write_buffer.payload_of t.buffer logical with
   | Some payload -> Ok payload
   | None -> (
@@ -535,8 +634,11 @@ let read t ~logical =
             result
           in
           let uncorrectable () =
-            Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
-            Error `Uncorrectable
+            match escalate t ~logical with
+            | Some payload -> Ok payload
+            | None ->
+                Telemetry.Registry.Counter.incr t.tel.tel_uncorrectable;
+                Error `Uncorrectable
           in
           let rber0 = Flash.Chip.rber t.chip ~block ~page in
           let fail0 =
@@ -617,6 +719,9 @@ let padded_slots t = t.padded
 let read_reclaims t = t.reclaims
 let read_retries t = t.read_retry_count
 let retry_successes t = t.retry_success_count
+let read_escalations t = t.escalation_count
+let escalation_successes t = t.escalation_success_count
+let escalations_suppressed t = t.escalation_suppressed_count
 
 let write_amplification t =
   if t.host_writes = 0 then nan

@@ -138,6 +138,46 @@ val retry_successes : t -> int
 (** Reads that failed at least one rung but succeeded before the ladder
     ran out. *)
 
+val read_escalations : t -> int
+(** Recovery-hook invocations (also [ftl_read_escalations_total]). *)
+
+val escalation_successes : t -> int
+(** Escalated reads the recovery hook rescued. *)
+
+val escalations_suppressed : t -> int
+(** Exhausted reads that skipped escalation because the backoff window
+    was still open. *)
+
+(** {2 Read-recovery escalation}
+
+    When the retry ladder exhausts, the engine can hand the read to an
+    external recovery path — diFS live repair reconstructs the oPage from
+    replica or EC redundancy and rewrites it through the normal write
+    path — instead of returning [`Uncorrectable] immediately.  The hook
+    returns the reconstructed payload, or [None] when no healthy
+    redundancy exists. *)
+
+type recovery_config = {
+  recovery_attempts : int;
+      (** Hook invocations per exhausted read before giving up (>= 1). *)
+  backoff_base : int;
+      (** Host reads to wait after the first fully failed burst. *)
+  backoff_cap : int;
+      (** Ceiling of the exponential backoff window, in host reads. *)
+}
+
+val default_recovery : recovery_config
+
+val set_recovery_hook :
+  t -> ?config:recovery_config -> (logical:int -> int option) option -> unit
+(** Install (or clear) the recovery hook.  On ladder exhaustion the hook
+    is tried up to [recovery_attempts] times; a burst with no success
+    opens an exponential backoff window ([backoff_base * 2^failures],
+    capped at [backoff_cap]) counted on the engine's read clock — one
+    tick per host read — during which exhausted reads degrade straight to
+    [`Uncorrectable].  A later success closes the window.  Like the crash
+    hook, the recovery hook survives {!crash_rebuild}. *)
+
 (** {2 Crash injection}
 
     The fault-injection layer ([lib/faults]) arms a hook at the points

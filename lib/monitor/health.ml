@@ -26,10 +26,16 @@ type thresholds = {
   target_pec : float;
   margin_degraded : float;
   retry_rate_degraded : float;
+  live_repair_rate_degraded : float;
 }
 
 let default_thresholds =
-  { target_pec = 60.; margin_degraded = 1.25; retry_rate_degraded = 1e-3 }
+  {
+    target_pec = 60.;
+    margin_degraded = 1.25;
+    retry_rate_degraded = 1e-3;
+    live_repair_rate_degraded = 1e-4;
+  }
 
 (* "regens-2" sorts before "regens-10": compare the trailing integer
    numerically when both subjects share the non-numeric prefix. *)
@@ -174,6 +180,22 @@ let assess ?(thresholds = default_thresholds) ?(group_by = "device") sampler =
           attr "retry-rate" rate ~threshold:thresholds.retry_rate_degraded
             ?flag:
               (if rate >= thresholds.retry_rate_degraded then Some Degraded
+               else None)
+      | _ -> ());
+      (* Foreground live repair: escalations per flash read.  Any
+         repair activity means reads are exhausting their retry ladder
+         — margin is being spent even when every repair lands. *)
+      (match
+         ( sum_last [ "difs_live_repair_attempts_total" ],
+           sum_last [ "flash_reads_total" ] )
+       with
+      | Some repairs, Some reads when reads > 0. ->
+          let rate = repairs /. reads in
+          attr "live-repair-rate" rate
+            ~threshold:thresholds.live_repair_rate_degraded
+            ?flag:
+              (if rate >= thresholds.live_repair_rate_degraded then
+                 Some Degraded
                else None)
       | _ -> ());
       (* Anything uncorrectable is (at least) lost data. *)

@@ -46,11 +46,15 @@ type thresholds = {
           [Degraded]; at/below 1.0 votes [Failing] *)
   retry_rate_degraded : float;
       (** read retries per flash read above this votes [Degraded] *)
+  live_repair_rate_degraded : float;
+      (** diFS live-repair escalations per flash read above this votes
+          [Degraded] — reads are exhausting the retry ladder and leaning
+          on cluster redundancy *)
 }
 
 val default_thresholds : thresholds
 (** target_pec 60 (the experiment calibration), margin 1.25,
-    retry rate 1e-3. *)
+    retry rate 1e-3, live-repair rate 1e-4. *)
 
 val assess :
   ?thresholds:thresholds -> ?group_by:string -> Sampler.t -> report list

@@ -10,6 +10,7 @@ type config = {
   gc_us : float;
   relocate_us : float;
   reclaim_us : float;
+  repair_us : float;
   error_us : float;
 }
 
@@ -26,6 +27,11 @@ let default_config =
     gc_us = 5_000.;
     relocate_us = 760.;
     reclaim_us = 60.;
+    (* one live-repair escalation ~ a replica read off another node plus
+       the in-place rewrite: network round-trip dominated, far cheaper
+       than surfacing the error to the application but well above a
+       local read *)
+    repair_us = 2_000.;
     error_us = 10_000.;
   }
 
@@ -54,6 +60,11 @@ let bg_cost config (before : Ftl.Device_intf.bg_stats)
   +. float_of_int (after.read_retries - before.read_retries) *. config.retry_us
   +. float_of_int (after.read_reclaims - before.read_reclaims)
      *. config.reclaim_us
+  (* live repair prices into the op that triggered it — the recovery
+     latency lands in the tail percentiles instead of the flat
+     [error_us] host penalty an unrecoverable read would pay *)
+  +. float_of_int (after.live_repair_attempts - before.live_repair_attempts)
+     *. config.repair_us
 
 let run ?(config = default_config) ?qos ?intensity ?on_batch ~population ~trace
     ~device () =

@@ -29,6 +29,10 @@ type config = {
   gc_us : float;  (** per GC pass (the erase) the op absorbed *)
   relocate_us : float;  (** per oPage relocated under the op *)
   reclaim_us : float;  (** per read-reclaim scrub the op triggered *)
+  repair_us : float;
+      (** per live-repair escalation the op triggered — the replica read
+          plus in-place rewrite priced into the triggering op's latency,
+          so recovery shows up in the tail percentiles *)
   error_us : float;
       (** host-level recovery charged to an uncorrectable read (the
           layer above reconstructs the data from elsewhere) *)

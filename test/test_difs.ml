@@ -474,6 +474,148 @@ let test_cluster_scrub_limit_round_robin () =
       (Difs.Cluster.verify_chunk cluster id)
   done
 
+(* --- Live repair -------------------------------------------------------------- *)
+
+(* Pin every flash-resident page of [chip] at an RBER no retry rung can
+   decode: reads of data written so far exhaust the ladder and escalate.
+   Free pages stay clean, so repair rewrites land on good media. *)
+let exhaust_resident_pages chip =
+  let g = Flash.Chip.geometry chip in
+  let pinned = ref 0 in
+  for block = 0 to g.Flash.Geometry.blocks - 1 do
+    for page = 0 to g.Flash.Geometry.pages_per_block - 1 do
+      if not (Flash.Chip.is_free chip ~block ~page) then begin
+        Flash.Chip.inject chip ~block ~page (Flash.Chip.Sticky_rber 1.0);
+        incr pinned
+      end
+    done
+  done;
+  !pinned
+
+let test_live_repair_recover_opage_basic () =
+  (* 3 devices, replication 3: chunk 0 has one share per device, and the
+     first allocation on each device starts at base 0. *)
+  let cluster, _ = baseline_cluster ~devices:3 () in
+  write_ok cluster 0;
+  (match Difs.Cluster.recover_opage cluster ~device:0 ~lba:3 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "recover_opage found no source");
+  checki "one attempt" 1 (Difs.Cluster.live_repair_attempts cluster);
+  checki "one success" 1 (Difs.Cluster.live_repair_successes cluster);
+  checki "copy rewritten in place" 1
+    (Difs.Cluster.live_repair_rewritten_opages cluster);
+  checkb "replica reads metered" true
+    (Difs.Cluster.live_repair_replica_reads cluster >= 1);
+  checki "no failures" 0 (Difs.Cluster.live_repair_failures cluster);
+  checkb "chunk still verifies" true (Difs.Cluster.verify_chunk cluster 0);
+  checkb "audit clean" true (Difs.Cluster.audit cluster = []);
+  (* An address no chunk owns degrades cleanly. *)
+  checkb "unowned address degrades" true
+    (Difs.Cluster.recover_opage cluster ~device:0 ~lba:400 = None);
+  checki "miss counted as failure" 1
+    (Difs.Cluster.live_repair_failures cluster)
+
+let test_live_repair_degrades_without_healthy_source () =
+  (* Kill both replica holders: the only copy left is the one being
+     repaired, which recover_opage must exclude — so it degrades to
+     [None] without wedging the pool. *)
+  let cluster, _ = baseline_cluster ~devices:3 () in
+  write_ok cluster 0;
+  Difs.Cluster.kill_device cluster 1;
+  Difs.Cluster.kill_device cluster 2;
+  checki "one share survives" 1
+    (Option.get (Difs.Cluster.share_count cluster 0));
+  checkb "survivor verifies" true (Difs.Cluster.verify_chunk cluster 0);
+  checkb "no healthy source degrades" true
+    (Difs.Cluster.recover_opage cluster ~device:0 ~lba:0 = None);
+  checki "no successes" 0 (Difs.Cluster.live_repair_successes cluster);
+  checkb "failure counted" true (Difs.Cluster.live_repair_failures cluster > 0);
+  (* The pool still serves: the surviving replica answers reads. *)
+  (match Difs.Cluster.read_chunk cluster 0 with
+  | Ok matches -> checki "degraded read serves" 16 matches
+  | Error _ -> Alcotest.fail "degraded chunk should still read")
+
+let test_live_repair_mid_recovery_kill_is_noop () =
+  (* While recover_opage reads replicas, a poisoned source device tries
+     to kill a healthy one: the kill lands inside the recovery span and
+     must be a counted no-op (PR 3 edge semantics), the repair must still
+     land off the remaining healthy replica. *)
+  let cluster, raw = baseline_cluster ~devices:3 () in
+  write_ok cluster 0;
+  (* The share probe order is by share index: excluding device 0, device
+     2's share is tried before device 1's — poison it so its escalation
+     hook fires mid-repair. *)
+  let d2 = List.nth raw 2 in
+  checkb "poisoned pages" true
+    (exhaust_resident_pages (Ftl.Engine.chip (Ftl.Baseline_ssd.engine d2)) > 0);
+  Ftl.Baseline_ssd.set_recovery_hook d2
+    (Some
+       (fun ~lba:_ ->
+         Difs.Cluster.kill_device cluster 1;
+         Difs.Cluster.kill_device cluster 1;
+         None));
+  (match Difs.Cluster.recover_opage cluster ~device:0 ~lba:0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "repair should land off the healthy replica");
+  checkb "mid-recovery kills were counted no-ops" true
+    (Difs.Cluster.kill_ignored cluster > 0);
+  checkb "victim not killed" true
+    (not (Difs.Cluster.is_device_killed cluster 1));
+  checki "all devices still alive" 3 (Difs.Cluster.devices_alive cluster);
+  (* Re-issued after the span, the kill takes effect normally. *)
+  Difs.Cluster.kill_device cluster 1;
+  checkb "kill lands after the span" true
+    (Difs.Cluster.is_device_killed cluster 1)
+
+let test_live_repair_end_to_end_baseline () =
+  (* The full escalation path: reads of a poisoned device exhaust the
+     retry ladder, escalate through the armed recovery hook into
+     recover_opage, and the host never sees the damage. *)
+  let cluster, raw = baseline_cluster ~devices:4 () in
+  for id = 0 to 5 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.enable_live_repair cluster;
+  let d0 = List.hd raw in
+  checkb "poisoned pages" true
+    (exhaust_resident_pages (Ftl.Engine.chip (Ftl.Baseline_ssd.engine d0)) > 0);
+  for id = 0 to 5 do
+    match Difs.Cluster.read_chunk cluster id with
+    | Ok matches -> checki "read served clean through repair" 16 matches
+    | Error _ -> Alcotest.fail "read failed despite healthy replicas"
+  done;
+  checkb "escalations repaired" true
+    (Difs.Cluster.live_repair_successes cluster > 0);
+  checki "never served corrupt data with a replica" 0
+    (Difs.Cluster.corrupt_reads_with_replica cluster);
+  let verdict = Faults.Verdict.check_cluster cluster in
+  checkb
+    (Format.asprintf "cluster verdict passes: %a" Faults.Verdict.pp verdict)
+    true
+    (Faults.Verdict.all_ok verdict)
+
+let test_live_repair_end_to_end_salamander () =
+  (* Same story through the minidisk-native path: the Salamander hook
+     maps engine logicals to (mdisk, lba) before escalating. *)
+  let cluster, raw = salamander_cluster ~model:gentle_model () in
+  for id = 0 to 5 do
+    write_ok cluster id
+  done;
+  Difs.Cluster.enable_live_repair cluster;
+  let d0 = List.hd raw in
+  checkb "poisoned pages" true
+    (exhaust_resident_pages (Ftl.Engine.chip (Salamander.Device.engine d0))
+    > 0);
+  for id = 0 to 5 do
+    match Difs.Cluster.read_chunk cluster id with
+    | Ok matches -> checki "read served clean through repair" 16 matches
+    | Error _ -> Alcotest.fail "read failed despite healthy replicas"
+  done;
+  checkb "escalations repaired" true
+    (Difs.Cluster.live_repair_successes cluster > 0);
+  checki "never served corrupt data with a replica" 0
+    (Difs.Cluster.corrupt_reads_with_replica cluster)
+
 (* --- Erasure coding ---------------------------------------------------------- *)
 
 let ec_cluster ?(devices = 6) ?(seed = 70) () =
@@ -645,6 +787,16 @@ let suite =
      test_cluster_scrub_repairs_silent_corruption);
     ("cluster scrub limit round robin", `Quick,
      test_cluster_scrub_limit_round_robin);
+    ("live repair recover_opage basic", `Quick,
+     test_live_repair_recover_opage_basic);
+    ("live repair degrades without source", `Quick,
+     test_live_repair_degrades_without_healthy_source);
+    ("live repair mid-recovery kill no-op", `Quick,
+     test_live_repair_mid_recovery_kill_is_noop);
+    ("live repair end-to-end baseline", `Quick,
+     test_live_repair_end_to_end_baseline);
+    ("live repair end-to-end salamander", `Quick,
+     test_live_repair_end_to_end_salamander);
     ("ec write/read/verify", `Quick, test_ec_write_read_verify);
     ("ec survives one device death", `Quick, test_ec_survives_one_device_death);
     ("ec two deaths at quorum edge", `Quick,

@@ -194,6 +194,30 @@ let test_verdict_catches_resurrection () =
   checkb "resurrection caught" false
     (Faults.Verdict.all_ok (Faults.Verdict.check_engine ~engine ~acked ~trimmed))
 
+let test_monotone_tracker () =
+  let m = Faults.Verdict.Monotone.create () in
+  checki "no observations, no checks" 0
+    (List.length (Faults.Verdict.Monotone.checks m));
+  List.iter
+    (fun v -> Faults.Verdict.Monotone.observe m ~name:"up" v)
+    [ 0; 1; 1; 5 ];
+  List.iter
+    (fun v -> Faults.Verdict.Monotone.observe m ~name:"down" v)
+    [ 3; 2; 2; 4; 1 ];
+  match Faults.Verdict.Monotone.checks m with
+  | [ down; up ] ->
+      checkb "sorted by name" true
+        (down.Faults.Verdict.name = "down monotone"
+        && up.Faults.Verdict.name = "up monotone");
+      checkb "non-decreasing passes" true up.Faults.Verdict.ok;
+      checkb "decrease caught" false down.Faults.Verdict.ok;
+      checkb "first drop reported" true
+        (let detail = down.Faults.Verdict.detail in
+         (* two drops: 3 -> 2 and 4 -> 1; the first is named *)
+         String.length detail > 0
+         && detail = "2 decreases, first 3 -> 2")
+  | checks -> Alcotest.failf "expected 2 checks, got %d" (List.length checks)
+
 let suite =
   [
     ("plan presets roundtrip", `Quick, test_plan_roundtrip);
@@ -208,4 +232,5 @@ let suite =
     ("verdict passes clean engine", `Quick, test_verdict_passes_clean_engine);
     ("verdict catches lost write", `Quick, test_verdict_catches_lost_write);
     ("verdict catches resurrection", `Quick, test_verdict_catches_resurrection);
+    ("monotone tracker", `Quick, test_monotone_tracker);
   ]

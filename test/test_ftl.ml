@@ -742,6 +742,121 @@ let test_retry_ladder_deterministic () =
   checki "same rescue count" s1 s2;
   checkb "ladder actually exercised" true (n1 > 0 && s1 > 0)
 
+(* --- Read-recovery escalation ---------------------------------------------- *)
+
+(* An engine whose every flash read fails ECC: the only way a read
+   returns data is through the recovery hook. *)
+let make_failing_engine ?(seed = 700) ?config () =
+  let chip =
+    Flash.Chip.create ~rng:(Sim.Rng.create seed) ~geometry ~model:gentle_model
+      ()
+  in
+  let policy =
+    {
+      (Ftl.Policy.always_fresh ~opages_per_fpage:4) with
+      Ftl.Policy.read_fail_prob = (fun ~rber:_ ~block:_ ~page:_ -> 1.);
+    }
+  in
+  Ftl.Engine.create ?config ~chip
+    ~rng:(Sim.Rng.create (seed + 1))
+    ~policy ~logical_capacity:64 ()
+
+let prop_zero_retries_escalates_immediately =
+  QCheck.Test.make ~count:30
+    ~name:"read_retries=0 disables the ladder: first ECC failure escalates"
+    QCheck.(pair small_int (list (int_range 0 49)))
+    (fun (seed, lbas) ->
+      let config = { Ftl.Engine.default_config with read_retries = 0 } in
+      let rescued = make_failing_engine ~seed:(seed + 700) ~config () in
+      Ftl.Engine.set_recovery_hook rescued
+        (Some (fun ~logical -> Some (logical * 31)));
+      let bare = make_failing_engine ~seed:(seed + 700) ~config () in
+      List.iter
+        (fun lba ->
+          match
+            ( Ftl.Engine.write rescued ~logical:lba ~payload:lba,
+              Ftl.Engine.write bare ~logical:lba ~payload:lba )
+          with
+          | Ok (), Ok () -> ()
+          | _ -> QCheck.Test.fail_report "write failed")
+        lbas;
+      ignore (Ftl.Engine.flush rescued);
+      ignore (Ftl.Engine.flush bare);
+      List.iter
+        (fun lba ->
+          (match Ftl.Engine.read rescued ~logical:lba with
+          | Ok v when v = lba * 31 -> ()
+          | _ -> QCheck.Test.fail_report "hooked read not rescued");
+          match Ftl.Engine.read bare ~logical:lba with
+          | Error `Uncorrectable -> ()
+          | _ -> QCheck.Test.fail_report "bare read should be uncorrectable")
+        lbas;
+      let reads = List.length lbas in
+      (* The ladder never ran: no retry counters moved on either engine,
+         and every failed read escalated exactly once (first hook attempt
+         rescues, resetting the backoff each time). *)
+      Ftl.Engine.read_retries rescued = 0
+      && Ftl.Engine.retry_successes rescued = 0
+      && Ftl.Engine.read_retries bare = 0
+      && Ftl.Engine.read_escalations rescued = reads
+      && Ftl.Engine.escalation_successes rescued = reads
+      && Ftl.Engine.escalations_suppressed rescued = 0
+      && Ftl.Engine.read_escalations bare = 0)
+
+let test_escalation_backoff_budget () =
+  let engine =
+    make_failing_engine
+      ~config:{ Ftl.Engine.default_config with read_retries = 0 }
+      ()
+  in
+  let hook_ok = ref false in
+  Ftl.Engine.set_recovery_hook engine
+    ~config:
+      { Ftl.Engine.recovery_attempts = 2; backoff_base = 4; backoff_cap = 8 }
+    (Some (fun ~logical -> if !hook_ok then Some (logical + 100) else None));
+  (match Ftl.Engine.write engine ~logical:3 ~payload:9 with
+  | Ok () -> ()
+  | Error `No_space -> Alcotest.fail "no space");
+  ignore (Ftl.Engine.flush engine);
+  let read () = Ftl.Engine.read engine ~logical:3 in
+  (* Read clock 1: a burst of both attempts fails and opens a 4-read
+     backoff window. *)
+  (match read () with
+  | Error `Uncorrectable -> ()
+  | _ -> Alcotest.fail "expected uncorrectable");
+  checki "first burst spends both attempts" 2
+    (Ftl.Engine.read_escalations engine);
+  checki "nothing suppressed yet" 0 (Ftl.Engine.escalations_suppressed engine);
+  (* Clocks 2-4 land inside the window: suppressed, no hook calls. *)
+  for _ = 1 to 3 do
+    ignore (read ())
+  done;
+  checki "window suppresses escalation" 3
+    (Ftl.Engine.escalations_suppressed engine);
+  checki "no attempts inside the window" 2
+    (Ftl.Engine.read_escalations engine);
+  (* Clock 5 = retry_at: a fresh burst, and the window doubles (to the
+     cap) — clocks 6..12 stay suppressed. *)
+  ignore (read ());
+  checki "second burst after backoff" 4 (Ftl.Engine.read_escalations engine);
+  for _ = 1 to 7 do
+    ignore (read ())
+  done;
+  checki "doubled window suppresses" 10
+    (Ftl.Engine.escalations_suppressed engine);
+  (* Clock 13: the hook now answers — success resets the budget, so the
+     next failure escalates immediately instead of waiting. *)
+  hook_ok := true;
+  (match read () with
+  | Ok v -> checki "rescued payload" 103 v
+  | Error _ -> Alcotest.fail "expected rescue");
+  checki "success counted" 1 (Ftl.Engine.escalation_successes engine);
+  hook_ok := false;
+  ignore (read ());
+  checki "budget reset by success" 7 (Ftl.Engine.read_escalations engine);
+  checki "no new suppression after reset" 10
+    (Ftl.Engine.escalations_suppressed engine)
+
 (* --- Adversarial crash timing --------------------------------------------- *)
 
 let prop_crash_adversarial_timing =
@@ -823,6 +938,8 @@ let suite =
     ("retry ladder absorbs transient", `Quick,
      test_retry_ladder_absorbs_transient);
     ("retry ladder deterministic", `Quick, test_retry_ladder_deterministic);
+    qc prop_zero_retries_escalates_immediately;
+    ("escalation backoff budget", `Quick, test_escalation_backoff_budget);
     qc prop_crash_adversarial_timing;
     ("baseline ages and bricks", `Slow, test_baseline_ages_and_bricks);
     ("baseline capacity until death", `Slow,
