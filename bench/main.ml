@@ -567,6 +567,68 @@ let traffic_subjects () =
            ignore (Ftl.Engine.write_batch batch_engine entries)));
   ]
 
+let obs_subjects () =
+  (* The observability plane's cost model: one digest observation
+     (amortized compression), one quantile query over a compressed
+     digest, one top-K offer against a full tracker, one fleet-report
+     observation (four digests + grade + top-K), and the per-chunk
+     merge the reduction pays once per chunk, not per device. *)
+  let warm = Obs.Digest.create () in
+  let i = ref 0 in
+  for j = 0 to 9_999 do
+    Obs.Digest.add warm (float_of_int ((j * 7919) mod 997))
+  done;
+  ignore (Obs.Digest.quantile warm 0.5);
+  let topk = Obs.Topk.Topk.create ~k:10 () in
+  for j = 0 to 999 do
+    Obs.Topk.Topk.offer topk
+      ~id:(Printf.sprintf "dev-%d" j)
+      ~score:(float_of_int ((j * 2654435761) mod 997))
+      ()
+  done;
+  let acc = Obs.Fleet_report.Acc.create () in
+  let observation index =
+    {
+      Obs.Fleet_report.id = Printf.sprintf "dev-%d" index;
+      pec_max = index mod 80;
+      pec_min = index mod 11;
+      rber_worst = 1e-4;
+      tolerable_rber = 1e-2;
+      retries = index mod 7;
+      escalations = 0;
+      reclaims = 0;
+      host_writes = 1000;
+      alive = index mod 17 <> 0;
+    }
+  in
+  let chunk = Obs.Fleet_report.Acc.sub acc in
+  for j = 0 to 999 do
+    Obs.Fleet_report.Acc.observe chunk (observation j)
+  done;
+  [
+    Test.make ~name:"obs/digest_add"
+      (Staged.stage (fun () ->
+           i := !i + 1;
+           Obs.Digest.add warm (float_of_int (!i mod 997))));
+    Test.make ~name:"obs/digest_quantile"
+      (Staged.stage (fun () -> ignore (Obs.Digest.quantile warm 0.99)));
+    Test.make ~name:"obs/topk_offer"
+      (Staged.stage (fun () ->
+           i := !i + 1;
+           Obs.Topk.Topk.offer topk
+             ~id:(Printf.sprintf "dev-%d" (!i mod 4096))
+             ~score:(float_of_int (!i mod 997))
+             ()));
+    Test.make ~name:"obs/fleet_observe"
+      (Staged.stage (fun () ->
+           i := !i + 1;
+           Obs.Fleet_report.Acc.observe acc (observation !i)));
+    Test.make ~name:"obs/acc_merge_1k"
+      (Staged.stage (fun () ->
+           let into = Obs.Fleet_report.Acc.create () in
+           Obs.Fleet_report.Acc.merge ~into chunk));
+  ]
+
 (* Flat {"subject": ns_per_run} JSON, one line per subject in sorted
    order, so CI diffs of the artifact stay readable. *)
 let write_json_results path rows =
@@ -588,7 +650,7 @@ let run_micro ?json_path () =
     @ cluster_subjects () @ service_subjects () @ disturb_subjects ()
     @ fleet_subjects () @ carbon_subjects () @ chaos_subjects ()
     @ telemetry_subjects () @ monitor_subjects () @ parallel_subjects ()
-    @ traffic_subjects ()
+    @ traffic_subjects () @ obs_subjects ()
   in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in
@@ -670,7 +732,7 @@ let usage () =
     (fun (id, _) -> Printf.printf "  %s\n" id)
     Experiments.All.experiments;
   print_endline "  micro (Bechamel micro-benchmarks)";
-  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_8.json)";
+  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_9.json)";
   print_endline "  all (default: everything)"
 
 let () =
@@ -680,7 +742,7 @@ let () =
       run_all fmt;
       run_micro ()
   | [| _; "micro" |] -> run_micro ()
-  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_8.json" ()
+  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_9.json" ()
   | [| _; "micro"; "--json"; path |] -> run_micro ~json_path:path ()
   | [| _; id |] -> (
       match List.assoc_opt id Experiments.All.experiments with

@@ -224,6 +224,75 @@ let with_monitor mon f =
     result
   end
 
+(* --- fleet observability ----------------------------------------------------- *)
+
+type obs_opts = {
+  fleet_report : bool;
+  top_k : int;
+  fleet_json : string option;
+}
+
+let no_obs = { fleet_report = false; top_k = 10; fleet_json = None }
+
+(* Either output flag turns the collection on; without them the plane
+   stays off (no per-device media scans, no accumulators). *)
+let obs_active o = o.fleet_report || o.fleet_json <> None
+
+let obs_opts_term =
+  let fleet_report =
+    Arg.(
+      value & flag
+      & info [ "fleet-report" ]
+          ~doc:
+            "Print the fleet wear-imbalance report after the run: sketch \
+             quantiles of per-device wear / spread / worst RBER / retry \
+             rate, CV and Gini of the P/E distribution, per-grade counts \
+             and the exact top-K worst devices — in O(K) memory however \
+             large the fleet, byte-identical at any --jobs.")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 10
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:"Worst devices kept in the fleet report (exact top-K).")
+  in
+  let fleet_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fleet-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the fleet report as JSONL to $(docv) (\"-\" for stdout); \
+             implies collection.")
+  in
+  let make fleet_report top_k fleet_json = { fleet_report; top_k; fleet_json } in
+  Term.(const make $ fleet_report $ top_k $ fleet_json)
+
+(* Build the fleet-report accumulator when requested, run [f] with it,
+   then build the report once and emit it to each requested output. *)
+let with_obs obs ~epoch f =
+  if not (obs_active obs) then f None
+  else begin
+    let thresholds =
+      {
+        Monitor.Health.default_thresholds with
+        Monitor.Health.target_pec = float_of_int Experiments.Defaults.target_pec;
+      }
+    in
+    let acc =
+      Obs.Fleet_report.Acc.create ~top_k:(Stdlib.max 1 obs.top_k) ~thresholds ()
+    in
+    let result = f (Some acc) in
+    let report = Obs.Fleet_report.build ~epoch acc in
+    if obs.fleet_report then Obs.Fleet_report.pp fmt report;
+    Option.iter
+      (fun path ->
+        write_artifact ~what:"fleet report" ~path
+          (Obs.Fleet_report.to_jsonl report))
+      obs.fleet_json;
+    result
+  end
+
 (* --- parallelism ------------------------------------------------------------ *)
 
 let jobs_term =
@@ -244,14 +313,16 @@ let jobs_term =
    respects it): oversubscription only costs scheduling, and running the
    real multi-domain path everywhere is what the determinism guarantee
    is tested against. *)
-let with_context ?(mon = no_monitor) opts ~jobs f =
+let with_context ?(mon = no_monitor) ?(obs = no_obs) ?(epoch = "run") opts
+    ~jobs f =
   with_monitor mon @@ fun monitor ->
+  with_obs obs ~epoch @@ fun obs_acc ->
   with_telemetry ~force_live:(Option.is_some monitor) opts @@ fun registry ->
   let jobs = Stdlib.max 1 jobs in
-  if jobs = 1 then f (Experiments.Ctx.make ~registry ?monitor ())
+  if jobs = 1 then f (Experiments.Ctx.make ~registry ?monitor ?obs:obs_acc ())
   else
     Parallel.Pool.with_pool ~domains:jobs (fun pool ->
-        f (Experiments.Ctx.make ~registry ~pool ?monitor ()))
+        f (Experiments.Ctx.make ~registry ~pool ?monitor ?obs:obs_acc ()))
 
 (* --- experiments ----------------------------------------------------------- *)
 
@@ -436,7 +507,7 @@ let age_cmd =
 
 (* --- fleet ------------------------------------------------------------------ *)
 
-let fleet_cmd =
+let fleet_args =
   let days =
     Arg.(value & opt int 150 & info [ "days" ] ~docv:"DAYS" ~doc:"Scaled days.")
   in
@@ -461,18 +532,40 @@ let fleet_cmd =
              or regens); default compares all four.  The single-design form \
              is the one that scales to --devices 100000.")
   in
-  let run tel jobs mon days devices dwpd mode =
-    with_context ~mon tel ~jobs (fun ctx ->
-        Experiments.Fig3ab.run ~days ~devices ~dwpd
-          ?kinds:(Option.map (fun k -> [ k ]) mode)
-          ~ctx fmt)
-  in
+  (days, devices, dwpd, mode)
+
+let fleet_run ~force_report tel jobs mon obs days devices dwpd mode =
+  let obs = if force_report then { obs with fleet_report = true } else obs in
+  with_context ~mon ~obs
+    ~epoch:(Printf.sprintf "%dd" days)
+    tel ~jobs
+    (fun ctx ->
+      Experiments.Fig3ab.run ~days ~devices ~dwpd
+        ?kinds:(Option.map (fun k -> [ k ]) mode)
+        ~ctx fmt)
+
+let fleet_cmd =
+  let days, devices, dwpd, mode = fleet_args in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Fleet aging: alive devices and capacity over time (Figs. 3a/3b)")
     Term.(
-      const run $ tel_opts_term $ jobs_term $ mon_opts_term $ days $ devices
-      $ dwpd $ mode)
+      const (fleet_run ~force_report:false)
+      $ tel_opts_term $ jobs_term $ mon_opts_term $ obs_opts_term $ days
+      $ devices $ dwpd $ mode)
+
+let fleet_report_cmd =
+  let days, devices, dwpd, mode = fleet_args in
+  Cmd.v
+    (Cmd.info "fleet-report"
+       ~doc:
+         "Age a fleet and print its wear-imbalance report (the fleet command \
+          with --fleet-report forced on): sketch quantiles, CV/Gini, health \
+          grades and the exact top-K worst devices in O(K) memory")
+    Term.(
+      const (fleet_run ~force_report:true)
+      $ tel_opts_term $ jobs_term $ mon_opts_term $ obs_opts_term $ days
+      $ devices $ dwpd $ mode)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -545,12 +638,15 @@ let chaos_cmd =
       value & opt int 1000
       & info [ "steps" ] ~docv:"N" ~doc:"Workload steps per cell.")
   in
-  let run tel jobs mon plan seed steps =
+  let run tel jobs mon obs plan seed steps =
     match Faults.Plan.parse plan with
     | Error msg -> `Error (false, msg)
     | Ok plan ->
         let ok =
-          with_context ~mon tel ~jobs (fun ctx ->
+          with_context ~mon ~obs
+            ~epoch:(Printf.sprintf "chaos-%dsteps" steps)
+            tel ~jobs
+            (fun ctx ->
               Telemetry.Trace.with_span
                 ~registry:ctx.Experiments.Ctx.registry "chaos" (fun () ->
                   Experiments.Chaos.run ~ctx ~plan ~seed ~steps fmt))
@@ -564,8 +660,8 @@ let chaos_cmd =
           tolerance invariants (byte-identical at any --jobs)")
     Term.(
       ret
-        (const run $ tel_opts_term $ jobs_term $ mon_opts_term $ plan $ seed
-        $ steps))
+        (const run $ tel_opts_term $ jobs_term $ mon_opts_term $ obs_opts_term
+        $ plan $ seed $ steps))
 
 (* --- traffic ----------------------------------------------------------------- *)
 
@@ -629,7 +725,7 @@ let traffic_cmd =
             "Write the latency-percentile table as JSON to $(docv) (\"-\" \
              for stdout).")
   in
-  let run tel jobs tenants ops seed batch qos plan trace_file emit_trace
+  let run tel jobs obs tenants ops seed batch qos plan trace_file emit_trace
       latency_json =
     match Faults.Plan.parse plan with
     | Error msg -> `Error (false, msg)
@@ -645,7 +741,9 @@ let traffic_cmd =
             Option.iter (fun path -> Workload.Trace.to_file trace ~path)
               emit_trace;
             let rows =
-              with_context tel ~jobs (fun ctx ->
+              with_context ~obs
+                ~epoch:(Printf.sprintf "traffic-%dops" ops)
+                tel ~jobs (fun ctx ->
                   Telemetry.Trace.with_span
                     ~registry:ctx.Experiments.Ctx.registry "traffic"
                     (fun () ->
@@ -667,8 +765,8 @@ let traffic_cmd =
           any --jobs)")
     Term.(
       ret
-        (const run $ tel_opts_term $ jobs_term $ tenants $ ops $ seed $ batch
-        $ qos $ plan $ trace_file $ emit_trace $ latency_json))
+        (const run $ tel_opts_term $ jobs_term $ obs_opts_term $ tenants $ ops
+        $ seed $ batch $ qos $ plan $ trace_file $ emit_trace $ latency_json))
 
 (* --- monitor ----------------------------------------------------------------- *)
 
@@ -819,5 +917,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ experiments_cmd; age_cmd; fleet_cmd; monitor_cmd; stats_cmd;
-            chaos_cmd; traffic_cmd; levels_cmd; carbon_cmd; tco_cmd ]))
+          [ experiments_cmd; age_cmd; fleet_cmd; fleet_report_cmd; monitor_cmd;
+            stats_cmd; chaos_cmd; traffic_cmd; levels_cmd; carbon_cmd; tco_cmd ]))

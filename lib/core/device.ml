@@ -704,6 +704,17 @@ module As_device = struct
       live_repairs = Ftl.Engine.escalation_successes t.engine;
     }
 
+  let wear_stats t =
+    let w = Flash.Chip.wear (Ftl.Engine.chip t.engine) in
+    {
+      Ftl.Device_intf.pec_max = w.Flash.Chip.wear_pec_max;
+      pec_min = w.Flash.Chip.wear_pec_min;
+      rber_worst = w.Flash.Chip.wear_rber_worst;
+      tolerable_rber =
+        (Tiredness.info t.profile (Tiredness.max_level t.profile))
+          .Tiredness.tolerable_rber;
+    }
+
   let set_recovery_hook t ?config hook =
     (* reverse of [locate]: engine logical -> slot -> position in the
        active array -> flat LBA (draining minidisks are not addressable

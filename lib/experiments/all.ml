@@ -29,7 +29,7 @@ let run ?(ctx = Ctx.default) fmt =
      at any domain count. *)
   let rendered =
     Ctx.map_cells ctx (Array.of_list experiments)
-      (fun ~sub ~mon:_ (id, runner) ->
+      (fun ~sub ~mon:_ ~obs:_ (id, runner) ->
         let buf = Buffer.create 4096 in
         let bfmt = Format.formatter_of_buffer buf in
         Format.fprintf bfmt "@.### experiment %s@." id;

@@ -32,7 +32,7 @@ let sample_final mon registry steps =
 
 let device_geometry = Flash.Geometry.create ~pages_per_block:8 ~blocks:16 ()
 
-let run_device_arena ~registry ?mon ~plan ~seed ~steps fmt =
+let run_device_arena ~registry ?mon ?obs ~plan ~seed ~steps fmt =
   let root = Sim.Rng.create seed in
   let inj_rng = Sim.Rng.split root in
   let chip_rng = Sim.Rng.split root in
@@ -135,6 +135,23 @@ let run_device_arena ~registry ?mon ~plan ~seed ~steps fmt =
     (Ftl.Engine.read_reclaims !engine)
     (Flash.Chip.faults_injected chip);
   Faults.Verdict.pp fmt verdict;
+  Option.iter
+    (fun acc ->
+      let w = Flash.Chip.wear chip in
+      Obs.Fleet_report.Acc.observe acc
+        {
+          Obs.Fleet_report.id = Printf.sprintf "device-%d" seed;
+          pec_max = w.Flash.Chip.wear_pec_max;
+          pec_min = w.Flash.Chip.wear_pec_min;
+          rber_worst = w.Flash.Chip.wear_rber_worst;
+          tolerable_rber = ecc.Ftl.Ecc_profile.tolerable_rber;
+          retries = Ftl.Engine.read_retries !engine;
+          escalations = Ftl.Engine.read_escalations !engine;
+          reclaims = Ftl.Engine.read_reclaims !engine;
+          host_writes = Ftl.Engine.host_writes !engine;
+          alive = true;
+        })
+    obs;
   Faults.Verdict.all_ok verdict
 
 (* --- cluster arena ------------------------------------------------------- *)
@@ -153,8 +170,8 @@ type cluster_outcome = {
   live_successes : int;
 }
 
-let run_cluster_arena ~registry ?mon ?(live_repair = false) ~plan ~seed ~steps
-    fmt =
+let run_cluster_arena ~registry ?mon ?obs ?(obs_prefix = "cluster")
+    ?(live_repair = false) ~plan ~seed ~steps fmt =
   let root = Sim.Rng.create seed in
   let inj_rng = Sim.Rng.split root in
   let op_rng = Sim.Rng.split root in
@@ -263,6 +280,32 @@ let run_cluster_arena ~registry ?mon ?(live_repair = false) ~plan ~seed ~steps
            else acc)
          0
   in
+  (* One observation per member device; a killed member reads as not
+     alive even when its Salamander state would still accept writes. *)
+  Option.iter
+    (fun acc ->
+      Array.iteri
+        (fun i d ->
+          let packed = Salamander.Device.pack d in
+          let w = Ftl.Device_intf.wear_stats packed in
+          let bg = Ftl.Device_intf.bg_stats packed in
+          Obs.Fleet_report.Acc.observe acc
+            {
+              Obs.Fleet_report.id = Printf.sprintf "%s-%d" obs_prefix i;
+              pec_max = w.Ftl.Device_intf.pec_max;
+              pec_min = w.Ftl.Device_intf.pec_min;
+              rber_worst = w.Ftl.Device_intf.rber_worst;
+              tolerable_rber = w.Ftl.Device_intf.tolerable_rber;
+              retries = bg.Ftl.Device_intf.read_retries;
+              escalations = bg.Ftl.Device_intf.live_repair_attempts;
+              reclaims = bg.Ftl.Device_intf.read_reclaims;
+              host_writes = Ftl.Device_intf.host_writes packed;
+              alive =
+                Salamander.Device.alive d
+                && not (Difs.Cluster.is_device_killed cluster i);
+            })
+        devices)
+    obs;
   {
     ok = Faults.Verdict.all_ok verdict;
     capacity_opages;
@@ -303,7 +346,7 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
   in
   let rendered =
     Ctx.map_cells ctx cells
-      (fun ~sub ~mon (arena, cell_seed) ->
+      (fun ~sub ~mon ~obs (arena, cell_seed) ->
         let buf = Buffer.create 2048 in
         let bfmt = Format.formatter_of_buffer buf in
         let tag =
@@ -312,30 +355,33 @@ let run ?(ctx = Ctx.default) ?(plan = default_plan) ?(seed = 42)
           | `Cluster -> "cluster"
           | `Recovery -> "recovery"
         in
+        let cell_tag = Printf.sprintf "%s-%d" tag cell_seed in
         let ok =
           match arena with
           | `Device ->
-              run_device_arena ~registry:sub ?mon ~plan ~seed:cell_seed ~steps
-                bfmt
+              run_device_arena ~registry:sub ?mon ?obs ~plan ~seed:cell_seed
+                ~steps bfmt
           | `Cluster ->
-              (run_cluster_arena ~registry:sub ?mon ~plan ~seed:cell_seed
-                 ~steps bfmt)
+              (run_cluster_arena ~registry:sub ?mon ?obs ~obs_prefix:cell_tag
+                 ~plan ~seed:cell_seed ~steps bfmt)
                 .ok
           | `Recovery ->
-              (run_cluster_arena ~registry:sub ?mon ~live_repair:true
-                 ~plan:recovery_plan ~seed:cell_seed ~steps bfmt)
+              (run_cluster_arena ~registry:sub ?mon ?obs ~obs_prefix:cell_tag
+                 ~live_repair:true ~plan:recovery_plan ~seed:cell_seed ~steps
+                 bfmt)
                 .ok
         in
         Format.pp_print_flush bfmt ();
-        (Buffer.contents buf, ok, sub, mon, Printf.sprintf "%s-%d" tag cell_seed))
+        (Buffer.contents buf, ok, sub, mon, obs, cell_tag))
   in
   List.iter
-    (fun (text, _, sub, mon, cell_tag) ->
+    (fun (text, _, sub, mon, obs, cell_tag) ->
       Format.pp_print_string fmt text;
       Ctx.absorb ctx sub;
-      Ctx.absorb_monitor ctx ~labels:[ ("device", cell_tag) ] mon)
+      Ctx.absorb_monitor ctx ~labels:[ ("device", cell_tag) ] mon;
+      Ctx.absorb_obs ctx obs)
     rendered;
-  let all = List.for_all (fun (_, ok, _, _, _) -> ok) rendered in
+  let all = List.for_all (fun (_, ok, _, _, _, _) -> ok) rendered in
   Format.fprintf fmt "chaos verdict: %s@." (if all then "PASS" else "FAIL");
   all
 
@@ -347,31 +393,29 @@ let run_shrink_vs_repair ?(ctx = Ctx.default) ?(seed = 42) ?(steps = 1000) fmt
     Faults.Plan.pp recovery_plan seed steps;
   let rendered =
     Ctx.map_cells ctx [| false; true |]
-      (fun ~sub ~mon live_repair ->
+      (fun ~sub ~mon ~obs live_repair ->
         let buf = Buffer.create 2048 in
         let bfmt = Format.formatter_of_buffer buf in
+        let tag = if live_repair then "repair-on" else "repair-off" in
         let out =
-          run_cluster_arena ~registry:sub ?mon ~live_repair
-            ~plan:recovery_plan ~seed ~steps bfmt
+          run_cluster_arena ~registry:sub ?mon ?obs ~obs_prefix:tag
+            ~live_repair ~plan:recovery_plan ~seed ~steps bfmt
         in
         Format.pp_print_flush bfmt ();
-        ( Buffer.contents buf,
-          out,
-          sub,
-          mon,
-          if live_repair then "repair-on" else "repair-off" ))
+        (Buffer.contents buf, out, sub, mon, obs, tag))
   in
   List.iter
-    (fun (text, _, sub, mon, tag) ->
+    (fun (text, _, sub, mon, obs, tag) ->
       Format.pp_print_string fmt text;
       Ctx.absorb ctx sub;
-      Ctx.absorb_monitor ctx ~labels:[ ("device", tag) ] mon)
+      Ctx.absorb_monitor ctx ~labels:[ ("device", tag) ] mon;
+      Ctx.absorb_obs ctx obs)
     rendered;
   (* Effective lifetime under identical damage: repairing in place costs
      wear (exported capacity) but keeps data reachable (fewer
      unrecoverable oPages, fewer corrupt reads served). *)
   List.iter
-    (fun (_, out, _, _, tag) ->
+    (fun (_, out, _, _, _, tag) ->
       Format.fprintf fmt
         "%-10s capacity=%d unrecoverable=%d corrupt_served=%d lost_chunks=%d \
          chunks=%d+%d live_repairs=%d/%d@."
@@ -379,7 +423,7 @@ let run_shrink_vs_repair ?(ctx = Ctx.default) ?(seed = 42) ?(steps = 1000) fmt
         out.lost_chunks out.intact out.degraded out.live_successes
         out.live_attempts)
     rendered;
-  let all = List.for_all (fun (_, out, _, _, _) -> out.ok) rendered in
+  let all = List.for_all (fun (_, out, _, _, _, _) -> out.ok) rendered in
   Format.fprintf fmt "shrink-vs-repair verdict: %s@."
     (if all then "PASS" else "FAIL");
   all

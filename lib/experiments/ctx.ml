@@ -2,12 +2,14 @@ type t = {
   registry : Telemetry.Registry.t;
   pool : Parallel.Pool.t option;
   monitor : Monitor.Engine.t option;
+  obs : Obs.Fleet_report.Acc.t option;
 }
 
-let default = { registry = Telemetry.Registry.null; pool = None; monitor = None }
+let default =
+  { registry = Telemetry.Registry.null; pool = None; monitor = None; obs = None }
 
-let make ?(registry = Telemetry.Registry.null) ?pool ?monitor () =
-  { registry; pool; monitor }
+let make ?(registry = Telemetry.Registry.null) ?pool ?monitor ?obs () =
+  { registry; pool; monitor; obs }
 
 let sequential ctx = { ctx with pool = None }
 
@@ -22,6 +24,12 @@ let sub_registry ctx =
 
 let absorb ctx sub = Telemetry.Registry.merge ~into:ctx.registry sub
 let sub_monitor ctx = Option.map Monitor.Engine.sub ctx.monitor
+let sub_obs ctx = Option.map Obs.Fleet_report.Acc.sub ctx.obs
+
+let absorb_obs ctx sub =
+  match (ctx.obs, sub) with
+  | Some into, Some sub -> Obs.Fleet_report.Acc.merge ~into sub
+  | _ -> ()
 
 let absorb_monitor ctx ?labels sub =
   match (ctx.monitor, sub) with
@@ -37,4 +45,5 @@ let map_cells ctx cells f =
     (fun (c : Parallel.Pool.chunk) ->
       let sub = sub_registry ctx in
       let mon = sub_monitor ctx in
-      f ~sub ~mon cells.(c.lo))
+      let obs = sub_obs ctx in
+      f ~sub ~mon ~obs cells.(c.lo))

@@ -17,6 +17,10 @@ type t = {
   monitor : Monitor.Engine.t option;
       (** Longitudinal health monitor sampling the registry over simulated
           time; [None] (the default) keeps the whole sampling path off. *)
+  obs : Obs.Fleet_report.Acc.t option;
+      (** Fleet-report accumulator collecting one end-of-run wear
+          observation per device; [None] (the default) keeps the
+          observability plane off. *)
 }
 
 val default : t
@@ -26,6 +30,7 @@ val make :
   ?registry:Telemetry.Registry.t ->
   ?pool:Parallel.Pool.t ->
   ?monitor:Monitor.Engine.t ->
+  ?obs:Obs.Fleet_report.Acc.t ->
   unit ->
   t
 
@@ -60,10 +65,23 @@ val absorb_monitor : t -> ?labels:(string * string) list -> Monitor.Engine.t opt
     [labels] (e.g. [("device", "cvss-3")]).  No-op when either side is
     [None]. *)
 
+val sub_obs : t -> Obs.Fleet_report.Acc.t option
+(** A scratch fleet-report accumulator for one parallel task
+    ({!Obs.Fleet_report.Acc.sub}); [None] when the context carries
+    none.  Merge back with {!absorb_obs} in submission order. *)
+
+val absorb_obs : t -> Obs.Fleet_report.Acc.t option -> unit
+(** Merge a task's scratch accumulator into the context's
+    ({!Obs.Fleet_report.Acc.merge}); no-op when either side is [None]. *)
+
 val map_cells :
   t ->
   'cell array ->
-  (sub:Telemetry.Registry.t -> mon:Monitor.Engine.t option -> 'cell -> 'r) ->
+  (sub:Telemetry.Registry.t ->
+  mon:Monitor.Engine.t option ->
+  obs:Obs.Fleet_report.Acc.t option ->
+  'cell ->
+  'r) ->
   'r list
 (** Fan an array of self-contained experiment cells over the context's
     pool via {!Parallel.Pool.map_chunked} (one cell per chunk — cells

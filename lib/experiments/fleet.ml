@@ -32,6 +32,7 @@ type chunk_acc = {
   chunk : Parallel.Pool.chunk;
   sub : Telemetry.Registry.t;
   mon : Monitor.Engine.t option;
+  obs : Obs.Fleet_report.Acc.t option;
   alive_by_day : int array; (* live devices per day 0 .. days *)
   cap_by_day : int array; (* summed live capacity per day *)
   mutable acc_host_writes : int;
@@ -120,7 +121,29 @@ let simulate_device ~kind ~days ~dwpd ~afr_per_day ~streams acc index =
         sample day
       done);
   if !wear_dead then acc.acc_wear_deaths <- acc.acc_wear_deaths + 1;
-  if !afr_dead then acc.acc_afr_deaths <- acc.acc_afr_deaths + 1
+  if !afr_dead then acc.acc_afr_deaths <- acc.acc_afr_deaths + 1;
+  (* One wear observation per device at end of life(time window): the
+     fleet report's whole input.  The media scan is O(device) but runs
+     once per device per run, not per op. *)
+  Option.iter
+    (fun o ->
+      let w = Ftl.Device_intf.wear_stats device in
+      let bg = Ftl.Device_intf.bg_stats device in
+      Obs.Fleet_report.Acc.observe o
+        {
+          Obs.Fleet_report.id =
+            Printf.sprintf "%s-%d" (Defaults.kind_label kind) index;
+          pec_max = w.Ftl.Device_intf.pec_max;
+          pec_min = w.Ftl.Device_intf.pec_min;
+          rber_worst = w.Ftl.Device_intf.rber_worst;
+          tolerable_rber = w.Ftl.Device_intf.tolerable_rber;
+          retries = bg.Ftl.Device_intf.read_retries;
+          escalations = bg.Ftl.Device_intf.live_repair_attempts;
+          reclaims = bg.Ftl.Device_intf.read_reclaims;
+          host_writes = Ftl.Device_intf.host_writes device;
+          alive = alive ();
+        })
+    acc.obs
 
 (* Chunk sizing depends only on the fleet shape — never on the job
    count, which must not be observable.  A monitored fleet pins one
@@ -162,6 +185,7 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
               chunk;
               sub = Ctx.sub_registry ctx;
               mon = Ctx.sub_monitor ctx;
+              obs = Ctx.sub_obs ctx;
               alive_by_day = Array.make (days + 1) 0;
               cap_by_day = Array.make (days + 1) 0;
               acc_host_writes = 0;
@@ -185,7 +209,8 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
       Ctx.absorb_monitor ctx
         ~labels:
           [ ("device", Printf.sprintf "%s-%d" kind_tag o.chunk.Parallel.Pool.lo) ]
-        o.mon)
+        o.mon;
+      Ctx.absorb_obs ctx o.obs)
     outcomes;
   let snapshots =
     List.init (days + 1) (fun day ->

@@ -10,6 +10,9 @@ type row = {
   throttled : int;
   violations : int;
   read_errors : int;
+  tail_cause : string;
+      (* dominant cause bit among p999-and-above ops; "untagged" when
+         no background work billed into the tail, "-" on empty cells *)
 }
 
 (* The generator's window is sized inside the smallest device capacity
@@ -65,7 +68,51 @@ let pp_top fmt population accounts =
         (Traffic.Tenant.Accounts.violations accounts id))
     (Traffic.Tenant.Accounts.top accounts ~n:3)
 
-let run_cell ~registry ~spec ~trace ~seed ~batch ~qos ~plan ~kind ~chaos fmt =
+(* Tail root-cause attribution for one latency histogram: report the
+   dominant cause bit among ops in the p999 bucket and above (strict
+   max, so ties keep the lower bit), plus the worst retained tagged
+   exemplar.  Returns the dominant cause name for the summary row. *)
+let pp_tail_cause fmt hist =
+  if Traffic.Lathist.count hist = 0 then "-"
+  else begin
+    let q = 0.999 in
+    let n = Traffic.Lathist.count_above hist q in
+    let totals = Traffic.Lathist.tag_totals_above hist q in
+    let best = ref (-1) and best_n = ref 0 in
+    for i = 0 to Obs.Cause.width - 1 do
+      if totals.(i) > !best_n then begin
+        best := i;
+        best_n := totals.(i)
+      end
+    done;
+    let cause = if !best < 0 then "untagged" else Obs.Cause.name_of_bit !best in
+    Format.fprintf fmt "  tail: p999=%.1fus n=%d cause=%s"
+      (Traffic.Lathist.percentile hist q)
+      n cause;
+    if !best >= 0 then Format.fprintf fmt " (%d/%d)" !best_n n;
+    (match Traffic.Lathist.exemplar_above hist q with
+    | Some (us, tags) ->
+        Format.fprintf fmt " exemplar=%.1fus [%s]" us (Obs.Cause.to_string tags)
+    | None -> ());
+    Format.fprintf fmt "@.";
+    cause
+  end
+
+let pp_cause_mix fmt mix =
+  match Obs.Topk.Counts.to_list mix with
+  | [] -> ()
+  | entries ->
+      Format.fprintf fmt "  causes:";
+      List.iteri
+        (fun i (id, est, err) ->
+          if i < 4 then
+            Format.fprintf fmt " %s=%d%s" id est
+              (if err > 0 then Printf.sprintf "(-%d)" err else ""))
+        entries;
+      Format.fprintf fmt "@."
+
+let run_cell ~registry ?obs ~spec ~trace ~seed ~batch ~qos ~plan ~kind ~chaos
+    fmt =
   let kind_index =
     match kind with `Baseline -> 0 | `Cvss -> 1 | `Regens -> 2
   in
@@ -155,6 +202,26 @@ let run_cell ~registry ~spec ~trace ~seed ~batch ~qos ~plan ~kind ~chaos fmt =
   Format.fprintf fmt "  top:%a@."
     (fun fmt () -> pp_top fmt population o.Traffic.Replay.accounts)
     ();
+  let tail_cause = pp_tail_cause fmt o.Traffic.Replay.all in
+  pp_cause_mix fmt o.Traffic.Replay.cause_mix;
+  let cell_id = label ^ if chaos then "+chaos" else "" in
+  Option.iter
+    (fun acc ->
+      let w = Ftl.Device_intf.wear_stats device in
+      Obs.Fleet_report.Acc.observe acc
+        {
+          Obs.Fleet_report.id = cell_id;
+          pec_max = w.Ftl.Device_intf.pec_max;
+          pec_min = w.Ftl.Device_intf.pec_min;
+          rber_worst = w.Ftl.Device_intf.rber_worst;
+          tolerable_rber = w.Ftl.Device_intf.tolerable_rber;
+          retries = bg.Ftl.Device_intf.read_retries;
+          escalations = bg.Ftl.Device_intf.live_repair_attempts;
+          reclaims = bg.Ftl.Device_intf.read_reclaims;
+          host_writes = Ftl.Device_intf.host_writes device;
+          alive = Ftl.Device_intf.alive device;
+        })
+    obs;
   let p q = Traffic.Lathist.percentile o.Traffic.Replay.all q in
   {
     label;
@@ -168,6 +235,7 @@ let run_cell ~registry ~spec ~trace ~seed ~batch ~qos ~plan ~kind ~chaos fmt =
     throttled = o.Traffic.Replay.throttled_ops;
     violations = o.Traffic.Replay.slo_violations;
     read_errors = o.Traffic.Replay.read_errors;
+    tail_cause;
   }
 
 let rows_to_json rows =
@@ -180,9 +248,9 @@ let rows_to_json rows =
         (Printf.sprintf
            "{\"label\":%S,\"chaos\":%b,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\
             \"p999\":%.3f,\"max_us\":%.3f,\"completed\":%d,\"throttled\":%d,\
-            \"violations\":%d,\"read_errors\":%d}"
+            \"violations\":%d,\"read_errors\":%d,\"tail_cause\":%S}"
            r.label r.chaos r.p50 r.p95 r.p99 r.p999 r.max_us r.completed
-           r.throttled r.violations r.read_errors))
+           r.throttled r.violations r.read_errors r.tail_cause))
     rows;
   Buffer.add_string b "]}";
   Buffer.contents b
@@ -211,30 +279,32 @@ let run ?(ctx = Ctx.default) ?(tenants = 64) ?(ops = 12_000) ?(seed = 42)
      pattern). *)
   let rendered =
     Ctx.map_cells ctx cells
-      (fun ~sub ~mon:_ (kind, chaos) ->
+      (fun ~sub ~mon:_ ~obs (kind, chaos) ->
         let buf = Buffer.create 2048 in
         let bfmt = Format.formatter_of_buffer buf in
         let row =
-          run_cell ~registry:sub ~spec ~trace ~seed ~batch ~qos ~plan ~kind
-            ~chaos bfmt
+          run_cell ~registry:sub ?obs ~spec ~trace ~seed ~batch ~qos ~plan
+            ~kind ~chaos bfmt
         in
         Format.pp_print_flush bfmt ();
-        (Buffer.contents buf, row, sub))
+        (Buffer.contents buf, row, sub, obs))
   in
   List.iter
-    (fun (text, _, sub) ->
+    (fun (text, _, sub, obs) ->
       Format.pp_print_string fmt text;
-      Ctx.absorb ctx sub)
+      Ctx.absorb ctx sub;
+      Ctx.absorb_obs ctx obs)
     rendered;
-  let rows = List.map (fun (_, row, _) -> row) rendered in
+  let rows = List.map (fun (_, row, _, _) -> row) rendered in
   Format.fprintf fmt "latency comparison (us):@.";
-  Format.fprintf fmt "  %-10s %-6s %10s %10s %10s %10s@." "device" "chaos"
-    "p50" "p95" "p99" "p999";
+  Format.fprintf fmt "  %-10s %-6s %10s %10s %10s %10s  %s@." "device" "chaos"
+    "p50" "p95" "p99" "p999" "tail-cause";
   List.iter
     (fun r ->
-      Format.fprintf fmt "  %-10s %-6s %10.1f %10.1f %10.1f %10.1f@." r.label
+      Format.fprintf fmt "  %-10s %-6s %10.1f %10.1f %10.1f %10.1f  %s@."
+        r.label
         (if r.chaos then "media" else "-")
-        r.p50 r.p95 r.p99 r.p999)
+        r.p50 r.p95 r.p99 r.p999 r.tail_cause)
     rows;
   List.iter
     (fun label ->

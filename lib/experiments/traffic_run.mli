@@ -6,8 +6,11 @@
     is byte-identical at any job count.  Each cell reports p50/p95/p99/
     p999 request latency (all/read/write), the per-tenant QoS summary
     (throttles, SLO violations, busiest tenants) and the background
-    activity the latency model charged; the final table compares tails
-    across designs and shows what the fault plan does to them. *)
+    activity the latency model charged, plus tail root-cause
+    attribution: the dominant {!Obs.Cause} among p999-and-above ops,
+    the worst tagged exemplar, and the heavy-hitter cause mixes; the
+    final table compares tails across designs and shows what the fault
+    plan does to them. *)
 
 type row = {
   label : string;  (** device kind *)
@@ -21,6 +24,10 @@ type row = {
   throttled : int;
   violations : int;
   read_errors : int;
+  tail_cause : string;
+      (** dominant cause among p999-and-above ops (["gc"], ["retry"],
+          ...); ["untagged"] when no background work billed into the
+          tail, ["-"] on empty cells *)
 }
 
 val make_trace : tenants:int -> ops:int -> seed:int -> Workload.Trace.t

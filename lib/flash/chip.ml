@@ -315,6 +315,30 @@ let pec t ~block =
 
 let pec_min t = t.pec_min
 
+type wear = { wear_pec_max : int; wear_pec_min : int; wear_rber_worst : float }
+
+(* On-demand scan (O(blocks) + O(fPages)) so the erase hot path stays
+   untouched when no registry is attached.  The worst RBER is the
+   pure-wear rate — no read disturb, no injected faults — matching the
+   post-erase semantics of the [flash_rber_worst] gauge, but evaluated
+   at the current P/E counts rather than as a running max. *)
+let wear t =
+  let blocks = t.geometry.Geometry.blocks in
+  let ppb = t.geometry.Geometry.pages_per_block in
+  let pec_max = ref 0 and worst = ref 0. in
+  for block = 0 to blocks - 1 do
+    let pec = t.pecs.(block) in
+    if pec > !pec_max then pec_max := pec;
+    let base = block * ppb in
+    for page = 0 to ppb - 1 do
+      worst :=
+        Float.max !worst
+          (Rber_model.rber t.model ~pec
+             ~strength:(Float.Array.get t.strengths (base + page)))
+    done
+  done;
+  { wear_pec_max = !pec_max; wear_pec_min = t.pec_min; wear_rber_worst = !worst }
+
 let strength t ~block ~page =
   let fp = check_page t block page in
   Float.Array.get t.strengths fp

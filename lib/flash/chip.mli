@@ -73,6 +73,15 @@ val pec_min : t -> int
 (** Lowest per-block P/E count, maintained incrementally (erase pays
     amortized O(1) instead of scanning every block). *)
 
+type wear = { wear_pec_max : int; wear_pec_min : int; wear_rber_worst : float }
+
+val wear : t -> wear
+(** Current wear summary by on-demand scan — O(blocks + fPages), so the
+    erase hot path stays free of bookkeeping when telemetry is off.
+    [wear_rber_worst] is the worst {e pure-wear} page RBER at current
+    P/E counts (no read disturb, no injected faults), the same quantity
+    the [flash_rber_worst] gauge tracks as a running max. *)
+
 val strength : t -> block:int -> page:int -> float
 
 val rber : t -> block:int -> page:int -> float

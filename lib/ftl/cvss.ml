@@ -145,6 +145,15 @@ let bg_stats t =
     live_repairs = Engine.escalation_successes t.engine;
   }
 
+let wear_stats t =
+  let w = Flash.Chip.wear (Engine.chip t.engine) in
+  {
+    Device_intf.pec_max = w.Flash.Chip.wear_pec_max;
+    pec_min = w.Flash.Chip.wear_pec_min;
+    rber_worst = w.Flash.Chip.wear_rber_worst;
+    tolerable_rber = t.ecc.Ecc_profile.tolerable_rber;
+  }
+
 let set_recovery_hook t ?config hook =
   (* flat LBAs map 1:1 onto engine logicals (reads above the shrunk
      capacity still resolve, exactly like [read]) *)

@@ -21,6 +21,16 @@ type bg_stats = {
   live_repairs : int;  (** escalated reads the hook rescued *)
 }
 
+(** Point-in-time media wear summary for fleet observability: worst and
+    best per-block P/E counts, the worst pure-wear page RBER across the
+    media, and the strongest available code's tolerance for context. *)
+type wear_stats = {
+  pec_max : int;
+  pec_min : int;
+  rber_worst : float;
+  tolerable_rber : float;
+}
+
 module type S = sig
   type t
 
@@ -46,6 +56,10 @@ module type S = sig
   val bg_stats : t -> bg_stats
   (** Snapshot of the device's cumulative background activity. *)
 
+  val wear_stats : t -> wear_stats
+  (** Wear summary by on-demand media scan (O(blocks + pages)); meant
+      for end-of-run fleet reporting, not per-op hot paths. *)
+
   val set_recovery_hook :
     t -> ?config:Engine.recovery_config -> (lba:int -> int option) option -> unit
   (** Install (or clear) a read-recovery escalation hook, keyed by the
@@ -67,6 +81,7 @@ let initial_capacity (Packed ((module D), d)) = D.initial_capacity d
 let host_writes (Packed ((module D), d)) = D.host_writes d
 let write_amplification (Packed ((module D), d)) = D.write_amplification d
 let bg_stats (Packed ((module D), d)) = D.bg_stats d
+let wear_stats (Packed ((module D), d)) = D.wear_stats d
 
 let set_recovery_hook (Packed ((module D), d)) ?config hook =
   D.set_recovery_hook d ?config hook

@@ -25,6 +25,13 @@ type grade = Healthy | Degraded | Failing | Retired
 
 val grade_label : grade -> string
 
+val grade_rank : grade -> int
+(** Severity order: [Healthy] 0 .. [Retired] 3. *)
+
+val natural_compare : string -> string -> int
+(** Subject ordering with trailing integers compared numerically
+    (["dev-2"] before ["dev-10"]). *)
+
 type attribute = {
   attr : string;  (** short SMART-ish attribute name *)
   value : float;  (** current (latest) value *)

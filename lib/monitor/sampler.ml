@@ -56,6 +56,7 @@ let sample t ~time registry =
           observe t ~time (k "count") (float_of_int sum.count);
           if sum.count > 0 then begin
             observe t ~time (k "mean") sum.mean;
+            observe t ~time (k "p50") sum.p50;
             observe t ~time (k "p99") sum.p99;
             observe t ~time (k "p999") sum.p999
           end)

@@ -3,7 +3,7 @@
     Each call to {!sample} snapshots a {!Telemetry.Registry} and appends
     one sample per metric field to the matching {!Series}: counters and
     gauges contribute a ["value"] field, histograms a ["count"] field
-    always plus ["mean"], ["p99"] and ["p999"] once they hold
+    always plus ["mean"], ["p50"], ["p99"] and ["p999"] once they hold
     observations (so
     timelines never carry the NaN an empty histogram summarizes to).
 
@@ -17,7 +17,8 @@ module Key : sig
   type t = {
     name : string;  (** metric name *)
     labels : Telemetry.Registry.Labels.t;
-    field : string;  (** "value" | "count" | "mean" | "p99" | "p999" *)
+    field : string;
+        (** "value" | "count" | "mean" | "p50" | "p99" | "p999" *)
   }
 
   val compare : t -> t -> int

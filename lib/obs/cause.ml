@@ -1,0 +1,38 @@
+type t = int
+
+let none = 0
+let gc = 1
+let relocation = 2
+let retry = 4
+let escalation = 8
+let scrub = 16
+let qos_throttle = 32
+let width = 6
+
+let names =
+  [| "gc"; "relocation"; "retry"; "escalation"; "scrub"; "qos-throttle" |]
+
+let name_of_bit i =
+  if i < 0 || i >= width then invalid_arg "Cause.name_of_bit" else names.(i)
+
+let union = ( lor )
+let mem set cause = set land cause <> 0
+
+let to_string set =
+  if set = none then "none"
+  else begin
+    let parts = ref [] in
+    for i = width - 1 downto 0 do
+      if set land (1 lsl i) <> 0 then parts := names.(i) :: !parts
+    done;
+    String.concat "+" !parts
+  end
+
+let of_flags ~gc:g ~relocation:rel ~retry:rt ~escalation:esc ~scrub:sc
+    ~qos_throttle:qt =
+  (if g then gc else 0)
+  lor (if rel then relocation else 0)
+  lor (if rt then retry else 0)
+  lor (if esc then escalation else 0)
+  lor (if sc then scrub else 0)
+  lor if qt then qos_throttle else 0

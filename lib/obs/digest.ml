@@ -1,0 +1,170 @@
+(* Merging quantile digest with a fixed centroid budget (the t-digest
+   merging variant).  Observations append into the centroid arrays; when
+   the buffer fills, [compress] sorts the centroids by mean and greedily
+   fuses neighbours under the k1-style size limit
+   [4 * total * q * (1-q) / budget], which keeps clusters tiny near both
+   tails — where rank error matters — and lets them grow toward the
+   median.  Everything is plain sequential float arithmetic: the same
+   observations in the same order always produce the same centroids, so
+   per-chunk digests merged in submission order give byte-identical
+   reports at any job count (the Lathist discipline, without Lathist's
+   fixed value range). *)
+
+type t = {
+  budget : int;
+  mutable means : float array;
+  mutable weights : float array;
+  mutable n : int; (* live centroids in [0, n) *)
+  mutable sorted : bool; (* [0, n) is compressed (sorted, within budget) *)
+  mutable total : float; (* sum of weights *)
+  mutable items : int; (* observations (unweighted count) *)
+  mutable sum : float; (* weighted sum of values *)
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create ?(budget = 64) () =
+  if budget < 8 then invalid_arg "Digest.create: budget must be >= 8";
+  let capacity = 4 * budget in
+  {
+    budget;
+    means = Array.make capacity 0.;
+    weights = Array.make capacity 0.;
+    n = 0;
+    sorted = true;
+    total = 0.;
+    items = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let budget t = t.budget
+let count t = t.items
+let total_weight t = t.total
+let sum t = t.sum
+let mean t = if t.total = 0. then nan else t.sum /. t.total
+let min t = if t.n = 0 then nan else t.vmin
+let max t = if t.n = 0 then nan else t.vmax
+
+let compress t =
+  if not t.sorted && t.n > 0 then begin
+    (* Stable sort keeps equal means in insertion order; fusing equal
+       means in any order yields the same centroid, so the output is a
+       pure function of the observation sequence. *)
+    let idx = Array.init t.n Fun.id in
+    Array.stable_sort
+      (fun a b -> Float.compare t.means.(a) t.means.(b))
+      idx;
+    let ms = Array.map (fun i -> t.means.(i)) idx in
+    let ws = Array.map (fun i -> t.weights.(i)) idx in
+    let out = ref 0 in
+    let cur_m = ref ms.(0) and cur_w = ref ws.(0) in
+    let w_before = ref 0. in
+    let flush () =
+      t.means.(!out) <- !cur_m;
+      t.weights.(!out) <- !cur_w;
+      incr out;
+      w_before := !w_before +. !cur_w
+    in
+    for i = 1 to t.n - 1 do
+      let q = (!w_before +. (!cur_w /. 2.)) /. t.total in
+      let limit =
+        4. *. t.total *. q *. (1. -. q) /. float_of_int t.budget
+      in
+      if !cur_w +. ws.(i) <= Float.max 1. limit then begin
+        let w = !cur_w +. ws.(i) in
+        cur_m := !cur_m +. (ws.(i) /. w *. (ms.(i) -. !cur_m));
+        cur_w := w
+      end
+      else begin
+        flush ();
+        cur_m := ms.(i);
+        cur_w := ws.(i)
+      end
+    done;
+    flush ();
+    t.n <- !out;
+    t.sorted <- true
+  end
+
+let add_weighted t v ~w =
+  if w <= 0. then invalid_arg "Digest.add_weighted: weight must be positive";
+  if t.n = Array.length t.means then compress t;
+  (* A pathological stream could keep the buffer full even after a
+     compress; growing the arrays preserves correctness (the budget
+     bounds the *compressed* size, the buffer is just slack). *)
+  if t.n = Array.length t.means then begin
+    let capacity = 2 * Array.length t.means in
+    let grow a = Array.append a (Array.make (capacity - Array.length a) 0.) in
+    t.means <- grow t.means;
+    t.weights <- grow t.weights
+  end;
+  t.means.(t.n) <- v;
+  t.weights.(t.n) <- w;
+  t.n <- t.n + 1;
+  t.sorted <- false;
+  t.total <- t.total +. w;
+  t.sum <- t.sum +. (v *. w);
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let add t v =
+  add_weighted t v ~w:1.;
+  t.items <- t.items + 1
+
+let observe = add
+
+let quantile t q =
+  if t.n = 0 then nan
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    compress t;
+    if t.n = 1 then t.means.(0)
+    else begin
+      let target = q *. t.total in
+      (* Each centroid sits at the midpoint of the weight span it owns;
+         interpolate linearly between adjacent midpoints and clamp the
+         extremes to the exact observed min/max. *)
+      let rec walk i cum =
+        let mid = cum +. (t.weights.(i) /. 2.) in
+        if target <= mid || i = t.n - 1 then
+          if i = 0 && target <= mid then
+            if t.weights.(0) /. 2. <= 0. then t.means.(0)
+            else
+              let f = target /. mid in
+              t.vmin +. (f *. (t.means.(0) -. t.vmin))
+          else if i = t.n - 1 && target > mid then
+            let span = t.total -. mid in
+            if span <= 0. then t.means.(i)
+            else
+              let f = (target -. mid) /. span in
+              t.means.(i) +. (f *. (t.vmax -. t.means.(i)))
+          else begin
+            let prev_mid = cum -. (t.weights.(i - 1) /. 2.) in
+            let span = mid -. prev_mid in
+            if span <= 0. then t.means.(i)
+            else
+              let f = (target -. prev_mid) /. span in
+              t.means.(i - 1) +. (f *. (t.means.(i) -. t.means.(i - 1)))
+          end
+        else walk (i + 1) (cum +. t.weights.(i))
+      in
+      let v = walk 0 0. in
+      Float.min t.vmax (Float.max t.vmin v)
+    end
+  end
+
+let centroids t =
+  compress t;
+  Array.init t.n (fun i -> (t.means.(i), t.weights.(i)))
+
+let merge ~into src =
+  if src.n > 0 then begin
+    compress src;
+    for i = 0 to src.n - 1 do
+      add_weighted into src.means.(i) ~w:src.weights.(i)
+    done;
+    into.items <- into.items + src.items;
+    compress into
+  end

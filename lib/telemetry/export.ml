@@ -49,13 +49,30 @@ let prom_float x =
   else if x = neg_infinity then "-Inf"
   else float_str x
 
+(* Prometheus label values escape exactly '\', '"' and newline — not
+   OCaml's %S repertoire, whose \t / \xNN escapes a Prometheus scraper
+   would read literally. *)
+let prom_escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
 let prom_labels labels =
   match labels with
   | [] -> ""
   | _ ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+             labels)
       ^ "}"
 
 let to_prometheus samples =
@@ -308,8 +325,9 @@ let of_jsonl text =
     | _ -> failwith (Printf.sprintf "jsonl: field %S is not a number" name)
   in
   let get_int fields name = int_of_float (get_float fields name) in
-  (* Fields added after a format was first emitted (p95/p999) read as
-     [nan] from older artifacts instead of failing the whole parse. *)
+  (* Quantile fields the format has grown over time (p50/p90/p95/p999)
+     read as [nan] from older artifacts instead of failing the whole
+     parse. *)
   let get_float_opt fields name =
     match List.assoc_opt name fields with
     | Some (Json.Number x) -> x
@@ -342,8 +360,8 @@ let of_jsonl text =
                   mean = get_float fields "mean";
                   min = get_float fields "min";
                   max = get_float fields "max";
-                  p50 = get_float fields "p50";
-                  p90 = get_float fields "p90";
+                  p50 = get_float_opt fields "p50";
+                  p90 = get_float_opt fields "p90";
                   p95 = get_float_opt fields "p95";
                   p99 = get_float fields "p99";
                   p999 = get_float_opt fields "p999";

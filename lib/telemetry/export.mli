@@ -12,7 +12,9 @@ val to_prometheus : Registry.sample list -> string
     [h_count] and [h_sum] summary series.  An {e empty} histogram
     renders as [h_count 0] and [h_sum 0] with no quantile lines (its
     summary statistics are NaN and have no exposition meaning).
-    [# HELP] / [# TYPE] headers are emitted once per metric name. *)
+    [# HELP] / [# TYPE] headers are emitted once per metric name.
+    Label values are escaped per the exposition format: ['\\'], ['"']
+    and newline render as ["\\\\"], ["\\\""] and ["\\n"]. *)
 
 val to_jsonl : Registry.sample list -> string
 (** One line per sample:
@@ -25,6 +27,8 @@ val to_jsonl : Registry.sample list -> string
 val of_jsonl : string -> Registry.sample list
 (** Parse text produced by {!to_jsonl} back into samples (help strings
     are not round-tripped; non-finite floats come back as [nan]).
+    Histogram quantile fields missing from older artifacts read as
+    [nan] rather than failing the parse.
     @raise Failure on malformed input. *)
 
 val write_file : path:string -> string -> unit

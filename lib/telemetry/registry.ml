@@ -1,14 +1,18 @@
 module Labels = struct
   type t = (string * string) list
 
-  let bad_char c = c = '"' || c = '\n' || c = '='
+  let bad_key_char c = c = '"' || c = '\n' || c = '='
 
+  (* Keys stay restricted (they name series and appear bare in every
+     exposition format); values carry arbitrary payload — cell ids,
+     fault specs, trace excerpts — so they accept anything, including
+     quotes and newlines, and the exporters escape per format. *)
   let v pairs =
     List.iter
-      (fun (k, value) ->
+      (fun (k, _) ->
         if k = "" then invalid_arg "Labels.v: empty key";
-        if String.exists bad_char k || String.exists bad_char value then
-          invalid_arg "Labels.v: keys and values must avoid '\"', '=', newline")
+        if String.exists bad_key_char k then
+          invalid_arg "Labels.v: keys must avoid '\"', '=', newline")
       pairs;
     let sorted =
       List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
@@ -22,8 +26,33 @@ module Labels = struct
     check sorted;
     sorted
 
+  (* The canonical string is an identity: two distinct label sets must
+     never render alike, so the structural characters are escaped in
+     both positions (keys may still contain '\' or ','). *)
+  let escape s =
+    if
+      not
+        (String.exists
+           (fun c -> c = '\\' || c = ',' || c = '=' || c = '\n')
+           s)
+    then s
+    else begin
+      let buffer = Buffer.create (String.length s + 4) in
+      String.iter
+        (fun c ->
+          match c with
+          | '\\' -> Buffer.add_string buffer "\\\\"
+          | ',' -> Buffer.add_string buffer "\\,"
+          | '=' -> Buffer.add_string buffer "\\="
+          | '\n' -> Buffer.add_string buffer "\\n"
+          | c -> Buffer.add_char buffer c)
+        s;
+      Buffer.contents buffer
+    end
+
   let to_string t =
-    String.concat "," (List.map (fun (k, value) -> k ^ "=" ^ value) t)
+    String.concat ","
+      (List.map (fun (k, value) -> escape k ^ "=" ^ escape value) t)
 end
 
 (* Metric cells come in three flavours.  [Inert] is the null-registry

@@ -32,11 +32,15 @@ module Labels : sig
   type t = (string * string) list
 
   val v : (string * string) list -> t
-  (** Sort by key.  @raise Invalid_argument on duplicate keys or on keys
-      or values containing ['"'], ['\n'] or ['=']. *)
+  (** Sort by key.  Values may contain any bytes (exporters escape per
+      format).  @raise Invalid_argument on duplicate keys or on keys
+      containing ['"'], ['\n'] or ['=']. *)
 
   val to_string : t -> string
-  (** [k1=v1,k2=v2] — the canonical identity used for uniqueness. *)
+  (** [k1=v1,k2=v2] — the canonical identity used for uniqueness.
+      Injective: ['\\'], [','], ['='] and newlines in keys or values
+      are rendered as ["\\\\"], ["\\,"], ["\\="] and ["\\n"], so
+      distinct label sets never collide. *)
 end
 
 (** Monotonic integer counter. *)

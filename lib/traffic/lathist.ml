@@ -6,12 +6,21 @@ let n_buckets = (buckets_per_decade * decades) + 1 (* + overflow *)
 let overflow = n_buckets - 1
 let log_ratio = Stdlib.log 10. /. float_of_int buckets_per_decade
 
+let tags_width = 8
+
 type t = {
   counts : int array;
   mutable count : int;
   mutable sum : float;
   mutable vmin : float;
   mutable vmax : float;
+  (* Attribution channel, allocated on the first tagged observation so
+     untagged histograms stay as small as before: per-bucket per-tag-bit
+     counts plus one exemplar slot per bucket (the highest-latency
+     tagged op that landed there, with its tag set). *)
+  mutable tag_counts : int array; (* n_buckets * tags_width; [||] = none *)
+  mutable ex_us : float array; (* per bucket; neg_infinity = empty slot *)
+  mutable ex_tags : int array;
 }
 
 let create () =
@@ -21,6 +30,9 @@ let create () =
     sum = 0.;
     vmin = infinity;
     vmax = neg_infinity;
+    tag_counts = [||];
+    ex_us = [||];
+    ex_tags = [||];
   }
 
 let bucket_of v =
@@ -42,14 +54,40 @@ let observe t v =
   if v < t.vmin then t.vmin <- v;
   if v > t.vmax then t.vmax <- v
 
+let ensure_tags t =
+  if Array.length t.tag_counts = 0 then begin
+    t.tag_counts <- Array.make (n_buckets * tags_width) 0;
+    t.ex_us <- Array.make n_buckets neg_infinity;
+    t.ex_tags <- Array.make n_buckets 0
+  end
+
+let observe_tagged t v ~tags =
+  observe t v;
+  let tags = tags land ((1 lsl tags_width) - 1) in
+  if tags <> 0 then begin
+    ensure_tags t;
+    let b = bucket_of v in
+    let base = b * tags_width in
+    for bit = 0 to tags_width - 1 do
+      if tags land (1 lsl bit) <> 0 then
+        t.tag_counts.(base + bit) <- t.tag_counts.(base + bit) + 1
+    done;
+    (* Strict [>]: the first op to reach a bucket's max keeps the slot,
+       so sequential and chunk-merged replays agree. *)
+    if v > t.ex_us.(b) then begin
+      t.ex_us.(b) <- v;
+      t.ex_tags.(b) <- tags
+    end
+  end
+
 let count t = t.count
 let sum t = t.sum
 let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
 let min t = if t.count = 0 then nan else t.vmin
 let max t = if t.count = 0 then nan else t.vmax
 
-let percentile t q =
-  if t.count = 0 then nan
+let percentile_bucket t q =
+  if t.count = 0 then None
   else begin
     let q = Stdlib.min 1. (Stdlib.max 0. q) in
     let rank =
@@ -57,11 +95,55 @@ let percentile t q =
     in
     let rec walk i seen =
       let seen = seen + t.counts.(i) in
-      if seen >= rank || i = overflow then representative t i
-      else walk (i + 1) seen
+      if seen >= rank || i = overflow then i else walk (i + 1) seen
     in
-    walk 0 0
+    Some (walk 0 0)
   end
+
+let percentile t q =
+  match percentile_bucket t q with
+  | None -> nan
+  | Some i -> representative t i
+
+let count_above t q =
+  match percentile_bucket t q with
+  | None -> 0
+  | Some b ->
+      let n = ref 0 in
+      for i = b to overflow do
+        n := !n + t.counts.(i)
+      done;
+      !n
+
+let tag_totals_above t q =
+  let totals = Array.make tags_width 0 in
+  (match percentile_bucket t q with
+  | None -> ()
+  | Some b ->
+      if Array.length t.tag_counts <> 0 then
+        for i = b to overflow do
+          let base = i * tags_width in
+          for bit = 0 to tags_width - 1 do
+            totals.(bit) <- totals.(bit) + t.tag_counts.(base + bit)
+          done
+        done);
+  totals
+
+let exemplar_above t q =
+  match percentile_bucket t q with
+  | None -> None
+  | Some b ->
+      if Array.length t.ex_us = 0 then None
+      else begin
+        let best = ref None in
+        for i = b to overflow do
+          if t.ex_us.(i) > neg_infinity then
+            match !best with
+            | Some (v, _) when t.ex_us.(i) <= v -> ()
+            | _ -> best := Some (t.ex_us.(i), t.ex_tags.(i))
+        done;
+        !best
+      end
 
 let merge ~into src =
   Array.iteri
@@ -70,7 +152,21 @@ let merge ~into src =
   into.count <- into.count + src.count;
   into.sum <- into.sum +. src.sum;
   if src.vmin < into.vmin then into.vmin <- src.vmin;
-  if src.vmax > into.vmax then into.vmax <- src.vmax
+  if src.vmax > into.vmax then into.vmax <- src.vmax;
+  if Array.length src.tag_counts <> 0 then begin
+    ensure_tags into;
+    Array.iteri
+      (fun i n -> into.tag_counts.(i) <- into.tag_counts.(i) + n)
+      src.tag_counts;
+    (* Strict [>] keeps [into]'s exemplar on ties; with sources merged
+       in submission order that reproduces sequential first-max. *)
+    for b = 0 to n_buckets - 1 do
+      if src.ex_us.(b) > into.ex_us.(b) then begin
+        into.ex_us.(b) <- src.ex_us.(b);
+        into.ex_tags.(b) <- src.ex_tags.(b)
+      end
+    done
+  end
 
 let pp_row ppf t =
   if t.count = 0 then

@@ -26,8 +26,21 @@ val decades : int
 (** Span of the bucketed range; beyond it observations land in one
     overflow bucket whose representative value is the observed max. *)
 
+val tags_width : int
+(** Tag-bit positions accepted by {!observe_tagged} (bits
+    [0 .. tags_width-1]; higher bits are masked off).  Wide enough for
+    {!Obs.Cause.width}. *)
+
 val create : unit -> t
 val observe : t -> float -> unit
+
+val observe_tagged : t -> float -> tags:int -> unit
+(** {!observe} plus root-cause attribution: each set bit in [tags]
+    increments that cause's count in the value's bucket, and the
+    observation competes (strict max, first wins) for the bucket's
+    exemplar slot.  [tags = 0] degrades to plain {!observe}; the
+    attribution side tables are only allocated once a tagged
+    observation arrives. *)
 
 val count : t -> int
 val sum : t -> float
@@ -39,6 +52,20 @@ val max : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t q] for [q] in \[0, 1\]; [nan] when empty. *)
+
+val count_above : t -> float -> int
+(** Observations in the percentile-[q] bucket and above — the tail
+    population the attribution counters are reported against. *)
+
+val tag_totals_above : t -> float -> int array
+(** Per-tag-bit observation counts ([tags_width] entries) over the
+    buckets at and above percentile [q] — "what the tail ops were
+    paying for".  All zeros when no tagged observation landed there. *)
+
+val exemplar_above : t -> float -> (float * int) option
+(** Worst tagged exemplar at or above percentile [q]:
+    [(latency_us, tags)] of the highest-latency tagged op retained in
+    those buckets, if any. *)
 
 val merge : into:t -> t -> unit
 (** Add the source's buckets into [into]; exact for count/sum/min/max. *)

@@ -50,6 +50,7 @@ type outcome = {
   reads : Lathist.t;
   writes : Lathist.t;
   accounts : Tenant.Accounts.t;
+  cause_mix : Obs.Topk.Counts.t;
 }
 
 let bg_cost config (before : Ftl.Device_intf.bg_stats)
@@ -77,6 +78,7 @@ let run ?(config = default_config) ?qos ?intensity ?on_batch ~population ~trace
       qos
   in
   let accounts = Tenant.Accounts.create population in
+  let cause_mix = Obs.Topk.Counts.create ~k:16 () in
   let all = Lathist.create () in
   let read_lat = Lathist.create () in
   let write_lat = Lathist.create () in
@@ -130,6 +132,7 @@ let run ?(config = default_config) ?qos ?intensity ?on_batch ~population ~trace
          in
          (* Queue behind the device, then behind the tenant's bucket. *)
          let start = ref (Stdlib.max !arrival !device_free) in
+         let op_throttled = ref false in
          (match qos with
          | None -> ()
          | Some qos ->
@@ -141,6 +144,7 @@ let run ?(config = default_config) ?qos ?intensity ?on_batch ~population ~trace
                      Tenant.Accounts.record_throttle accounts ~tenant
                    end
                | `Delay d ->
+                   op_throttled := true;
                    throttle_us := !throttle_us +. d;
                    start := !start +. d;
                    (* Refill rounding can leave the bucket a hair short of
@@ -204,11 +208,25 @@ let run ?(config = default_config) ?qos ?intensity ?on_batch ~population ~trace
          device_free := completion;
          let latency = completion -. !arrival in
          incr completed;
-         Lathist.observe all latency;
+         (* Root-cause attribution: which background activities billed
+            time into this op's latency. *)
+         let causes =
+           Obs.Cause.of_flags ~gc:(after.gc_runs > before.gc_runs)
+             ~relocation:(after.relocated_opages > before.relocated_opages)
+             ~retry:(after.read_retries > before.read_retries)
+             ~escalation:
+               (after.live_repair_attempts > before.live_repair_attempts)
+             ~scrub:(after.read_reclaims > before.read_reclaims)
+             ~qos_throttle:!op_throttled
+         in
+         Lathist.observe_tagged all latency ~tags:causes;
          (match kind with
-         | Workload.Access.Read -> Lathist.observe read_lat latency
-         | Workload.Access.Write -> Lathist.observe write_lat latency
+         | Workload.Access.Read -> Lathist.observe_tagged read_lat latency ~tags:causes
+         | Workload.Access.Write ->
+             Lathist.observe_tagged write_lat latency ~tags:causes
          | Workload.Access.Trim -> ());
+         if causes <> Obs.Cause.none then
+           Obs.Topk.Counts.add cause_mix (Obs.Cause.to_string causes);
          Tenant.Accounts.record_op accounts ~tenant
            ~read:(kind = Workload.Access.Read);
          if latency > (Tenant.profile_of population tenant).Tenant.slo_us then begin
@@ -231,4 +249,5 @@ let run ?(config = default_config) ?qos ?intensity ?on_batch ~population ~trace
     reads = read_lat;
     writes = write_lat;
     accounts;
+    cause_mix;
   }

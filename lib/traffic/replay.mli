@@ -14,8 +14,12 @@
     scrub and regeneration churn surface as tail latency.
 
     Latency = completion - arrival, observed into {!Lathist}s (all /
-    reads / writes) and checked against the tenant's SLO.  Everything is
-    sequential and deterministic for a given trace, device and config. *)
+    reads / writes) and checked against the tenant's SLO.  Each op also
+    carries an {!Obs.Cause} bitset of the background activities that
+    billed into it (plus QoS throttling), fed to
+    {!Lathist.observe_tagged} for tail attribution and aggregated into
+    a cause-mix heavy-hitter sketch.  Everything is sequential and
+    deterministic for a given trace, device and config. *)
 
 type config = {
   arrival_rate_ops_per_s : float;  (** offered load before intensity shaping *)
@@ -57,6 +61,11 @@ type outcome = {
   reads : Lathist.t;
   writes : Lathist.t;
   accounts : Tenant.Accounts.t;
+  cause_mix : Obs.Topk.Counts.t;
+      (** heavy-hitter sketch over the cause {e sets} of ops whose
+          latency included background work (["gc+relocation"],
+          ["retry"], ...) — which combinations dominate, in O(16)
+          memory *)
 }
 
 val run :

@@ -94,9 +94,9 @@ let test_sampler_snapshots_registry () =
       (Monitor.Sampler.series s)
   in
   Alcotest.(check (list string))
-    "mean/p99 appear once observed"
-    [ "depth"; "lat_us.count"; "lat_us.mean"; "lat_us.p99"; "lat_us.p999";
-      "writes_total" ]
+    "mean/p50/p99 appear once observed"
+    [ "depth"; "lat_us.count"; "lat_us.mean"; "lat_us.p50"; "lat_us.p99";
+      "lat_us.p999"; "writes_total" ]
     keys;
   match Monitor.Sampler.find s (Monitor.Sampler.key "writes_total") with
   | Some series ->
@@ -251,6 +251,85 @@ let test_sink_nesting_and_merge () =
   | spans ->
       Alcotest.failf "expected 3 spans, got %d" (List.length spans)
 
+(* Three sub-sinks with nested spans merged in submission order: the
+   exact reduction the parallel experiment layer performs.  Ids and
+   ticks must renumber contiguously past everything already spliced,
+   nesting inside each sub-sink must survive the offset, and the
+   Chrome-trace bytes must equal those of the same timeline recorded
+   sequentially into one sink. *)
+let test_sink_merge_offsets_many () =
+  let open Telemetry.Trace.Sink in
+  (* Each task records root(i) > inner(i) > leaf(i), with an instant
+     inside inner. *)
+  let record sink i =
+    ignore (enter sink (Printf.sprintf "task%d" i));
+    ignore (enter sink (Printf.sprintf "inner%d" i));
+    instant sink (Printf.sprintf "mark%d" i) [];
+    ignore (enter sink (Printf.sprintf "leaf%d" i));
+    exit sink;
+    exit sink;
+    exit sink
+  in
+  let host = create () in
+  let host_root = enter host "host" in
+  let subs = List.init 3 (fun i -> i) in
+  List.iter
+    (fun i ->
+      let sub = create () in
+      record sub i;
+      merge ~into:host ?parent:(current host) sub)
+    subs;
+  exit host;
+  let spans = spans host in
+  checki "1 host + 3x3 merged spans" 10 (List.length spans);
+  (* Ids are the positions in enter order: contiguous from 1 with no
+     collisions across the three splices. *)
+  Alcotest.(check (list int))
+    "ids renumbered contiguously"
+    (List.init 10 (fun i -> i + 1))
+    (List.map (fun s -> s.id) spans);
+  let find name = List.find (fun s -> s.name = name) spans in
+  List.iter
+    (fun i ->
+      let root = find (Printf.sprintf "task%d" i) in
+      let inner = find (Printf.sprintf "inner%d" i) in
+      let leaf = find (Printf.sprintf "leaf%d" i) in
+      checkb "sub-root re-parented under host" true
+        (root.parent = Some host_root);
+      checkb "nesting preserved through renumbering" true
+        (inner.parent = Some root.id && leaf.parent = Some inner.id);
+      checkb "span extents stay well-formed" true
+        (root.start < inner.start && inner.start < leaf.start
+        && leaf.finish <= inner.finish
+        && inner.finish <= root.finish))
+    subs;
+  (* Later splices land strictly after earlier ones on the tick line. *)
+  let tick_ranges =
+    List.map
+      (fun i ->
+        let root = find (Printf.sprintf "task%d" i) in
+        (root.start, root.finish))
+      subs
+  in
+  (match tick_ranges with
+  | [ (_, f0); (s1, f1); (s2, _) ] ->
+      checkb "splices ordered on the tick line" true (f0 < s1 && f1 < s2)
+  | _ -> Alcotest.fail "expected 3 ranges");
+  (* Instants carry their tags and offsets too, in splice order. *)
+  Alcotest.(check (list string))
+    "instants spliced in order"
+    [ "mark0"; "mark1"; "mark2" ]
+    (List.map (fun (_, name, _) -> name) (instants host));
+  (* The merged timeline exports byte-identically to the same events
+     recorded sequentially into a single sink. *)
+  let seq = create () in
+  ignore (enter seq "host");
+  List.iter (record seq) subs;
+  exit seq;
+  checks "chrome trace equals sequential recording"
+    (Monitor.Chrome_trace.to_string seq)
+    (Monitor.Chrome_trace.to_string host)
+
 (* --- golden exports ---------------------------------------------------------- *)
 
 (* Exact bytes: these formats are consumed by external tools and diffed
@@ -400,6 +479,7 @@ let suite =
     ("health: single-subject fallback", `Quick,
      test_health_single_subject_fallback);
     ("sink: nesting and merge", `Quick, test_sink_nesting_and_merge);
+    ("sink: 3-way merge renumbering", `Quick, test_sink_merge_offsets_many);
     ("timeline: csv golden", `Quick, test_timeline_csv_golden);
     ("timeline: jsonl golden", `Quick, test_timeline_jsonl_golden);
     ("chrome trace: golden", `Quick, test_chrome_trace_golden);

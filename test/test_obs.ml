@@ -1,0 +1,352 @@
+(* Tests for the fleet observability plane: the merging t-digest
+   (qcheck rank-error bound, exactness of count/sum/min/max, chunked
+   merge determinism), the exact top-K tracker (brute-force equality on
+   fleets up to 4096), the space-saving counts sketch (error bounds and
+   heavy-hitter guarantee), and the fleet report (grading, imbalance
+   statistics, submission-order merge determinism of the rendered
+   bytes). *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let checkf epsilon = Alcotest.check (Alcotest.float epsilon)
+
+(* --- Digest ------------------------------------------------------------------ *)
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Rank error: where the sketch's answer actually sits in the sorted
+   data, as a fraction of n, versus where q asked.  This is the t-digest
+   accuracy contract (value error is unbounded for adversarial data;
+   rank error is not). *)
+let rank_error sorted q estimate =
+  let n = Array.length sorted in
+  let below = ref 0 and at_or_below = ref 0 in
+  Array.iter
+    (fun v ->
+      if v < estimate then incr below;
+      if v <= estimate then incr at_or_below)
+    sorted;
+  (* The estimate covers the whole rank interval [below, at_or_below]:
+     distance from q to that interval. *)
+  let lo = float_of_int !below /. float_of_int n
+  and hi = float_of_int !at_or_below /. float_of_int n in
+  if q < lo then lo -. q else if q > hi then q -. hi else 0.
+
+let float_list_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (* uniform *)
+        list_size (int_range 100 3000) (float_bound_inclusive 1000.);
+        (* heavy-tailed: squares of uniforms stretched *)
+        map
+          (List.map (fun x -> (x *. x) +. 1.))
+          (list_size (int_range 100 3000) (float_bound_inclusive 100.));
+        (* few distinct values, many repeats *)
+        list_size (int_range 100 3000)
+          (map float_of_int (int_range 0 5));
+      ])
+
+let prop_digest_rank_error =
+  QCheck.Test.make ~count:60 ~name:"digest: rank error under 2%"
+    (QCheck.make float_list_gen)
+    (fun values ->
+      let d = Obs.Digest.create () in
+      List.iter (Obs.Digest.add d) values;
+      let sorted = Array.of_list (List.sort compare values) in
+      List.for_all
+        (fun q -> rank_error sorted q (Obs.Digest.quantile d q) <= 0.02)
+        [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ])
+
+(* Chunked merging is what the parallel runners do; the partition is a
+   pure function of the fleet shape (never of --jobs), so the contract
+   is: a fixed partition merged in submission order is bit-for-bit
+   reproducible, and merging costs little accuracy. *)
+let prop_digest_merge_deterministic =
+  QCheck.Test.make ~count:40
+    ~name:"digest: fixed-partition merge reproducible, accuracy kept"
+    (QCheck.make
+       QCheck.Gen.(
+         pair float_list_gen (int_range 1 7)))
+    (fun (values, chunks) ->
+      let arr = Array.of_list values in
+      let n = Array.length arr in
+      let per = Stdlib.max 1 ((n + chunks - 1) / chunks) in
+      let run () =
+        let merged = Obs.Digest.create () in
+        let i = ref 0 in
+        while !i < n do
+          let sub = Obs.Digest.create () in
+          for j = !i to Stdlib.min (n - 1) (!i + per - 1) do
+            Obs.Digest.add sub arr.(j)
+          done;
+          Obs.Digest.merge ~into:merged sub;
+          i := !i + per
+        done;
+        merged
+      in
+      let a = run () and b = run () in
+      let qs = [ 0.; 0.1; 0.25; 0.5; 0.9; 0.99; 1. ] in
+      let sorted = Array.of_list (List.sort compare values) in
+      Obs.Digest.count a = n
+      && Float.abs (Obs.Digest.sum a -. List.fold_left ( +. ) 0. values)
+         <= 1e-6 *. Float.abs (Obs.Digest.sum a)
+      && List.for_all
+           (fun q ->
+             Int64.equal
+               (Int64.bits_of_float (Obs.Digest.quantile a q))
+               (Int64.bits_of_float (Obs.Digest.quantile b q)))
+           qs
+      && List.for_all
+           (fun q -> rank_error sorted q (Obs.Digest.quantile a q) <= 0.02)
+           qs)
+
+let test_digest_exact_moments () =
+  let d = Obs.Digest.create ~budget:8 () in
+  checkb "empty quantile is nan" true (Float.is_nan (Obs.Digest.quantile d 0.5));
+  let values = List.init 1000 (fun i -> float_of_int ((i * 7919) mod 997)) in
+  List.iter (Obs.Digest.add d) values;
+  checki "count exact" 1000 (Obs.Digest.count d);
+  checkf 1e-9 "sum exact" (List.fold_left ( +. ) 0. values) (Obs.Digest.sum d);
+  checkf 0. "min exact"
+    (List.fold_left Stdlib.min infinity values)
+    (Obs.Digest.min d);
+  checkf 0. "max exact"
+    (List.fold_left Stdlib.max neg_infinity values)
+    (Obs.Digest.max d);
+  checkb "quantiles clamp to observed range" true
+    (Obs.Digest.quantile d 0. = Obs.Digest.min d
+    && Obs.Digest.quantile d 1. = Obs.Digest.max d);
+  checkb "compressed size bounded by O(budget log n)" true
+    (Array.length (Obs.Digest.centroids d) <= 8 * Obs.Digest.budget d)
+
+let test_digest_single_value () =
+  let d = Obs.Digest.create () in
+  Obs.Digest.add d 42.;
+  List.iter
+    (fun q -> checkf 0. "single value at every quantile" 42. (Obs.Digest.quantile d q))
+    [ 0.; 0.5; 1. ]
+
+(* --- Topk -------------------------------------------------------------------- *)
+
+(* The same ordering the tracker promises: score descending, natural id
+   ascending. *)
+let brute_top_k ~k entries =
+  let cmp (ida, sa) (idb, sb) =
+    match compare sb sa with
+    | 0 -> Monitor.Health.natural_compare ida idb
+    | c -> c
+  in
+  let sorted = List.sort cmp entries in
+  List.filteri (fun i _ -> i < k) sorted
+
+let prop_topk_exact_vs_brute_force =
+  QCheck.Test.make ~count:50
+    ~name:"topk: chunked merge equals brute force on fleets <= 4096"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 1 4096) (int_range 1 32) (int_range 1 8)))
+    (fun (devices, k, chunks) ->
+      (* Deterministic pseudo-random scores with ties. *)
+      let score i = float_of_int ((i * 2654435761) mod 97) in
+      let entries =
+        List.init devices (fun i -> (Printf.sprintf "dev-%d" i, score i))
+      in
+      let per = Stdlib.max 1 ((devices + chunks - 1) / chunks) in
+      let global = Obs.Topk.Topk.create ~k () in
+      let i = ref 0 in
+      while !i < devices do
+        let sub = Obs.Topk.Topk.create ~k () in
+        for j = !i to Stdlib.min (devices - 1) (!i + per - 1) do
+          Obs.Topk.Topk.offer sub
+            ~id:(Printf.sprintf "dev-%d" j)
+            ~score:(score j) ()
+        done;
+        Obs.Topk.Topk.merge ~into:global sub;
+        i := !i + per
+      done;
+      let got =
+        List.map (fun (id, s, ()) -> (id, s)) (Obs.Topk.Topk.to_list global)
+      in
+      got = brute_top_k ~k entries)
+
+let test_topk_natural_tie_order () =
+  let t = Obs.Topk.Topk.create ~k:3 () in
+  List.iter
+    (fun id -> Obs.Topk.Topk.offer t ~id ~score:1. ())
+    [ "dev-10"; "dev-2"; "dev-1"; "dev-9" ];
+  Alcotest.(check (list string))
+    "ties resolve in natural id order"
+    [ "dev-1"; "dev-2"; "dev-9" ]
+    (List.map (fun (id, _, ()) -> id) (Obs.Topk.Topk.to_list t))
+
+(* --- Counts ------------------------------------------------------------------ *)
+
+let test_counts_error_bounds () =
+  (* A skewed stream over 26 subjects through k=8 slots. *)
+  let truth = Hashtbl.create 26 in
+  let c = Obs.Topk.Counts.create ~k:8 () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    (* Zipf-ish: subject j gets ~ n/2^j occurrences. *)
+    let rec pick j acc = if i land acc <> 0 || j >= 25 then j else pick (j + 1) (acc * 2) in
+    let subject = Printf.sprintf "s%c" (Char.chr (Char.code 'a' + pick 0 1)) in
+    Hashtbl.replace truth subject
+      (1 + Option.value ~default:0 (Hashtbl.find_opt truth subject));
+    Obs.Topk.Counts.add c subject
+  done;
+  checki "observed keeps exact stream weight" n (Obs.Topk.Counts.observed c);
+  let entries = Obs.Topk.Counts.to_list c in
+  checkb "at most k slots" true (List.length entries <= 8);
+  List.iter
+    (fun (id, est, err) ->
+      let true_count = Option.value ~default:0 (Hashtbl.find_opt truth id) in
+      checkb
+        (Printf.sprintf "%s: est-err <= true <= est" id)
+        true
+        (est - err <= true_count && true_count <= est))
+    entries;
+  (* Any subject above observed/k must be present. *)
+  Hashtbl.iter
+    (fun id count ->
+      if count > n / 8 then
+        checkb
+          (Printf.sprintf "heavy hitter %s retained" id)
+          true
+          (List.exists (fun (i, _, _) -> i = id) entries))
+    truth
+
+let test_counts_merge_conservative () =
+  let a = Obs.Topk.Counts.create ~k:4 () and b = Obs.Topk.Counts.create ~k:4 () in
+  for _ = 1 to 10 do Obs.Topk.Counts.add a "x" done;
+  for _ = 1 to 6 do Obs.Topk.Counts.add b "x" done;
+  for _ = 1 to 3 do Obs.Topk.Counts.add b "y" done;
+  Obs.Topk.Counts.merge ~into:a b;
+  checki "merge sums stream weight" 19 (Obs.Topk.Counts.observed a);
+  match List.find_opt (fun (id, _, _) -> id = "x") (Obs.Topk.Counts.to_list a) with
+  | Some (_, est, err) ->
+      checkb "merged estimate brackets truth" true (est - err <= 16 && 16 <= est)
+  | None -> Alcotest.fail "x evicted despite dominating the stream"
+
+(* --- Fleet report ------------------------------------------------------------ *)
+
+let obs ?(pec_max = 10) ?(pec_min = 5) ?(rber = 1e-4) ?(tol = 1e-2)
+    ?(retries = 0) ?(escalations = 0) ?(host_writes = 1000) ?(alive = true) id =
+  {
+    Obs.Fleet_report.id;
+    pec_max;
+    pec_min;
+    rber_worst = rber;
+    tolerable_rber = tol;
+    retries;
+    escalations;
+    reclaims = 0;
+    host_writes;
+    alive;
+  }
+
+let thresholds =
+  { Monitor.Health.default_thresholds with Monitor.Health.target_pec = 60. }
+
+let test_report_grading () =
+  let g = Obs.Fleet_report.grade thresholds in
+  checkb "alive and comfortable is healthy" true
+    (g (obs "a") = Monitor.Health.Healthy);
+  checkb "dead is retired" true
+    (g (obs ~alive:false "b") = Monitor.Health.Retired);
+  checkb "rber at tolerance is failing" true
+    (g (obs ~rber:1e-2 ~tol:1e-2 "c") = Monitor.Health.Failing);
+  checkb "past target pec is degraded" true
+    (g (obs ~pec_max:60 "d") = Monitor.Health.Degraded);
+  checkb "retry-heavy is degraded" true
+    (g (obs ~retries:100 ~host_writes:1000 "e") = Monitor.Health.Degraded)
+
+let test_report_balance_stats () =
+  (* Perfectly level fleet: CV and Gini must both be zero. *)
+  let acc = Obs.Fleet_report.Acc.create ~thresholds () in
+  for i = 0 to 99 do
+    Obs.Fleet_report.Acc.observe acc (obs ~pec_max:30 (Printf.sprintf "d-%d" i))
+  done;
+  let r = Obs.Fleet_report.build ~epoch:"t" acc in
+  checki "devices counted" 100 r.Obs.Fleet_report.devices;
+  checkf 0. "cv zero on a level fleet" 0. r.Obs.Fleet_report.cv;
+  checkf 0. "gini zero on a level fleet" 0. r.Obs.Fleet_report.gini;
+  checkf 0. "pec mean" 30. r.Obs.Fleet_report.pec.Obs.Fleet_report.mean;
+  (* Maximal imbalance: one device carries all the wear. *)
+  let acc = Obs.Fleet_report.Acc.create ~thresholds () in
+  Obs.Fleet_report.Acc.observe acc (obs ~pec_max:50 "hot");
+  for i = 1 to 49 do
+    Obs.Fleet_report.Acc.observe acc (obs ~pec_max:0 (Printf.sprintf "cold-%d" i))
+  done;
+  let r = Obs.Fleet_report.build ~epoch:"t" acc in
+  (* Gini of one-owner distribution over n devices is (n-1)/n. *)
+  checkf 1e-9 "gini of a one-owner fleet" 0.98 r.Obs.Fleet_report.gini;
+  checkb "cv reflects concentration" true (r.Obs.Fleet_report.cv > 6.)
+
+(* The runner's invariant: the chunk partition is fixed by the fleet
+   shape, workers fill their chunks in whatever order they get
+   scheduled, and the driver merges in submission order — so the bytes
+   must not depend on fill order. *)
+let test_report_merge_deterministic () =
+  let observe acc i =
+    Obs.Fleet_report.Acc.observe acc
+      (obs
+         ~pec_max:((i * 13) mod 80)
+         ~retries:((i * 7) mod 9)
+         ~alive:(i mod 17 <> 0)
+         (Printf.sprintf "dev-%d" i))
+  in
+  let run fill_order =
+    let par = Obs.Fleet_report.Acc.create ~top_k:5 ~thresholds () in
+    let subs = Array.init 4 (fun _ -> Obs.Fleet_report.Acc.sub par) in
+    List.iter
+      (fun c ->
+        for i = c * 50 to (c * 50) + 49 do
+          observe subs.(c) i
+        done)
+      fill_order;
+    Array.iter (fun s -> Obs.Fleet_report.Acc.merge ~into:par s) subs;
+    let r = Obs.Fleet_report.build ~epoch:"merge-test" par in
+    (Format.asprintf "%a" Obs.Fleet_report.pp r, Obs.Fleet_report.to_jsonl r)
+  in
+  let text_a, json_a = run [ 0; 1; 2; 3 ]
+  and text_b, json_b = run [ 3; 1; 0; 2 ] in
+  checks "report text independent of worker completion order" text_a text_b;
+  checks "report jsonl independent of worker completion order" json_a json_b;
+  checkb "report is non-trivial" true (String.length text_a > 100)
+
+let test_report_worst_ranking () =
+  let acc = Obs.Fleet_report.Acc.create ~top_k:3 ~thresholds () in
+  Obs.Fleet_report.Acc.observe acc (obs ~alive:false "dead-1");
+  Obs.Fleet_report.Acc.observe acc (obs ~rber:0.5 ~tol:1e-2 "failing-1");
+  Obs.Fleet_report.Acc.observe acc (obs ~pec_max:70 "worn-1");
+  Obs.Fleet_report.Acc.observe acc (obs "fine-1");
+  let r = Obs.Fleet_report.build ~epoch:"t" acc in
+  Alcotest.(check (list string))
+    "severity dominates the worst list"
+    [ "dead-1"; "failing-1"; "worn-1" ]
+    (List.map (fun (o, _) -> o.Obs.Fleet_report.id) r.Obs.Fleet_report.worst);
+  checki "grade histogram: one healthy" 1
+    (Obs.Fleet_report.grade_count r Monitor.Health.Healthy);
+  checki "grade histogram: one retired" 1
+    (Obs.Fleet_report.grade_count r Monitor.Health.Retired)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_digest_rank_error;
+    QCheck_alcotest.to_alcotest prop_digest_merge_deterministic;
+    ("digest: exact moments", `Quick, test_digest_exact_moments);
+    ("digest: single value", `Quick, test_digest_single_value);
+    QCheck_alcotest.to_alcotest prop_topk_exact_vs_brute_force;
+    ("topk: natural tie order", `Quick, test_topk_natural_tie_order);
+    ("counts: error bounds", `Quick, test_counts_error_bounds);
+    ("counts: conservative merge", `Quick, test_counts_merge_conservative);
+    ("report: grading", `Quick, test_report_grading);
+    ("report: balance statistics", `Quick, test_report_balance_stats);
+    ("report: merge determinism", `Quick, test_report_merge_deterministic);
+    ("report: worst ranking", `Quick, test_report_worst_ranking);
+  ]

@@ -54,9 +54,45 @@ let test_label_canonicalization () =
     (raises_invalid (fun () ->
          Telemetry.Registry.counter reg "dup"
            ~labels:[ ("k", "1"); ("k", "2") ]));
-  checkb "label values must avoid '='" true
+  (* Values are unrestricted (exporters escape); keys stay strict. *)
+  let eq = Telemetry.Registry.counter reg "free" ~labels:[ ("k", "a=b") ] in
+  Telemetry.Registry.Counter.incr eq;
+  checki "label values may contain '='" 1
+    (Telemetry.Registry.Counter.value eq);
+  checkb "label keys must avoid '='" true
     (raises_invalid (fun () ->
-         Telemetry.Registry.counter reg "bad" ~labels:[ ("k", "a=b") ]))
+         Telemetry.Registry.counter reg "bad" ~labels:[ ("a=b", "v") ]))
+
+let test_labels_escaping () =
+  let contains text needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  let open Telemetry.Registry in
+  checks "structural chars escape in canonical form" "k=a\\=b\\,c\\\\d\\n-"
+    (Labels.to_string (Labels.v [ ("k", "a=b,c\\d\n-") ]));
+  (* Injectivity: label sets that would collide unescaped stay
+     distinct. *)
+  let a = Labels.to_string (Labels.v [ ("k", "a,b") ]) in
+  let b = Labels.to_string (Labels.v [ ("k", "a"); ("k2", "") ]) in
+  checkb "escaping keeps distinct label sets distinct" false (a = b);
+  let reg = create () in
+  let c =
+    counter reg "quoted_total" ~labels:[ ("cell", "plan=\"kill@600\"\nx") ]
+  in
+  Counter.incr c ~by:7;
+  let prom = Telemetry.Export.to_prometheus (snapshot reg) in
+  checkb "prometheus escapes quotes in label values" true
+    (contains prom "cell=\"plan=\\\"kill@600\\\"\\nx\"");
+  (* JSONL round-trips the awkward value losslessly. *)
+  let back = Telemetry.Export.of_jsonl (Telemetry.Export.to_jsonl (snapshot reg)) in
+  match back with
+  | [ s ] ->
+      checks "jsonl round-trips quoted label value"
+        "cell=plan\\=\"kill@600\"\\nx"
+        (Labels.to_string s.labels)
+  | _ -> Alcotest.fail "expected exactly one sample"
 
 let test_kind_clash_raises () =
   let reg = Telemetry.Registry.create () in
@@ -504,6 +540,7 @@ let suite =
     ("prometheus empty histogram", `Quick, test_prometheus_empty_histogram);
     ("prometheus single observation", `Quick,
      test_prometheus_single_observation);
+    ("labels escaping", `Quick, test_labels_escaping);
     ("jsonl roundtrip", `Quick, test_jsonl_roundtrip);
     ("jsonl non-finite", `Quick, test_jsonl_nonfinite);
     ("table export", `Quick, test_table_export);

@@ -76,6 +76,81 @@ let prop_lathist_merge =
              = 0)
            [ 0.5; 0.9; 0.99; 0.999 ])
 
+(* --- tail attribution ------------------------------------------------------ *)
+
+let test_lathist_attribution () =
+  let h = Traffic.Lathist.create () in
+  (* 900 fast untagged ops, then a tagged tail: 90 at ~10ms paying for
+     gc (bit 0), 10 at ~100ms paying for retry (bit 2), one of them
+     also throttled (bit 5). *)
+  for _ = 1 to 900 do
+    Traffic.Lathist.observe h 100.
+  done;
+  for i = 1 to 90 do
+    Traffic.Lathist.observe_tagged h (10_000. +. float_of_int i) ~tags:1
+  done;
+  for i = 1 to 9 do
+    Traffic.Lathist.observe_tagged h (100_000. +. float_of_int i) ~tags:4
+  done;
+  Traffic.Lathist.observe_tagged h 100_500. ~tags:(4 lor 32);
+  checki "count includes tagged ops" 1000 (Traffic.Lathist.count h);
+  (* The p995 tail is the 100ms population: retry dominates there. *)
+  let totals = Traffic.Lathist.tag_totals_above h 0.995 in
+  checki "tag array spans the declared width" Traffic.Lathist.tags_width
+    (Array.length totals);
+  checkb "retry dominates the p995 tail" true (totals.(2) >= 10);
+  checki "gc absent from the p995 tail" 0 totals.(0);
+  checkb "tail population covers the tagged tail" true
+    (Traffic.Lathist.count_above h 0.995 >= 10);
+  (* Exemplar: the single worst tagged op, carrying both its bits. *)
+  (match Traffic.Lathist.exemplar_above h 0.995 with
+  | Some (lat, tags) ->
+      checkb "exemplar is the worst tagged op" true (lat = 100_500.);
+      checki "exemplar keeps its full tag set" (4 lor 32) tags
+  | None -> Alcotest.fail "expected a tagged exemplar in the tail");
+  (* Lower in the distribution, gc shows up. *)
+  let totals50 = Traffic.Lathist.tag_totals_above h 0.5 in
+  checkb "gc visible above the median" true (totals50.(0) = 90);
+  (* Tags out of range are masked off, not an error. *)
+  Traffic.Lathist.observe_tagged h 1. ~tags:(1 lsl Traffic.Lathist.tags_width);
+  checki "masked tags degrade to untagged" 1001 (Traffic.Lathist.count h)
+
+let test_lathist_attribution_merge () =
+  (* Chunked cells each tag their own tail; the merged histogram must
+     agree with single-cell recording: counts add, the exemplar is the
+     global strict max (ties keep the first/into's — submission
+     order). *)
+  let record h base tags =
+    Traffic.Lathist.observe h 10.;
+    Traffic.Lathist.observe_tagged h base ~tags
+  in
+  let a = Traffic.Lathist.create () and b = Traffic.Lathist.create () in
+  record a 50_000. 1;
+  record b 60_000. 2;
+  let c = Traffic.Lathist.create () in
+  (* An untagged chunk merged first: attribution tables must appear on
+     demand when the first tagged source arrives. *)
+  Traffic.Lathist.observe c 10.;
+  Traffic.Lathist.merge ~into:c a;
+  Traffic.Lathist.merge ~into:c b;
+  let combined = Traffic.Lathist.create () in
+  Traffic.Lathist.observe combined 10.;
+  record combined 50_000. 1;
+  record combined 60_000. 2;
+  checki "merged count" (Traffic.Lathist.count combined)
+    (Traffic.Lathist.count c);
+  let tm = Traffic.Lathist.tag_totals_above c 0.9
+  and ts = Traffic.Lathist.tag_totals_above combined 0.9 in
+  Alcotest.(check (list int))
+    "merged tag totals equal sequential"
+    (Array.to_list ts) (Array.to_list tm);
+  checkb "merged exemplar equals sequential" true
+    (Traffic.Lathist.exemplar_above c 0.9
+    = Traffic.Lathist.exemplar_above combined 0.9);
+  (match Traffic.Lathist.exemplar_above c 0.9 with
+  | Some (lat, tags) -> checkb "global max wins" true (lat = 60_000. && tags = 2)
+  | None -> Alcotest.fail "expected an exemplar after merge")
+
 (* --- QoS ------------------------------------------------------------------ *)
 
 let test_qos_bucket () =
@@ -316,6 +391,8 @@ let suite =
     ("lathist percentiles monotone", `Quick, test_lathist_percentiles_monotone);
     ("lathist empty and overflow", `Quick, test_lathist_empty_and_overflow);
     QCheck_alcotest.to_alcotest prop_lathist_merge;
+    ("lathist tail attribution", `Quick, test_lathist_attribution);
+    ("lathist attribution merge", `Quick, test_lathist_attribution_merge);
     ("qos token bucket", `Quick, test_qos_bucket);
     ("qos rejects bad config", `Quick, test_qos_rejects_bad_config);
     ("gen deterministic and bounded", `Quick, test_gen_deterministic_and_bounded);
