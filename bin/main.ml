@@ -511,6 +511,37 @@ let fleet_args =
   let days =
     Arg.(value & opt int 150 & info [ "days" ] ~docv:"DAYS" ~doc:"Scaled days.")
   in
+  let years =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "years" ] ~docv:"YEARS"
+          ~doc:
+            "Simulate $(docv) years (365 scaled days each); overrides \
+             --days.  Multi-year runs usually pair this with --epoch-days \
+             to coalesce the day loop.")
+  in
+  let epoch_days =
+    Arg.(
+      value & opt int 1
+      & info [ "epoch-days" ] ~docv:"D"
+          ~doc:
+            "Coalesce $(docv) simulated days into one aging epoch: one \
+             write quota, one failure draw and one telemetry/monitor \
+             sample per epoch.  The default 1 reproduces the per-day loop \
+             exactly.")
+  in
+  let aging =
+    Arg.(
+      value
+      & opt (enum [ ("auto", Workload.Aging.Auto); ("per-op", Workload.Aging.Per_op) ])
+          Workload.Aging.Auto
+      & info [ "aging" ] ~docv:"PATH"
+          ~doc:
+            "Aging driver: $(b,auto) uses the bulk-aging fast path (the \
+             default; bit-exact with per-op), $(b,per-op) forces one \
+             device call per write (the differential oracle).")
+  in
   let devices =
     Arg.(
       value
@@ -532,30 +563,35 @@ let fleet_args =
              or regens); default compares all four.  The single-design form \
              is the one that scales to --devices 100000.")
   in
-  (days, devices, dwpd, mode)
+  (days, years, epoch_days, aging, devices, dwpd, mode)
 
-let fleet_run ~force_report tel jobs mon obs days devices dwpd mode =
+let fleet_run ~force_report tel jobs mon obs days years epoch_days aging
+    devices dwpd mode =
   let obs = if force_report then { obs with fleet_report = true } else obs in
+  let total_days =
+    match years with Some y -> y * 365 | None -> days
+  in
   with_context ~mon ~obs
-    ~epoch:(Printf.sprintf "%dd" days)
+    ~epoch:(Printf.sprintf "%dd" total_days)
     tel ~jobs
     (fun ctx ->
-      Experiments.Fig3ab.run ~days ~devices ~dwpd
+      Experiments.Fig3ab.run ~days:total_days ~devices ~dwpd ~aging
+        ~epoch_days
         ?kinds:(Option.map (fun k -> [ k ]) mode)
         ~ctx fmt)
 
 let fleet_cmd =
-  let days, devices, dwpd, mode = fleet_args in
+  let days, years, epoch_days, aging, devices, dwpd, mode = fleet_args in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Fleet aging: alive devices and capacity over time (Figs. 3a/3b)")
     Term.(
       const (fleet_run ~force_report:false)
       $ tel_opts_term $ jobs_term $ mon_opts_term $ obs_opts_term $ days
-      $ devices $ dwpd $ mode)
+      $ years $ epoch_days $ aging $ devices $ dwpd $ mode)
 
 let fleet_report_cmd =
-  let days, devices, dwpd, mode = fleet_args in
+  let days, years, epoch_days, aging, devices, dwpd, mode = fleet_args in
   Cmd.v
     (Cmd.info "fleet-report"
        ~doc:
@@ -565,7 +601,7 @@ let fleet_report_cmd =
     Term.(
       const (fleet_run ~force_report:true)
       $ tel_opts_term $ jobs_term $ mon_opts_term $ obs_opts_term $ days
-      $ devices $ dwpd $ mode)
+      $ years $ epoch_days $ aging $ devices $ dwpd $ mode)
 
 (* --- stats ------------------------------------------------------------------ *)
 

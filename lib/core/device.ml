@@ -136,6 +136,14 @@ type t = {
   mutable dead : bool;
   mutable decommissions : int;
   mutable regenerations : int;
+  (* Bulk-aging stream cache: the active-minidisk array and its
+     slot-base table, valid while [stream_gen] matches the registry's
+     generation.  The per-op path deliberately does not use it — it is
+     the retained oracle and stays byte-for-byte the code it always
+     was. *)
+  mutable stream_gen : int;
+  mutable stream_mdisks : Minidisk.t array;
+  mutable stream_base : int array;
 }
 
 type write_error = [ `Dead | `Unknown_mdisk | `No_space ]
@@ -269,6 +277,9 @@ let create ?(config = default_config) ?registry ~geometry ~model ~rng () =
     dead = false;
     decommissions = 0;
     regenerations = 0;
+    stream_gen = -1;
+    stream_mdisks = [||];
+    stream_base = [||];
   }
 
 (* --- decommissioning and regeneration ---------------------------------- *)
@@ -507,6 +518,30 @@ let find_readable t id =
       Some mdisk
   | _ -> None
 
+(* Eq. 2 normally shrinks the device before space truly runs out, but a
+   garbage-collection cascade can retire many blocks within a single
+   host write.  Keep decommissioning until the write fits or nothing is
+   left to give up.  Shared by the per-op write path and the bulk-aging
+   stream wrapper, so both recover identically. *)
+let recover_no_space t ~mdisk ~logical ~payload =
+  let rec recover () =
+    if t.dead then Error `No_space
+    else if not (decommission_one ~urgent:true t) then begin
+      t.dead <- true;
+      Error `No_space
+    end
+    else if find_active t mdisk = None then
+      (* the victim was this write's own minidisk *)
+      Error `Unknown_mdisk
+    else
+      match Ftl.Engine.write t.engine ~logical ~payload with
+      | Ok () ->
+          maintain t;
+          Ok ()
+      | Error `No_space -> recover ()
+  in
+  recover ()
+
 let write t ~mdisk ~lba ~payload =
   if t.dead then Error `Dead
   else
@@ -518,28 +553,7 @@ let write t ~mdisk ~lba ~payload =
         | Ok () ->
             maintain t;
             Ok ()
-        | Error `No_space ->
-            (* Eq. 2 normally shrinks the device before space truly runs
-               out, but a garbage-collection cascade can retire many
-               blocks within a single host write.  Keep decommissioning
-               until the write fits or nothing is left to give up. *)
-            let rec recover () =
-              if t.dead then Error `No_space
-              else if not (decommission_one ~urgent:true t) then begin
-                t.dead <- true;
-                Error `No_space
-              end
-              else if find_active t mdisk = None then
-                (* the victim was this write's own minidisk *)
-                Error `Unknown_mdisk
-              else
-                match Ftl.Engine.write t.engine ~logical ~payload with
-                | Ok () ->
-                    maintain t;
-                    Ok ()
-                | Error `No_space -> recover ()
-            in
-            recover ())
+        | Error `No_space -> recover_no_space t ~mdisk ~logical ~payload)
 
 let read t ~mdisk ~lba =
   if t.dead then Error `Dead
@@ -672,6 +686,90 @@ module As_device = struct
         | Error (`Dead | `No_space) as e ->
             (e :> (unit, Ftl.Device_intf.write_error) result)
         | Error `Unknown_mdisk -> Error `Out_of_range)
+
+  (* Bulk segments between maintenance points.  The LBA -> engine-logical
+     translation (the active-minidisk array [locate] rebuilds per write)
+     only moves when maintenance decommissions or regenerates — and
+     maintenance only runs after erases — so one lookup table serves a
+     whole no-erase segment.  The table is cached on the device keyed by
+     the registry's generation counter: most segments end on a monitor
+     or telemetry boundary with the active set untouched, and reuse the
+     arrays as-is.  [Stream_erased] re-enters [maintain] at the same
+     point the per-op path would (right after the triggering write),
+     then re-derives the table if maintenance moved it.  A [`No_space]
+     replays the exact per-op recovery ([recover_no_space], including
+     its host-write re-count on retry) before resuming.  Budget before
+     death, matching the per-op loop's stop-then-alive order. *)
+  let refresh_stream_tables t =
+    let gen = Minidisk.Registry.generation t.registry in
+    if t.stream_gen <> gen then begin
+      let mdisks = active_array t in
+      let per = t.config.mdisk_opages in
+      t.stream_mdisks <- mdisks;
+      t.stream_base <- Array.map (fun m -> m.Minidisk.slot * per) mdisks;
+      t.stream_gen <- gen
+    end
+
+  let write_stream t ~rng ~window ~payload_base ~budget =
+    if not (Ftl.Engine.stream_capable t.engine) then
+      {
+        Ftl.Device_intf.accepted = 0;
+        status = Ftl.Device_intf.Stream_unsupported;
+      }
+    else
+      let per = t.config.mdisk_opages in
+      let rec go accepted =
+        if accepted >= budget then
+          { Ftl.Device_intf.accepted; status = Ftl.Device_intf.Stream_filled }
+        else if t.dead then
+          { Ftl.Device_intf.accepted; status = Ftl.Device_intf.Stream_dead }
+        else begin
+          refresh_stream_tables t;
+          let mdisks = t.stream_mdisks in
+          let base = t.stream_base in
+          let limit = Array.length mdisks * per in
+          let translate lba = base.(lba / per) + (lba mod per) in
+          let n, stop =
+            Ftl.Engine.write_stream t.engine ~rng ~window ~limit ~translate
+              ~payload_base:(payload_base + accepted)
+              ~budget:(budget - accepted)
+          in
+          let accepted = accepted + n in
+          match stop with
+          | Ftl.Engine.Stream_budget ->
+              {
+                Ftl.Device_intf.accepted;
+                status = Ftl.Device_intf.Stream_filled;
+              }
+          | Ftl.Engine.Stream_out_of_window ->
+              {
+                Ftl.Device_intf.accepted;
+                status = Ftl.Device_intf.Stream_resync;
+              }
+          | Ftl.Engine.Stream_erased ->
+              maintain t;
+              go accepted
+          | Ftl.Engine.Stream_no_space lba -> (
+              let mdisk = mdisks.(lba / per).Minidisk.id in
+              let logical = base.(lba / per) + (lba mod per) in
+              match
+                recover_no_space t ~mdisk ~logical
+                  ~payload:(payload_base + accepted)
+              with
+              | Ok () -> go (accepted + 1)
+              | Error `Unknown_mdisk ->
+                  {
+                    Ftl.Device_intf.accepted;
+                    status = Ftl.Device_intf.Stream_resync;
+                  }
+              | Error `No_space ->
+                  {
+                    Ftl.Device_intf.accepted;
+                    status = Ftl.Device_intf.Stream_dead;
+                  })
+        end
+      in
+      go 0
 
   let read t ~lba =
     match locate t ~lba with

@@ -20,6 +20,10 @@ module Registry = struct
     mutable active : int;
     mutable created : int;
     mutable decommissioned : int;
+    mutable generation : int;
+        (* bumped on every membership/state mutation; lets callers cache
+           derived views of the active set (the bulk-aging stream's
+           LBA-translation table) and rebuild only when stale *)
   }
 
   let create ~opages_per_mdisk ~slots =
@@ -35,6 +39,7 @@ module Registry = struct
       active = 0;
       created = 0;
       decommissioned = 0;
+      generation = 0;
     }
 
   let opages_per_mdisk t = t.opages_per_mdisk
@@ -56,6 +61,7 @@ module Registry = struct
         t.next_id <- t.next_id + 1;
         t.active <- t.active + 1;
         t.created <- t.created + 1;
+        t.generation <- t.generation + 1;
         Hashtbl.add t.by_id mdisk.id mdisk;
         Some mdisk
 
@@ -72,6 +78,7 @@ module Registry = struct
         mdisk.state <- Decommissioned;
         t.free_slots <- mdisk.slot :: t.free_slots;
         t.decommissioned <- t.decommissioned + 1;
+        t.generation <- t.generation + 1;
         mdisk
 
   let begin_drain t id =
@@ -82,6 +89,7 @@ module Registry = struct
           invalid_arg "Minidisk.Registry.begin_drain: not active";
         mdisk.state <- Draining;
         t.active <- t.active - 1;
+        t.generation <- t.generation + 1;
         mdisk
 
   let draining t =
@@ -99,6 +107,7 @@ module Registry = struct
     |> List.sort (fun a b -> compare a.id b.id)
 
   let active_count t = t.active
+  let generation t = t.generation
   let active_opages t = t.active * t.opages_per_mdisk
   let created_total t = t.created
   let decommissioned_total t = t.decommissioned

@@ -57,6 +57,14 @@ module Registry : sig
   (** Live minidisks, in increasing id order. *)
 
   val active_count : t -> int
+
+  val generation : t -> int
+  (** Monotone counter bumped by every membership/state mutation
+      ({!create_mdisk}, {!begin_drain}, {!decommission}).  Callers that
+      derive views of the active set — the bulk-aging stream caches its
+      LBA-translation arrays — compare generations instead of rebuilding
+      per use. *)
+
   val active_opages : t -> int
   (** Total LBAs currently exported: |LBAs| in Eq. 2. *)
 

@@ -1,13 +1,23 @@
 let kinds : Fleet.kind list = [ `Baseline; `Cvss; `Shrinks; `Regens ]
 
-let run ?(days = 150) ?(devices = Defaults.fleet_devices) ?(dwpd = 1.)
-    ?(kinds = kinds) ?(ctx = Ctx.default) fmt =
+let run ?days ?years ?(devices = Defaults.fleet_devices) ?(dwpd = 1.)
+    ?aging ?(epoch_days = 1) ?(kinds = kinds) ?(ctx = Ctx.default) fmt =
+  let days =
+    match (years, days) with
+    | Some y, _ -> y * 365
+    | None, Some d -> d
+    | None, None -> 150
+  in
   let results =
-    List.map (fun kind -> Fleet.run ~days ~devices ~dwpd ~ctx kind) kinds
+    List.map
+      (fun kind -> Fleet.run ~days ~devices ~dwpd ?aging ~epoch_days ~ctx kind)
+      kinds
   in
   let sample_days =
-    (* every 5th day keeps the table readable *)
-    List.init ((days / 5) + 1) (fun i -> i * 5)
+    (* every 5th day keeps the table readable; epoch runs only snapshot
+       boundary days, so the stride rounds 5 up to whole epochs *)
+    let stride = epoch_days * Stdlib.max 1 ((5 + epoch_days - 1) / epoch_days) in
+    List.init ((days / stride) + 1) (fun i -> i * stride)
   in
   let row_of result day =
     match

@@ -9,8 +9,11 @@
 
 val run :
   ?days:int ->
+  ?years:int ->
   ?devices:int ->
   ?dwpd:float ->
+  ?aging:Workload.Aging.path ->
+  ?epoch_days:int ->
   ?kinds:Fleet.kind list ->
   ?ctx:Ctx.t ->
   Format.formatter ->
@@ -19,4 +22,10 @@ val run :
     ages each fleet's devices across domains (output unchanged).
     [kinds] restricts the comparison (default: all four designs) — the
     CLI's [fleet --mode regens --devices 100000] path runs one kind at
-    datacenter scale; [dwpd] scales the daily write quota. *)
+    datacenter scale; [dwpd] scales the daily write quota.
+
+    [years] overrides [days] with [365 * years] (default: 150 days);
+    [epoch_days] coalesces days into multi-day aging epochs and [aging]
+    picks the epoch driver — both forwarded to {!Fleet.run}.  The report
+    tables stride by 5 days, rounded up to whole epochs when epochs are
+    coarser. *)

@@ -40,7 +40,8 @@ type chunk_acc = {
   mutable acc_afr_deaths : int;
 }
 
-let simulate_device ~kind ~days ~dwpd ~afr_per_day ~streams acc index =
+let simulate_device ~kind ~days ~dwpd ~afr_per_day ~aging ~epoch_days ~streams
+    acc index =
   let s : device_streams = streams.(index) in
   let device = Defaults.make_device_rng ~registry:acc.sub kind ~rng:s.dev_rng in
   let sink = Option.bind acc.mon Monitor.Engine.sink in
@@ -95,30 +96,51 @@ let simulate_device ~kind ~days ~dwpd ~afr_per_day ~streams acc index =
     ~args:[ ("device", string_of_int index) ]
     "fleet:device"
     (fun () ->
-      for day = 1 to days do
+      (* Days advance one epoch at a time: [epoch_days] days' quota in a
+         single aging call, one AFR draw at the compounded hazard, and
+         recording/sampling only at epoch boundaries.  With the default
+         [epoch_days = 1] each epoch is one day and every step below
+         reduces exactly to the historical per-day loop (quota times
+         [*. 1.], the hazard guard keeps the raw [afr_per_day]). *)
+      let day = ref 1 in
+      while !day <= days do
+        let span_days = Stdlib.min epoch_days (days - !day + 1) in
+        let upto = !day + span_days - 1 in
         if alive () then
           Telemetry.Trace.with_span ?sink
-            ~args:[ ("day", string_of_int day) ]
+            ~args:[ ("day", string_of_int !day) ]
             "fleet:day"
             (fun () ->
               (* Random, non-wear failure (controller, DRAM, firmware): the
-                 ~1%-AFR class of failures the field studies report. *)
-              if Sim.Rng.chance s.afr_rng afr_per_day then afr_dead := true
+                 ~1%-AFR class of failures the field studies report.  One
+                 draw per epoch at the compounded per-epoch probability;
+                 the device is then down for the whole epoch, the same
+                 day-granular approximation the per-day loop makes. *)
+              let p_fail =
+                if span_days = 1 then afr_per_day
+                else 1. -. ((1. -. afr_per_day) ** float_of_int span_days)
+              in
+              if Sim.Rng.chance s.afr_rng p_fail then afr_dead := true
               else begin
                 let quota =
-                  int_of_float (dwpd *. float_of_int (capacity ()))
+                  if span_days = 1 then
+                    int_of_float (dwpd *. float_of_int (capacity ()))
+                  else
+                    int_of_float
+                      (dwpd *. float_of_int (capacity ())
+                      *. float_of_int span_days)
                 in
                 let outcome =
-                  Workload.Aging.run_until ~rng:s.wl_rng ~pattern ~device
-                    ~stop:(fun writes -> writes >= quota)
-                    ()
+                  Workload.Aging.run_epoch ~path:aging ~rng:s.wl_rng ~pattern
+                    ~device ~quota ()
                 in
                 acc.acc_host_writes <-
                   acc.acc_host_writes + outcome.Workload.Aging.host_writes;
                 if outcome.Workload.Aging.died then wear_dead := true
               end);
-        record day;
-        sample day
+        record upto;
+        sample upto;
+        day := upto + 1
       done);
   if !wear_dead then acc.acc_wear_deaths <- acc.acc_wear_deaths + 1;
   if !afr_dead then acc.acc_afr_deaths <- acc.acc_afr_deaths + 1;
@@ -156,7 +178,8 @@ let default_chunk_size ~devices ~monitored =
 
 let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
     ?(afr_per_day = 0.0011) ?(seed = Defaults.fleet_seed) ?(ctx = Ctx.default)
-    ?chunk_size kind =
+    ?chunk_size ?(aging = Workload.Aging.Auto) ?(epoch_days = 1) kind =
+  if epoch_days < 1 then invalid_arg "Fleet.run: epoch_days must be >= 1";
   let root = Sim.Rng.create seed in
   let streams =
     Array.init devices (fun _ ->
@@ -192,7 +215,9 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
               acc_wear_deaths = 0;
               acc_afr_deaths = 0;
             });
-        item = simulate_device ~kind ~days ~dwpd ~afr_per_day ~streams;
+        item =
+          simulate_device ~kind ~days ~dwpd ~afr_per_day ~aging ~epoch_days
+            ~streams;
         finish = Fun.id;
       }
   in
@@ -212,8 +237,22 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
         o.mon;
       Ctx.absorb_obs ctx o.obs)
     outcomes;
+  (* Devices record only at epoch boundaries, so snapshots exist only
+     there: day 0, then the end of each epoch (the final partial epoch
+     ends on [days]).  epoch_days = 1 yields the historical every-day
+     list. *)
+  let recorded_days =
+    let rec boundaries day acc =
+      if day > days then List.rev acc
+      else
+        let upto = Stdlib.min days (day + epoch_days - 1) in
+        boundaries (upto + 1) (upto :: acc)
+    in
+    0 :: boundaries 1 []
+  in
   let snapshots =
-    List.init (days + 1) (fun day ->
+    List.map
+      (fun day ->
         let alive = ref 0 and capacity = ref 0 in
         List.iter
           (fun o ->
@@ -221,6 +260,7 @@ let run ?(devices = Defaults.fleet_devices) ?(days = 150) ?(dwpd = 1.)
             capacity := !capacity + o.cap_by_day.(day))
           outcomes;
         { day; alive = !alive; capacity_opages = !capacity })
+      recorded_days
   in
   let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
   {

@@ -20,7 +20,8 @@ type snapshot = {
 type result = {
   kind : kind;
   devices : int;
-  snapshots : snapshot list;  (** one per day, day 0 first *)
+  snapshots : snapshot list;
+      (** one per epoch boundary (every day by default), day 0 first *)
   total_host_writes : int;
   wear_deaths : int;
   afr_deaths : int;
@@ -34,6 +35,8 @@ val run :
   ?seed:int ->
   ?ctx:Ctx.t ->
   ?chunk_size:int ->
+  ?aging:Workload.Aging.path ->
+  ?epoch_days:int ->
   kind ->
   result
 (** Defaults: {!Defaults.fleet_devices} devices, 150 days, 1 DWPD,
@@ -52,6 +55,16 @@ val run :
     own label — otherwise up to 64 chunks across the fleet); the
     aggregate [result] is the same at any chunk size, and chunk sizing
     never depends on the job count.
+
+    [aging] picks the epoch driver ({!Workload.Aging.path}; default
+    [Auto], which takes the devices' bulk-aging fast path — bit-exact
+    with [Per_op], which remains available as the differential oracle).
+    [epoch_days] (default 1) coalesces that many simulated days into one
+    aging epoch: one quota of [epoch_days] days' writes, one AFR draw at
+    the compounded hazard, and recording/sampling/snapshots only at
+    epoch boundaries — the multi-year fleet-scale configuration.  With
+    [epoch_days = 1] every step reduces exactly to the per-day loop.
+    @raise Invalid_argument if [epoch_days < 1].
 
     When [ctx] carries a monitor, each device samples its scratch
     registry into a {!Ctx.sub_monitor} engine at the monitor's epoch

@@ -183,11 +183,13 @@ let corrupt_mask t fp =
   if Hashtbl.length t.faults = 0 then 0
   else match Hashtbl.find_opt t.faults fp with Some c -> c.corrupt | None -> 0
 
-(* Modeled sense + transfer + decode time of reading [data_kib] off one
+(* Modeled sense + transfer + decode time of reading [data_bytes] off one
    fPage at its current error rate; only evaluated when the latency
-   histogram is live. *)
-let observe_read_latency t ~block ~fp ~data_kib =
+   histogram is live — the hot read path passes an int so the inactive
+   case costs one branch, no float boxing. *)
+let observe_read_latency t ~block ~fp ~data_bytes =
   if Telemetry.Registry.Histogram.is_active t.tel.tel_read_us then begin
+    let data_kib = float_of_int data_bytes /. 1024. in
     let rber =
       Rber_model.rber ~reads:(page_reads t fp) t.model ~pec:t.pecs.(block)
         ~strength:(Float.Array.get t.strengths fp)
@@ -225,13 +227,44 @@ let program t ~block ~page slots =
          ~data_kib:
            (float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.))
 
+(* Same media semantics as {!program}, fed from a flat scratch array
+   instead of a [payload option array]: slots [0 .. count-1] carry data,
+   the rest are ECC-reserved.  The bulk-aging write stream uses this to
+   program without boxing a fresh option array per fPage; counters,
+   validation and the latency histogram behave identically. *)
+let program_ints t ~block ~page ~payloads ~count =
+  let fp = check_page t block page in
+  let opages = t.geometry.Geometry.opages_per_fpage in
+  if count < 0 || count > opages || count > Array.length payloads then
+    invalid_arg "Chip.program_ints: count out of range";
+  if is_programmed t fp then
+    invalid_arg "Chip.program_ints: page already programmed (erase first)";
+  let base = fp * opages in
+  for i = 0 to count - 1 do
+    let p = payloads.(i) in
+    if p = slot_none then
+      invalid_arg "Chip.program_ints: payload min_int is reserved";
+    t.payloads.(base + i) <- p
+  done;
+  for i = count to opages - 1 do
+    t.payloads.(base + i) <- slot_none
+  done;
+  t.words.(fp) <- t.words.(fp) lor 1;
+  t.programs <- t.programs + 1;
+  Telemetry.Registry.Counter.incr t.tel.tel_programs;
+  if Telemetry.Registry.Histogram.is_active t.tel.tel_program_us then
+    Telemetry.Registry.Histogram.observe t.tel.tel_program_us
+      (Latency.fpage_program_us Latency.default
+         ~data_kib:
+           (float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.))
+
 let read t ~block ~page =
   let fp = check_page t block page in
   t.reads <- t.reads + 1;
   t.words.(fp) <- t.words.(fp) + 2;
   Telemetry.Registry.Counter.incr t.tel.tel_reads;
   observe_read_latency t ~block ~fp
-    ~data_kib:(float_of_int (Geometry.fpage_data_bytes t.geometry) /. 1024.);
+    ~data_bytes:(Geometry.fpage_data_bytes t.geometry);
   if not (is_programmed t fp) then Free
   else begin
     let opages = t.geometry.Geometry.opages_per_fpage in
@@ -250,11 +283,23 @@ let read_slot t ~block ~page ~slot =
   t.reads <- t.reads + 1;
   t.words.(fp) <- t.words.(fp) + 2;
   Telemetry.Registry.Counter.incr t.tel.tel_reads;
-  observe_read_latency t ~block ~fp
-    ~data_kib:(float_of_int t.geometry.Geometry.opage_bytes /. 1024.);
+  observe_read_latency t ~block ~fp ~data_bytes:t.geometry.Geometry.opage_bytes;
   if not (is_programmed t fp) then invalid_arg "Chip.read_slot: page is erased";
   let v = t.payloads.((fp * t.geometry.Geometry.opages_per_fpage) + slot) in
   if v = slot_none then None else Some (v lxor corrupt_mask t fp)
+
+let read_slot_int t ~block ~page ~slot =
+  let fp = check_page t block page in
+  if slot < 0 || slot >= t.geometry.Geometry.opages_per_fpage then
+    invalid_arg "Chip.read_slot_int: slot out of range";
+  t.reads <- t.reads + 1;
+  t.words.(fp) <- t.words.(fp) + 2;
+  Telemetry.Registry.Counter.incr t.tel.tel_reads;
+  observe_read_latency t ~block ~fp ~data_bytes:t.geometry.Geometry.opage_bytes;
+  if not (is_programmed t fp) then
+    invalid_arg "Chip.read_slot_int: page is erased";
+  let v = t.payloads.((fp * t.geometry.Geometry.opages_per_fpage) + slot) in
+  if v = slot_none then slot_none else v lxor corrupt_mask t fp
 
 let erase t ~block =
   check_block t block;

@@ -57,12 +57,28 @@ val program : t -> block:int -> page:int -> payload option array -> unit
     @raise Invalid_argument if out of range, if the slot-array length is
     not [opages_per_fpage], or if the page is not [Free] (program-once). *)
 
+val program_ints :
+  t -> block:int -> page:int -> payloads:int array -> count:int -> unit
+(** {!program} fed from a flat scratch array: slots [0 .. count-1] take
+    [payloads.(i)], the remaining slots are ECC-reserved.  Bit-exact with
+    [program] on the equivalent option array (same counters, same latency
+    observation) but allocation-free — the bulk-aging write stream's
+    program path.
+    @raise Invalid_argument under [program]'s conditions, or if [count]
+    is negative, exceeds [opages_per_fpage] or [payloads]'s length. *)
+
 val read : t -> block:int -> page:int -> page_state
 (** Current state; for a programmed page the array is a copy. *)
 
 val read_slot : t -> block:int -> page:int -> slot:int -> payload option
 (** Single-slot read; [None] for ECC-reserved slots.
     @raise Invalid_argument on a [Free] page or bad indices. *)
+
+val read_slot_int : t -> block:int -> page:int -> slot:int -> int
+(** {!read_slot} without the option box: the payload, or [min_int] for
+    an ECC-reserved slot ([min_int] is never a valid payload).  Same
+    counters, disturb accounting and latency modeling — the GC
+    relocation hot path. *)
 
 val erase : t -> block:int -> unit
 (** Erase a block: all its pages become [Free]; its PEC increments. *)

@@ -119,6 +119,40 @@ let write t ~lba ~payload =
         t.dead <- true;
         Error `No_space
 
+(* Bulk segments between erases.  [t.capacity] is re-read at each
+   segment start, so a mid-stream shrink (the erase hook fires inside
+   the segment, which then ends with [Stream_erased]) tightens the limit
+   before any further write — draws into the surrendered range come back
+   as [Stream_resync], the per-op [`Out_of_range].  Budget before death,
+   as in the per-op loop's stop-then-alive order. *)
+let write_stream t ~rng ~window ~payload_base ~budget =
+  if not (Engine.stream_capable t.engine) then
+    { Device_intf.accepted = 0; status = Device_intf.Stream_unsupported }
+  else
+    let rec go accepted =
+      if accepted >= budget then
+        { Device_intf.accepted; status = Device_intf.Stream_filled }
+      else if t.dead then
+        { Device_intf.accepted; status = Device_intf.Stream_dead }
+      else
+        let n, stop =
+          Engine.write_stream t.engine ~rng ~window ~limit:t.capacity
+            ~translate:Fun.id ~payload_base:(payload_base + accepted)
+            ~budget:(budget - accepted)
+        in
+        let accepted = accepted + n in
+        match stop with
+        | Engine.Stream_budget ->
+            { Device_intf.accepted; status = Device_intf.Stream_filled }
+        | Engine.Stream_out_of_window ->
+            { Device_intf.accepted; status = Device_intf.Stream_resync }
+        | Engine.Stream_erased -> go accepted
+        | Engine.Stream_no_space _ ->
+            t.dead <- true;
+            { Device_intf.accepted; status = Device_intf.Stream_dead }
+    in
+    go 0
+
 let read t ~lba =
   if lba < 0 || lba >= t.initial_capacity then Error `Out_of_range
   else

@@ -31,6 +31,20 @@ type wear_stats = {
   tolerable_rber : float;
 }
 
+(** Outcome of a bulk-aging write segment (see {!S.write_stream}). *)
+type stream_status =
+  | Stream_filled  (** the whole budget was accepted *)
+  | Stream_resync
+      (** a draw fell outside the device's current capacity (consumed,
+          not written) — the per-op [`Out_of_range]; the caller should
+          resize its window and continue *)
+  | Stream_dead  (** the device died; no further writes *)
+  | Stream_unsupported
+      (** no fast path right now (e.g. a crash hook is armed); nothing
+          was consumed — run the per-op loop instead *)
+
+type stream_result = { accepted : int; status : stream_status }
+
 module type S = sig
   type t
 
@@ -38,6 +52,18 @@ module type S = sig
   (** Human-readable device kind for reports. *)
 
   val write : t -> lba:int -> payload:int -> (unit, write_error) result
+
+  val write_stream :
+    t -> rng:Sim.Rng.t -> window:int -> payload_base:int -> budget:int ->
+    stream_result
+  (** Bulk-aging fast path: accept up to [budget] uniform random
+      writes, each drawing its LBA with [Sim.Rng.int rng window] and
+      carrying payload [payload_base + i] for the [i]th accepted write.
+      Must be bit-exact with the per-op loop (one {!write} per draw,
+      plus the device's usual post-write maintenance): same RNG draws
+      consumed, same counters, same flash state.  [Stream_unsupported]
+      promises nothing was consumed. *)
+
   val read : t -> lba:int -> (int, read_error) result
 
   val trim : t -> lba:int -> unit
@@ -73,6 +99,9 @@ type packed = Packed : (module S with type t = 'a) * 'a -> packed
 
 let label (Packed ((module D), d)) = D.label d
 let write (Packed ((module D), d)) ~lba ~payload = D.write d ~lba ~payload
+
+let write_stream (Packed ((module D), d)) ~rng ~window ~payload_base ~budget =
+  D.write_stream d ~rng ~window ~payload_base ~budget
 let read (Packed ((module D), d)) ~lba = D.read d ~lba
 let trim (Packed ((module D), d)) ~lba = D.trim d ~lba
 let alive (Packed ((module D), d)) = D.alive d

@@ -152,6 +152,11 @@ type t = {
   mutable total_capacity : int;
   closed : Blockset.t;
   free_heap : Intheap.t;
+  (* Flush scratch for the bulk write stream: one [(logical, payload)]
+     pair per oPage slot of an fPage, reused across every program so a
+     flush allocates nothing.  Only [write_stream] touches them. *)
+  scratch_logicals : int array;
+  scratch_payloads : int array;
   tel : tel;
 }
 
@@ -193,7 +198,7 @@ let create ?(config = default_config) ?registry ~chip ~rng ~policy
     policy;
     config;
     mapping = Mapping.create ~geometry ~logical_opages:logical_capacity;
-    buffer = Write_buffer.create ();
+    buffer = Write_buffer.create ~capacity:logical_capacity ();
     classes = Array.make geometry.Flash.Geometry.blocks Free;
     logical_capacity;
     oob_logical = Array.make slots (-1);
@@ -226,6 +231,10 @@ let create ?(config = default_config) ?registry ~chip ~rng ~policy
     total_capacity = 0;
     closed = Blockset.create blocks;
     free_heap;
+    scratch_logicals =
+      Array.make geometry.Flash.Geometry.opages_per_fpage 0;
+    scratch_payloads =
+      Array.make geometry.Flash.Geometry.opages_per_fpage 0;
     tel = make_tel registry;
   }
 
@@ -290,17 +299,15 @@ let push_free t block =
 (* Move a live slot's content into the buffer (unless a newer version is
    already buffered) and unmap it, so the physical copy becomes stale. *)
 let relocate_slot t ~block ~page ~slot ~logical =
-  (match Write_buffer.payload_of t.buffer logical with
-  | Some _ -> () (* the buffer already holds newer data; old copy is dead *)
-  | None -> (
-      match Flash.Chip.read_slot t.chip ~block ~page ~slot with
-      | Some payload ->
-          Write_buffer.put t.buffer ~logical ~payload;
-          t.relocated <- t.relocated + 1;
-          Telemetry.Registry.Counter.incr t.tel.tel_relocated
-      | None ->
-          (* The mapping never points at ECC-reserved slots. *)
-          assert false));
+  (* skip when the buffer already holds newer data (old copy is dead) *)
+  (if not (Write_buffer.mem t.buffer logical) then begin
+     let payload = Flash.Chip.read_slot_int t.chip ~block ~page ~slot in
+     (* The mapping never points at ECC-reserved slots. *)
+     assert (payload <> Stdlib.min_int);
+     Write_buffer.put t.buffer ~logical ~payload;
+     t.relocated <- t.relocated + 1;
+     Telemetry.Registry.Counter.incr t.tel.tel_relocated
+   end);
   Mapping.unbind_logical t.mapping logical
 
 let relocate_block_contents t block =
@@ -548,6 +555,111 @@ let flush t =
   notify_crash t Flush;
   drain t ~force:true
 
+(* --- bulk-aging write stream ------------------------------------------- *)
+
+type stream_stop =
+  | Stream_budget
+  | Stream_erased
+  | Stream_out_of_window
+  | Stream_no_space of int
+
+let stream_capable t = t.crash_hook = None
+
+(* Bulk-aging fast path.  One call replays exactly the write stream the
+   per-op loop (one [Sim.Rng.int rng window] draw, then [write]) would
+   issue, with the per-write overhead hoisted out: the open position is
+   cached between programs, pages are programmed straight from the
+   reusable scratch arrays, and the host-write telemetry counter is
+   settled once at segment end ([Counter.incr] is a plain sum, so the
+   final value is identical).
+
+   The caller owns the LBA -> engine-logical translation and must keep
+   it frozen for the whole call; device state only moves at erases (GC,
+   wear leveling, retirement hooks), so the segment ends with
+   [Stream_erased] immediately after the write that triggered one — the
+   caller re-derives translation, runs device maintenance, and calls
+   again.  The open-position cache is sound for the same reason: only
+   our own programs and erase hooks change the open block's page states
+   or slot counts, and programs invalidate it while erases end the
+   segment.  Bit-exactness against the per-op path (same RNG draws,
+   same counters, same flash layout) is pinned by the differential
+   suite in [test/test_bulk_aging.ml]. *)
+let write_stream t ~rng ~window ~limit ~translate ~payload_base ~budget =
+  if t.crash_hook <> None then
+    invalid_arg "Engine.write_stream: crash hook armed (not stream-capable)";
+  let exception Stop of stream_stop in
+  let exception No_space_now in
+  let opages = (geometry t).Flash.Geometry.opages_per_fpage in
+  let erases0 = Flash.Chip.erases t.chip in
+  let host_writes0 = t.host_writes in
+  let accepted = ref 0 in
+  (* Cached open position; [pos_slots = 0] means "not established". *)
+  let pos_block = ref 0 and pos_page = ref 0 and pos_slots = ref 0 in
+  let waf_active = Telemetry.Registry.Gauge.is_active t.tel.tel_waf in
+  let program_fast () =
+    let block = !pos_block and page = !pos_page and slots = !pos_slots in
+    let n =
+      Write_buffer.pop_into t.buffer ~logicals:t.scratch_logicals
+        ~payloads:t.scratch_payloads slots
+    in
+    Flash.Chip.program_ints t.chip ~block ~page ~payloads:t.scratch_payloads
+      ~count:n;
+    let base = flat_slot t ~block ~page ~slot:0 in
+    for i = 0 to n - 1 do
+      t.sequence <- t.sequence + 1;
+      let flat = base + i in
+      t.oob_logical.(flat) <- t.scratch_logicals.(i);
+      t.oob_seq.(flat) <- t.sequence;
+      Mapping.bind_flat t.mapping ~logical:t.scratch_logicals.(i) flat
+    done;
+    t.padded <- t.padded + (slots - n);
+    Telemetry.Registry.Counter.incr t.tel.tel_padded ~by:(slots - n);
+    if waf_active && t.host_writes > 0 then
+      Telemetry.Registry.Gauge.set t.tel.tel_waf
+        (float_of_int (Flash.Chip.programs t.chip * opages)
+        /. float_of_int t.host_writes);
+    t.next_page <- page + 1;
+    pos_slots := 0
+  in
+  (* [drain ~force:false] against the cached position; precondition:
+     buffer non-empty (the loop just [put] an entry).  When the cache is
+     valid, the skipped [open_position] call would have returned the
+     same position with no side effects. *)
+  let rec stream_drain () =
+    if !pos_slots = 0 then
+      (match open_position t with
+      | None -> raise No_space_now
+      | Some (block, page, slots) ->
+          pos_block := block;
+          pos_page := page;
+          pos_slots := slots);
+    if Write_buffer.length t.buffer >= !pos_slots then begin
+      program_fast ();
+      (* GC relocations during [open_position] can refill the buffer;
+         keep programming, as [drain]'s recursion would. *)
+      if not (Write_buffer.is_empty t.buffer) then stream_drain ()
+    end
+  in
+  let stop =
+    try
+      while !accepted < budget do
+        let lba = Sim.Rng.int rng window in
+        if lba >= limit then raise (Stop Stream_out_of_window);
+        let logical = translate lba in
+        t.host_writes <- t.host_writes + 1;
+        Write_buffer.put t.buffer ~logical ~payload:(payload_base + !accepted);
+        (try stream_drain ()
+         with No_space_now -> raise (Stop (Stream_no_space lba)));
+        incr accepted;
+        if Flash.Chip.erases t.chip <> erases0 then raise (Stop Stream_erased)
+      done;
+      Stream_budget
+    with Stop stop -> stop
+  in
+  Telemetry.Registry.Counter.incr t.tel.tel_host_writes
+    ~by:(t.host_writes - host_writes0);
+  (!accepted, stop)
+
 (* Last line of defense before [`Uncorrectable]: hand the read to the
    recovery hook (bounded attempts per exhausted read), which may
    reconstruct the payload from redundancy the engine cannot see.  A
@@ -598,11 +710,21 @@ let read t ~logical =
   match Write_buffer.payload_of t.buffer logical with
   | Some payload -> Ok payload
   | None -> (
-      match Mapping.find t.mapping logical with
-      | None ->
-          Telemetry.Registry.Counter.incr t.tel.tel_unmapped;
-          Error `Unmapped
-      | Some { Location.block; page; slot } ->
+      (* Flat lookup + manual decode: the hot path boxes no
+         [Location.t] / [option] per read. *)
+      let flat = Mapping.find_flat t.mapping logical in
+      if flat < 0 then begin
+        Telemetry.Registry.Counter.incr t.tel.tel_unmapped;
+        Error `Unmapped
+      end
+      else
+        let g = geometry t in
+        let opages = g.Flash.Geometry.opages_per_fpage in
+        let spb = g.Flash.Geometry.pages_per_block * opages in
+        let block = flat / spb in
+        let rem = flat mod spb in
+        let page = rem / opages in
+        let slot = rem mod opages in
           (* Read-retry ladder: each rung re-senses with escalating effort
              (adjusted read thresholds, soft-decision decoding), modeled
              as the effective RBER shrinking by [retry_rber_factor] per

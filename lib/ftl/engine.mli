@@ -80,6 +80,59 @@ val write_batch : t -> (int * int) array -> (unit, write_error) result
     dead or shrunk, exactly as for {!write}).
     @raise Invalid_argument if any logical index is out of range. *)
 
+(** {2 Bulk-aging write stream}
+
+    The per-op path above costs a handful of calls, list cells and
+    option boxes per write; multi-year fleet runs issue billions of
+    writes whose individual outcomes are boring.  [write_stream] is the
+    bit-exact fast path: one call accepts a whole run of uniform
+    random writes, consuming exactly one [Sim.Rng.int rng window] draw
+    per write — the same RNG stream, counters, mapping and physical
+    layout the per-op loop would produce (pinned by the differential
+    suite in [test/test_bulk_aging.ml]).  The segment ends early the
+    moment anything interesting happens (an erase, a draw beyond the
+    caller's live translation window, out of space) so the caller can
+    re-derive state and continue. *)
+
+type stream_stop =
+  | Stream_budget  (** the requested number of writes was accepted *)
+  | Stream_erased
+      (** a block erase (GC / wear leveling / retirement) happened; the
+          triggering write completed.  Device state may have shifted:
+          re-derive the translation, run maintenance, call again. *)
+  | Stream_out_of_window
+      (** the draw (>= [limit]) was consumed but no write submitted:
+          the per-op path's [`Out_of_range] — resize the window. *)
+  | Stream_no_space of int
+      (** the in-flight write (device LBA carried) failed with
+          [`No_space]: it was counted as a host write and stays
+          buffered, exactly as a failed {!write} would leave it. *)
+
+val stream_capable : t -> bool
+(** Whether the fast path may be used: false while a crash hook is
+    armed (crash sites must fire per write, so fault-injection runs
+    take the per-op path). *)
+
+val write_stream :
+  t ->
+  rng:Sim.Rng.t ->
+  window:int ->
+  limit:int ->
+  translate:(int -> int) ->
+  payload_base:int ->
+  budget:int ->
+  int * stream_stop
+(** [write_stream t ~rng ~window ~limit ~translate ~payload_base
+    ~budget] accepts up to [budget] uniform writes: each draws a device
+    LBA with [Sim.Rng.int rng window], rejects draws [>= limit]
+    (ending the segment), maps the LBA through [translate] to an
+    engine-logical index, and writes payload [payload_base + i] for the
+    [i]th accepted write — matching a per-op loop that stamps each
+    write with its running count.  [translate] must stay valid for the
+    whole call; returns the number of writes accepted and why the
+    segment ended.
+    @raise Invalid_argument if a crash hook is armed. *)
+
 val discard : t -> logical:int -> unit
 (** Trim: drop any buffered copy and unmap the logical oPage. *)
 

@@ -1,7 +1,7 @@
 type t = {
   geometry : Flash.Geometry.t;
   logical_opages : int;
-  forward : Location.t option array; (* indexed by logical oPage *)
+  forward : int array; (* logical oPage -> flat slot index; -1 = unmapped *)
   reverse : int array; (* indexed by flat slot index; -1 = stale/free *)
   valid_per_block : int array;
   mutable mapped : int;
@@ -16,12 +16,22 @@ let flat_index t { Location.block; page; slot } =
   + (page * t.geometry.Flash.Geometry.opages_per_fpage)
   + slot
 
+(* Both directions speak flat slot indices; locations are decoded only at
+   the option-returning API edge, so the per-write hot path (bind_flat /
+   find_flat) never boxes a [Location.t]. *)
+let location_of_flat t flat =
+  let spb = slots_per_block t.geometry in
+  let opages = t.geometry.Flash.Geometry.opages_per_fpage in
+  let block = flat / spb in
+  let rem = flat mod spb in
+  { Location.block; page = rem / opages; slot = rem mod opages }
+
 let create ~geometry ~logical_opages =
   if logical_opages <= 0 then invalid_arg "Mapping.create: logical_opages";
   {
     geometry;
     logical_opages;
-    forward = Array.make logical_opages None;
+    forward = Array.make logical_opages (-1);
     reverse = Array.make (geometry.Flash.Geometry.blocks * slots_per_block geometry) (-1);
     valid_per_block = Array.make geometry.Flash.Geometry.blocks 0;
     mapped = 0;
@@ -33,48 +43,53 @@ let check_logical t logical =
   if logical < 0 || logical >= t.logical_opages then
     invalid_arg "Mapping: logical index out of range"
 
-let find t logical =
+let find_flat t logical =
   check_logical t logical;
   t.forward.(logical)
+
+let find t logical =
+  check_logical t logical;
+  let flat = t.forward.(logical) in
+  if flat < 0 then None else Some (location_of_flat t flat)
 
 let owner t location =
   let flat = flat_index t location in
   if t.reverse.(flat) < 0 then None else Some t.reverse.(flat)
 
-let invalidate_location t location =
-  let flat = flat_index t location in
+let invalidate_flat t flat =
   if t.reverse.(flat) >= 0 then begin
     t.reverse.(flat) <- -1;
-    t.valid_per_block.(location.Location.block) <-
-      t.valid_per_block.(location.Location.block) - 1
+    let block = flat / slots_per_block t.geometry in
+    t.valid_per_block.(block) <- t.valid_per_block.(block) - 1
   end
 
 let unbind_logical t logical =
   check_logical t logical;
-  match t.forward.(logical) with
-  | None -> ()
-  | Some location ->
-      invalidate_location t location;
-      t.forward.(logical) <- None;
-      t.mapped <- t.mapped - 1
+  let flat = t.forward.(logical) in
+  if flat >= 0 then begin
+    invalidate_flat t flat;
+    t.forward.(logical) <- -1;
+    t.mapped <- t.mapped - 1
+  end
 
-let bind t ~logical location =
+let bind_flat t ~logical flat =
   check_logical t logical;
   (* Evict any previous occupant of the slot and any previous location of
      the logical index, keeping both directions consistent. *)
-  (match owner t location with
-  | Some previous_owner when previous_owner <> logical ->
-      t.forward.(previous_owner) <- None;
-      t.mapped <- t.mapped - 1
-  | _ -> ());
-  invalidate_location t location;
-  (match t.forward.(logical) with
-  | Some old -> invalidate_location t old
-  | None -> t.mapped <- t.mapped + 1);
-  t.forward.(logical) <- Some location;
-  t.reverse.(flat_index t location) <- logical;
-  t.valid_per_block.(location.Location.block) <-
-    t.valid_per_block.(location.Location.block) + 1
+  let previous_owner = t.reverse.(flat) in
+  if previous_owner >= 0 && previous_owner <> logical then begin
+    t.forward.(previous_owner) <- -1;
+    t.mapped <- t.mapped - 1
+  end;
+  invalidate_flat t flat;
+  let old = t.forward.(logical) in
+  if old >= 0 then invalidate_flat t old else t.mapped <- t.mapped + 1;
+  t.forward.(logical) <- flat;
+  t.reverse.(flat) <- logical;
+  let block = flat / slots_per_block t.geometry in
+  t.valid_per_block.(block) <- t.valid_per_block.(block) + 1
+
+let bind t ~logical location = bind_flat t ~logical (flat_index t location)
 
 let mapped_count t = t.mapped
 

@@ -15,6 +15,15 @@ val logical_opages : t -> int
 val find : t -> int -> Location.t option
 (** Physical location of a logical index, if mapped. *)
 
+val find_flat : t -> int -> int
+(** Like {!find} but returns the flat slot index
+    [(block * pages_per_block + page) * opages_per_fpage + slot], or [-1]
+    if unmapped — the allocation-free lookup the hot read path and the
+    bulk-aging write stream use. *)
+
+val bind_flat : t -> logical:int -> int -> unit
+(** {!bind} keyed by flat slot index; allocation-free. *)
+
 val owner : t -> Location.t -> int option
 (** Logical index stored in a physical slot, if the slot is live. *)
 

@@ -7,7 +7,12 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] presizes the direct-address tables for logicals in
+    [0, capacity); the engine passes its logical oPage count so the
+    steady-state path never resizes.  Out-of-range logicals still work —
+    the tables grow on demand. *)
+
 val length : t -> int
 (** Number of distinct logical oPages pending. *)
 
@@ -19,9 +24,20 @@ val put : t -> logical:int -> payload:int -> unit
 val payload_of : t -> int -> int option
 (** Pending payload, if any (the read-path buffer hit). *)
 
+val mem : t -> int -> bool
+(** [mem t logical] without the option allocation — the GC-relocation
+    hot path's "is a newer version already buffered" test. *)
+
 val drop : t -> int -> unit
 (** Remove a pending entry (trim of a buffered oPage). *)
 
 val pop : t -> int -> (int * int) list
 (** [pop t n] removes and returns up to [n] [(logical, payload)] entries
     in arrival order (of each logical's most recent write). *)
+
+val pop_into : t -> logicals:int array -> payloads:int array -> int -> int
+(** [pop t n] into caller-owned scratch arrays: writes the popped
+    entries to [logicals.(0..k-1)] / [payloads.(0..k-1)] and returns
+    [k].  Identical pop order and dedup semantics to {!pop}, without
+    the per-flush list allocation — the bulk-aging stream's flush path.
+    The arrays must have at least [n] slots. *)

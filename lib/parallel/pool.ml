@@ -31,17 +31,20 @@ let rec worker_loop t =
    NOT inherited through [Domain.spawn], so each worker grows its own
    at startup, and [create] grows the caller's (it allocates during the
    barrier merges and attends every rendezvous too).  ~32 MB per domain
-   buys roughly 16x fewer rendezvous; never shrunk back. *)
+   buys roughly 16x fewer rendezvous; never shrunk back.  Still the
+   measured sweet spot after the BENCH_10 allocation rewrites (~5x
+   fewer minor words per write): 8 MB and 128 MB nurseries both time
+   measurably worse on the 40-day fleet at --jobs 4. *)
 let min_minor_heap_words = 4 * 1024 * 1024
 
-let tune_gc () =
+let tune_gc words =
   let g = Gc.get () in
-  if g.Gc.minor_heap_size < min_minor_heap_words then
-    Gc.set { g with Gc.minor_heap_size = min_minor_heap_words }
+  if g.Gc.minor_heap_size < words then
+    Gc.set { g with Gc.minor_heap_size = words }
 
-let create ~domains =
+let create_sized ~nursery_words ~domains =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
-  tune_gc ();
+  tune_gc nursery_words;
   let t =
     {
       mutex = Mutex.create ();
@@ -54,9 +57,12 @@ let create ~domains =
   t.workers <-
     Array.init domains (fun _ ->
         Domain.spawn (fun () ->
-            tune_gc ();
+            tune_gc nursery_words;
             worker_loop t));
   t
+
+let create ~domains =
+  create_sized ~nursery_words:min_minor_heap_words ~domains
 
 let domains t = Array.length t.workers
 
@@ -160,6 +166,6 @@ let shutdown t =
   Mutex.unlock t.mutex;
   if fresh then Array.iter Domain.join t.workers
 
-let with_pool ~domains f =
-  let t = create ~domains in
+let with_pool ?(nursery_words = min_minor_heap_words) ~domains f =
+  let t = create_sized ~nursery_words ~domains in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -101,6 +101,9 @@ val shutdown : t -> unit
 (** Drain nothing, accept nothing: wake every worker and join them.
     Idempotent.  Outstanding {!map} calls must have returned. *)
 
-val with_pool : domains:int -> (t -> 'a) -> 'a
+val with_pool : ?nursery_words:int -> domains:int -> (t -> 'a) -> 'a
 (** Scoped create/shutdown: the pool is torn down when the callback
-    returns or raises. *)
+    returns or raises.  [nursery_words] overrides the per-domain
+    minor-heap floor the pool grows every participating domain (workers
+    and caller) to; the default is the measured sweet spot for the
+    fleet workloads.  Minor heaps are only ever grown, never shrunk. *)

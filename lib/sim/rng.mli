@@ -21,6 +21,11 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both copies then produce the same
     sequence. *)
 
+val equal : t -> t -> bool
+(** State equality: two equal generators produce identical futures.  The
+    differential tests use this to prove two code paths consumed exactly
+    the same number of draws. *)
+
 val bits64 : t -> int64
 (** Next raw 64 random bits. *)
 

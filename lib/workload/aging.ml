@@ -63,3 +63,71 @@ let run ?(max_writes = 10_000_000) ?utilization ~rng ~pattern ~device () =
   run_until ?utilization ~rng ~pattern ~device
     ~stop:(fun writes -> writes >= max_writes)
     ()
+
+type path = Auto | Per_op
+
+(* Epoch driver for steady-state aging: same loop structure as
+   [run_until] — stop predicate, then alive check, then the window
+   resync every [stop_every] accepted writes — but the writes between
+   those decision points are delegated wholesale to the device's
+   bulk-aging stream.  Each segment's budget runs exactly to the next
+   stop_every boundary (or the quota), so every per-op decision point is
+   hit at the same write counts with the same device state, and the RNG
+   stream is identical: the fast path is bit-exact with [Per_op], which
+   survives as the oracle for the differential suite. *)
+let run_epoch ?(path = Auto) ?(stop_every = 256) ?(utilization = 0.85) ~rng
+    ~pattern ~device ~quota () =
+  if stop_every <= 0 then invalid_arg "Aging.run_epoch: stop_every";
+  let per_op () =
+    run_until ~stop_every ~utilization ~rng ~pattern ~device
+      ~stop:(fun writes -> writes >= quota)
+      ()
+  in
+  match path with
+  | Per_op -> per_op ()
+  | Auto when not (Pattern.write_only_uniform pattern) -> per_op ()
+  | Auto ->
+      let host_writes = ref 0 in
+      let died = ref false in
+      let fallback = ref false in
+      (try
+         while !host_writes < quota do
+           if not (Ftl.Device_intf.alive device) then begin
+             died := true;
+             raise Exit
+           end;
+           if !host_writes mod stop_every = 0 then
+             sync_window pattern device ~utilization;
+           let budget =
+             Stdlib.min (quota - !host_writes)
+               (stop_every - (!host_writes mod stop_every))
+           in
+           let r =
+             Ftl.Device_intf.write_stream device ~rng
+               ~window:(Pattern.window pattern) ~payload_base:!host_writes
+               ~budget
+           in
+           host_writes := !host_writes + r.Ftl.Device_intf.accepted;
+           match r.Ftl.Device_intf.status with
+           | Ftl.Device_intf.Stream_filled -> ()
+           | Ftl.Device_intf.Stream_resync ->
+               sync_window pattern device ~utilization
+           | Ftl.Device_intf.Stream_dead ->
+               died := true;
+               raise Exit
+           | Ftl.Device_intf.Stream_unsupported ->
+               (* nothing consumed (guaranteed by the contract); replay
+                  the whole epoch through the per-op loop *)
+               fallback := true;
+               raise Exit
+         done
+       with Exit -> ());
+      if !fallback then per_op ()
+      else
+        {
+          host_writes = !host_writes;
+          reads = 0;
+          unmapped_reads = 0;
+          uncorrectable_reads = 0;
+          died = !died;
+        }

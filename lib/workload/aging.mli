@@ -43,3 +43,29 @@ val run_until :
     finer granularity (fleet epochs, the traffic replayer) pass a smaller
     stride so a shrink is noticed within their slice.
     @raise Invalid_argument if [stop_every <= 0]. *)
+
+(** How {!run_epoch} advances the device. *)
+type path =
+  | Auto
+      (** take the device's bulk-aging stream when the pattern allows it
+          (write-only uniform) and the device supports it; identical
+          results either way *)
+  | Per_op  (** force the one-call-per-write loop (the oracle path) *)
+
+val run_epoch :
+  ?path:path ->
+  ?stop_every:int ->
+  ?utilization:float ->
+  rng:Sim.Rng.t ->
+  pattern:Pattern.t ->
+  device:Ftl.Device_intf.packed ->
+  quota:int ->
+  unit ->
+  outcome
+(** Accept up to [quota] writes (an aging epoch: one fleet day or a
+    coalesced run of days).  Bit-exact with
+    [run_until ~stop:(fun w -> w >= quota)] — same RNG draws, same
+    device state, same outcome — but [Auto] advances the boring
+    stretches between window resyncs through
+    {!Ftl.Device_intf.S.write_stream} instead of one call per write.
+    @raise Invalid_argument if [stop_every <= 0]. *)

@@ -50,3 +50,8 @@ let resize t ~window =
   t.window <- window
 
 let window t = t.window
+
+let write_only_uniform t =
+  match t.shape with
+  | Uniform { read_fraction } -> read_fraction <= 0.
+  | Sequential _ | Zipfian _ -> false

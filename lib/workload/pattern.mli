@@ -25,3 +25,10 @@ val resize : t -> window:int -> unit
 (** Change the LBA window (device grew or shrank). *)
 
 val window : t -> int
+
+val write_only_uniform : t -> bool
+(** True when every draw is a uniform write consuming exactly one RNG
+    draw ([uniform] with [read_fraction <= 0] — {!Sim.Rng.chance} never
+    touches the stream for non-positive probabilities).  This is the
+    shape the bulk-aging fast path can replay; any other pattern falls
+    back to the exact per-op loop. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "salamander"
     [
       ("sim", Test_sim.suite);
+      ("rng_reference", Test_rng_reference.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("monitor", Test_monitor.suite);
@@ -16,4 +17,5 @@ let () =
       ("traffic", Test_traffic.suite);
       ("sustain", Test_sustain.suite);
       ("experiments", Test_experiments.suite);
+      ("bulk_aging", Test_bulk_aging.suite);
     ]
